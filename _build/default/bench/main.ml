@@ -1,0 +1,102 @@
+(* Benchmark harness: one Bechamel benchmark per reproduced table /
+   figure of the paper's evaluation (§6), measuring the cost of the
+   computation that regenerates it, followed by a full print-out of
+   every table (the actual reproduction output).
+
+   Run with: dune exec bench/main.exe
+   Fast mode (skip timing, print tables only):
+     dune exec bench/main.exe -- --tables-only *)
+
+open Bechamel
+open Toolkit
+module E = Ethainter_experiments.Experiments
+
+(* Benchmarks run the analysis kernels at a reduced corpus size so a
+   full Bechamel run stays in seconds; the printed tables below use the
+   full default sizes. *)
+let bench_size = 60
+
+(* per-table/figure benchmark kernels *)
+let t1 () = ignore (E.t1_flagged ~size:bench_size ())
+let f6 () = ignore (E.f6_precision ~size:(4 * bench_size) ~sample:10 ())
+let s1 () = ignore (E.s1_securify ~size:bench_size ~sample:10 ())
+let f7 () = ignore (E.f7_securify2 ~size:bench_size ())
+let te () = ignore (E.te_teether ~size:bench_size ())
+let e1 () = ignore (E.e1_kill ~size:(bench_size / 2) ())
+let rq2 () = ignore (E.rq2_efficiency ~size:bench_size ())
+let f8a () = ignore (E.f8a ~size:bench_size ())
+let f8b () = ignore (E.f8b ~size:bench_size ())
+let f8c () = ignore (E.f8c ~size:bench_size ())
+
+(* component micro-benchmarks: the pipeline stages behind RQ2 *)
+let victim_runtime =
+  Ethainter_minisol.Codegen.compile_source_runtime
+    {|contract Victim {
+        mapping(address => bool) admins;
+        mapping(address => bool) users;
+        address owner;
+        modifier onlyAdmins { require(admins[msg.sender]); _; }
+        modifier onlyUsers { require(users[msg.sender]); _; }
+        constructor() { owner = msg.sender; }
+        function registerSelf() public { users[msg.sender] = true; }
+        function referUser(address u) public onlyUsers { users[u] = true; }
+        function referAdmin(address a) public onlyUsers { admins[a] = true; }
+        function changeOwner(address o) public onlyAdmins { owner = o; }
+        function kill() public onlyAdmins { selfdestruct(owner); }
+      }|}
+
+let decompile () = ignore (Ethainter_tac.Decomp.decompile victim_runtime)
+
+let analyze_one () =
+  ignore (Ethainter_core.Pipeline.analyze_runtime victim_runtime)
+
+let keccak () = ignore (Ethainter_crypto.Keccak.hash (String.make 1000 'x'))
+
+let tests =
+  [ Test.make ~name:"T1-flagged-table" (Staged.stage t1);
+    Test.make ~name:"F6-precision" (Staged.stage f6);
+    Test.make ~name:"S1-securify" (Staged.stage s1);
+    Test.make ~name:"F7-securify2" (Staged.stage f7);
+    Test.make ~name:"TE-teether" (Staged.stage te);
+    Test.make ~name:"E1-kill-campaign" (Staged.stage e1);
+    Test.make ~name:"RQ2-throughput" (Staged.stage rq2);
+    Test.make ~name:"F8a-no-storage" (Staged.stage f8a);
+    Test.make ~name:"F8b-no-guards" (Staged.stage f8b);
+    Test.make ~name:"F8c-conservative" (Staged.stage f8c);
+    Test.make ~name:"stage-decompile" (Staged.stage decompile);
+    Test.make ~name:"stage-analyze-contract" (Staged.stage analyze_one);
+    Test.make ~name:"stage-keccak-1k" (Staged.stage keccak) ]
+
+let benchmark () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) () in
+  let test = Test.make_grouped ~name:"ethainter" tests in
+  let results = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let analyzed =
+    List.map (fun instance -> Analyze.all ols instance results) instances
+  in
+  let merged = Analyze.merge ols instances analyzed in
+  Hashtbl.iter
+    (fun measure tbl ->
+      Printf.printf "\n== %s (ns/run) ==\n" measure;
+      let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl [] in
+      List.iter
+        (fun (name, result) ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-45s %14.0f\n" name est
+          | _ -> Printf.printf "%-45s %14s\n" name "n/a")
+        (List.sort compare rows))
+    merged
+
+let () =
+  let tables_only = Array.exists (fun a -> a = "--tables-only") Sys.argv in
+  if not tables_only then begin
+    print_endline "Bechamel benchmarks (one per reproduced table/figure):";
+    benchmark ()
+  end;
+  print_endline "";
+  print_endline "Reproduced tables and figures (full scale):";
+  E.run_all ()

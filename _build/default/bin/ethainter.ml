@@ -1,0 +1,142 @@
+(* The Ethainter command-line analyzer.
+
+   Subcommands:
+     analyze   — run the composite information-flow analysis on a
+                 contract (hex bytecode file, raw bytecode, or MiniSol
+                 source), printing vulnerability reports;
+     decompile — show the 3-address-code decompilation;
+     ifspec    — run the Section-4 formal model (Fig. 3/4 rules on the
+                 Datalog engine) over an abstract-language program. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let looks_like_hex s =
+  let s = String.trim s in
+  String.length s > 1
+  && (String.length s < 2 || s.[0] <> 'c' (* "contract ..." *))
+  && String.for_all
+       (function
+         | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' | 'x' | 'X' | ' ' | '\n'
+         | '\r' | '\t' ->
+             true
+         | _ -> false)
+       s
+
+(* Obtain runtime bytecode from a file that may be MiniSol source or
+   hex-encoded bytecode. *)
+let load_runtime path =
+  let content = read_file path in
+  if Filename.check_suffix path ".sol" || Filename.check_suffix path ".msol"
+  then Ethainter_minisol.Codegen.compile_source_runtime content
+  else if looks_like_hex content then
+    Ethainter_word.Hex.decode (String.trim content)
+  else content (* raw bytecode *)
+
+let config_term =
+  let no_guards =
+    Arg.(value & flag
+         & info [ "no-guard-model" ]
+             ~doc:"Disable guard modeling (Fig. 8b ablation).")
+  in
+  let no_storage =
+    Arg.(value & flag
+         & info [ "no-storage-taint" ]
+             ~doc:"Disable taint through storage (Fig. 8a ablation).")
+  in
+  let conservative =
+    Arg.(value & flag
+         & info [ "conservative-storage" ]
+             ~doc:"Conservative storage modeling (Fig. 8c ablation).")
+  in
+  Term.(
+    const (fun ng ns cs ->
+        { Ethainter_core.Config.default with
+          model_guards = not ng;
+          storage_taint = not ns;
+          conservative_storage = cs })
+    $ no_guards $ no_storage $ conservative)
+
+let analyze_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE"
+             ~doc:"Contract: MiniSol source (.sol/.msol), hex bytecode, \
+                   or raw bytecode.")
+  in
+  let explain =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"Print a taint-derivation witness for every report.")
+  in
+  let run cfg explain file =
+    let runtime = load_runtime file in
+    let r = Ethainter_core.Pipeline.analyze_runtime ~cfg runtime in
+    Printf.printf "decompiled: %d blocks, %d 3-address statements\n"
+      r.Ethainter_core.Pipeline.blocks r.Ethainter_core.Pipeline.tac_loc;
+    if r.Ethainter_core.Pipeline.timed_out then print_endline "TIMEOUT"
+    else if r.Ethainter_core.Pipeline.reports = [] then
+      print_endline "no vulnerabilities flagged"
+    else if explain then
+      List.iter
+        (fun e ->
+          print_string (Ethainter_core.Explain.explanation_to_string e))
+        (Ethainter_core.Explain.explain_runtime ~cfg runtime)
+    else
+      List.iter
+        (fun rep ->
+          print_endline
+            ("  " ^ Ethainter_core.Vulns.report_to_string rep))
+        r.Ethainter_core.Pipeline.reports
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Run the Ethainter analysis on a contract")
+    Term.(const run $ config_term $ explain $ file)
+
+let decompile_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let run file =
+    let runtime = load_runtime file in
+    let p = Ethainter_tac.Decomp.decompile runtime in
+    print_string (Ethainter_tac.Tac.to_string p)
+  in
+  Cmd.v
+    (Cmd.info "decompile" ~doc:"Decompile a contract to 3-address code")
+    Term.(const run $ file)
+
+let ifspec_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"Abstract-language program (Fig. 1).")
+  in
+  let run file =
+    let prog = Ethainter_ifspec.Lang.parse (read_file file) in
+    let r = Ethainter_ifspec.Rules.analyze prog in
+    let open Ethainter_ifspec.Rules in
+    Printf.printf "input-tainted:   %s\n" (String.concat ", " r.input_tainted);
+    Printf.printf "storage-tainted: %s\n" (String.concat ", " r.storage_tainted);
+    Printf.printf "tainted slots:   %s\n"
+      (String.concat ", " (List.map string_of_int r.tainted_storage));
+    Printf.printf "non-sanitizing:  %s\n" (String.concat ", " r.non_san_guards);
+    Printf.printf "inferred sinks:  %s\n" (String.concat ", " r.inferred_sinks);
+    Printf.printf "violations at instructions: %s\n"
+      (String.concat ", " (List.map string_of_int r.violations))
+  in
+  Cmd.v
+    (Cmd.info "ifspec"
+       ~doc:"Run the Section 4 formal model on an abstract program")
+    Term.(const run $ file)
+
+let () =
+  let doc = "composite information-flow analysis for smart contracts" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "ethainter" ~version:"1.0.0" ~doc)
+          [ analyze_cmd; decompile_cmd; ifspec_cmd ]))

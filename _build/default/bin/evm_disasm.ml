@@ -1,0 +1,19 @@
+(* EVM disassembler: hex bytecode (file or arg) -> assembly listing. *)
+
+let () =
+  match Sys.argv with
+  | [| _; arg |] ->
+      let content =
+        if Sys.file_exists arg then (
+          let ic = open_in_bin arg in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          s)
+        else arg
+      in
+      let code = Ethainter_word.Hex.decode (String.trim content) in
+      print_string (Ethainter_evm.Bytecode.to_asm_string code)
+  | _ ->
+      prerr_endline "usage: evm_disasm <hexfile-or-hexstring>";
+      exit 1

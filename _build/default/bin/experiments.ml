@@ -1,0 +1,32 @@
+(* Reproduce the paper's tables and figures. See DESIGN.md for the
+   experiment index.
+
+   usage: experiments [all|e1|t1|f6|s1|f7|te|rq2|f8a|f8b|f8c] [scale] *)
+
+module E = Ethainter_experiments.Experiments
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let scale =
+    if Array.length Sys.argv > 2 then float_of_string Sys.argv.(2) else 1.0
+  in
+  let sz f = max 40 (int_of_float (float_of_int f *. scale)) in
+  match which with
+  | "all" -> E.run_all ~scale ()
+  | "e1" -> E.print_e1 (E.e1_kill ~size:(sz 160) ())
+  | "t1" ->
+      let rows, total = E.t1_flagged ~size:(sz 600) () in
+      E.print_t1 rows total
+  | "f6" -> E.print_f6 (E.f6_precision ~size:(sz 3600) ())
+  | "s1" -> E.print_s1 (E.s1_securify ~size:(sz 300) ())
+  | "f7" -> E.print_f7 (E.f7_securify2 ~size:(sz 400) ())
+  | "te" -> E.print_te (E.te_teether ~size:(sz 300) ())
+  | "rq2" -> E.print_rq2 (E.rq2_efficiency ~size:(sz 400) ())
+  | "f8a" -> E.print_f8a (E.f8a ~size:(sz 600) ())
+  | "f8b" -> E.print_f8b (E.f8b ~size:(sz 600) ())
+  | "f8c" -> E.print_f8c (E.f8c ~size:(sz 600) ())
+  | other ->
+      Printf.eprintf
+        "unknown experiment %S (expected all|e1|t1|f6|s1|f7|te|rq2|f8a|f8b|f8c)\n"
+        other;
+      exit 1

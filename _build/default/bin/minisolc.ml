@@ -1,0 +1,53 @@
+(* The MiniSol compiler driver: compile a contract to deployment or
+   runtime bytecode (hex on stdout), or dump selectors. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run runtime_only selectors file =
+  let src = read_file file in
+  let c = Ethainter_minisol.Parser.parse src in
+  Ethainter_minisol.Typecheck.check c;
+  if selectors then
+    List.iter
+      (fun (f : Ethainter_minisol.Ast.func) ->
+        if f.Ethainter_minisol.Ast.vis = Ethainter_minisol.Ast.Public then
+          let sg = Ethainter_minisol.Ast.signature f in
+          Printf.printf "%s  %s\n"
+            (Ethainter_word.Hex.encode (Ethainter_crypto.Keccak.selector sg))
+            sg)
+      c.Ethainter_minisol.Ast.funcs
+  else begin
+    let code =
+      if runtime_only then Ethainter_minisol.Codegen.compile_runtime c
+      else Ethainter_minisol.Codegen.compile_deploy c
+    in
+    print_endline (Ethainter_word.Hex.encode code)
+  end
+
+let () =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let runtime_only =
+    Arg.(value & flag
+         & info [ "runtime" ]
+             ~doc:"Emit runtime bytecode instead of deployment bytecode.")
+  in
+  let selectors =
+    Arg.(value & flag
+         & info [ "selectors" ] ~doc:"Print the public ABI selectors.")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "minisolc" ~version:"1.0.0"
+         ~doc:"MiniSol to EVM bytecode compiler")
+      Term.(const run $ runtime_only $ selectors $ file)
+  in
+  exit (Cmd.eval cmd)

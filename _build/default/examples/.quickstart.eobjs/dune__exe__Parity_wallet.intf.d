@@ -1,0 +1,1 @@
+examples/parity_wallet.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ethainter_core Ethainter_minisol List Printf String

@@ -1,0 +1,1 @@
+examples/staticcall_check.mli:

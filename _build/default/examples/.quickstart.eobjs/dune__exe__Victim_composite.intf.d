@@ -1,0 +1,1 @@
+examples/victim_composite.mli:

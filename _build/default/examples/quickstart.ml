@@ -1,0 +1,55 @@
+(* Quickstart: compile a contract, analyze it, read the reports.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let source = {|
+contract Wallet {
+  address owner;
+  constructor() { owner = msg.sender; }
+
+  // BUG: anyone can become the owner.
+  function claim(address who) public { owner = who; }
+
+  function kill() public {
+    require(msg.sender == owner);
+    selfdestruct(owner);
+  }
+}|}
+
+let () =
+  (* 1. Compile MiniSol to EVM runtime bytecode. *)
+  let runtime = Ethainter_minisol.Codegen.compile_source_runtime source in
+  Printf.printf "compiled: %d bytes of EVM bytecode\n" (String.length runtime);
+
+  (* 2. Run the Ethainter pipeline: decompile to 3-address code, build
+        guard/data-structure facts, run the composite taint fixpoint. *)
+  let result = Ethainter_core.Pipeline.analyze_runtime runtime in
+  Printf.printf "decompiled to %d statements in %d blocks\n"
+    result.Ethainter_core.Pipeline.tac_loc
+    result.Ethainter_core.Pipeline.blocks;
+
+  (* 3. Inspect reports. *)
+  List.iter
+    (fun r ->
+      Printf.printf "FLAGGED: %s\n" (Ethainter_core.Vulns.report_to_string r))
+    result.Ethainter_core.Pipeline.reports;
+
+  (* 4. The same contract with the setter guarded is clean. *)
+  let fixed =
+    Ethainter_minisol.Codegen.compile_source_runtime {|
+contract Wallet {
+  address owner;
+  constructor() { owner = msg.sender; }
+  function claim(address who) public {
+    require(msg.sender == owner);
+    owner = who;
+  }
+  function kill() public {
+    require(msg.sender == owner);
+    selfdestruct(owner);
+  }
+}|}
+  in
+  let result' = Ethainter_core.Pipeline.analyze_runtime fixed in
+  Printf.printf "fixed contract: %d report(s)\n"
+    (List.length result'.Ethainter_core.Pipeline.reports)

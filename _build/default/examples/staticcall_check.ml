@@ -1,0 +1,80 @@
+(* The §3.5 scenario: the 0x-exchange staticcall bug.
+
+   A signature-validation helper calls a wallet via STATICCALL with the
+   output buffer overlapping the input buffer. If the callee returns
+   fewer than 32 bytes, the "output" read back is just the attacker's
+   own input — the check validates anything. The fixed pattern guards
+   on RETURNDATASIZE.
+
+   We show (a) Ethainter flagging the unchecked variant and passing the
+   checked one, and (b) the bug actually firing on-chain: a wallet that
+   returns nothing "validates" a forged signature.
+
+   Run with: dune exec examples/staticcall_check.exe *)
+
+module U = Ethainter_word.Uint256
+module T = Ethainter_chain.Testnet
+
+let unchecked_src = {|
+contract ExchangeUnchecked {
+  function isValidSignature(address wallet) public {
+    staticcall_unchecked(wallet);
+  }
+}|}
+
+let checked_src = {|
+contract ExchangeChecked {
+  function isValidSignature(address wallet) public {
+    staticcall_checked(wallet);
+  }
+}|}
+
+let analyze name src =
+  let runtime = Ethainter_minisol.Codegen.compile_source_runtime src in
+  let r = Ethainter_core.Pipeline.analyze_runtime runtime in
+  Printf.printf "%-20s %s\n" name
+    (match r.Ethainter_core.Pipeline.reports with
+    | [] -> "clean"
+    | reports ->
+        String.concat "; "
+          (List.map Ethainter_core.Vulns.report_to_string reports))
+
+let () =
+  analyze "unchecked variant:" unchecked_src;
+  analyze "checked variant:" checked_src;
+
+  (* dynamic demonstration: a "wallet" that returns 0 bytes of data *)
+  let net = T.create () in
+  let user = T.account_of_seed "user" in
+  T.fund_account net user (U.of_string "1000000000000000000");
+  (* the degenerate wallet: runtime code = STOP (returns no data) *)
+  let stop_wallet = T.deploy_runtime net ~from:user "\x00" in
+  let wallet_addr =
+    match stop_wallet.T.created with Some a -> a | None -> assert false
+  in
+  let exch = T.deploy net ~from:user
+      (Ethainter_minisol.Codegen.compile_source unchecked_src) in
+  let exch_addr =
+    match exch.T.created with Some a -> a | None -> assert false
+  in
+  let r =
+    T.call_fn net ~from:user ~to_:exch_addr "isValidSignature(address)"
+      [ wallet_addr ]
+  in
+  Printf.printf
+    "unchecked exchange called with a 0-byte-returning wallet: %s\n"
+    (if T.succeeded r then
+       "call accepted — input read back as output (the §3.5 bug)"
+     else "rejected");
+  let exch2 = T.deploy net ~from:user
+      (Ethainter_minisol.Codegen.compile_source checked_src) in
+  let exch2_addr =
+    match exch2.T.created with Some a -> a | None -> assert false
+  in
+  let r2 =
+    T.call_fn net ~from:user ~to_:exch2_addr "isValidSignature(address)"
+      [ wallet_addr ]
+  in
+  Printf.printf "checked exchange, same wallet: %s\n"
+    (if T.succeeded r2 then "accepted (?!)"
+     else "reverted — returndatasize guard caught it")

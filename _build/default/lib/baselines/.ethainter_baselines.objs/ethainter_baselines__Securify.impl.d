@@ -1,0 +1,1 @@
+lib/baselines/securify.ml: Decomp Ethainter_core Ethainter_evm Ethainter_tac Hashtbl List Tac VarSet

@@ -1,0 +1,1 @@
+lib/baselines/securify2.ml: Ethainter_minisol List

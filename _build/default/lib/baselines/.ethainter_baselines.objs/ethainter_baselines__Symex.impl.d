@@ -1,0 +1,1 @@
+lib/baselines/symex.ml: Array Char Ethainter_crypto Ethainter_evm Ethainter_word Hashtbl List String

@@ -1,0 +1,1 @@
+lib/baselines/teether.ml: Bytes Ethainter_evm Ethainter_word List Symex

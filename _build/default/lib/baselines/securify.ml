@@ -1,0 +1,152 @@
+(** A reimplementation of Securify's decision procedure at the level of
+    detail the paper compares against (§6.2).
+
+    Securify [Tsankov et al., CCS'18] checks compliance/violation
+    patterns over bytecode-level data-flow facts. The paper contrasts
+    two of its violation patterns with Ethainter:
+
+    - {b unrestricted write}: a storage write not guarded by the
+      caller. Crucially, Securify "models precisely the case of
+      owner-sender guards, but without propagation of taintedness into
+      guards" and does {e not} model high-level data structures — so a
+      write to [balances[msg.sender]] (compiled to hash-derived
+      pointer arithmetic) is flagged as unrestricted (§6.2's example).
+    - {b missing input validation}: transaction input that flows into
+      storage/memory/hash/call operations without first flowing into a
+      [JUMPI] condition.
+
+    Both reproduce the documented behaviour faithfully enough to show
+    the comparison's shape: very high flag rates and ~0 end-to-end
+    precision, against Ethainter's guard- and data-structure-aware
+    analysis. *)
+
+module Op = Ethainter_evm.Opcode
+open Ethainter_tac
+open Tac
+
+type finding = {
+  pattern : string; (* "unrestricted-write" | "missing-input-validation" *)
+  pc : int;
+}
+
+type result = {
+  findings : finding list;
+  flagged : bool;
+}
+
+(* Does a dominating guard compare CALLER for equality? Securify
+   "models precisely the case of owner-sender guards" — a direct
+   msg.sender == X comparison — but a mapping lookup keyed by sender
+   ([balances[msg.sender] >= v]) is *not* recognized (no data-structure
+   modeling), and guard taintedness is never considered. *)
+let caller_guarded (facts : Ethainter_core.Facts.t) (s : stmt) : bool =
+  let p = facts.Ethainter_core.Facts.program in
+  List.exists
+    (fun (g : Ethainter_core.Facts.guard) ->
+      let slice = Ethainter_core.Facts.slice_of facts g.g_cond in
+      VarSet.exists
+        (fun v ->
+          match def p v with
+          | Some { s_op = TOp Op.EQ; s_args; _ } ->
+              List.exists
+                (fun a ->
+                  match def p a with
+                  | Some { s_op = TOp Op.CALLER; _ } -> true
+                  | _ -> false)
+                s_args
+          | _ -> false)
+        slice)
+    (Ethainter_core.Facts.guards_of_stmt facts s)
+
+let analyze (runtime : string) : result =
+  let p = Decomp.decompile runtime in
+  let facts = Ethainter_core.Facts.compute p in
+  let findings = ref [] in
+  (* ---- unrestricted write ---- *)
+  List.iter
+    (fun s ->
+      match s.s_op with
+      | TOp Op.SSTORE -> (
+          match s.s_args with
+          | [ addr; _value ] ->
+              let unrestricted =
+                match const_of p addr with
+                | Some _ ->
+                    (* constant slot: flagged unless a direct
+                       msg.sender comparison dominates *)
+                    not (caller_guarded facts s)
+                | None ->
+                    (* hash-derived address: "the maps are not modeled
+                       as high-level data structures ... the store gets
+                       interpreted as an unrestricted write" *)
+                    true
+              in
+              if unrestricted then
+                findings :=
+                  { pattern = "unrestricted-write"; pc = s.s_pc } :: !findings
+          | _ -> ())
+      | _ -> ())
+    (stmts p);
+  (* ---- missing input validation ---- *)
+  (* taint from CALLDATALOAD with no guard modeling at all *)
+  let tainted : (var, unit) Hashtbl.t = Hashtbl.create 64 in
+  let in_jumpi : (var, unit) Hashtbl.t = Hashtbl.create 64 in
+  let changed = ref true in
+  let all = stmts p in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun s ->
+        let mark v =
+          if not (Hashtbl.mem tainted v) then begin
+            Hashtbl.replace tainted v ();
+            changed := true
+          end
+        in
+        match (s.s_op, s.s_res) with
+        | TOp Op.CALLDATALOAD, Some r -> mark r
+        | TPhi, Some r ->
+            if List.exists (Hashtbl.mem tainted) s.s_args then mark r
+        | TOp op, Some r
+          when (match op with
+               | Op.ADD | Op.SUB | Op.MUL | Op.DIV | Op.MOD | Op.EXP
+               | Op.AND | Op.OR | Op.XOR | Op.NOT | Op.SHL | Op.SHR
+               | Op.EQ | Op.LT | Op.GT | Op.ISZERO | Op.BYTE
+               | Op.MLOAD ->
+                   true
+               | _ -> false) ->
+            if List.exists (Hashtbl.mem tainted) s.s_args then mark r
+        | _ -> ())
+      all
+  done;
+  List.iter
+    (fun s ->
+      match s.s_op with
+      | TOp Op.JUMPI -> (
+          match s.s_args with
+          | [ _t; c ] ->
+              VarSet.iter
+                (fun v -> Hashtbl.replace in_jumpi v ())
+                (Ethainter_core.Facts.compute_slice p c)
+          | _ -> ())
+      | _ -> ())
+    all;
+  List.iter
+    (fun s ->
+      match s.s_op with
+      | TOp (Op.SSTORE | Op.SLOAD | Op.MSTORE | Op.SHA3 | Op.CALL) ->
+          let uses_unvalidated =
+            List.exists
+              (fun a -> Hashtbl.mem tainted a && not (Hashtbl.mem in_jumpi a))
+              s.s_args
+          in
+          if uses_unvalidated then
+            findings :=
+              { pattern = "missing-input-validation"; pc = s.s_pc }
+              :: !findings
+      | _ -> ())
+    all;
+  { findings = List.rev !findings; flagged = !findings <> [] }
+
+let count_pattern (r : result) (pat : string) : int =
+  List.length (List.filter (fun f -> f.pattern = pat) r.findings)

@@ -1,0 +1,170 @@
+(** A reimplementation of Securify2's decision procedure as compared in
+    Fig. 7 (§6.2).
+
+    Securify2 diverged from the original: it is a {e source-code-only}
+    analyzer (Solidity 0.5.8+), with context-sensitive patterns but no
+    composite-taint modeling. We mirror the properties the paper's
+    comparison rests on:
+
+    - operates on MiniSol source (our stand-in for Solidity source);
+      contracts without source, with an incompatible compiler version,
+      or using inline assembly are out of scope — this is why it has
+      "very low completeness for tainted delegatecall: the buggy
+      pattern typically appears in inline EVM assembly, which a
+      source-only tool cannot handle";
+    - {b UnrestrictedSelfdestruct}: a [selfdestruct] in a function with
+      no sender-scrutinizing [require]/modifier — precise on
+      primitives, blind to guard tainting (no composite escalation);
+    - {b UnrestrictedDelegateCall}: same for [delegatecall];
+    - {b UnrestrictedWrite}: a state-variable write in a function with
+      no sender guard; mappings are flagged liberally (no reasoning
+      about which slot a guard trusts), yielding its very high report
+      count (3,502 over 6,094 contracts) and ~0 precision;
+    - a timeout budget (the paper observes 441 timeouts at 120 s). *)
+
+open Ethainter_minisol.Ast
+
+type finding = {
+  pattern : string;
+  fname : string;
+}
+
+type outcome =
+  | Findings of finding list
+  | Timeout
+  | NotApplicable of string (* no source / version / assembly-only *)
+
+(** Source metadata the tool needs to decide applicability (the corpus
+    records these; real Securify2 reads them from pragma/verified
+    source). *)
+type source_info = {
+  src : string option;            (** verified source, if any *)
+  solidity_version : int * int;   (** (major-minor, patch) e.g. (5, 8) *)
+  uses_assembly : bool;           (** vulnerable pattern in inline asm *)
+}
+
+(* A statement-level scan: does the block contain a sender-scrutinizing
+   require? (Securify2 does understand msg.sender comparisons and
+   mapping lookups keyed by msg.sender — context-sensitively — but
+   never reasons about whether the trusted storage can be tainted.) *)
+let rec expr_mentions_sender (e : expr) : bool =
+  match e with
+  | Sender -> true
+  | Bin (_, a, b) -> expr_mentions_sender a || expr_mentions_sender b
+  | Not a | KeccakOf a -> expr_mentions_sender a
+  | Index (a, b) -> expr_mentions_sender a || expr_mentions_sender b
+  | CallFn (_, args) -> List.exists expr_mentions_sender args
+  | _ -> false
+
+let rec block_has_sender_require (b : block) : bool =
+  List.exists
+    (function
+      | SRequire c -> expr_mentions_sender c
+      | SIf (c, thn, els) ->
+          (* a sender-comparison if around the whole body also guards *)
+          (expr_mentions_sender c && thn <> [])
+          || block_has_sender_require thn && block_has_sender_require els
+      | _ -> false)
+    b
+
+let func_sender_guarded (c : contract) (f : func) : bool =
+  block_has_sender_require f.body
+  || List.exists
+       (fun m ->
+         match find_modifier c m with
+         | Some md -> block_has_sender_require md.mbody
+         | None -> false)
+       f.mods
+  ||
+  (* body wrapped in a single if (msg.sender == ...) *)
+  (match f.body with
+  | [ SIf (c, _, []) ] -> expr_mentions_sender c
+  | _ -> false)
+
+(* crude work estimate standing in for the solver blow-up that causes
+   Securify2's timeouts: deeply nested control flow and many state
+   variables inflate its constraint systems *)
+let rec stmt_weight = function
+  | SIf (_, t, e) ->
+      3 + List.fold_left (fun a s -> a + stmt_weight s) 0 (t @ e)
+  | SWhile (_, b) ->
+      25 + (5 * List.fold_left (fun a s -> a + stmt_weight s) 0 b)
+  | _ -> 1
+
+let contract_weight (c : contract) =
+  List.length c.state_vars * 4
+  + List.fold_left
+      (fun acc f ->
+        acc + 5
+        + List.fold_left (fun a s -> a + stmt_weight s) 0 f.body)
+      0 c.funcs
+
+let timeout_weight = 900
+
+let analyze ?(timeout_budget = timeout_weight) (info : source_info) : outcome
+    =
+  match info.src with
+  | None -> NotApplicable "no verified source"
+  | Some src ->
+      let major, _ = info.solidity_version in
+      if major < 5 then NotApplicable "requires Solidity 0.5.8+"
+      else begin
+        match Ethainter_minisol.Parser.parse src with
+        | exception _ -> NotApplicable "failed to produce analysis facts"
+        | c ->
+            if contract_weight c > timeout_budget then Timeout
+            else begin
+              let findings = ref [] in
+              let add pattern fname =
+                findings := { pattern; fname } :: !findings
+              in
+              List.iter
+                (fun f ->
+                  if f.vis = Public then begin
+                    let guarded = func_sender_guarded c f in
+                    let rec scan (b : block) =
+                      List.iter
+                        (fun s ->
+                          match s with
+                          | SSelfdestruct _ ->
+                              if not guarded then
+                                add "UnrestrictedSelfdestruct" f.fname
+                          | SDelegatecall _ ->
+                              if info.uses_assembly then
+                                (* source-only tool: the statement is
+                                   inside inline assembly it cannot
+                                   model *)
+                                ()
+                              else if not guarded then
+                                add "UnrestrictedDelegateCall" f.fname
+                          | SAssign (lv, _) ->
+                              (* state write? (locals shadow) *)
+                              let rec root = function
+                                | LVar x -> x
+                                | LIndex (b, _) -> root b
+                              in
+                              let x = root lv in
+                              let is_state =
+                                List.mem_assoc x c.state_vars
+                                && not (List.mem_assoc x f.params)
+                              in
+                              if is_state && not guarded then
+                                add "UnrestrictedWrite" f.fname
+                          | SIf (_, t, e) ->
+                              scan t;
+                              scan e
+                          | SWhile (_, b) -> scan b
+                          | _ -> ())
+                        b
+                    in
+                    scan f.body
+                  end)
+                c.funcs;
+              Findings (List.rev !findings)
+            end
+      end
+
+let flags_pattern (o : outcome) (pat : string) : bool =
+  match o with
+  | Findings fs -> List.exists (fun f -> f.pattern = pat) fs
+  | _ -> false

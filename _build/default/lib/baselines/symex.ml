@@ -1,0 +1,465 @@
+(** A bounded symbolic executor over EVM bytecode — the engine behind
+    our teEther baseline (§6.2).
+
+    Explores execution paths of a contract from a fresh-deploy state
+    (storage reads of unwritten slots yield the slot's initial value),
+    collecting path constraints over symbolic transaction inputs
+    (calldata words, caller, call value). When a target instruction is
+    reached, a simple model-finding procedure tries to produce concrete
+    calldata satisfying the constraints — an {e exploit}, in teEther's
+    sense.
+
+    Characteristic limits, shared with real symbolic-execution tools
+    and load-bearing for the paper's comparison:
+    - single-transaction reasoning only: "systems that employ symbolic
+      execution tend not to consider value flow across multiple
+      transactions" (§6.4), so composite vulnerabilities are missed;
+    - path/step budgets: loops and large dispatchers exhaust them
+      (timeouts and exceptions in the paper's Table of §6.2). *)
+
+module U = Ethainter_word.Uint256
+module Op = Ethainter_evm.Opcode
+module B = Ethainter_evm.Bytecode
+
+type sexpr =
+  | SConst of U.t
+  | SInput of int          (** calldata word at byte offset *)
+  | SCaller
+  | SCallvalue
+  | SStorage of U.t        (** initial value of a storage slot *)
+  | SOp of Op.t * sexpr list
+  | SHash of sexpr list
+  | STop                   (** unknown *)
+
+type constr = { expr : sexpr; truthy : bool }
+
+type path = {
+  constraints : constr list;
+  storage_writes : (U.t * sexpr) list; (* along this path *)
+  target_pc : int;
+  beneficiary : sexpr option; (* selfdestruct operand *)
+}
+
+type budget = {
+  mutable steps : int;
+  mutable paths : int;
+}
+
+exception Budget_exhausted
+
+let default_max_steps = 40_000
+let default_max_paths = 256
+
+(* ---------------- concrete evaluation under a model ---------------- *)
+
+type model = {
+  caller : U.t;
+  callvalue : U.t;
+  inputs : (int * U.t) list; (* calldata word offset -> value *)
+  initial_storage : U.t -> U.t;
+}
+
+let rec eval (m : model) (e : sexpr) : U.t option =
+  match e with
+  | SConst c -> Some c
+  | SCaller -> Some m.caller
+  | SCallvalue -> Some m.callvalue
+  | SInput off -> Some (try List.assoc off m.inputs with Not_found -> U.zero)
+  | SStorage slot -> Some (m.initial_storage slot)
+  | SHash args ->
+      let rec all = function
+        | [] -> Some []
+        | a :: r -> (
+            match (eval m a, all r) with
+            | Some v, Some vs -> Some (v :: vs)
+            | _ -> None)
+      in
+      (match all args with
+      | Some vs ->
+          Some
+            (Ethainter_crypto.Keccak.hash_word
+               (String.concat "" (List.map U.to_bytes vs)))
+      | None -> None)
+  | STop -> None
+  | SOp (op, args) -> (
+      let rec all = function
+        | [] -> Some []
+        | a :: r -> (
+            match (eval m a, all r) with
+            | Some v, Some vs -> Some (v :: vs)
+            | _ -> None)
+      in
+      match all args with
+      | None -> None
+      | Some vs -> (
+          match (op, vs) with
+          | Op.ADD, [ a; b ] -> Some (U.add a b)
+          | Op.SUB, [ a; b ] -> Some (U.sub a b)
+          | Op.MUL, [ a; b ] -> Some (U.mul a b)
+          | Op.DIV, [ a; b ] -> Some (U.div a b)
+          | Op.MOD, [ a; b ] -> Some (U.rem a b)
+          | Op.EXP, [ a; b ] -> Some (U.exp a b)
+          | Op.AND, [ a; b ] -> Some (U.logand a b)
+          | Op.OR, [ a; b ] -> Some (U.logor a b)
+          | Op.XOR, [ a; b ] -> Some (U.logxor a b)
+          | Op.NOT, [ a ] -> Some (U.lognot a)
+          | Op.ISZERO, [ a ] -> Some (U.of_bool (U.is_zero a))
+          | Op.EQ, [ a; b ] -> Some (U.of_bool (U.equal a b))
+          | Op.LT, [ a; b ] -> Some (U.of_bool (U.lt a b))
+          | Op.GT, [ a; b ] -> Some (U.of_bool (U.gt a b))
+          | Op.SLT, [ a; b ] -> Some (U.of_bool (U.slt a b))
+          | Op.SGT, [ a; b ] -> Some (U.of_bool (U.sgt a b))
+          | Op.SHL, [ a; b ] ->
+              Some (if U.fits_int a then U.shift_left b (U.to_int a) else U.zero)
+          | Op.SHR, [ a; b ] ->
+              Some (if U.fits_int a then U.shift_right b (U.to_int a) else U.zero)
+          | Op.BYTE, [ a; b ] -> Some (U.byte a b)
+          | _ -> None))
+
+let check_model (m : model) (cs : constr list) : bool =
+  List.for_all
+    (fun c ->
+      match eval m c.expr with
+      | Some v -> U.to_bool v = c.truthy
+      | None -> false)
+    cs
+
+(* ---------------- model finding ----------------
+
+   A propagation-based heuristic solver: walk the constraints binding
+   input words / the caller whenever a truthy equality pins one side to
+   a computable value, then verify the candidate model by concrete
+   evaluation. Several seeds are tried. Sound (never claims SAT
+   wrongly — models are checked), incomplete (may miss SAT). *)
+
+let find_model ?(attacker = U.of_int 0xa77ac8e5) (cs : constr list)
+    ~(initial_storage : U.t -> U.t) : model option =
+  let try_with (seed_inputs : (int * U.t) list) (caller : U.t) =
+    (* iterate binding propagation *)
+    let inputs = ref seed_inputs in
+    let caller = ref caller in
+    let progress = ref true in
+    let rounds = ref 0 in
+    while !progress && !rounds < 8 do
+      progress := false;
+      incr rounds;
+      List.iter
+        (fun c ->
+          if c.truthy then
+            match c.expr with
+            | SOp (Op.EQ, [ a; b ]) -> (
+                let m =
+                  { caller = !caller; callvalue = U.zero; inputs = !inputs;
+                    initial_storage }
+                in
+                match (a, b, eval m a, eval m b) with
+                | SInput off, _, _, Some v
+                  when not (List.mem_assoc off !inputs) ->
+                    inputs := (off, v) :: !inputs;
+                    progress := true
+                | _, SInput off, Some v, _
+                  when not (List.mem_assoc off !inputs) ->
+                    inputs := (off, v) :: !inputs;
+                    progress := true
+                | SCaller, _, _, Some v when not (U.equal !caller v) ->
+                    caller := v;
+                    progress := true
+                | _, SCaller, Some v, _ when not (U.equal !caller v) ->
+                    caller := v;
+                    progress := true
+                (* selector matching: EQ(const, SHR(224, input0)) *)
+                | SConst sel, SOp (Op.SHR, [ SConst sh; SInput off ]), _, _
+                | SOp (Op.SHR, [ SConst sh; SInput off ]), SConst sel, _, _
+                  when U.equal sh (U.of_int 224)
+                       && not (List.mem_assoc off !inputs) ->
+                    inputs := (off, U.shift_left sel 224) :: !inputs;
+                    progress := true
+                | _ -> ())
+            | _ -> ())
+        cs
+    done;
+    let m =
+      { caller = !caller; callvalue = U.zero; inputs = !inputs;
+        initial_storage }
+    in
+    if check_model m cs then Some m else None
+  in
+  (* seeds: plain attacker; attacker with argument words set to the
+     attacker's address (covers selfdestruct(arg) exploitation). The
+     caller is always the attacker's address — an exploit transaction
+     must be signable, so models with caller = 0 are not admissible. *)
+  let arg_words = List.init 4 (fun i -> (4 + (32 * i), attacker)) in
+  let check_caller = function
+    | Some (m : model) when U.equal m.caller attacker -> Some m
+    | _ -> None
+  in
+  let candidates =
+    [ check_caller (try_with [] attacker);
+      check_caller (try_with arg_words attacker) ]
+  in
+  List.find_map (fun x -> x) candidates
+
+(* ---------------- the executor ---------------- *)
+
+type sym_state = {
+  pc : int;
+  stack : sexpr list;
+  memory : (int * sexpr) list; (* constant-offset cells *)
+  storage : (U.t * sexpr) list; (* written along this path *)
+  pcs : constr list;
+  depth : int;
+}
+
+(** Explore paths; return every reached occurrence of [target_op] with
+    its path. [init_storage] supplies symbolic initial storage (default:
+    the fresh-contract all-zero state). *)
+let explore ?(max_steps = default_max_steps) ?(max_paths = default_max_paths)
+    ?(target_op = Op.SELFDESTRUCT) (code : string) : path list * bool =
+  let valid_dests = B.jumpdests code in
+  let n = String.length code in
+  let budget = { steps = 0; paths = 0 } in
+  let results = ref [] in
+  let exhausted = ref false in
+  let mem_get mem off = try List.assoc off mem with Not_found -> SConst U.zero in
+  let rec step (st : sym_state) =
+    if budget.steps > max_steps || budget.paths > max_paths then begin
+      exhausted := true;
+      raise Budget_exhausted
+    end;
+    budget.steps <- budget.steps + 1;
+    if st.pc >= n then ()
+    else begin
+      let byte = Char.code code.[st.pc] in
+      let op = match Op.of_byte byte with Some o -> o | None -> Op.INVALID in
+      let next = st.pc + 1 + Op.immediate_size op in
+      let pop st =
+        match st.stack with
+        | x :: r -> (x, { st with stack = r })
+        | [] -> (STop, st)
+      in
+      let pop2 st =
+        let a, st = pop st in
+        let b, st = pop st in
+        (a, b, st)
+      in
+      let push st e = { st with stack = e :: st.stack } in
+      let binop o =
+        let a, b, st = pop2 st in
+        step { (push st (SOp (o, [ a; b ]))) with pc = next }
+      in
+      match op with
+      | Op.STOP | Op.RETURN | Op.REVERT | Op.INVALID -> ()
+      | Op.SELFDESTRUCT ->
+          let b, st' = pop st in
+          if target_op = Op.SELFDESTRUCT then
+            results :=
+              { constraints = st.pcs; storage_writes = st.storage;
+                target_pc = st.pc; beneficiary = Some b }
+              :: !results;
+          ignore st'
+      | Op.PUSH k ->
+          let avail = min k (n - st.pc - 1) in
+          let data =
+            (if avail > 0 then String.sub code (st.pc + 1) avail else "")
+            ^ String.make (k - avail) '\000'
+          in
+          step { (push st (SConst (U.of_bytes data))) with pc = next }
+      | Op.DUP k ->
+          let e = try List.nth st.stack (k - 1) with _ -> STop in
+          step { (push st e) with pc = next }
+      | Op.SWAP k ->
+          let arr = Array.of_list st.stack in
+          if Array.length arr > k then begin
+            let t = arr.(0) in
+            arr.(0) <- arr.(k);
+            arr.(k) <- t;
+            step { st with stack = Array.to_list arr; pc = next }
+          end
+          else step { st with pc = next }
+      | Op.POP ->
+          let _, st = pop st in
+          step { st with pc = next }
+      | Op.JUMPDEST -> step { st with pc = next }
+      | Op.CALLER -> step { (push st SCaller) with pc = next }
+      | Op.CALLVALUE -> step { (push st SCallvalue) with pc = next }
+      | Op.CALLDATALOAD ->
+          let off, st = pop st in
+          let e =
+            match off with
+            | SConst c when U.fits_int c -> SInput (U.to_int c)
+            | _ -> STop
+          in
+          step { (push st e) with pc = next }
+      | Op.CALLDATASIZE ->
+          (* enough data for any dispatch *)
+          step { (push st (SConst (U.of_int 132))) with pc = next }
+      | Op.SLOAD ->
+          let slot, st = pop st in
+          let e =
+            match slot with
+            | SConst c -> (
+                match List.assoc_opt c st.storage with
+                | Some v -> v
+                | None -> SStorage c)
+            | SHash _ -> SConst U.zero (* untouched mapping entry *)
+            | _ -> STop
+          in
+          step { (push st e) with pc = next }
+      | Op.SSTORE ->
+          let slot, v, st = pop2 st in
+          let storage =
+            match slot with
+            | SConst c -> (c, v) :: st.storage
+            | _ -> st.storage
+          in
+          step { st with storage; pc = next }
+      | Op.MSTORE ->
+          let off, v, st = pop2 st in
+          let memory =
+            match off with
+            | SConst c when U.fits_int c -> (U.to_int c, v) :: st.memory
+            | _ -> st.memory
+          in
+          step { st with memory; pc = next }
+      | Op.MLOAD ->
+          let off, st = pop st in
+          let e =
+            match off with
+            | SConst c when U.fits_int c -> mem_get st.memory (U.to_int c)
+            | _ -> STop
+          in
+          step { (push st e) with pc = next }
+      | Op.SHA3 ->
+          let off, len, st = pop2 st in
+          let e =
+            match (off, len) with
+            | SConst o, SConst l
+              when U.fits_int o && U.fits_int l
+                   && U.to_int l mod 32 = 0 && U.to_int l / 32 <= 4 ->
+                let o = U.to_int o and words = U.to_int l / 32 in
+                SHash (List.init words (fun i -> mem_get st.memory (o + (32 * i))))
+            | _ -> STop
+          in
+          step { (push st e) with pc = next }
+      | Op.JUMP -> (
+          let tgt, st = pop st in
+          match tgt with
+          | SConst c when U.fits_int c && Hashtbl.mem valid_dests (U.to_int c)
+            ->
+              step { st with pc = U.to_int c }
+          | _ -> () (* unresolvable jump: path ends *))
+      | Op.JUMPI -> (
+          let tgt, cond, st = pop2 st in
+          budget.paths <- budget.paths + 1;
+          let taken =
+            match tgt with
+            | SConst c when U.fits_int c && Hashtbl.mem valid_dests (U.to_int c)
+              ->
+                Some (U.to_int c)
+            | _ -> None
+          in
+          (* prune constant conditions *)
+          match cond with
+          | SConst c ->
+              if U.to_bool c then (
+                match taken with
+                | Some t -> step { st with pc = t }
+                | None -> ())
+              else step { st with pc = next }
+          | _ ->
+              (match taken with
+              | Some t ->
+                  step
+                    { st with pc = t; depth = st.depth + 1;
+                      pcs = { expr = cond; truthy = true } :: st.pcs }
+              | None -> ());
+              step
+                { st with pc = next; depth = st.depth + 1;
+                  pcs = { expr = cond; truthy = false } :: st.pcs })
+      | Op.ADD -> binop Op.ADD
+      | Op.SUB -> binop Op.SUB
+      | Op.MUL -> binop Op.MUL
+      | Op.DIV -> binop Op.DIV
+      | Op.MOD -> binop Op.MOD
+      | Op.EXP -> binop Op.EXP
+      | Op.AND -> binop Op.AND
+      | Op.OR -> binop Op.OR
+      | Op.XOR -> binop Op.XOR
+      | Op.EQ -> binop Op.EQ
+      | Op.LT -> binop Op.LT
+      | Op.GT -> binop Op.GT
+      | Op.SLT -> binop Op.SLT
+      | Op.SGT -> binop Op.SGT
+      | Op.SHL -> binop Op.SHL
+      | Op.SHR -> binop Op.SHR
+      | Op.BYTE -> binop Op.BYTE
+      | Op.ISZERO ->
+          let a, st = pop st in
+          step { (push st (SOp (Op.ISZERO, [ a ]))) with pc = next }
+      | Op.NOT ->
+          let a, st = pop st in
+          step { (push st (SOp (Op.NOT, [ a ]))) with pc = next }
+      | Op.ADDRESS | Op.ORIGIN | Op.GASPRICE | Op.COINBASE | Op.TIMESTAMP
+      | Op.NUMBER | Op.DIFFICULTY | Op.GASLIMIT | Op.CHAINID
+      | Op.SELFBALANCE | Op.MSIZE | Op.GAS | Op.PC | Op.CODESIZE
+      | Op.RETURNDATASIZE ->
+          step { (push st STop) with pc = next }
+      | Op.BALANCE | Op.EXTCODESIZE | Op.EXTCODEHASH | Op.BLOCKHASH ->
+          let _, st = pop st in
+          step { (push st STop) with pc = next }
+      | Op.CALLDATACOPY | Op.CODECOPY | Op.RETURNDATACOPY ->
+          let _, _, st = pop2 st in
+          let _, st = pop st in
+          step { st with pc = next }
+      | Op.EXTCODECOPY ->
+          let _, _, st = pop2 st in
+          let _, _, st = pop2 st in
+          step { st with pc = next }
+      | Op.MSTORE8 ->
+          let _, _, st = pop2 st in
+          step { st with pc = next }
+      | Op.LOG k ->
+          let st = ref st in
+          for _ = 1 to k + 2 do
+            let _, st' = pop !st in
+            st := st'
+          done;
+          step { !st with pc = next }
+      | Op.CREATE ->
+          let _, _, st = pop2 st in
+          let _, st = pop st in
+          step { (push st STop) with pc = next }
+      | Op.CREATE2 ->
+          let _, _, st = pop2 st in
+          let _, _, st = pop2 st in
+          step { (push st STop) with pc = next }
+      | Op.CALL | Op.CALLCODE ->
+          let st = ref st in
+          for _ = 1 to 7 do
+            let _, st' = pop !st in
+            st := st'
+          done;
+          step { (push !st STop) with pc = next }
+      | Op.DELEGATECALL | Op.STATICCALL ->
+          let st = ref st in
+          for _ = 1 to 6 do
+            let _, st' = pop !st in
+            st := st'
+          done;
+          step { (push !st STop) with pc = next }
+      | _ ->
+          (* remaining 1-in 1-out ops *)
+          let npop, npush = Op.stack_arity op in
+          let st = ref st in
+          for _ = 1 to npop do
+            let _, st' = pop !st in
+            st := st'
+          done;
+          let st = if npush > 0 then push !st STop else !st in
+          step { st with pc = next }
+    end
+  in
+  (try
+     step { pc = 0; stack = []; memory = []; storage = []; pcs = []; depth = 0 }
+   with Budget_exhausted -> ());
+  (!results, !exhausted)

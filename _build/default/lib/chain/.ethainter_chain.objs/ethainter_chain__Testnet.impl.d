@@ -1,0 +1,1 @@
+lib/chain/testnet.ml: Ethainter_crypto Ethainter_evm Ethainter_word List String

@@ -1,0 +1,1 @@
+lib/chain/testnet.mli: Ethainter_evm Ethainter_word

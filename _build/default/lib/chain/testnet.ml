@@ -1,0 +1,142 @@
+(** An in-memory Ethereum test network.
+
+    Plays the role of the paper's evaluation substrates: the mainnet
+    snapshot Ethainter analyzes, and the "private fork of the Ropsten
+    testnet" on which Ethainter-Kill destroys contracts (§6.1).
+
+    The network executes transactions through {!Ethainter_evm.Interp},
+    records per-transaction receipts with instruction traces, and can
+    be forked cheaply (copy-on-snapshot of world state). *)
+
+module U = Ethainter_word.Uint256
+module State = Ethainter_evm.State
+module Interp = Ethainter_evm.Interp
+
+type receipt = {
+  tx_hash : U.t;
+  from : U.t;
+  to_ : U.t option; (** None for contract creation *)
+  created : U.t option;
+  outcome : Interp.outcome;
+  trace : Interp.trace_entry list;
+  logs : Interp.log_entry list; (** events emitted by this transaction *)
+  gas_used : int;
+  block : int;
+}
+
+type t = {
+  state : State.t;
+  mutable block_number : int;
+  mutable receipts : receipt list;
+  name : string;
+}
+
+let create ?(name = "ropsten-fork") () =
+  { state = State.create (); block_number = 0; receipts = []; name }
+
+(** Fork the network: independent deep copy of world state, shared
+    history up to the fork point. *)
+let fork ?(name = "fork") (t : t) =
+  { state = State.copy t.state; block_number = t.block_number;
+    receipts = t.receipts; name }
+
+let state t = t.state
+let block_number t = t.block_number
+
+(** Create an externally-owned account with the given balance. *)
+let fund_account (t : t) (addr : U.t) (balance : U.t) =
+  State.set_balance t.state addr balance
+
+(** A deterministic "key pair": account addresses derived from a seed
+    string, standing in for real ECDSA keys. *)
+let account_of_seed (seed : string) : U.t =
+  U.logand
+    (Ethainter_crypto.Keccak.hash_word ("account:" ^ seed))
+    (U.sub (U.shift_left U.one 160) U.one)
+
+let tx_counter = ref 0
+
+let next_tx_hash (from : U.t) =
+  incr tx_counter;
+  Ethainter_crypto.Keccak.hash_word
+    (U.to_bytes from ^ string_of_int !tx_counter)
+
+(** Deploy a contract from raw *deployment* bytecode (constructor code
+    that returns the runtime). Returns the receipt; [created] holds the
+    new contract's address on success. *)
+let deploy (t : t) ~(from : U.t) ?(value = U.zero) (initcode : string) :
+    receipt =
+  t.block_number <- t.block_number + 1;
+  let nonce = State.nonce t.state from in
+  let addr = State.contract_address ~creator:from ~nonce in
+  State.bump_nonce t.state from;
+  let snap = State.snapshot t.state in
+  let _ = State.transfer t.state ~src:from ~dst:addr ~value in
+  State.set_code t.state addr initcode;
+  let cr =
+    Interp.call_full t.state ~caller:from ~target:addr ~value:U.zero
+      ~calldata:""
+  in
+  let outcome, created =
+    match cr.Interp.outcome with
+    | Interp.Returned runtime ->
+        State.set_code t.state addr runtime;
+        (Interp.Returned runtime, Some addr)
+    | (Interp.Reverted _ | Interp.Failed _) as o ->
+        State.restore t.state snap;
+        (o, None)
+  in
+  let r =
+    { tx_hash = next_tx_hash from; from; to_ = None; created; outcome;
+      trace = cr.Interp.tx_trace; logs = cr.Interp.tx_logs;
+      gas_used = cr.Interp.gas_used; block = t.block_number }
+  in
+  t.receipts <- r :: t.receipts;
+  r
+
+(** Deploy runtime bytecode directly (wraps it in a deployer). *)
+let deploy_runtime (t : t) ~(from : U.t) ?(value = U.zero) (runtime : string)
+    : receipt =
+  deploy t ~from ~value (Ethainter_evm.Bytecode.deployer runtime)
+
+(** Send a transaction to a contract. *)
+let transact (t : t) ~(from : U.t) ~(to_ : U.t) ?(value = U.zero)
+    ?(gas = 10_000_000) (calldata : string) : receipt =
+  t.block_number <- t.block_number + 1;
+  State.bump_nonce t.state from;
+  let cr =
+    Interp.call_full ~gas
+      ~block_number:(U.of_int t.block_number)
+      t.state ~caller:from ~target:to_ ~value ~calldata
+  in
+  let r =
+    { tx_hash = next_tx_hash from; from; to_ = Some to_; created = None;
+      outcome = cr.Interp.outcome; trace = cr.Interp.tx_trace;
+      logs = cr.Interp.tx_logs; gas_used = cr.Interp.gas_used;
+      block = t.block_number }
+  in
+  t.receipts <- r :: t.receipts;
+  r
+
+(** Call a contract function by Solidity-style signature with 32-byte
+    word arguments, e.g. [call_fn net ~from ~to_ "kill()" []]. *)
+let call_fn (t : t) ~(from : U.t) ~(to_ : U.t) ?(value = U.zero)
+    (signature : string) (args : U.t list) : receipt =
+  let selector = Ethainter_crypto.Keccak.selector signature in
+  let calldata =
+    selector ^ String.concat "" (List.map U.to_bytes args)
+  in
+  transact t ~from ~to_ ~value calldata
+
+let is_alive (t : t) (addr : U.t) : bool =
+  (not (State.is_destroyed t.state addr))
+  && String.length (State.code t.state addr) > 0
+
+let succeeded (r : receipt) =
+  match r.outcome with Interp.Returned _ -> true | _ -> false
+
+let return_word (r : receipt) : U.t option =
+  match r.outcome with
+  | Interp.Returned s when String.length s >= 32 ->
+      Some (U.of_bytes (String.sub s 0 32))
+  | _ -> None

@@ -1,0 +1,63 @@
+(** An in-memory Ethereum test network.
+
+    Plays the role of the paper's evaluation substrates: the network
+    the analyzed contracts live on, and the "private fork of the
+    Ropsten testnet" on which Ethainter-Kill destroys contracts (§6.1).
+    Transactions execute through the real EVM interpreter; receipts
+    carry full instruction traces and event logs. *)
+
+module U = Ethainter_word.Uint256
+module State = Ethainter_evm.State
+module Interp = Ethainter_evm.Interp
+
+type receipt = {
+  tx_hash : U.t;
+  from : U.t;
+  to_ : U.t option;        (** [None] for contract creation *)
+  created : U.t option;    (** new contract address, on successful create *)
+  outcome : Interp.outcome;
+  trace : Interp.trace_entry list; (** executed instructions *)
+  logs : Interp.log_entry list;    (** events (empty if rolled back) *)
+  gas_used : int;
+  block : int;
+}
+
+type t
+
+val create : ?name:string -> unit -> t
+
+val fork : ?name:string -> t -> t
+(** Independent deep copy of world state; shared history up to the
+    fork point. *)
+
+val state : t -> State.t
+val block_number : t -> int
+
+val fund_account : t -> U.t -> U.t -> unit
+(** Credit an externally-owned account. *)
+
+val account_of_seed : string -> U.t
+(** Deterministic 160-bit account address derived from a seed string
+    (stands in for a real key pair). *)
+
+val deploy : t -> from:U.t -> ?value:U.t -> string -> receipt
+(** Execute deployment bytecode (constructor returning the runtime). *)
+
+val deploy_runtime : t -> from:U.t -> ?value:U.t -> string -> receipt
+(** Wrap runtime bytecode in a standard deployer and deploy it. *)
+
+val transact :
+  t -> from:U.t -> to_:U.t -> ?value:U.t -> ?gas:int -> string -> receipt
+(** Send a transaction with raw calldata. *)
+
+val call_fn :
+  t -> from:U.t -> to_:U.t -> ?value:U.t -> string -> U.t list -> receipt
+(** Call by Solidity-style signature with word-sized arguments, e.g.
+    [call_fn net ~from ~to_ "transfer(address,uint256)" [dst; amount]]. *)
+
+val is_alive : t -> U.t -> bool
+(** Deployed and not self-destructed. *)
+
+val succeeded : receipt -> bool
+val return_word : receipt -> U.t option
+(** First 32 bytes of return data, if any. *)

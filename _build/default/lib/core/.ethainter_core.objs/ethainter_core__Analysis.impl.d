@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Config Dominators Ethainter_evm Ethainter_tac Ethainter_word Facts Hashtbl List Tac Vulns

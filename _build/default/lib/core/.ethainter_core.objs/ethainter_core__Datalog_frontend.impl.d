@@ -1,0 +1,1 @@
+lib/core/datalog_frontend.ml: Analysis Array Ethainter_datalog Ethainter_evm Ethainter_tac Ethainter_word Facts Hashtbl List Tac

@@ -1,0 +1,1 @@
+lib/core/explain.ml: Analysis Config Ethainter_evm Ethainter_tac Ethainter_word Facts Format Hashtbl List Printf Tac VarSet Vulns

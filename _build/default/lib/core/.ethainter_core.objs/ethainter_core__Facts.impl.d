@@ -1,0 +1,1 @@
+lib/core/facts.ml: Dominators Ethainter_evm Ethainter_tac Ethainter_word Hashtbl List Tac VarSet

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Analysis Config Ethainter_tac Ethainter_word Facts List Unix Vulns

@@ -1,0 +1,1 @@
+lib/core/vulns.ml: Format

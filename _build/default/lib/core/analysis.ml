@@ -1,0 +1,514 @@
+(** The Ethainter composite information-flow analysis.
+
+    A native-OCaml fixpoint mirroring the mutually recursive Datalog
+    skeleton of Fig. 5 and the formal rules of Fig. 3:
+
+    - {b Two kinds of taint} (Fig. 2/3): [Input] taint from transaction
+      input, which sender guards can sanitize, and [Storage] taint,
+      which persists in contract storage across transactions and which
+      guards can {e not} remove (rules Guard-1/Guard-2).
+    - {b Attacker-reachability} (Fig. 5): a statement is reachable by
+      an attacker if it has no sender-scrutinizing dominating guard, or
+      if every such guard fails to sanitize — because its condition is
+      tainted, because the storage it trusts is attacker-writable
+      (Uguard-T), or because it never scrutinizes the caller
+      (Uguard-NDS).
+    - {b Composite escalation}: attacker-reachable stores make storage
+      slots attacker-writable and possibly value-tainted; guards
+      trusting those slots stop sanitizing; more statements become
+      reachable; new stores happen — around the loop until fixpoint.
+      This is exactly the multi-transaction escalation of §2 (user →
+      admin → owner → selfdestruct).
+
+    All relations grow monotonically, so iteration to fixpoint
+    terminates; [Config.max_fixpoint_rounds] is a defensive bound. *)
+
+module U = Ethainter_word.Uint256
+module Op = Ethainter_evm.Opcode
+open Ethainter_tac
+open Tac
+
+type taint_kind = Input | Storage
+
+module TK = struct
+  type t = { mutable input : bool; mutable storage : bool }
+
+  let empty () = { input = false; storage = false }
+  let any t = t.input || t.storage
+end
+
+type t = {
+  cfg : Config.t;
+  facts : Facts.t;
+  taint : (var, TK.t) Hashtbl.t;
+  reachable : (int, unit) Hashtbl.t; (* statement pc *)
+  (* value-taint of storage locations *)
+  tainted_const_slots : (U.t, unit) Hashtbl.t;
+  tainted_data_slots : (U.t, unit) Hashtbl.t; (* by root slot *)
+  mutable all_slots_tainted : bool; (* StorageWrite-2 over-approximation *)
+  (* attacker-writability of storage locations *)
+  writable_const_slots : (U.t, unit) Hashtbl.t;
+  writable_data_slots : (U.t, unit) Hashtbl.t;
+  mutable all_slots_writable : bool;
+  (* transaction-local memory, modeled flow-insensitively at constant
+     offsets (§5: "the memory is modeled only locally, which still
+     captures enough flows to expose realistic vulnerabilities") *)
+  mem_taint : (U.t, TK.t) Hashtbl.t;
+  mutable changed : bool;
+  mutable rounds : int;
+}
+
+let taint_of (t : t) v =
+  match Hashtbl.find_opt t.taint v with
+  | Some k -> k
+  | None ->
+      let k = TK.empty () in
+      Hashtbl.replace t.taint v k;
+      k
+
+let is_tainted t v = match Hashtbl.find_opt t.taint v with
+  | Some k -> TK.any k
+  | None -> false
+
+let is_input_tainted t v =
+  match Hashtbl.find_opt t.taint v with Some k -> k.TK.input | None -> false
+
+let is_storage_tainted t v =
+  match Hashtbl.find_opt t.taint v with Some k -> k.TK.storage | None -> false
+
+let add_taint (t : t) v (kind : taint_kind) =
+  let k = taint_of t v in
+  match kind with
+  | Input ->
+      if not k.TK.input then begin
+        k.TK.input <- true;
+        t.changed <- true
+      end
+  | Storage ->
+      if not k.TK.storage then begin
+        k.TK.storage <- true;
+        t.changed <- true
+      end
+
+let slot_tainted (t : t) (c : Facts.slot_class) : bool =
+  t.all_slots_tainted
+  ||
+  match c with
+  | Facts.SConst v -> Hashtbl.mem t.tainted_const_slots v
+  | Facts.SData b -> Hashtbl.mem t.tainted_data_slots b
+  | Facts.SUnknown ->
+      (* conservative mode: an unknown load may read any tainted slot *)
+      t.cfg.Config.conservative_storage
+      && (Hashtbl.length t.tainted_const_slots > 0
+         || Hashtbl.length t.tainted_data_slots > 0)
+
+let slot_writable (t : t) (c : Facts.slot_class) : bool =
+  t.all_slots_writable
+  ||
+  match c with
+  | Facts.SConst v -> Hashtbl.mem t.writable_const_slots v
+  | Facts.SData b -> Hashtbl.mem t.writable_data_slots b
+  | Facts.SUnknown ->
+      t.cfg.Config.conservative_storage
+      && (Hashtbl.length t.writable_const_slots > 0
+         || Hashtbl.length t.writable_data_slots > 0)
+
+let taint_slot (t : t) (c : Facts.slot_class) =
+  if t.cfg.Config.storage_taint then
+    match c with
+    | Facts.SConst v ->
+        if not (Hashtbl.mem t.tainted_const_slots v) then begin
+          Hashtbl.replace t.tainted_const_slots v ();
+          t.changed <- true
+        end
+    | Facts.SData b ->
+        if not (Hashtbl.mem t.tainted_data_slots b) then begin
+          Hashtbl.replace t.tainted_data_slots b ();
+          t.changed <- true
+        end
+    | Facts.SUnknown ->
+        if t.cfg.Config.conservative_storage && not t.all_slots_tainted
+        then begin
+          (* Fig. 8c: a store to an unknown location may reach any
+             location *)
+          t.all_slots_tainted <- true;
+          t.changed <- true
+        end
+
+let mem_cell (t : t) (off : U.t) : TK.t =
+  match Hashtbl.find_opt t.mem_taint off with
+  | Some k -> k
+  | None ->
+      let k = TK.empty () in
+      Hashtbl.replace t.mem_taint off k;
+      k
+
+let taint_mem (t : t) (off : U.t) (kind : taint_kind) =
+  let k = mem_cell t off in
+  match kind with
+  | Input ->
+      if not k.TK.input then begin
+        k.TK.input <- true;
+        t.changed <- true
+      end
+  | Storage ->
+      if not k.TK.storage then begin
+        k.TK.storage <- true;
+        t.changed <- true
+      end
+
+let make_writable (t : t) (c : Facts.slot_class) =
+  match c with
+  | Facts.SConst v ->
+      if not (Hashtbl.mem t.writable_const_slots v) then begin
+        Hashtbl.replace t.writable_const_slots v ();
+        t.changed <- true
+      end
+  | Facts.SData b ->
+      if not (Hashtbl.mem t.writable_data_slots b) then begin
+        Hashtbl.replace t.writable_data_slots b ();
+        t.changed <- true
+      end
+  | Facts.SUnknown ->
+      if t.cfg.Config.conservative_storage && not t.all_slots_writable
+      then begin
+        t.all_slots_writable <- true;
+        t.changed <- true
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Guards                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Does guard [g] fail to sanitize caller input? (NonSanitizingGuard,
+    rules Uguard-T and Uguard-NDS, plus tainted-guard conditions of
+    Fig. 5.) *)
+let non_sanitizing (t : t) (g : Facts.guard) : bool =
+  let f = t.facts in
+  (* Uguard-NDS: no sender scrutiny at all *)
+  (not (Facts.scrutinizes_sender f g.Facts.g_cond))
+  (* tainted guard: the condition itself carries taint *)
+  || is_tainted t g.Facts.g_cond
+  (* Uguard-T: the guard trusts storage an attacker can write. Defeating
+     guards through storage IS taint propagation via storage (across
+     transactions), so the Fig. 8a "No Storage Modeling" ablation turns
+     it off along with value taint. *)
+  || (t.cfg.Config.storage_taint
+     && List.exists
+          (fun (ld_var, cls) ->
+            ignore ld_var;
+            slot_writable t cls || slot_tainted t cls)
+          (Facts.guard_storage_reads f g.Facts.g_cond))
+
+(** ReachableByAttacker: no effective sanitizing guard dominates the
+    statement. *)
+let stmt_reachable (t : t) (s : stmt) : bool =
+  (not t.cfg.Config.model_guards)
+  || Hashtbl.mem t.reachable s.s_pc
+  ||
+  let gs = Facts.guards_of_stmt t.facts s in
+  let sender_guards =
+    List.filter
+      (fun g -> Facts.scrutinizes_sender t.facts g.Facts.g_cond)
+      gs
+  in
+  sender_guards = [] || List.for_all (non_sanitizing t) sender_guards
+
+(* ------------------------------------------------------------------ *)
+(* The fixpoint                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Operations through which taint propagates from arguments to result
+   (Operation-1/2 of Fig. 3, extended with the hash rule). *)
+let propagates_through = function
+  | Op.ADD | Op.SUB | Op.MUL | Op.DIV | Op.SDIV | Op.MOD | Op.SMOD
+  | Op.ADDMOD | Op.MULMOD | Op.EXP | Op.SIGNEXTEND | Op.LT | Op.GT
+  | Op.SLT | Op.SGT | Op.EQ | Op.ISZERO | Op.AND | Op.OR | Op.XOR
+  | Op.NOT | Op.BYTE | Op.SHL | Op.SHR | Op.SAR | Op.SHA3
+  | Op.CALLDATALOAD | Op.MLOAD | Op.BALANCE ->
+      true
+  | _ -> false
+
+let run ?(cfg = Config.default) (facts : Facts.t) : t =
+  let t =
+    { cfg; facts; taint = Hashtbl.create 256; reachable = Hashtbl.create 256;
+      tainted_const_slots = Hashtbl.create 16;
+      tainted_data_slots = Hashtbl.create 16; all_slots_tainted = false;
+      writable_const_slots = Hashtbl.create 16;
+      writable_data_slots = Hashtbl.create 16; all_slots_writable = false;
+      mem_taint = Hashtbl.create 32; changed = true; rounds = 0 }
+  in
+  let p = facts.Facts.program in
+  let all_stmts = stmts p in
+  while t.changed && t.rounds < cfg.Config.max_fixpoint_rounds do
+    t.changed <- false;
+    t.rounds <- t.rounds + 1;
+    List.iter
+      (fun s ->
+        let reach = stmt_reachable t s in
+        if reach && not (Hashtbl.mem t.reachable s.s_pc) then begin
+          Hashtbl.replace t.reachable s.s_pc ();
+          t.changed <- true
+        end;
+        match (s.s_op, s.s_res) with
+        (* --- taint sources (LoadInput): attacker-supplied input in
+               attacker-reachable statements --- *)
+        | TOp (Op.CALLDATALOAD | Op.CALLVALUE | Op.CALLDATASIZE), Some r ->
+            if reach then add_taint t r Input
+        (* --- storage loads (StorageLoad + Guard-1): storage taint is
+               introduced regardless of guarding --- *)
+        | TOp Op.SLOAD, Some r -> (
+            match s.s_args with
+            | [ a ] ->
+                let cls = Facts.classify_slot facts a in
+                if slot_tainted t cls then add_taint t r Storage;
+                (* a load whose *address* is input-tainted, from an
+                   attacker-writable region, is attacker-influenced *)
+                if is_tainted t a && slot_writable t cls then
+                  add_taint t r Storage
+            | _ -> ())
+        (* --- storage writes (StorageWrite-1/2) --- *)
+        | TOp Op.SSTORE, None -> (
+            match s.s_args with
+            | [ addr; value ] ->
+                if reach then begin
+                  let cls = Facts.classify_slot facts addr in
+                  (* the attacker can direct this write *)
+                  (match cls with
+                  | Facts.SConst _ -> make_writable t cls
+                  | Facts.SData _ ->
+                      (* writable only if the attacker controls the
+                         key: a sender-derived or tainted address *)
+                      if
+                        Hashtbl.mem facts.Facts.ds_addr addr
+                        || is_tainted t addr
+                      then make_writable t cls
+                  | Facts.SUnknown ->
+                      if is_tainted t addr then begin
+                        (* StorageWrite-2: tainted value AND tainted
+                           unknown address -> all constant slots may be
+                           hit *)
+                        if
+                          is_tainted t value && t.cfg.Config.storage_taint
+                          && not t.all_slots_tainted
+                        then begin
+                          t.all_slots_tainted <- true;
+                          t.changed <- true
+                        end;
+                        if not t.all_slots_writable then begin
+                          t.all_slots_writable <- true;
+                          t.changed <- true
+                        end
+                      end
+                      else if t.cfg.Config.conservative_storage then
+                        make_writable t cls);
+                  (* value taint persists into storage *)
+                  if is_tainted t value then taint_slot t cls
+                end
+            | _ -> ())
+        (* --- hashing: taint flows from the hashed words, not from the
+               memory-range operands --- *)
+        | TOp Op.SHA3, Some r ->
+            (match s.s_sha3_args with
+            | Some hashed ->
+                List.iter
+                  (fun a ->
+                    if reach && is_input_tainted t a then add_taint t r Input;
+                    if is_storage_tainted t a then add_taint t r Storage)
+                  hashed
+            | None ->
+                (* unresolved hash region: fall back to the memory cells
+                   we know about near the offset operand *)
+                List.iter
+                  (fun a ->
+                    if reach && is_input_tainted t a then add_taint t r Input;
+                    if is_storage_tainted t a then add_taint t r Storage)
+                  s.s_args)
+        (* --- transaction-local memory --- *)
+        | TOp Op.MSTORE, None -> (
+            match s.s_args with
+            | [ off; v ] -> (
+                match const_of p off with
+                | Some o ->
+                    if reach && is_input_tainted t v then taint_mem t o Input;
+                    if is_storage_tainted t v then taint_mem t o Storage
+                | None ->
+                    (* store to a computed offset: smear over all known
+                       cells (rare in compiled code; mirrors the eager
+                       treatment of tainted stores in §1) *)
+                    if is_tainted t v then
+                      Hashtbl.iter
+                        (fun o _ ->
+                          if reach && is_input_tainted t v then
+                            taint_mem t o Input;
+                          if is_storage_tainted t v then taint_mem t o Storage)
+                        t.mem_taint)
+            | _ -> ())
+        | TOp Op.MLOAD, Some r -> (
+            match s.s_args with
+            | [ off ] -> (
+                match const_of p off with
+                | Some o -> (
+                    match Hashtbl.find_opt t.mem_taint o with
+                    | Some k ->
+                        if reach && k.TK.input then add_taint t r Input;
+                        if k.TK.storage then add_taint t r Storage
+                    | None -> ())
+                | None -> ())
+            | _ -> ())
+        | TOp Op.CALLDATACOPY, None -> (
+            (* attacker input copied into memory *)
+            match s.s_args with
+            | dst :: _ when reach -> (
+                match const_of p dst with
+                | Some o -> taint_mem t o Input
+                | None -> ())
+            | _ -> ())
+        (* --- ordinary operations (Operation-1/2) --- *)
+        | TOp op, Some r when propagates_through op ->
+            List.iter
+              (fun a ->
+                (* Input taint flows only into attacker-reachable
+                   statements (guards sanitize it: Guard-2);
+                   storage taint flows everywhere (Guard-1). *)
+                if reach && is_input_tainted t a then add_taint t r Input;
+                if is_storage_tainted t a then add_taint t r Storage)
+              s.s_args
+        | TPhi, Some r ->
+            List.iter
+              (fun a ->
+                if reach && is_input_tainted t a then add_taint t r Input;
+                if is_storage_tainted t a then add_taint t r Storage)
+              s.s_args
+        | _ -> ())
+      all_stmts
+  done;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Vulnerability detection (§3, §4.5)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Is there a RETURNDATASIZE-based check downstream of this statement
+   (same block after it, or in a dominated block)? *)
+let has_returndatasize_check (t : t) (s : stmt) : bool =
+  let p = t.facts.Facts.program in
+  let doms = t.facts.Facts.doms in
+  List.exists
+    (fun s' ->
+      match s'.s_op with
+      | TOp Op.RETURNDATASIZE ->
+          (s'.s_block = s.s_block && s'.s_pc > s.s_pc)
+          || (s'.s_block <> s.s_block
+             && Dominators.dominates doms s.s_block s'.s_block)
+      | _ -> false)
+    (stmts p)
+
+(** The storage locations trusted by sender-scrutinizing guards — the
+    inferred sinks of §4.5 ("a variable that determines a potentially-
+    sanitizing guard is by itself a sink"). *)
+let owner_slots (facts : Facts.t) : Facts.slot_class list =
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun _ gs ->
+      List.iter
+        (fun (g : Facts.guard) ->
+          List.iter
+            (fun (_, cls) ->
+              if not (List.mem cls !acc) then acc := cls :: !acc)
+            (Facts.sender_eq_storage_reads facts g.Facts.g_cond))
+        gs)
+    facts.Facts.known_true;
+  !acc
+
+(** Run detectors over a completed fixpoint and emit reports. *)
+let detect (t : t) : Vulns.report list =
+  let p = t.facts.Facts.program in
+  let owner = owner_slots t.facts in
+  let reports = ref [] in
+  let add kind (s : stmt) composite note =
+    reports :=
+      Vulns.
+        { r_kind = kind; r_pc = s.s_pc; r_block = s.s_block;
+          r_orphan = is_orphan_block p s.s_block; r_composite = composite;
+          r_note = note }
+      :: !reports
+  in
+  let reach s = Hashtbl.mem t.reachable s.s_pc in
+  (* "composite" = the exploit needed the storage-taint escalation:
+     the statement is guarded by sender guards, all defeated. *)
+  let composite (s : stmt) =
+    List.exists
+      (fun g -> Facts.scrutinizes_sender t.facts g.Facts.g_cond)
+      (Facts.guards_of_stmt t.facts s)
+  in
+  List.iter
+    (fun s ->
+      match s.s_op with
+      | TOp Op.SELFDESTRUCT ->
+          if reach s then
+            add Vulns.AccessibleSelfdestruct s (composite s) "";
+          (match s.s_args with
+          | [ b ] when is_tainted t b ->
+              let note =
+                if is_storage_tainted t b then "beneficiary tainted via storage"
+                else "beneficiary tainted from input"
+              in
+              add Vulns.TaintedSelfdestruct s
+                (composite s || is_storage_tainted t b)
+                note
+          | _ -> ())
+      | TOp Op.DELEGATECALL -> (
+          match s.s_args with
+          | _gas :: target :: _ when is_tainted t target ->
+              if reach s || is_storage_tainted t target then
+                add Vulns.TaintedDelegatecall s (composite s)
+                  "delegatecall target attacker-controlled"
+          | _ -> ())
+      | TOp Op.STATICCALL -> (
+          (* args: gas, addr, inoff, insize, outoff, outsize *)
+          match s.s_args with
+          | [ _gas; target; inoff; _insize; outoff; _outsize ] ->
+              let overlap =
+                match (const_of p inoff, const_of p outoff) with
+                | Some a, Some b -> U.equal a b
+                | _ -> false
+              in
+              if
+                overlap && reach s
+                && (is_tainted t target || is_tainted t inoff)
+                && not (has_returndatasize_check t s)
+              then
+                add Vulns.UncheckedTaintedStaticcall s (composite s)
+                  "output buffer overlaps input, no returndatasize check"
+          | _ -> ())
+      | TOp Op.SSTORE -> (
+          match s.s_args with
+          | [ addr; value ] ->
+              let cls = Facts.classify_slot t.facts addr in
+              let hits_owner =
+                List.exists
+                  (fun oc ->
+                    Facts.may_alias
+                      ~conservative:t.cfg.Config.conservative_storage oc cls
+                    || (t.all_slots_writable && oc <> Facts.SUnknown))
+                  owner
+              in
+              if reach s && hits_owner && is_tainted t value then
+                add Vulns.TaintedOwnerVariable s (composite s)
+                  (Facts.slot_class_to_string cls
+                  ^ " is trusted by a sender guard")
+          | _ -> ())
+      | _ -> ())
+    (stmts p);
+  (* deduplicate per (kind, pc) *)
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (r : Vulns.report) ->
+      let k = (r.Vulns.r_kind, r.Vulns.r_pc) in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.replace seen k ();
+        true
+      end)
+    (List.rev !reports)

@@ -1,0 +1,40 @@
+(** Analysis configuration: the design decisions of §4.4/§6.4, exposed
+    as switches so the Fig. 8 ablation experiments can turn each off.
+
+    The default configuration is the paper's tuned analysis. *)
+
+type t = {
+  model_guards : bool;
+      (** Model sanitization by sender guards (§4, GUARD rules). When
+          off, every statement is considered attacker-reachable —
+          Fig. 8b's "No Guard Modeling" ablation (precision drops). *)
+  storage_taint : bool;
+      (** Let taint propagate through persistent storage, across
+          transactions (rules StorageWrite/StorageLoad). When off,
+          composite multi-transaction escalations are invisible —
+          Fig. 8a's "No Storage Modeling" ablation (completeness
+          drops). *)
+  conservative_storage : bool;
+      (** Securify-style conservative storage: a store to a statically
+          unknown location may reach *any* storage location, and a load
+          from an unknown location may read any tainted slot — Fig. 8c's
+          "Conservative Storage Modeling" ablation (precision drops).
+          The default instead models unknown locations precisely-but-
+          incompletely (only data-structure accesses with a known base
+          slot alias each other). *)
+  max_fixpoint_rounds : int;
+      (** Safety bound on the mutual-recursion fixpoint. *)
+}
+
+let default =
+  { model_guards = true; storage_taint = true; conservative_storage = false;
+    max_fixpoint_rounds = 100 }
+
+(** Fig. 8a: "No Storage Modeling" — reduced completeness. *)
+let no_storage_model = { default with storage_taint = false }
+
+(** Fig. 8b: "No Guard Modeling" — reduced precision. *)
+let no_guard_model = { default with model_guards = false }
+
+(** Fig. 8c: "Conservative Storage Modeling" — reduced precision. *)
+let conservative = { default with conservative_storage = true }

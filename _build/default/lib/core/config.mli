@@ -1,0 +1,32 @@
+(** Analysis configuration: the design decisions of §4.4, exposed as
+    switches so the Fig. 8 ablation experiments can turn each off. *)
+
+type t = {
+  model_guards : bool;
+      (** Model sanitization by sender guards. Off = Fig. 8b's "No
+          Guard Modeling" (every statement attacker-reachable;
+          precision drops). *)
+  storage_taint : bool;
+      (** Let taint propagate through persistent storage across
+          transactions — including guard defeat via attacker-writable
+          slots. Off = Fig. 8a's "No Storage Modeling" (composite
+          escalations invisible; completeness drops). *)
+  conservative_storage : bool;
+      (** Securify-style conservative treatment of statically unknown
+          storage locations (may alias anything). On = Fig. 8c's
+          "Conservative Storage Modeling" (precision drops). *)
+  max_fixpoint_rounds : int;
+      (** Defensive bound on the mutual-recursion fixpoint. *)
+}
+
+val default : t
+(** The paper's tuned analysis. *)
+
+val no_storage_model : t
+(** Fig. 8a ablation. *)
+
+val no_guard_model : t
+(** Fig. 8b ablation. *)
+
+val conservative : t
+(** Fig. 8c ablation. *)

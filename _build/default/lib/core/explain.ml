@@ -1,0 +1,241 @@
+(** Witness generation: reconstruct, for each report, a derivation
+    chain showing *why* the analysis flagged it — which input the taint
+    started from, which stores carried it through storage, and which
+    guards were defeated (and by what). This is the evidence a human
+    inspector (Fig. 6) or Ethainter-Kill needs to act on a warning.
+
+    The explanation is reconstructed post hoc from a completed
+    {!Analysis.t} fixpoint by walking definitions backwards, always
+    choosing a tainted antecedent, so chains are finite (visited-set
+    bounded) and every step restates a fact the fixpoint actually
+    derived. *)
+
+module U = Ethainter_word.Uint256
+module Op = Ethainter_evm.Opcode
+open Ethainter_tac
+open Tac
+
+type step =
+  | SourceInput of int
+      (** taint enters from transaction input at this statement *)
+  | FlowThrough of int * string
+      (** value flow through the operation at pc (opcode name) *)
+  | IntoStorage of int * Facts.slot_class
+      (** a reachable store puts tainted data into this slot class *)
+  | OutOfStorage of int * Facts.slot_class
+      (** a load reads the tainted slot class back *)
+  | GuardDefeated of var * string
+      (** a sender guard stopped sanitizing, and why *)
+  | Sink of int * string
+      (** the flagged statement *)
+
+let step_to_string = function
+  | SourceInput pc -> Printf.sprintf "pc %d: attacker input enters" pc
+  | FlowThrough (pc, op) -> Printf.sprintf "pc %d: flows through %s" pc op
+  | IntoStorage (pc, c) ->
+      Printf.sprintf "pc %d: stored into %s" pc (Facts.slot_class_to_string c)
+  | OutOfStorage (pc, c) ->
+      Printf.sprintf "pc %d: loaded back from %s (guards cannot sanitize storage taint)"
+        pc (Facts.slot_class_to_string c)
+  | GuardDefeated (g, why) ->
+      Printf.sprintf "guard %s defeated: %s" (var_to_string g) why
+  | Sink (pc, what) -> Printf.sprintf "pc %d: %s" pc what
+
+type explanation = {
+  e_report : Vulns.report;
+  e_steps : step list;
+}
+
+let pp_explanation fmt (e : explanation) =
+  Format.fprintf fmt "%s@." (Vulns.report_to_string e.e_report);
+  List.iter
+    (fun s -> Format.fprintf fmt "    %s@." (step_to_string s))
+    e.e_steps
+
+let explanation_to_string e = Format.asprintf "%a" pp_explanation e
+
+(* Find a statement whose store tainted this slot class. *)
+let find_tainting_store (t : Analysis.t) (cls : Facts.slot_class) :
+    stmt option =
+  let facts = t.Analysis.facts in
+  let p = facts.Facts.program in
+  List.find_opt
+    (fun s ->
+      match (s.s_op, s.s_args) with
+      | TOp Op.SSTORE, [ addr; value ] ->
+          Hashtbl.mem t.Analysis.reachable s.s_pc
+          && Analysis.is_tainted t value
+          && Facts.may_alias
+               ~conservative:t.Analysis.cfg.Config.conservative_storage
+               (Facts.classify_slot facts addr)
+               cls
+      | _ -> false)
+    (stmts p)
+
+(* Walk back from a tainted variable to a taint source, producing the
+   chain in source-to-sink order. Bounded by the visited set. *)
+let rec trace_var (t : Analysis.t) (visited : VarSet.t ref) (v : var) :
+    step list =
+  if VarSet.mem v !visited then []
+  else begin
+    visited := VarSet.add v !visited;
+    let facts = t.Analysis.facts in
+    let p = facts.Facts.program in
+    match def p v with
+    | None -> []
+    | Some s -> (
+        match s.s_op with
+        | TOp (Op.CALLDATALOAD | Op.CALLVALUE | Op.CALLDATASIZE) ->
+            [ SourceInput s.s_pc ]
+        | TOp Op.SLOAD -> (
+            match s.s_args with
+            | [ addr ] -> (
+                let cls = Facts.classify_slot facts addr in
+                match find_tainting_store t cls with
+                | Some store -> (
+                    match store.s_args with
+                    | [ _addr; value ] ->
+                        trace_var t visited value
+                        @ [ IntoStorage (store.s_pc, cls);
+                            OutOfStorage (s.s_pc, cls) ]
+                    | _ -> [ OutOfStorage (s.s_pc, cls) ])
+                | None ->
+                    if Analysis.is_tainted t v then
+                      [ OutOfStorage (s.s_pc, cls) ]
+                    else [])
+            | _ -> [])
+        | TOp Op.MLOAD ->
+            (* memory taint: find a tainted store to the same offset *)
+            let src =
+              match s.s_args with
+              | [ off ] -> (
+                  match const_of p off with
+                  | Some o ->
+                      List.find_opt
+                        (fun s' ->
+                          match (s'.s_op, s'.s_args) with
+                          | TOp Op.MSTORE, [ off'; value ] ->
+                              const_of p off' = Some o
+                              && Analysis.is_tainted t value
+                          | _ -> false)
+                        (stmts p)
+                  | None -> None)
+              | _ -> None
+            in
+            (match src with
+            | Some mstore -> (
+                match mstore.s_args with
+                | [ _; value ] ->
+                    trace_var t visited value
+                    @ [ FlowThrough (s.s_pc, "memory") ]
+                | _ -> [])
+            | None -> [])
+        | TOp Op.SHA3 -> (
+            match s.s_sha3_args with
+            | Some hashed -> (
+                match
+                  List.find_opt (fun a -> Analysis.is_tainted t a) hashed
+                with
+                | Some a ->
+                    trace_var t visited a @ [ FlowThrough (s.s_pc, "SHA3") ]
+                | None -> [])
+            | None -> [])
+        | TOp op -> (
+            match
+              List.find_opt (fun a -> Analysis.is_tainted t a) s.s_args
+            with
+            | Some a ->
+                trace_var t visited a
+                @ [ FlowThrough (s.s_pc, Op.name op) ]
+            | None -> [])
+        | TPhi -> (
+            match
+              List.find_opt (fun a -> Analysis.is_tainted t a) s.s_args
+            with
+            | Some a -> trace_var t visited a
+            | None -> [])
+        | TConst _ -> [])
+  end
+
+(* Explain why each sender guard of a statement failed. *)
+let explain_guards (t : Analysis.t) (s : stmt) : step list =
+  let facts = t.Analysis.facts in
+  Facts.guards_of_stmt facts s
+  |> List.filter (fun (g : Facts.guard) ->
+         Facts.scrutinizes_sender facts g.Facts.g_cond)
+  |> List.filter_map (fun (g : Facts.guard) ->
+         if not (Analysis.non_sanitizing t g) then None
+         else
+           let why =
+             if Analysis.is_storage_tainted t g.Facts.g_cond then
+               "its condition is tainted through storage"
+             else if Analysis.is_input_tainted t g.Facts.g_cond then
+               "its condition is tainted from input"
+             else
+               match
+                 List.find_opt
+                   (fun (_, cls) ->
+                     Analysis.slot_writable t cls
+                     || Analysis.slot_tainted t cls)
+                   (Facts.guard_storage_reads facts g.Facts.g_cond)
+               with
+               | Some (_, cls) ->
+                   Printf.sprintf "it trusts %s, which an attacker can write"
+                     (Facts.slot_class_to_string cls)
+               | None -> "it does not scrutinize the caller"
+           in
+           Some (GuardDefeated (g.Facts.g_cond, why)))
+
+(** Produce an explanation for one report. *)
+let explain (t : Analysis.t) (r : Vulns.report) : explanation =
+  let facts = t.Analysis.facts in
+  let p = facts.Facts.program in
+  let stmt_at pc = List.find_opt (fun s -> s.s_pc = pc) (stmts p) in
+  let steps =
+    match stmt_at r.Vulns.r_pc with
+    | None -> []
+    | Some s -> (
+        let guard_steps = explain_guards t s in
+        let sink_name =
+          match s.s_op with
+          | TOp op -> Op.name op
+          | _ -> "statement"
+        in
+        match (r.Vulns.r_kind, s.s_op, s.s_args) with
+        | Vulns.TaintedSelfdestruct, TOp Op.SELFDESTRUCT, [ b ] ->
+            let visited = ref VarSet.empty in
+            trace_var t visited b
+            @ guard_steps
+            @ [ Sink (s.s_pc, "SELFDESTRUCT with attacker-influenced beneficiary") ]
+        | Vulns.TaintedDelegatecall, TOp Op.DELEGATECALL, _gas :: tgt :: _
+          ->
+            let visited = ref VarSet.empty in
+            trace_var t visited tgt
+            @ guard_steps
+            @ [ Sink (s.s_pc, "DELEGATECALL to attacker-influenced code") ]
+        | Vulns.TaintedOwnerVariable, TOp Op.SSTORE, [ _addr; value ] ->
+            let visited = ref VarSet.empty in
+            trace_var t visited value
+            @ guard_steps
+            @ [ Sink (s.s_pc, "store into a slot trusted by a sender guard") ]
+        | Vulns.UncheckedTaintedStaticcall, TOp Op.STATICCALL,
+          _gas :: tgt :: _ ->
+            let visited = ref VarSet.empty in
+            trace_var t visited tgt
+            @ [ Sink
+                  ( s.s_pc,
+                    "STATICCALL output overlaps input without a returndatasize check" ) ]
+        | Vulns.AccessibleSelfdestruct, _, _ ->
+            guard_steps
+            @ [ Sink (s.s_pc, sink_name ^ " reachable by any caller") ]
+        | _ -> [ Sink (s.s_pc, sink_name) ])
+  in
+  { e_report = r; e_steps = steps }
+
+(** Analyze and explain in one pass. *)
+let explain_runtime ?(cfg = Config.default) (runtime : string) :
+    explanation list =
+  let p = Ethainter_tac.Decomp.decompile runtime in
+  let facts = Facts.compute p in
+  let t = Analysis.run ~cfg facts in
+  List.map (explain t) (Analysis.detect t)

@@ -1,0 +1,51 @@
+(** End-to-end analysis pipeline: bytecode → decompile → facts →
+    fixpoint → reports. This is the per-contract unit of work that the
+    paper runs over the whole blockchain (§6: "a combined cutoff of 120
+    seconds for decompilation and the information flow analysis"). *)
+
+type result = {
+  reports : Vulns.report list;
+  tac_loc : int;          (** 3-address statements (paper's corpus unit) *)
+  blocks : int;
+  analysis_rounds : int;
+  elapsed_s : float;
+  timed_out : bool;
+}
+
+let empty_result =
+  { reports = []; tac_loc = 0; blocks = 0; analysis_rounds = 0;
+    elapsed_s = 0.0; timed_out = false }
+
+(** Analyze runtime bytecode. [timeout_s] mimics the paper's cutoff:
+    we check elapsed wall-clock between phases (decompilation /
+    analysis) and give up, flagging a timeout, when exceeded. *)
+let analyze_runtime ?(cfg = Config.default) ?(timeout_s = 120.0)
+    (runtime : string) : result =
+  let t0 = Unix.gettimeofday () in
+  let over () = Unix.gettimeofday () -. t0 > timeout_s in
+  try
+    let p = Ethainter_tac.Decomp.decompile runtime in
+    if over () then { empty_result with timed_out = true }
+    else
+      let facts = Facts.compute p in
+      if over () then { empty_result with timed_out = true }
+      else
+        let a = Analysis.run ~cfg facts in
+        let reports = Analysis.detect a in
+        { reports; tac_loc = Ethainter_tac.Tac.loc p;
+          blocks = List.length (Ethainter_tac.Tac.blocks p);
+          analysis_rounds = a.Analysis.rounds;
+          elapsed_s = Unix.gettimeofday () -. t0; timed_out = false }
+  with _ ->
+    { empty_result with elapsed_s = Unix.gettimeofday () -. t0 }
+
+(** Convenience: analyze a contract given as hex-encoded runtime
+    bytecode (the format of blockchain dumps). *)
+let analyze_hex ?cfg ?timeout_s (hex : string) : result =
+  analyze_runtime ?cfg ?timeout_s (Ethainter_word.Hex.decode hex)
+
+let flagged_kinds (r : result) : Vulns.kind list =
+  List.sort_uniq compare (List.map (fun x -> x.Vulns.r_kind) r.reports)
+
+let flags (r : result) (k : Vulns.kind) : bool =
+  List.exists (fun x -> x.Vulns.r_kind = k) r.reports

@@ -1,0 +1,31 @@
+(** End-to-end analysis pipeline: bytecode → decompile → facts →
+    fixpoint → reports. The per-contract unit of work the paper runs
+    over the whole blockchain (§6: combined 120 s cutoff for
+    decompilation plus the information-flow analysis). *)
+
+type result = {
+  reports : Vulns.report list;
+  tac_loc : int;          (** 3-address statements (the paper's corpus unit) *)
+  blocks : int;
+  analysis_rounds : int;  (** fixpoint rounds taken *)
+  elapsed_s : float;
+  timed_out : bool;
+}
+
+val empty_result : result
+
+val analyze_runtime :
+  ?cfg:Config.t -> ?timeout_s:float -> string -> result
+(** Analyze runtime bytecode. [timeout_s] mimics the paper's cutoff
+    (default 120 s); on expiry the result carries [timed_out = true]
+    and no reports. Exceptions from malformed bytecode are contained
+    and yield an empty result. *)
+
+val analyze_hex : ?cfg:Config.t -> ?timeout_s:float -> string -> result
+(** Same, for hex-encoded bytecode (the format of blockchain dumps). *)
+
+val flagged_kinds : result -> Vulns.kind list
+(** Distinct vulnerability kinds present in the reports, sorted. *)
+
+val flags : result -> Vulns.kind -> bool
+(** Is any report of this kind present? *)

@@ -1,0 +1,59 @@
+(** The vulnerability taxonomy of §3, and analysis reports. *)
+
+type kind =
+  | AccessibleSelfdestruct
+      (** §3.3: a [SELFDESTRUCT] reachable by an arbitrary caller. *)
+  | TaintedSelfdestruct
+      (** §3.4: the beneficiary address of a [SELFDESTRUCT] can be
+          tainted by an attacker (possibly through storage, across
+          transactions), even if the instruction itself is guarded. *)
+  | TaintedOwnerVariable
+      (** §3.1: a storage location used to scrutinize the caller in a
+          guard can be overwritten with attacker-controlled data. *)
+  | TaintedDelegatecall
+      (** §3.2: the code address of a [DELEGATECALL] is attacker-
+          controlled. *)
+  | UncheckedTaintedStaticcall
+      (** §3.5: a [STATICCALL] whose output buffer overlaps its input
+          buffer, without a RETURNDATASIZE check, on a tainted target:
+          short returndata leaves attacker input in the output. *)
+
+let all_kinds =
+  [ AccessibleSelfdestruct; TaintedSelfdestruct; TaintedOwnerVariable;
+    TaintedDelegatecall; UncheckedTaintedStaticcall ]
+
+let kind_name = function
+  | AccessibleSelfdestruct -> "accessible selfdestruct"
+  | TaintedSelfdestruct -> "tainted selfdestruct"
+  | TaintedOwnerVariable -> "tainted owner variable"
+  | TaintedDelegatecall -> "tainted delegatecall"
+  | UncheckedTaintedStaticcall -> "unchecked tainted staticcall"
+
+let kind_id = function
+  | AccessibleSelfdestruct -> "accessible-selfdestruct"
+  | TaintedSelfdestruct -> "tainted-selfdestruct"
+  | TaintedOwnerVariable -> "tainted-owner-variable"
+  | TaintedDelegatecall -> "tainted-delegatecall"
+  | UncheckedTaintedStaticcall -> "unchecked-tainted-staticcall"
+
+type report = {
+  r_kind : kind;
+  r_pc : int;               (** bytecode offset of the flagged statement *)
+  r_block : int;
+  r_orphan : bool;
+      (** flagged statement lies in code with no path from the contract
+          entry (no public entry point — Ethainter-Kill cannot exploit
+          these, §6.1) *)
+  r_composite : bool;
+      (** exploiting requires escalation through storage taint (the ✰
+          marker of Fig. 6) *)
+  r_note : string;
+}
+
+let pp_report fmt (r : report) =
+  Format.fprintf fmt "%s @@pc=%d%s%s%s" (kind_name r.r_kind) r.r_pc
+    (if r.r_orphan then " [no public entry]" else "")
+    (if r.r_composite then " [composite]" else "")
+    (if r.r_note = "" then "" else " (" ^ r.r_note ^ ")")
+
+let report_to_string r = Format.asprintf "%a" pp_report r

@@ -1,0 +1,42 @@
+(** The vulnerability taxonomy of §3, and analysis reports. *)
+
+type kind =
+  | AccessibleSelfdestruct
+      (** §3.3: a [SELFDESTRUCT] reachable by an arbitrary caller. *)
+  | TaintedSelfdestruct
+      (** §3.4: the beneficiary of a [SELFDESTRUCT] is attacker-
+          taintable (possibly through storage, across transactions),
+          even if the instruction itself is guarded. *)
+  | TaintedOwnerVariable
+      (** §3.1: a storage location trusted by a sender guard can be
+          overwritten with attacker-controlled data. *)
+  | TaintedDelegatecall
+      (** §3.2: the code address of a [DELEGATECALL] is attacker-
+          controlled. *)
+  | UncheckedTaintedStaticcall
+      (** §3.5: [STATICCALL] with the output buffer overlapping the
+          input buffer and no RETURNDATASIZE check: short returndata
+          leaves attacker input in the output. *)
+
+val all_kinds : kind list
+val kind_name : kind -> string
+(** Human-readable, e.g. ["accessible selfdestruct"]. *)
+
+val kind_id : kind -> string
+(** Stable kebab-case identifier, e.g. ["accessible-selfdestruct"]. *)
+
+type report = {
+  r_kind : kind;
+  r_pc : int;      (** bytecode offset of the flagged statement *)
+  r_block : int;   (** entry pc of its basic block *)
+  r_orphan : bool;
+      (** flagged statement lies in code with no path from the entry
+          (no public entry point — Ethainter-Kill cannot reach it) *)
+  r_composite : bool;
+      (** exploitation requires defeating sender guards through
+          storage-taint escalation (the ✰ marker of Fig. 6) *)
+  r_note : string;
+}
+
+val pp_report : Format.formatter -> report -> unit
+val report_to_string : report -> string

@@ -1,0 +1,1 @@
+lib/corpus/generator.ml: Array Ethainter_baselines Ethainter_core Ethainter_minisol Ethainter_word Int64 List Patterns Printf String

@@ -1,0 +1,1 @@
+lib/corpus/patterns.ml: Ethainter_core List

@@ -1,0 +1,742 @@
+(** Contract templates with ground truth.
+
+    The paper evaluates on the real blockchain, estimating ground truth
+    by manual inspection of verified sources (Fig. 6). Our substitute
+    corpus is generated from these templates, each annotated with its
+    {e true} vulnerability set, established the way Fig. 6's inspection
+    does — by reasoning about what an attacker can actually achieve —
+    and double-checked dynamically in the test suite by running actual
+    exploit transactions on the chain simulator.
+
+    The mix deliberately includes:
+    - safe guarded contracts (owner pattern, role mappings, token
+      balance checks) including the §6.2 ERC-20 pattern that fools
+      Securify into "unrestricted write" / "missing input validation";
+    - every primitive vulnerability of §3 in its simplest form;
+    - composite (multi-transaction) escalations à la §2, which only an
+      analysis with taint-through-storage and guard-tainting can see;
+    - the false-positive traps of Fig. 6 (complex path conditions,
+      non-owner variables, inter-function flow imprecision, imprecise
+      data-structure inference) so measured precision has the same
+      failure modes as the paper's 82.5%;
+    - Fig. 6 true-positive flavours: ownership that can be bought,
+      public-initializer races, token supply manipulation. *)
+
+open Ethainter_core.Vulns
+
+type truth = {
+  vulnerable : kind list;   (** ground-truth vulnerabilities *)
+  fp_for : kind list;
+      (** kinds Ethainter is *expected* to flag spuriously on this
+          template (known imprecision, per Fig. 6's ✗ rows) *)
+  composite : bool;         (** exploit needs multiple transactions *)
+  exploitable_selfdestruct : bool;
+      (** Ethainter-Kill should manage to destroy it *)
+  remark : string;          (** the Fig. 6 "Remark" column *)
+}
+
+type template = {
+  t_name : string;
+  t_source : string;        (** MiniSol source, [%s]-free, self-contained *)
+  t_truth : truth;
+  t_uses_assembly : bool;   (** vulnerable pattern lives in inline asm
+                                (source-level tools cannot see it) *)
+  t_solidity_version : int * int;
+}
+
+let safe_truth remark =
+  { vulnerable = []; fp_for = []; composite = false;
+    exploitable_selfdestruct = false; remark }
+
+let mk ?(assembly = false) ?(version = (5, 8)) name source truth =
+  { t_name = name; t_source = source; t_truth = truth;
+    t_uses_assembly = assembly; t_solidity_version = version }
+
+(* ================== safe contracts ================== *)
+
+let safe_wallet =
+  mk "safe_wallet" {|
+contract SafeWallet {
+  address owner;
+  uint256 stash;
+  constructor() { owner = msg.sender; }
+  function deposit() public payable { stash = stash + msg.value; }
+  function setOwner(address o) public {
+    require(msg.sender == owner);
+    owner = o;
+  }
+  function sweep(address dest) public {
+    require(msg.sender == owner);
+    call_value(dest, stash);
+    stash = 0;
+  }
+  function kill() public {
+    require(msg.sender == owner);
+    selfdestruct(owner);
+  }
+}|} (safe_truth "owner-guarded everything")
+
+(* The §6.2 example that earns Securify its false positives: underflow
+   checks that are not "input validation" in Securify's sense, and
+   mapping stores compiled to pointer arithmetic. *)
+let token =
+  mk "token" {|
+contract Token {
+  mapping(address => uint256) balances;
+  mapping(address => mapping(address => uint256)) allowed;
+  address owner;
+  uint256 totalSupply;
+  constructor() { owner = msg.sender; totalSupply = 1000000; }
+  function transfer(address to, uint256 value) public {
+    require(balances[msg.sender] >= value);
+    balances[to] = balances[to] + value;
+    balances[msg.sender] = balances[msg.sender] - value;
+  }
+  function transferFrom(address from, address to, uint256 value) public {
+    require(balances[from] >= value);
+    require(allowed[from][msg.sender] >= value);
+    balances[to] = balances[to] + value;
+    balances[from] = balances[from] - value;
+    allowed[from][msg.sender] = allowed[from][msg.sender] - value;
+  }
+  function approve(address spender, uint256 value) public {
+    allowed[msg.sender][spender] = value;
+  }
+  function mint(address to, uint256 value) public {
+    require(msg.sender == owner);
+    balances[to] = balances[to] + value;
+    totalSupply = totalSupply + value;
+  }
+}|} (safe_truth "ERC-20 pattern; balances writes are sender-keyed")
+
+let vault =
+  mk "vault" {|
+contract Vault {
+  mapping(address => uint256) balances;
+  address owner;
+  constructor() { owner = msg.sender; }
+  function deposit() public payable {
+    balances[msg.sender] = balances[msg.sender] + msg.value;
+  }
+  function withdraw(uint256 amount) public {
+    require(balances[msg.sender] >= amount);
+    balances[msg.sender] = balances[msg.sender] - amount;
+    call_value(msg.sender, amount);
+  }
+  function shutdown() public {
+    require(msg.sender == owner);
+    selfdestruct(owner);
+  }
+}|} (safe_truth "balance-guarded withdrawals; owner-guarded kill")
+
+let role_registry =
+  mk "role_registry" {|
+contract RoleRegistry {
+  mapping(address => bool) admins;
+  mapping(address => uint256) scores;
+  address owner;
+  constructor() { owner = msg.sender; admins[msg.sender] = true; }
+  function addAdmin(address a) public {
+    require(msg.sender == owner);
+    admins[a] = true;
+  }
+  function setScore(address who, uint256 s) public {
+    require(admins[msg.sender]);
+    scores[who] = s;
+  }
+  function retire() public {
+    require(msg.sender == owner);
+    selfdestruct(owner);
+  }
+}|} (safe_truth "admins only extendable by owner")
+
+let safe_migrator =
+  mk "safe_migrator" {|
+contract SafeMigrator {
+  address owner;
+  address target;
+  constructor() { owner = msg.sender; }
+  function setTarget(address t) public {
+    require(msg.sender == owner);
+    target = t;
+  }
+  function migrate() public {
+    require(msg.sender == owner);
+    delegatecall(target);
+  }
+}|} (safe_truth "delegatecall target settable only by owner")
+
+let checked_wallet_verifier =
+  mk "checked_wallet_verifier" {|
+contract CheckedVerifier {
+  address wallet;
+  address owner;
+  constructor() { owner = msg.sender; }
+  function setWallet(address w) public {
+    require(msg.sender == owner);
+    wallet = w;
+  }
+  function verify() public {
+    staticcall_checked(wallet);
+  }
+}|} (safe_truth "staticcall output validated via returndatasize")
+
+let counter =
+  mk "counter" {|
+contract Counter {
+  uint256 count;
+  mapping(address => uint256) hits;
+  function bump() public {
+    count = count + 1;
+    hits[msg.sender] = hits[msg.sender] + 1;
+  }
+  function bumpBy(uint256 n) public {
+    require(n < 100);
+    count = count + n;
+  }
+}|} (safe_truth "no sensitive operations at all")
+
+(* ================== primitive vulnerabilities (§3) ================== *)
+
+let tainted_owner_31 =
+  mk "tainted_owner" {|
+contract Ownable {
+  address owner;
+  uint256 funds;
+  function initOwner(address o) public {
+    owner = o;
+  }
+  function deposit() public payable { funds = funds + msg.value; }
+  function kill() public {
+    if (msg.sender == owner) {
+      selfdestruct(owner);
+    }
+  }
+}|}
+    { vulnerable =
+        [ TaintedOwnerVariable; AccessibleSelfdestruct; TaintedSelfdestruct ];
+      fp_for = []; composite = true; exploitable_selfdestruct = true;
+      remark = "public owner setter (programming error)" }
+
+let open_delegate_32 =
+  mk ~assembly:true "open_delegate" {|
+contract Migrator {
+  function migrate(address delegate) public {
+    delegatecall(delegate);
+  }
+}|}
+    { vulnerable = [ TaintedDelegatecall ]; fp_for = []; composite = false;
+      exploitable_selfdestruct = false;
+      remark = "naive migrate() (inline assembly in the wild)" }
+
+let open_kill_33 =
+  mk "open_kill" {|
+contract Disposable {
+  address beneficiary;
+  constructor() { beneficiary = msg.sender; }
+  function kill() public {
+    selfdestruct(beneficiary);
+  }
+}|}
+    { vulnerable = [ AccessibleSelfdestruct ]; fp_for = []; composite = false;
+      exploitable_selfdestruct = true; remark = "unguarded kill()" }
+
+let tainted_beneficiary_34 =
+  mk "tainted_beneficiary" {|
+contract Administered {
+  address owner;
+  address administrator;
+  constructor() { owner = msg.sender; }
+  function initAdmin(address admin) public {
+    administrator = admin;
+  }
+  function kill() public {
+    if (msg.sender == owner) {
+      selfdestruct(administrator);
+    }
+  }
+}|}
+    { vulnerable = [ TaintedSelfdestruct ]; fp_for = []; composite = true;
+      exploitable_selfdestruct = false;
+      remark = "anyone can taint the beneficiary; owner triggers" }
+
+let unchecked_static_35 =
+  mk "unchecked_static" {|
+contract SignatureChecker {
+  function isValid(address wallet) public {
+    staticcall_unchecked(wallet);
+  }
+}|}
+    { vulnerable = [ UncheckedTaintedStaticcall ]; fp_for = [];
+      composite = false; exploitable_selfdestruct = false;
+      remark = "0x-style missing return data size check" }
+
+(* ================== composite vulnerabilities (§2) ================== *)
+
+let victim_composite =
+  mk "victim_composite" {|
+contract Victim {
+  mapping(address => bool) admins;
+  mapping(address => bool) users;
+  address owner;
+  modifier onlyAdmins { require(admins[msg.sender]); _; }
+  modifier onlyUsers { require(users[msg.sender]); _; }
+  constructor() { owner = msg.sender; }
+  function registerSelf() public { users[msg.sender] = true; }
+  function referUser(address user) public onlyUsers { users[user] = true; }
+  function referAdmin(address adm) public onlyUsers { admins[adm] = true; }
+  function changeOwner(address o) public onlyAdmins { owner = o; }
+  function kill() public onlyAdmins { selfdestruct(owner); }
+}|}
+    { vulnerable = [ AccessibleSelfdestruct; TaintedSelfdestruct ];
+      fp_for = []; composite = true; exploitable_selfdestruct = true;
+      remark = "the §2 four-step escalation (wrong modifier)" }
+
+let buyable_ownership =
+  mk "buyable_ownership" {|
+contract Auctioned {
+  address owner;
+  uint256 price;
+  constructor() { owner = msg.sender; price = 0; }
+  function buyOwnership(address newOwner) public payable {
+    require(msg.value >= price);
+    owner = newOwner;
+    price = msg.value + 1;
+  }
+  function kill() public {
+    require(msg.sender == owner);
+    selfdestruct(owner);
+  }
+}|}
+    { vulnerable =
+        [ TaintedOwnerVariable; AccessibleSelfdestruct; TaintedSelfdestruct ];
+      fp_for = []; composite = true; exploitable_selfdestruct = true;
+      remark = "ownership can be bought" }
+
+let race_initializer =
+  mk "race_initializer" {|
+contract Initializable {
+  address owner;
+  uint256 initialized;
+  function initialize(address o) public {
+    require(initialized == 0);
+    owner = o;
+    initialized = 1;
+  }
+  function kill() public {
+    require(msg.sender == owner);
+    selfdestruct(owner);
+  }
+}|}
+    { vulnerable =
+        [ TaintedOwnerVariable; AccessibleSelfdestruct; TaintedSelfdestruct ];
+      fp_for = []; composite = true; exploitable_selfdestruct = true;
+      remark = "public initializer (race condition)" }
+
+let supply_manip =
+  mk "supply_manip" {|
+contract SupplyToken {
+  mapping(address => uint256) balances;
+  address controller;
+  uint256 totalSupply;
+  function setController(address c) public {
+    controller = c;
+  }
+  function inflate(address to, uint256 amount) public {
+    require(msg.sender == controller);
+    balances[to] = balances[to] + amount;
+    totalSupply = totalSupply + amount;
+  }
+}|}
+    { vulnerable = [ TaintedOwnerVariable ]; fp_for = []; composite = true;
+      exploitable_selfdestruct = false;
+      remark = "token supply manipulable via tainted controller" }
+
+let chained_roles =
+  mk "chained_roles" {|
+contract ChainedRoles {
+  mapping(address => bool) members;
+  address curator;
+  address treasury;
+  constructor() { curator = msg.sender; treasury = msg.sender; }
+  function join(address who) public { members[who] = true; }
+  function electCurator(address c) public {
+    require(members[msg.sender]);
+    curator = c;
+  }
+  function setTreasury(address t) public {
+    require(msg.sender == curator);
+    treasury = t;
+  }
+  function dissolve() public {
+    require(msg.sender == curator);
+    selfdestruct(treasury);
+  }
+}|}
+    { vulnerable =
+        [ TaintedOwnerVariable; AccessibleSelfdestruct; TaintedSelfdestruct ];
+      fp_for = []; composite = true; exploitable_selfdestruct = true;
+      remark = "role chain: member -> curator -> treasury -> kill" }
+
+let delegate_via_storage =
+  mk ~assembly:true "delegate_via_storage" {|
+contract LazyProxy {
+  address impl;
+  address owner;
+  constructor() { owner = msg.sender; }
+  function setImpl(address i) public {
+    impl = i;
+  }
+  function forward() public {
+    require(msg.sender == owner);
+    delegatecall(impl);
+  }
+}|}
+    { vulnerable = [ TaintedDelegatecall ]; fp_for = []; composite = true;
+      exploitable_selfdestruct = false;
+      remark = "target tainted via storage; guarded call still executes it" }
+
+(* ================== orphan-code cases (Experiment 1) ================== *)
+
+let private_kill_unreachable =
+  mk "private_kill_unreachable" {|
+contract DeadCode {
+  address owner;
+  uint256 version;
+  constructor() { owner = msg.sender; }
+  function bump() public { version = version + 1; }
+  function emergencyEscape() private {
+    selfdestruct(owner);
+  }
+}|}
+    { vulnerable = [ AccessibleSelfdestruct ]; fp_for = []; composite = false;
+      exploitable_selfdestruct = false;
+      remark = "flagged statement has no public entry point" }
+
+(* ================== false-positive traps (Fig. 6 ✗ rows) ============== *)
+
+let complex_path_condition =
+  mk "complex_path_condition" {|
+contract Throttled {
+  address owner;
+  uint256 budget;
+  uint256 spent;
+  constructor() { owner = msg.sender; budget = 0; }
+  function take(address o) public {
+    require(spent < budget);
+    owner = o;
+    spent = spent + 1;
+  }
+  function kill() public {
+    require(msg.sender == owner);
+    selfdestruct(owner);
+  }
+}|}
+    { vulnerable = [];
+      fp_for =
+        [ TaintedOwnerVariable; AccessibleSelfdestruct; TaintedSelfdestruct ];
+      composite = false; exploitable_selfdestruct = false;
+      remark = "complex path condition: budget is permanently 0" }
+
+let not_an_owner_var =
+  mk "not_an_owner_var" {|
+contract TagGame {
+  address lastTagged;
+  uint256 tags;
+  function tag(address who) public {
+    lastTagged = who;
+  }
+  function brag() public {
+    require(msg.sender == lastTagged);
+    tags = tags + 1;
+  }
+}|}
+    { vulnerable = []; fp_for = [ TaintedOwnerVariable ]; composite = false;
+      exploitable_selfdestruct = false;
+      remark = "compared-to-sender variable is not an owner" }
+
+let inter_function_flow =
+  mk "inter_function_flow" {|
+contract Normalizer {
+  address owner;
+  mapping(address => uint256) notes;
+  constructor() { owner = msg.sender; }
+  function mask(address a) private returns (address) {
+    return a;
+  }
+  function note(address who, uint256 what) public {
+    notes[mask(who)] = what;
+  }
+  function refreshOwner() public {
+    owner = mask(owner);
+  }
+  function kill() public {
+    require(msg.sender == owner);
+    selfdestruct(owner);
+  }
+}|}
+    { vulnerable = [];
+      fp_for =
+        [ TaintedOwnerVariable; AccessibleSelfdestruct; TaintedSelfdestruct ];
+      composite = false; exploitable_selfdestruct = false;
+      remark = "helper shared by tainted and untainted callers" }
+
+let imprecise_ds =
+  mk "imprecise_ds" {|
+contract Committee {
+  mapping(uint256 => address) delegates;
+  uint256 round;
+  function nominate(uint256 slot, address who) public {
+    require(slot > 100);
+    delegates[slot] = who;
+  }
+  function dissolve() public {
+    require(msg.sender == delegates[round]);
+    selfdestruct(msg.sender);
+  }
+}|}
+    { vulnerable = [];
+      fp_for = [ TaintedOwnerVariable; AccessibleSelfdestruct ];
+      composite = false; exploitable_selfdestruct = false;
+      remark =
+        "round stays 0 < 100: nominated slots cannot alias the trusted one" }
+
+let oracle =
+  mk "oracle" {|
+contract Oracle {
+  address owner;
+  uint256 price;
+  uint256 updatedAt;
+  constructor() { owner = msg.sender; }
+  function setPrice(uint256 p) public {
+    require(msg.sender == owner);
+    price = p;
+    updatedAt = 1;
+  }
+  function getPrice() public returns (uint256) {
+    return price;
+  }
+}|} (safe_truth "owner-guarded oracle updates")
+
+let pinger =
+  mk "pinger" {|
+contract Pinger {
+  function ping(uint256 x) public returns (uint256) {
+    require(x < 1000000);
+    return x + 1;
+  }
+  function echo(address a) public returns (address) {
+    return a;
+  }
+}|} (safe_truth "stateless utility; nothing to flag")
+
+(* A safe contract using raw ("unstructured", EIP-1967-style) storage
+   access the decompiler cannot resolve statically. The default
+   analysis keeps unknown locations separate from known slots (precise,
+   incomplete); the Fig. 8c conservative mode lets the unknown store
+   alias every slot — including the trusted owner slot — and flags it. *)
+let unstructured_storage =
+  mk ~assembly:true "unstructured_storage" {|
+contract UnstructuredProxy {
+  address owner;
+  uint256 ptr;
+  constructor() {
+    owner = msg.sender;
+    ptr = 0x360894a13ba1a3210667c828492db98dca3e2076cc3735a920a3ca505d382bbc;
+  }
+  function setValue(uint256 v) public {
+    assembly_sstore(assembly_sload(1), v);
+  }
+  function getValue() public returns (uint256) {
+    return assembly_sload(assembly_sload(1));
+  }
+  function retire() public {
+    require(msg.sender == owner);
+    selfdestruct(owner);
+  }
+}|}
+    { vulnerable = [];
+      fp_for = []; (* flagged only under conservative storage modeling *)
+      composite = false; exploitable_selfdestruct = false;
+      remark = "raw pointer slot cannot collide with slot 0 in reality" }
+
+(* ================== second-wave templates ================== *)
+
+let multisig =
+  mk "multisig" {|
+contract MultiSig {
+  mapping(address => bool) signers;
+  mapping(uint256 => uint256) confirmations;
+  uint256 required;
+  uint256 proposalCount;
+  constructor() {
+    signers[msg.sender] = true;
+    required = 2;
+  }
+  function propose() public returns (uint256) {
+    require(signers[msg.sender]);
+    proposalCount = proposalCount + 1;
+    log_event(1, proposalCount);
+    return proposalCount;
+  }
+  function confirm(uint256 id) public {
+    require(signers[msg.sender]);
+    require(id <= proposalCount);
+    confirmations[id] = confirmations[id] + 1;
+    log_event(2, id);
+  }
+  function execute(uint256 id, address dest, uint256 amount) public {
+    require(signers[msg.sender]);
+    require(confirmations[id] >= required);
+    confirmations[id] = 0;
+    call_value(dest, amount);
+  }
+}|} (safe_truth "signers fixed at construction; threshold enforced")
+
+let pausable_token =
+  mk "pausable_token" {|
+contract PausableToken {
+  mapping(address => uint256) balances;
+  address owner;
+  uint256 paused;
+  modifier whenActive { require(paused == 0); _; }
+  constructor() { owner = msg.sender; }
+  function pause() public {
+    require(msg.sender == owner);
+    paused = 1;
+  }
+  function unpause() public {
+    require(msg.sender == owner);
+    paused = 0;
+  }
+  function transfer(address to, uint256 v) public whenActive {
+    require(balances[msg.sender] >= v);
+    balances[to] = balances[to] + v;
+    balances[msg.sender] = balances[msg.sender] - v;
+  }
+  function deposit() public payable whenActive {
+    balances[msg.sender] = balances[msg.sender] + msg.value;
+  }
+}|} (safe_truth "pause flag writable only by owner")
+
+let two_step_ownership =
+  mk "two_step_ownership" {|
+contract TwoStep {
+  address owner;
+  address pendingOwner;
+  constructor() { owner = msg.sender; }
+  function offerOwnership(address to) public {
+    require(msg.sender == owner);
+    pendingOwner = to;
+  }
+  function acceptOwnership() public {
+    require(msg.sender == pendingOwner);
+    owner = pendingOwner;
+    pendingOwner = 0;
+  }
+  function retire() public {
+    require(msg.sender == owner);
+    selfdestruct(owner);
+  }
+}|} (safe_truth "hand-over requires the outgoing owner's signature")
+
+(* tx.origin guard: a known antipattern (phishable), but not one of the
+   paper's five information-flow vulnerabilities — Ethainter treats
+   origin like sender for guard purposes and stays quiet. *)
+let origin_guard =
+  mk "origin_guard" {|
+contract OriginGuarded {
+  address owner;
+  uint256 v;
+  constructor() { owner = msg.sender; }
+  function set(uint256 x) public {
+    require(tx.origin == owner);
+    v = x;
+  }
+  function retire() public {
+    require(tx.origin == owner);
+    selfdestruct(owner);
+  }
+}|} (safe_truth "origin-guard: phishable but not taint-exploitable")
+
+let crowdsale_vulnerable =
+  mk "crowdsale_vulnerable" {|
+contract Crowdsale {
+  mapping(address => uint256) contributions;
+  address treasurer;
+  uint256 raised;
+  uint256 closed;
+  function setTreasurer(address t) public {
+    treasurer = t;
+  }
+  function contribute() public payable {
+    require(closed == 0);
+    contributions[msg.sender] = contributions[msg.sender] + msg.value;
+    raised = raised + msg.value;
+    log_event(3, msg.value);
+  }
+  function finalize() public {
+    require(msg.sender == treasurer);
+    closed = 1;
+    call_value(treasurer, raised);
+    selfdestruct(treasurer);
+  }
+}|}
+    { vulnerable =
+        [ TaintedOwnerVariable; AccessibleSelfdestruct; TaintedSelfdestruct ];
+      fp_for = []; composite = true; exploitable_selfdestruct = true;
+      remark = "treasurer settable by anyone; funds and kill follow" }
+
+let proxy_1967 =
+  mk ~assembly:true "proxy_1967" {|
+contract Proxy1967 {
+  address admin;
+  constructor() {
+    admin = msg.sender;
+    assembly_sstore(0x360894a13ba1a3210667c828492db98dca3e2076cc3735a920a3ca505d382bbc, 0);
+  }
+  function upgradeTo(address impl) public {
+    require(msg.sender == admin);
+    assembly_sstore(0x360894a13ba1a3210667c828492db98dca3e2076cc3735a920a3ca505d382bbc, uint256(impl));
+  }
+  function forward() public {
+    delegatecall(address(assembly_sload(0x360894a13ba1a3210667c828492db98dca3e2076cc3735a920a3ca505d382bbc)));
+  }
+}|} (safe_truth "EIP-1967 slot writable only by admin")
+
+let broken_proxy =
+  mk ~assembly:true "broken_proxy" {|
+contract BrokenProxy {
+  address admin;
+  constructor() { admin = msg.sender; }
+  function upgradeTo(address impl) public {
+    assembly_sstore(7777, uint256(impl));
+  }
+  function forward() public {
+    delegatecall(address(assembly_sload(7777)));
+  }
+}|}
+    { vulnerable = [ TaintedDelegatecall ]; fp_for = []; composite = true;
+      exploitable_selfdestruct = false;
+      remark = "unguarded upgrade slot feeds the delegatecall target" }
+
+(* ================== catalogue ================== *)
+
+let safe_templates =
+  [ safe_wallet; token; vault; role_registry; safe_migrator;
+    checked_wallet_verifier; counter; unstructured_storage; oracle; pinger;
+    multisig; pausable_token; two_step_ownership; origin_guard; proxy_1967 ]
+
+let vulnerable_templates =
+  [ tainted_owner_31; open_delegate_32; open_kill_33; tainted_beneficiary_34;
+    unchecked_static_35; victim_composite; buyable_ownership;
+    race_initializer; supply_manip; chained_roles; delegate_via_storage;
+    private_kill_unreachable; crowdsale_vulnerable; broken_proxy ]
+
+let fp_trap_templates =
+  [ complex_path_condition; not_an_owner_var; inter_function_flow;
+    imprecise_ds ]
+
+let all_templates = safe_templates @ vulnerable_templates @ fp_trap_templates
+
+let find name = List.find_opt (fun t -> t.t_name = name) all_templates

@@ -1,0 +1,1 @@
+lib/crypto/keccak.ml: Array Bytes Char Ethainter_word Int64 String

@@ -1,0 +1,1 @@
+lib/crypto/keccak.mli: Ethainter_word

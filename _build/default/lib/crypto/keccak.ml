@@ -1,0 +1,126 @@
+(** Keccak-256 as used by Ethereum (the original Keccak padding, 0x01,
+    not the NIST SHA-3 padding 0x06).
+
+    This is the hash behind the EVM [SHA3] opcode, Solidity function
+    selectors, and the storage-slot derivation for mappings and dynamic
+    arrays — the very mechanism the paper's DS/DSA rules (Fig. 4) model.
+
+    Implementation: Keccak-f[1600] permutation over a 5x5 state of
+    64-bit lanes; rate 1088 bits (136 bytes), capacity 512, output 256
+    bits. *)
+
+(* Round constants for the iota step (standard Keccak constants). *)
+let round_constants =
+  [| 0x0000000000000001L; 0x0000000000008082L; 0x800000000000808aL;
+     0x8000000080008000L; 0x000000000000808bL; 0x0000000080000001L;
+     0x8000000080008081L; 0x8000000000008009L; 0x000000000000008aL;
+     0x0000000000000088L; 0x0000000080008009L; 0x000000008000000aL;
+     0x000000008000808bL; 0x800000000000008bL; 0x8000000000008089L;
+     0x8000000000008003L; 0x8000000000008002L; 0x8000000000000080L;
+     0x000000000000800aL; 0x800000008000000aL; 0x8000000080008081L;
+     0x8000000000008080L; 0x0000000080000001L; 0x8000000080008008L |]
+
+(* Rotation offsets for the rho step, indexed [x + 5*y]. *)
+let rotation_offsets =
+  [| 0; 1; 62; 28; 27;
+     36; 44; 6; 55; 20;
+     3; 10; 43; 25; 39;
+     41; 45; 15; 21; 8;
+     18; 2; 61; 56; 14 |]
+
+let rotl64 (x : int64) (n : int) =
+  if n = 0 then x
+  else Int64.logor (Int64.shift_left x n) (Int64.shift_right_logical x (64 - n))
+
+let keccak_f (state : int64 array) =
+  let b = Array.make 25 0L in
+  let c = Array.make 5 0L in
+  let d = Array.make 5 0L in
+  for round = 0 to 23 do
+    (* theta *)
+    for x = 0 to 4 do
+      c.(x) <-
+        Int64.logxor state.(x)
+          (Int64.logxor state.(x + 5)
+             (Int64.logxor state.(x + 10)
+                (Int64.logxor state.(x + 15) state.(x + 20))))
+    done;
+    for x = 0 to 4 do
+      d.(x) <- Int64.logxor c.((x + 4) mod 5) (rotl64 c.((x + 1) mod 5) 1)
+    done;
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        state.(x + (5 * y)) <- Int64.logxor state.(x + (5 * y)) d.(x)
+      done
+    done;
+    (* rho + pi *)
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        let nx = y and ny = ((2 * x) + (3 * y)) mod 5 in
+        b.(nx + (5 * ny)) <- rotl64 state.(x + (5 * y)) rotation_offsets.(x + (5 * y))
+      done
+    done;
+    (* chi *)
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        state.(x + (5 * y)) <-
+          Int64.logxor
+            b.(x + (5 * y))
+            (Int64.logand
+               (Int64.lognot b.(((x + 1) mod 5) + (5 * y)))
+               b.(((x + 2) mod 5) + (5 * y)))
+      done
+    done;
+    (* iota *)
+    state.(0) <- Int64.logxor state.(0) round_constants.(round)
+  done
+
+let rate_bytes = 136 (* 1088-bit rate for Keccak-256 *)
+
+(** [hash msg] computes the 32-byte Keccak-256 digest of [msg]. *)
+let hash (msg : string) : string =
+  let state = Array.make 25 0L in
+  let len = String.length msg in
+  (* Absorb full rate-sized blocks. *)
+  let absorb_block (block : Bytes.t) =
+    for i = 0 to (rate_bytes / 8) - 1 do
+      state.(i) <- Int64.logxor state.(i) (Bytes.get_int64_le block (i * 8))
+    done;
+    keccak_f state
+  in
+  let nfull = len / rate_bytes in
+  let block = Bytes.create rate_bytes in
+  for b = 0 to nfull - 1 do
+    Bytes.blit_string msg (b * rate_bytes) block 0 rate_bytes;
+    absorb_block block
+  done;
+  (* Final padded block: pad10*1 with the 0x01 domain byte (legacy
+     Keccak as used by Ethereum). *)
+  let remaining = len - (nfull * rate_bytes) in
+  let last = Bytes.make rate_bytes '\000' in
+  Bytes.blit_string msg (nfull * rate_bytes) last 0 remaining;
+  Bytes.set last remaining (Char.chr 0x01);
+  Bytes.set last (rate_bytes - 1)
+    (Char.chr (Char.code (Bytes.get last (rate_bytes - 1)) lor 0x80));
+  absorb_block last;
+  (* Squeeze 32 bytes. *)
+  let out = Bytes.create 32 in
+  for i = 0 to 3 do
+    Bytes.set_int64_le out (i * 8) state.(i)
+  done;
+  Bytes.to_string out
+
+(** Keccak-256 of a byte string, as a [Uint256] (big-endian digest). *)
+let hash_word (msg : string) : Ethainter_word.Uint256.t =
+  Ethainter_word.Uint256.of_bytes (hash msg)
+
+(** The 4-byte Solidity function selector for a signature like
+    ["transfer(address,uint256)"]. *)
+let selector (signature : string) : string = String.sub (hash signature) 0 4
+
+(** Storage slot of [mapping_slot[key]] for a Solidity mapping at slot
+    [slot]: keccak256(pad32(key) ++ pad32(slot)). *)
+let mapping_slot ~(key : Ethainter_word.Uint256.t)
+    ~(slot : Ethainter_word.Uint256.t) : Ethainter_word.Uint256.t =
+  hash_word
+    (Ethainter_word.Uint256.to_bytes key ^ Ethainter_word.Uint256.to_bytes slot)

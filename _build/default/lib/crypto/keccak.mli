@@ -1,0 +1,30 @@
+(** Keccak-256 as used by Ethereum (original Keccak padding 0x01, not
+    the NIST SHA-3 padding).
+
+    This is the hash behind the EVM [SHA3] opcode, Solidity function
+    selectors, and the storage-slot derivation for mappings — the
+    mechanism the paper's DS/DSA rules (Fig. 4) model. *)
+
+val hash : string -> string
+(** 32-byte Keccak-256 digest. *)
+
+val hash_word : string -> Ethainter_word.Uint256.t
+(** Digest interpreted as a big-endian 256-bit word. *)
+
+val selector : string -> string
+(** First 4 digest bytes of a Solidity signature such as
+    ["transfer(address,uint256)"] — the ABI dispatch selector. *)
+
+val mapping_slot :
+  key:Ethainter_word.Uint256.t ->
+  slot:Ethainter_word.Uint256.t ->
+  Ethainter_word.Uint256.t
+(** Storage slot of [m[key]] for a mapping declared at [slot]:
+    [keccak256(pad32 key ++ pad32 slot)] (the Solidity convention). *)
+
+val keccak_f : int64 array -> unit
+(** The Keccak-f[1600] permutation over a 25-lane state, in place.
+    Exposed for testing. *)
+
+val rate_bytes : int
+(** Sponge rate for Keccak-256: 136 bytes. *)

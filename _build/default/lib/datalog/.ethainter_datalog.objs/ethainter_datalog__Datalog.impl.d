@@ -1,0 +1,1 @@
+lib/datalog/datalog.ml: Array Hashtbl List Printf Set

@@ -1,0 +1,319 @@
+(** A stratified Datalog engine with semi-naive evaluation.
+
+    Stand-in for the Soufflé engine the paper's implementation targets
+    (§5: "several hundred declarative rules ... translated into highly
+    optimized C++"). Ours is an in-memory interpreter:
+
+    - relations over tuples of interned constants;
+    - rules with positive and negated body atoms plus OCaml-side
+      filter/compute atoms;
+    - stratification with a negation-safety check (a relation may only
+      be negated if it is fully computed in an earlier stratum);
+    - semi-naive (delta-driven) fixpoint within each stratum.
+
+    The Section-4 formal model ({!Ethainter_ifspec}) runs literally on
+    this engine; tests validate the engine against textbook programs
+    (transitive closure, same-generation, negation). *)
+
+type const =
+  | Sym of string
+  | Int of int
+
+let const_to_string = function
+  | Sym s -> s
+  | Int i -> string_of_int i
+
+type tuple = const array
+
+module TupleSet = Set.Make (struct
+  type t = tuple
+  let compare = compare
+end)
+
+type term =
+  | Var of string
+  | Const of const
+
+let v x = Var x
+let sym s = Const (Sym s)
+let int i = Const (Int i)
+
+(** A body literal. *)
+type literal =
+  | Pos of string * term list       (** R(t...) *)
+  | Neg of string * term list       (** !R(t...) — R must be in an
+                                        earlier stratum *)
+  | Filter of string list * (const list -> bool)
+      (** an arbitrary test over bound variables *)
+  | Bind of string * string list * (const list -> const option)
+      (** bind a new variable from bound ones (functional computation) *)
+
+type rule = {
+  head : string * term list;
+  body : literal list;
+}
+
+exception Datalog_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Datalog_error s)) fmt
+
+type program = {
+  mutable rules : rule list;
+  relations : (string, int) Hashtbl.t; (* name -> arity *)
+}
+
+let create () = { rules = []; relations = Hashtbl.create 32 }
+
+let declare p name arity =
+  (match Hashtbl.find_opt p.relations name with
+  | Some a when a <> arity ->
+      fail "relation %s redeclared with arity %d (was %d)" name arity a
+  | _ -> ());
+  Hashtbl.replace p.relations name arity
+
+let add_rule p head body =
+  let check_atom (name, terms) =
+    match Hashtbl.find_opt p.relations name with
+    | None -> fail "rule references undeclared relation %s" name
+    | Some a when a <> List.length terms ->
+        fail "relation %s used with %d terms, declared arity %d" name
+          (List.length terms) a
+    | Some _ -> ()
+  in
+  check_atom head;
+  List.iter
+    (function
+      | Pos (n, ts) | Neg (n, ts) -> check_atom (n, ts)
+      | Filter _ | Bind _ -> ())
+    body;
+  p.rules <- { head; body } :: p.rules
+
+(* ------------------------------------------------------------------ *)
+(* Stratification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Build the dependency graph: head depends on each body relation;
+   negated dependencies must not appear in a cycle. *)
+let stratify (p : program) : string list list =
+  let rels = Hashtbl.fold (fun r _ acc -> r :: acc) p.relations [] in
+  (* edges: (from=body rel, to=head rel, negated) *)
+  let edges =
+    List.concat_map
+      (fun r ->
+        let h = fst r.head in
+        List.filter_map
+          (function
+            | Pos (n, _) -> Some (n, h, false)
+            | Neg (n, _) -> Some (n, h, true)
+            | Filter _ | Bind _ -> None)
+          r.body)
+      p.rules
+  in
+  (* stratum numbers via fixpoint on constraints:
+     stratum(h) >= stratum(b) for positive, > for negative *)
+  let stratum = Hashtbl.create 32 in
+  List.iter (fun r -> Hashtbl.replace stratum r 0) rels;
+  let nrels = List.length rels in
+  let changed = ref true in
+  let iters = ref 0 in
+  while !changed do
+    changed := false;
+    incr iters;
+    if !iters > nrels + 2 then
+      fail "program is not stratifiable (negation through recursion)";
+    List.iter
+      (fun (b, h, neg) ->
+        let sb = Hashtbl.find stratum b and sh = Hashtbl.find stratum h in
+        let need = if neg then sb + 1 else sb in
+        if sh < need then begin
+          Hashtbl.replace stratum h need;
+          changed := true
+        end)
+      edges
+  done;
+  let max_s = Hashtbl.fold (fun _ s acc -> max s acc) stratum 0 in
+  List.init (max_s + 1) (fun i ->
+      List.filter (fun r -> Hashtbl.find stratum r = i) rels)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type db = (string, TupleSet.t ref) Hashtbl.t
+
+let get_rel (db : db) name =
+  match Hashtbl.find_opt db name with
+  | Some s -> s
+  | None ->
+      let s = ref TupleSet.empty in
+      Hashtbl.replace db name s;
+      s
+
+type env = (string * const) list
+
+let lookup env x = List.assoc_opt x env
+
+let match_term (env : env) (t : term) (c : const) : env option =
+  match t with
+  | Const k -> if k = c then Some env else None
+  | Var x -> (
+      match lookup env x with
+      | Some k -> if k = c then Some env else None
+      | None -> Some ((x, c) :: env))
+
+let match_tuple env (terms : term list) (tup : tuple) : env option =
+  let rec go env ts i =
+    match ts with
+    | [] -> Some env
+    | t :: rest -> (
+        match match_term env t tup.(i) with
+        | Some env' -> go env' rest (i + 1)
+        | None -> None)
+  in
+  if List.length terms <> Array.length tup then None else go env terms 0
+
+let eval_term env = function
+  | Const k -> k
+  | Var x -> (
+      match lookup env x with
+      | Some k -> k
+      | None -> fail "unbound variable %s in rule head" x)
+
+(* Evaluate the body literals left-to-right; call k on each complete
+   environment. [delta_at] optionally forces literal #i to range over a
+   delta set instead of the full relation (semi-naive). *)
+let rec eval_body (db : db) (delta : (string * TupleSet.t) option)
+    (delta_at : int option) (lits : literal list) (idx : int) (env : env)
+    (k : env -> unit) : unit =
+  match lits with
+  | [] -> k env
+  | Filter (vars, f) :: rest ->
+      let vals =
+        List.map
+          (fun x ->
+            match lookup env x with
+            | Some c -> c
+            | None -> fail "filter over unbound variable %s" x)
+          vars
+      in
+      if f vals then eval_body db delta delta_at rest (idx + 1) env k
+  | Bind (x, vars, f) :: rest -> (
+      let vals =
+        List.map
+          (fun y ->
+            match lookup env y with
+            | Some c -> c
+            | None -> fail "bind over unbound variable %s" y)
+          vars
+      in
+      match f vals with
+      | Some c -> (
+          match lookup env x with
+          | Some c' ->
+              if c = c' then eval_body db delta delta_at rest (idx + 1) env k
+          | None -> eval_body db delta delta_at rest (idx + 1) ((x, c) :: env) k)
+      | None -> ())
+  | Neg (name, terms) :: rest ->
+      let rel = !(get_rel db name) in
+      let ground =
+        List.map (fun t -> eval_term env t) terms |> Array.of_list
+      in
+      if not (TupleSet.mem ground rel) then
+        eval_body db delta delta_at rest (idx + 1) env k
+  | Pos (name, terms) :: rest ->
+      let source =
+        match (delta, delta_at) with
+        | Some (dname, dset), Some di when di = idx && dname = name -> dset
+        | _ -> !(get_rel db name)
+      in
+      TupleSet.iter
+        (fun tup ->
+          match match_tuple env terms tup with
+          | Some env' -> eval_body db delta delta_at rest (idx + 1) env' k
+          | None -> ())
+        source
+
+let head_tuple env (terms : term list) : tuple =
+  List.map (eval_term env) terms |> Array.of_list
+
+(** Run the program over the initial facts; returns the database of all
+    derived relations. *)
+let solve (p : program) (facts : (string * tuple list) list) : db =
+  let db : db = Hashtbl.create 32 in
+  List.iter
+    (fun (name, tuples) ->
+      (match Hashtbl.find_opt p.relations name with
+      | None -> fail "facts for undeclared relation %s" name
+      | Some a ->
+          List.iter
+            (fun t ->
+              if Array.length t <> a then
+                fail "fact arity mismatch for %s" name)
+            tuples);
+      let r = get_rel db name in
+      r := List.fold_left (fun s t -> TupleSet.add t s) !r tuples)
+    facts;
+  let strata = stratify p in
+  List.iter
+    (fun stratum_rels ->
+      let rules =
+        List.filter (fun r -> List.mem (fst r.head) stratum_rels) p.rules
+      in
+      (* naive first round to seed *)
+      let deltas : (string, TupleSet.t) Hashtbl.t = Hashtbl.create 8 in
+      let add_fact name tup =
+        let r = get_rel db name in
+        if not (TupleSet.mem tup !r) then begin
+          r := TupleSet.add tup !r;
+          let d =
+            match Hashtbl.find_opt deltas name with
+            | Some d -> d
+            | None -> TupleSet.empty
+          in
+          Hashtbl.replace deltas name (TupleSet.add tup d)
+        end
+      in
+      List.iter
+        (fun rule ->
+          eval_body db None None rule.body 0 []
+            (fun env -> add_fact (fst rule.head) (head_tuple env (snd rule.head))))
+        rules;
+      (* semi-naive iterations *)
+      let continue = ref (Hashtbl.length deltas > 0) in
+      while !continue do
+        let current = Hashtbl.fold (fun n d acc -> (n, d) :: acc) deltas [] in
+        Hashtbl.reset deltas;
+        List.iter
+          (fun rule ->
+            List.iteri
+              (fun i lit ->
+                match lit with
+                | Pos (name, _) -> (
+                    match List.assoc_opt name current with
+                    | Some dset when not (TupleSet.is_empty dset) ->
+                        eval_body db (Some (name, dset)) (Some i) rule.body 0
+                          []
+                          (fun env ->
+                            add_fact (fst rule.head)
+                              (head_tuple env (snd rule.head)))
+                    | _ -> ())
+                | _ -> ())
+              rule.body)
+          rules;
+        continue := Hashtbl.length deltas > 0
+      done)
+    strata;
+  db
+
+(** All tuples of a relation in the solved database. *)
+let relation (db : db) name : tuple list =
+  match Hashtbl.find_opt db name with
+  | Some s -> TupleSet.elements !s
+  | None -> []
+
+let mem (db : db) name (tup : tuple) : bool =
+  match Hashtbl.find_opt db name with
+  | Some s -> TupleSet.mem tup !s
+  | None -> false
+
+let size (db : db) name = List.length (relation db name)

@@ -1,0 +1,1 @@
+lib/evm/bytecode.ml: Buffer Char Ethainter_word Format Hashtbl List Opcode String

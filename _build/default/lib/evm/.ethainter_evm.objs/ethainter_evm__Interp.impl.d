@@ -1,0 +1,1 @@
+lib/evm/interp.ml: Bytecode Bytes Char Ethainter_crypto Ethainter_word Hashtbl List Opcode State String

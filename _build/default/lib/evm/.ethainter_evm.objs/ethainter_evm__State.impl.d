@@ -1,0 +1,1 @@
+lib/evm/state.ml: Ethainter_crypto Ethainter_word Hashtbl List

@@ -1,0 +1,156 @@
+(** Assembler / disassembler for EVM bytecode.
+
+    The assembler consumes a list of symbolic instructions (with labels
+    for jump targets) and produces raw bytecode; the disassembler is the
+    first stage of the decompilation pipeline. *)
+
+module U = Ethainter_word.Uint256
+
+(** A decoded instruction: program counter, opcode, and (for PUSHes)
+    the immediate value. *)
+type instr = { pc : int; op : Opcode.t; imm : U.t option }
+
+(** Disassemble raw bytecode into a list of instructions. Unknown bytes
+    decode as [INVALID] (matching mainstream disassemblers, which keep
+    going so that data sections do not abort decoding). *)
+let disassemble (code : string) : instr list =
+  let n = String.length code in
+  let rec go pc acc =
+    if pc >= n then List.rev acc
+    else
+      let byte = Char.code code.[pc] in
+      match Opcode.of_byte byte with
+      | None -> go (pc + 1) ({ pc; op = Opcode.INVALID; imm = None } :: acc)
+      | Some op ->
+          let isz = Opcode.immediate_size op in
+          if isz = 0 then go (pc + 1) ({ pc; op; imm = None } :: acc)
+          else begin
+            (* PUSH immediates past the end of code read as zero bytes
+               (yellow-paper behaviour). *)
+            let avail = min isz (n - pc - 1) in
+            let data = String.sub code (pc + 1) avail in
+            let data = data ^ String.make (isz - avail) '\000' in
+            let imm = Some (U.of_bytes data) in
+            go (pc + 1 + isz) ({ pc; op; imm } :: acc)
+          end
+  in
+  go 0 []
+
+(** Valid JUMPDEST positions: a [JUMPDEST] byte that is *not* inside a
+    PUSH immediate. *)
+let jumpdests (code : string) : (int, unit) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun i -> if i.op = Opcode.JUMPDEST then Hashtbl.replace tbl i.pc ())
+    (disassemble code);
+  tbl
+
+let pp_instr fmt (i : instr) =
+  match i.imm with
+  | None -> Format.fprintf fmt "%5d: %s" i.pc (Opcode.name i.op)
+  | Some v -> Format.fprintf fmt "%5d: %s %s" i.pc (Opcode.name i.op) (U.to_hex v)
+
+let to_asm_string (code : string) : string =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun i -> Buffer.add_string buf (Format.asprintf "%a\n" pp_instr i))
+    (disassemble code);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic assembler                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Assembly items: plain opcodes, pushes of constants, pushes of label
+    addresses (patched after layout), label definitions and raw data. *)
+type asm =
+  | Op of Opcode.t
+  | Push of U.t            (** PUSH of a constant, minimal width *)
+  | PushLabel of string    (** PUSH of a label's byte offset (width 2) *)
+  | Label of string        (** defines a JUMPDEST at this point *)
+  | Raw of string          (** raw bytes (e.g. embedded runtime code) *)
+
+(** Width in bytes of the minimal PUSH for value [v] (at least 1). *)
+let push_width (v : U.t) =
+  let bits = U.num_bits v in
+  max 1 ((bits + 7) / 8)
+
+let item_size = function
+  | Op op -> 1 + Opcode.immediate_size op
+  | Push v -> 1 + push_width v
+  | PushLabel _ -> 3 (* PUSH2 <hi> <lo> *)
+  | Label _ -> 1 (* JUMPDEST *)
+  | Raw s -> String.length s
+
+exception Asm_error of string
+
+(** Assemble a program. Labels may be used before they are defined. *)
+let assemble (items : asm list) : string =
+  (* First pass: lay out label offsets. *)
+  let offsets = Hashtbl.create 16 in
+  let pos = ref 0 in
+  List.iter
+    (fun it ->
+      (match it with
+      | Label l ->
+          if Hashtbl.mem offsets l then
+            raise (Asm_error ("duplicate label " ^ l));
+          Hashtbl.replace offsets l !pos
+      | _ -> ());
+      pos := !pos + item_size it)
+    items;
+  (* Second pass: emit. *)
+  let buf = Buffer.create 256 in
+  let emit_byte b = Buffer.add_char buf (Char.chr (b land 0xff)) in
+  List.iter
+    (fun it ->
+      match it with
+      | Op op ->
+          if Opcode.immediate_size op > 0 then
+            raise (Asm_error "Op with immediate: use Push");
+          emit_byte (Opcode.to_byte op)
+      | Push v ->
+          let w = push_width v in
+          emit_byte (Opcode.to_byte (Opcode.PUSH w));
+          let bytes = U.to_bytes v in
+          Buffer.add_string buf (String.sub bytes (32 - w) w)
+      | PushLabel l ->
+          let off =
+            match Hashtbl.find_opt offsets l with
+            | Some o -> o
+            | None -> raise (Asm_error ("undefined label " ^ l))
+          in
+          if off > 0xffff then raise (Asm_error "label offset > 2 bytes");
+          emit_byte (Opcode.to_byte (Opcode.PUSH 2));
+          emit_byte (off lsr 8);
+          emit_byte (off land 0xff)
+      | Label _ -> emit_byte (Opcode.to_byte Opcode.JUMPDEST)
+      | Raw s -> Buffer.add_string buf s)
+    items;
+  Buffer.contents buf
+
+(** Wrap runtime code in a standard deployment preamble that copies the
+    runtime to memory and returns it (what a constructor does). *)
+let deployer (runtime : string) : string =
+  let len = String.length runtime in
+  assemble
+    [ Push (U.of_int len); PushLabel "runtime_start"; Push U.zero;
+      Op Opcode.CODECOPY; Push (U.of_int len); Push U.zero;
+      Op Opcode.RETURN; Label "runtime_start" ]
+  |> fun preamble ->
+  (* The label trick above inserts a JUMPDEST byte we do not want in
+     the copied runtime; instead compute the offset directly. *)
+  ignore preamble;
+  (* Deployment code layout: [prefix][runtime]. prefix length is fixed
+     once we know the PUSH widths; iterate to a fixed point (the offset
+     value may change the PUSH width). *)
+  let rec layout guess =
+    let items =
+      [ Push (U.of_int len); Push (U.of_int guess); Push U.zero;
+        Op Opcode.CODECOPY; Push (U.of_int len); Push U.zero;
+        Op Opcode.RETURN ]
+    in
+    let sz = List.fold_left (fun a it -> a + item_size it) 0 items in
+    if sz = guess then assemble items else layout sz
+  in
+  layout 10 ^ runtime

@@ -1,0 +1,539 @@
+(** The EVM interpreter.
+
+    Executes EVM bytecode against a {!State.t}, with full message-call
+    semantics ([CALL], [DELEGATECALL], [STATICCALL], [CALLCODE],
+    [CREATE]), revert/rollback, gas accounting, and an instruction
+    trace. The trace is how Ethainter-Kill confirms an exploit: the
+    paper verifies destruction "by analyzing the exact VM instruction
+    trace and identifying whether the selfdestruct opcode was
+    executed" (§6.1). *)
+
+module U = Ethainter_word.Uint256
+
+exception Evm_error of string
+
+type log_entry = { log_addr : U.t; topics : U.t list; data : string }
+
+(** One trace record per executed instruction. *)
+type trace_entry = {
+  t_depth : int;
+  t_addr : U.t;   (** executing contract (storage context) *)
+  t_pc : int;
+  t_op : Opcode.t;
+}
+
+type call_kind = Call | DelegateCall | StaticCall | CallCode
+
+type context = {
+  state : State.t;
+  mutable gas : int;
+  origin : U.t;
+  gas_price : U.t;
+  block_number : U.t;
+  timestamp : U.t;
+  chain_id : U.t;
+  trace : trace_entry list ref;       (** reversed; newest first *)
+  mutable trace_len : int;
+  max_trace : int;
+  mutable steps : int;
+  max_steps : int;
+  logs : log_entry list ref;          (** reversed; newest first *)
+}
+
+type outcome =
+  | Returned of string
+  | Reverted of string
+  | Failed of string (* out of gas, invalid op, stack error ... *)
+
+(* Byte-addressed, lazily grown EVM memory. *)
+module Memory = struct
+  type t = { mutable data : Bytes.t; mutable size : int }
+
+  let create () = { data = Bytes.make 1024 '\000'; size = 0 }
+
+  let ensure m n =
+    if n > Bytes.length m.data then begin
+      let cap = max n (2 * Bytes.length m.data) in
+      let d = Bytes.make cap '\000' in
+      Bytes.blit m.data 0 d 0 m.size;
+      m.data <- d
+    end;
+    if n > m.size then m.size <- ((n + 31) / 32) * 32
+
+  let load_word m off =
+    ensure m (off + 32);
+    U.of_bytes (Bytes.sub_string m.data off 32)
+
+  let store_word m off v =
+    ensure m (off + 32);
+    Bytes.blit_string (U.to_bytes v) 0 m.data off 32
+
+  let store_byte m off v =
+    ensure m (off + 1);
+    Bytes.set m.data off (Char.chr (v land 0xff))
+
+  let load_bytes m off len =
+    if len = 0 then ""
+    else begin
+      ensure m (off + len);
+      Bytes.sub_string m.data off len
+    end
+
+  let store_bytes m off (s : string) =
+    if String.length s > 0 then begin
+      ensure m (off + String.length s);
+      Bytes.blit_string s 0 m.data off (String.length s)
+    end
+
+  let size m = m.size
+end
+
+let max_call_depth = 1024
+
+(* Charge gas; raise when exhausted. *)
+let charge ctx amount =
+  ctx.gas <- ctx.gas - amount;
+  if ctx.gas < 0 then raise (Evm_error "out of gas")
+
+let as_offset (v : U.t) : int =
+  match U.to_int_opt v with
+  | Some i when i <= 0x3FFFFFFF -> i
+  | _ -> raise (Evm_error "offset out of range")
+
+let addr_mask = U.sub (U.shift_left U.one 160) U.one
+let to_addr v = U.logand v addr_mask
+
+(** Execute [code] in a message-call context. Returns the outcome and
+    the return data. State changes are rolled back on revert/failure
+    by the caller (we snapshot around calls). *)
+let rec execute (ctx : context) ~(depth : int) ~(self : U.t)
+    ~(code_addr : U.t) ~(caller : U.t) ~(callvalue : U.t)
+    ~(calldata : string) ~(static : bool) : outcome =
+  let code = State.code ctx.state code_addr in
+  let n = String.length code in
+  let valid_dests = Bytecode.jumpdests code in
+  let stack : U.t list ref = ref [] in
+  let mem = Memory.create () in
+  let returndata = ref "" in
+  let push v = stack := v :: !stack in
+  let pop () =
+    match !stack with
+    | [] -> raise (Evm_error "stack underflow")
+    | v :: rest ->
+        stack := rest;
+        v
+  in
+  let pop2 () =
+    let a = pop () in
+    let b = pop () in
+    (a, b)
+  in
+  let pop3 () =
+    let a = pop () in
+    let b = pop () in
+    let c = pop () in
+    (a, b, c)
+  in
+  let pc = ref 0 in
+  let running = ref true in
+  let result = ref (Returned "") in
+  (if String.length !returndata > 0 then ());
+  while !running do
+    if !pc >= n then begin
+      running := false;
+      result := Returned ""
+    end
+    else begin
+      ctx.steps <- ctx.steps + 1;
+      if ctx.steps > ctx.max_steps then raise (Evm_error "step limit");
+      let byte = Char.code code.[!pc] in
+      let op =
+        match Opcode.of_byte byte with
+        | Some op -> op
+        | None -> Opcode.INVALID
+      in
+      if ctx.trace_len < ctx.max_trace then begin
+        ctx.trace :=
+          { t_depth = depth; t_addr = self; t_pc = !pc; t_op = op }
+          :: !(ctx.trace);
+        ctx.trace_len <- ctx.trace_len + 1
+      end;
+      charge ctx (Opcode.base_gas op);
+      let next_pc = ref (!pc + 1 + Opcode.immediate_size op) in
+      (match op with
+      | STOP ->
+          running := false;
+          result := Returned ""
+      | ADD -> let a, b = pop2 () in push (U.add a b)
+      | MUL -> let a, b = pop2 () in push (U.mul a b)
+      | SUB -> let a, b = pop2 () in push (U.sub a b)
+      | DIV -> let a, b = pop2 () in push (U.div a b)
+      | SDIV -> let a, b = pop2 () in push (U.sdiv a b)
+      | MOD -> let a, b = pop2 () in push (U.rem a b)
+      | SMOD -> let a, b = pop2 () in push (U.smod a b)
+      | ADDMOD -> let a, b, m = pop3 () in push (U.addmod a b m)
+      | MULMOD -> let a, b, m = pop3 () in push (U.mulmod a b m)
+      | EXP -> let a, b = pop2 () in push (U.exp a b)
+      | SIGNEXTEND -> let b, x = pop2 () in push (U.signextend b x)
+      | LT -> let a, b = pop2 () in push (U.of_bool (U.lt a b))
+      | GT -> let a, b = pop2 () in push (U.of_bool (U.gt a b))
+      | SLT -> let a, b = pop2 () in push (U.of_bool (U.slt a b))
+      | SGT -> let a, b = pop2 () in push (U.of_bool (U.sgt a b))
+      | EQ -> let a, b = pop2 () in push (U.of_bool (U.equal a b))
+      | ISZERO -> push (U.of_bool (U.is_zero (pop ())))
+      | AND -> let a, b = pop2 () in push (U.logand a b)
+      | OR -> let a, b = pop2 () in push (U.logor a b)
+      | XOR -> let a, b = pop2 () in push (U.logxor a b)
+      | NOT -> push (U.lognot (pop ()))
+      | BYTE -> let i, x = pop2 () in push (U.byte i x)
+      | SHL ->
+          let s, v = pop2 () in
+          push (if U.fits_int s then U.shift_left v (U.to_int s) else U.zero)
+      | SHR ->
+          let s, v = pop2 () in
+          push (if U.fits_int s then U.shift_right v (U.to_int s) else U.zero)
+      | SAR ->
+          let s, v = pop2 () in
+          push
+            (if U.fits_int s then U.shift_right_arith v (U.to_int s)
+             else U.shift_right_arith v 256)
+      | SHA3 ->
+          let off, len = pop2 () in
+          let data = Memory.load_bytes mem (as_offset off) (as_offset len) in
+          push (Ethainter_crypto.Keccak.hash_word data)
+      | ADDRESS -> push self
+      | BALANCE -> push (State.balance ctx.state (to_addr (pop ())))
+      | ORIGIN -> push ctx.origin
+      | CALLER -> push caller
+      | CALLVALUE -> push callvalue
+      | CALLDATALOAD ->
+          let off = pop () in
+          let v =
+            match U.to_int_opt off with
+            | None -> U.zero
+            | Some o ->
+                let len = String.length calldata in
+                if o >= len then U.zero
+                else
+                  let avail = min 32 (len - o) in
+                  let s = String.sub calldata o avail in
+                  U.of_bytes (s ^ String.make (32 - avail) '\000')
+          in
+          push v
+      | CALLDATASIZE -> push (U.of_int (String.length calldata))
+      | CALLDATACOPY ->
+          let dst, src, len = pop3 () in
+          let dst = as_offset dst and len = as_offset len in
+          let srclen = String.length calldata in
+          let src = match U.to_int_opt src with Some s -> s | None -> srclen in
+          let chunk =
+            if src >= srclen then String.make len '\000'
+            else
+              let avail = min len (srclen - src) in
+              String.sub calldata src avail ^ String.make (len - avail) '\000'
+          in
+          Memory.store_bytes mem dst chunk
+      | CODESIZE -> push (U.of_int n)
+      | CODECOPY ->
+          let dst, src, len = pop3 () in
+          let dst = as_offset dst and len = as_offset len in
+          let src = match U.to_int_opt src with Some s -> s | None -> n in
+          let chunk =
+            if src >= n then String.make len '\000'
+            else
+              let avail = min len (n - src) in
+              String.sub code src avail ^ String.make (len - avail) '\000'
+          in
+          Memory.store_bytes mem dst chunk
+      | GASPRICE -> push ctx.gas_price
+      | EXTCODESIZE ->
+          push (U.of_int (String.length (State.code ctx.state (to_addr (pop ())))))
+      | EXTCODECOPY ->
+          let a = pop () in
+          let dst, src, len = pop3 () in
+          let ext = State.code ctx.state (to_addr a) in
+          let extn = String.length ext in
+          let dst = as_offset dst and len = as_offset len in
+          let src = match U.to_int_opt src with Some s -> s | None -> extn in
+          let chunk =
+            if src >= extn then String.make len '\000'
+            else
+              let avail = min len (extn - src) in
+              String.sub ext src avail ^ String.make (len - avail) '\000'
+          in
+          Memory.store_bytes mem dst chunk
+      | RETURNDATASIZE -> push (U.of_int (String.length !returndata))
+      | RETURNDATACOPY ->
+          let dst, src, len = pop3 () in
+          let dst = as_offset dst and len = as_offset len in
+          let src = as_offset src in
+          let rl = String.length !returndata in
+          if src + len > rl then raise (Evm_error "returndatacopy OOB");
+          Memory.store_bytes mem dst (String.sub !returndata src len)
+      | EXTCODEHASH ->
+          let a = to_addr (pop ()) in
+          let c = State.code ctx.state a in
+          if (not (State.exists ctx.state a)) && String.length c = 0 then
+            push U.zero
+          else push (Ethainter_crypto.Keccak.hash_word c)
+      | BLOCKHASH ->
+          let bn = pop () in
+          push (Ethainter_crypto.Keccak.hash_word (U.to_bytes bn))
+      | COINBASE -> push U.zero
+      | TIMESTAMP -> push ctx.timestamp
+      | NUMBER -> push ctx.block_number
+      | DIFFICULTY -> push U.zero
+      | GASLIMIT -> push (U.of_int 10_000_000)
+      | CHAINID -> push ctx.chain_id
+      | SELFBALANCE -> push (State.balance ctx.state self)
+      | POP -> ignore (pop ())
+      | MLOAD -> push (Memory.load_word mem (as_offset (pop ())))
+      | MSTORE ->
+          let off, v = pop2 () in
+          Memory.store_word mem (as_offset off) v
+      | MSTORE8 ->
+          let off, v = pop2 () in
+          Memory.store_byte mem (as_offset off) (U.to_int (U.logand v (U.of_int 0xff)))
+      | SLOAD -> push (State.sload ctx.state self (pop ()))
+      | SSTORE ->
+          if static then raise (Evm_error "SSTORE in static context");
+          let k, v = pop2 () in
+          State.sstore ctx.state self k v
+      | JUMP ->
+          let dest = pop () in
+          let d = match U.to_int_opt dest with
+            | Some d -> d
+            | None -> raise (Evm_error "bad jump target") in
+          if not (Hashtbl.mem valid_dests d) then
+            raise (Evm_error "jump to non-JUMPDEST");
+          next_pc := d
+      | JUMPI ->
+          let dest, cond = pop2 () in
+          if U.to_bool cond then begin
+            let d = match U.to_int_opt dest with
+              | Some d -> d
+              | None -> raise (Evm_error "bad jump target") in
+            if not (Hashtbl.mem valid_dests d) then
+              raise (Evm_error "jump to non-JUMPDEST");
+            next_pc := d
+          end
+      | PC -> push (U.of_int !pc)
+      | MSIZE -> push (U.of_int (Memory.size mem))
+      | GAS -> push (U.of_int (max 0 ctx.gas))
+      | JUMPDEST -> ()
+      | PUSH k ->
+          let avail = min k (n - !pc - 1) in
+          let data =
+            (if avail > 0 then String.sub code (!pc + 1) avail else "")
+            ^ String.make (k - avail) '\000'
+          in
+          push (U.of_bytes data)
+      | DUP k ->
+          let rec nth l i =
+            match (l, i) with
+            | x :: _, 1 -> x
+            | _ :: r, i -> nth r (i - 1)
+            | [], _ -> raise (Evm_error "stack underflow")
+          in
+          push (nth !stack k)
+      | SWAP k ->
+          let rec split l i acc =
+            match (l, i) with
+            | x :: r, 0 -> (List.rev acc, x, r)
+            | x :: r, i -> split r (i - 1) (x :: acc)
+            | [], _ -> raise (Evm_error "stack underflow")
+          in
+          (match !stack with
+          | top :: rest ->
+              let before, v, after = split rest (k - 1) [] in
+              stack := (v :: before) @ (top :: after)
+          | [] -> raise (Evm_error "stack underflow"))
+      | LOG k ->
+          if static then raise (Evm_error "LOG in static context");
+          let off, len = pop2 () in
+          let topics = List.init k (fun _ -> pop ()) in
+          let data =
+            Memory.load_bytes mem (as_offset off) (as_offset len)
+          in
+          ctx.logs := { log_addr = self; topics; data } :: !(ctx.logs)
+      | CREATE | CREATE2 ->
+          if static then raise (Evm_error "CREATE in static context");
+          let value = pop () in
+          let off, len = pop2 () in
+          let _salt = if op = Opcode.CREATE2 then Some (pop ()) else None in
+          let initcode = Memory.load_bytes mem (as_offset off) (as_offset len) in
+          if depth >= max_call_depth then push U.zero
+          else begin
+            let creator_acct = State.account ctx.state self in
+            let new_addr =
+              State.contract_address ~creator:self ~nonce:creator_acct.nonce
+            in
+            State.bump_nonce ctx.state self;
+            let snap = State.snapshot ctx.state in
+            (match State.transfer ctx.state ~src:self ~dst:new_addr ~value with
+            | Error _ -> push U.zero
+            | Ok () -> (
+                State.set_code ctx.state new_addr initcode;
+                match
+                  try
+                    execute ctx ~depth:(depth + 1) ~self:new_addr
+                      ~code_addr:new_addr ~caller:self ~callvalue:value
+                      ~calldata:"" ~static:false
+                  with Evm_error msg -> Failed msg
+                with
+                | Returned runtime ->
+                    State.set_code ctx.state new_addr runtime;
+                    returndata := "";
+                    push new_addr
+                | Reverted data ->
+                    State.restore ctx.state snap;
+                    returndata := data;
+                    push U.zero
+                | Failed _ ->
+                    State.restore ctx.state snap;
+                    returndata := "";
+                    push U.zero))
+          end
+      | CALL | CALLCODE | DELEGATECALL | STATICCALL ->
+          let _gas = pop () in
+          let target = to_addr (pop ()) in
+          let value =
+            match op with
+            | Opcode.CALL | Opcode.CALLCODE -> pop ()
+            | _ -> U.zero
+          in
+          let in_off, in_len = pop2 () in
+          let out_off, out_len = pop2 () in
+          let args = Memory.load_bytes mem (as_offset in_off) (as_offset in_len) in
+          if static && op = Opcode.CALL && not (U.is_zero value) then
+            raise (Evm_error "value CALL in static context");
+          if depth >= max_call_depth then push U.zero
+          else begin
+            let snap = State.snapshot ctx.state in
+            let sub_self, sub_code, sub_caller, sub_value, sub_static =
+              match op with
+              | Opcode.CALL -> (target, target, self, value, static)
+              | Opcode.CALLCODE -> (self, target, self, value, static)
+              | Opcode.DELEGATECALL -> (self, target, caller, callvalue, static)
+              | Opcode.STATICCALL -> (target, target, self, U.zero, true)
+              | _ -> assert false
+            in
+            let transfer_res =
+              if op = Opcode.CALL && not (U.is_zero value) then
+                State.transfer ctx.state ~src:self ~dst:target ~value
+              else Ok ()
+            in
+            match transfer_res with
+            | Error _ -> push U.zero
+            | Ok () ->
+                let o =
+                  if String.length (State.code ctx.state sub_code) = 0 then
+                    (* calling an EOA: succeeds, returns nothing *)
+                    Returned ""
+                  else
+                    (* a failing callee is contained: the caller sees a
+                       0 result, it does not abort *)
+                    try
+                      execute ctx ~depth:(depth + 1) ~self:sub_self
+                        ~code_addr:sub_code ~caller:sub_caller
+                        ~callvalue:sub_value ~calldata:args ~static:sub_static
+                    with Evm_error msg -> Failed msg
+                in
+                (match o with
+                | Returned data ->
+                    returndata := data;
+                    (* NB: only min(out_len, |data|) bytes are written;
+                       this is exactly the staticcall output-buffer
+                       subtlety of §3.5. *)
+                    let wlen = min (as_offset out_len) (String.length data) in
+                    Memory.store_bytes mem (as_offset out_off)
+                      (String.sub data 0 wlen);
+                    push U.one
+                | Reverted data ->
+                    State.restore ctx.state snap;
+                    returndata := data;
+                    let wlen = min (as_offset out_len) (String.length data) in
+                    Memory.store_bytes mem (as_offset out_off)
+                      (String.sub data 0 wlen);
+                    push U.zero
+                | Failed _ ->
+                    State.restore ctx.state snap;
+                    returndata := "";
+                    push U.zero)
+          end
+      | RETURN ->
+          let off, len = pop2 () in
+          running := false;
+          result := Returned (Memory.load_bytes mem (as_offset off) (as_offset len))
+      | REVERT ->
+          let off, len = pop2 () in
+          running := false;
+          result := Reverted (Memory.load_bytes mem (as_offset off) (as_offset len))
+      | INVALID -> raise (Evm_error "invalid opcode")
+      | SELFDESTRUCT ->
+          if static then raise (Evm_error "SELFDESTRUCT in static context");
+          let beneficiary = to_addr (pop ()) in
+          State.selfdestruct ctx.state ~victim:self ~beneficiary;
+          running := false;
+          result := Returned "");
+      if !running then pc := !next_pc
+    end
+  done;
+  !result
+
+(** Full result of a top-level message call. *)
+type call_result = {
+  outcome : outcome;
+  tx_trace : trace_entry list;
+  tx_logs : log_entry list;  (** emitted events (empty if rolled back) *)
+  gas_used : int;
+}
+
+(** Top-level message call (a transaction's execution). Rolls back all
+    state changes — and drops emitted logs — if the call reverts or
+    fails. *)
+let call_full ?(gas = 10_000_000) ?(max_steps = 2_000_000)
+    ?(block_number = U.of_int 1) ?(timestamp = U.of_int 1_600_000_000)
+    (state : State.t) ~(caller : U.t) ~(target : U.t) ~(value : U.t)
+    ~(calldata : string) : call_result =
+  let ctx =
+    { state; gas; origin = caller; gas_price = U.one; block_number;
+      timestamp; chain_id = U.of_int 3 (* Ropsten *);
+      trace = ref []; trace_len = 0; max_trace = 1_000_000;
+      steps = 0; max_steps; logs = ref [] }
+  in
+  let snap = State.snapshot state in
+  (match State.transfer state ~src:caller ~dst:target ~value with
+  | Error _ -> ()
+  | Ok () -> ());
+  let outcome =
+    if String.length (State.code state target) = 0 then Returned ""
+    else
+      try
+        execute ctx ~depth:0 ~self:target ~code_addr:target ~caller
+          ~callvalue:value ~calldata ~static:false
+      with Evm_error msg -> Failed msg
+  in
+  let logs =
+    match outcome with
+    | Returned _ -> List.rev !(ctx.logs)
+    | Reverted _ | Failed _ ->
+        State.restore state snap;
+        []
+  in
+  { outcome; tx_trace = List.rev !(ctx.trace); tx_logs = logs;
+    gas_used = max 0 (gas - ctx.gas) }
+
+let call ?gas ?max_steps ?block_number ?timestamp state ~caller ~target
+    ~value ~calldata : outcome * trace_entry list =
+  let r =
+    call_full ?gas ?max_steps ?block_number ?timestamp state ~caller ~target
+      ~value ~calldata
+  in
+  (r.outcome, r.tx_trace)
+
+(** Did the trace actually execute a SELFDESTRUCT in [addr]'s context? *)
+let trace_selfdestructed (trace : trace_entry list) (addr : U.t) : bool =
+  List.exists
+    (fun t -> t.t_op = Opcode.SELFDESTRUCT && U.equal t.t_addr addr)
+    trace

@@ -1,0 +1,124 @@
+(** World state for the EVM: accounts with balance, nonce, code and
+    storage. This plays the role of the Ethereum state trie in the
+    paper's evaluation networks (mainnet snapshot, Ropsten fork).
+
+    The state supports cheap snapshot/rollback, which the interpreter
+    uses to implement revert semantics for failed calls, and which the
+    testnet simulator uses to fork the chain (the paper's "private fork
+    of the Ropsten testnet"). *)
+
+module U = Ethainter_word.Uint256
+
+type address = U.t
+
+type account = {
+  mutable balance : U.t;
+  mutable nonce : int;
+  mutable code : string;
+  storage : (U.t, U.t) Hashtbl.t;
+  mutable destroyed : bool;
+}
+
+type t = { accounts : (address, account) Hashtbl.t }
+
+let create () = { accounts = Hashtbl.create 64 }
+
+let fresh_account () =
+  { balance = U.zero; nonce = 0; code = ""; storage = Hashtbl.create 8;
+    destroyed = false }
+
+let account t addr =
+  match Hashtbl.find_opt t.accounts addr with
+  | Some a -> a
+  | None ->
+      let a = fresh_account () in
+      Hashtbl.replace t.accounts addr a;
+      a
+
+let account_opt t addr = Hashtbl.find_opt t.accounts addr
+let exists t addr = Hashtbl.mem t.accounts addr
+
+let balance t addr =
+  match account_opt t addr with Some a -> a.balance | None -> U.zero
+
+let code t addr =
+  match account_opt t addr with
+  | Some a when not a.destroyed -> a.code
+  | _ -> ""
+
+let nonce t addr =
+  match account_opt t addr with Some a -> a.nonce | None -> 0
+
+let set_balance t addr v = (account t addr).balance <- v
+let set_code t addr c = (account t addr).code <- c
+let bump_nonce t addr = (account t addr).nonce <- (account t addr).nonce + 1
+
+let sload t addr key =
+  match account_opt t addr with
+  | None -> U.zero
+  | Some a -> (
+      match Hashtbl.find_opt a.storage key with
+      | Some v -> v
+      | None -> U.zero)
+
+let sstore t addr key v =
+  let a = account t addr in
+  if U.is_zero v then Hashtbl.remove a.storage key
+  else Hashtbl.replace a.storage key v
+
+let is_destroyed t addr =
+  match account_opt t addr with Some a -> a.destroyed | None -> false
+
+let transfer t ~src ~dst ~value =
+  let sa = account t src in
+  if U.lt sa.balance value then Error "insufficient balance"
+  else begin
+    sa.balance <- U.sub sa.balance value;
+    let da = account t dst in
+    da.balance <- U.add da.balance value;
+    Ok ()
+  end
+
+let selfdestruct t ~victim ~beneficiary =
+  let va = account t victim in
+  let ba = account t beneficiary in
+  if not (U.equal victim beneficiary) then
+    ba.balance <- U.add ba.balance va.balance;
+  va.balance <- U.zero;
+  va.destroyed <- true
+
+(* ---------------- snapshots ---------------- *)
+
+type snapshot = (address * (U.t * int * string * (U.t * U.t) list * bool)) list
+
+let snapshot (t : t) : snapshot =
+  Hashtbl.fold
+    (fun addr a acc ->
+      let slots = Hashtbl.fold (fun k v l -> (k, v) :: l) a.storage [] in
+      (addr, (a.balance, a.nonce, a.code, slots, a.destroyed)) :: acc)
+    t.accounts []
+
+let restore (t : t) (s : snapshot) : unit =
+  Hashtbl.reset t.accounts;
+  List.iter
+    (fun (addr, (balance, nonce, code, slots, destroyed)) ->
+      let storage = Hashtbl.create (max 8 (List.length slots)) in
+      List.iter (fun (k, v) -> Hashtbl.replace storage k v) slots;
+      Hashtbl.replace t.accounts addr
+        { balance; nonce; code; storage; destroyed })
+    s
+
+let copy (t : t) : t =
+  let t' = create () in
+  restore t' (snapshot t);
+  t'
+
+(** Derive a contract address from creator + nonce. Real Ethereum uses
+    RLP(creator, nonce); we use keccak(creator ++ nonce) which has the
+    same collision-resistance and determinism properties. *)
+let contract_address ~(creator : address) ~(nonce : int) : address =
+  let payload = U.to_bytes creator ^ U.to_bytes (U.of_int nonce) in
+  let h = Ethainter_crypto.Keccak.hash payload in
+  (* addresses are 160-bit: mask the top 12 bytes *)
+  U.logand (U.of_bytes h)
+    (U.sub (U.shift_left U.one 160) U.one)

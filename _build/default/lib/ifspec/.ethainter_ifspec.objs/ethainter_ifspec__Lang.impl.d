@@ -1,0 +1,1 @@
+lib/ifspec/lang.ml: Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/ifspec/rules.ml: Array Ethainter_datalog Lang List

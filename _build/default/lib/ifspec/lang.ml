@@ -1,0 +1,178 @@
+(** The abstract input language of §4 (Fig. 1).
+
+    A tiny SSA language carrying exactly the information-flow-relevant
+    features of smart contracts: a taint source ([INPUT]), hashing (for
+    the storage data-structure addressing of §4.3), sanitization
+    ([GUARD]), persistent storage ([SSTORE]/[SLOAD]) and sensitive
+    sinks ([SINK]). [sender] is the reserved variable naming the
+    contract caller.
+
+    Concrete syntax (one instruction per line, [#] comments):
+    {v
+      x := INPUT()
+      x := CONST(42)
+      x := OP(y, z)
+      p := EQ(y, z)        # equality — an OP we can refer to explicitly
+      x := HASH(y)
+      x := GUARD(p, y)
+      SSTORE(f, t)         # value f -> storage address t
+      SLOAD(f, t)          # storage address f -> local t
+      SINK(x)
+    v} *)
+
+type instr =
+  | Input of string                       (* x := INPUT() *)
+  | Const of string * int                 (* x := CONST(v) *)
+  | Op of string * string * string        (* x := OP(y, z) *)
+  | Eq of string * string * string        (* x := (y = z) *)
+  | Hash of string * string               (* x := HASH(y) *)
+  | Guard of string * string * string     (* x := GUARD(p, y) *)
+  | Sstore of string * string             (* SSTORE(value f, addr t) *)
+  | Sload of string * string              (* SLOAD(addr f, local t) *)
+  | Sink of string                        (* SINK(x) *)
+
+type program = instr list
+
+exception Parse_error of string * int
+
+let defined_var = function
+  | Input x | Const (x, _) | Op (x, _, _) | Eq (x, _, _) | Hash (x, _)
+  | Guard (x, _, _) ->
+      Some x
+  | Sload (_, t) -> Some t
+  | Sstore _ | Sink _ -> None
+
+let used_vars = function
+  | Input _ | Const _ -> []
+  | Op (_, y, z) | Eq (_, y, z) -> [ y; z ]
+  | Hash (_, y) -> [ y ]
+  | Guard (_, p, y) -> [ p; y ]
+  | Sstore (f, t) -> [ f; t ]
+  | Sload (f, _) -> [ f ]
+  | Sink x -> [ x ]
+
+(** SSA check: each variable defined at most once; every used variable
+    is either [sender] or defined somewhere. *)
+let validate (p : program) : (unit, string) result =
+  let defs = Hashtbl.create 16 in
+  let ok = ref (Ok ()) in
+  List.iter
+    (fun i ->
+      match defined_var i with
+      | Some x ->
+          if x = "sender" then ok := Error "cannot redefine sender"
+          else if Hashtbl.mem defs x then
+            ok := Error (Printf.sprintf "variable %s defined twice (not SSA)" x)
+          else Hashtbl.replace defs x ()
+      | None -> ())
+    p;
+  List.iter
+    (fun i ->
+      List.iter
+        (fun u ->
+          if u <> "sender" && not (Hashtbl.mem defs u) then
+            ok := Error (Printf.sprintf "variable %s used but never defined" u))
+        (used_vars i))
+    p;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let strip s =
+  let is_sp c = c = ' ' || c = '\t' || c = '\r' in
+  let n = String.length s in
+  let i = ref 0 and j = ref (n - 1) in
+  while !i < n && is_sp s.[!i] do incr i done;
+  while !j >= !i && is_sp s.[!j] do decr j done;
+  if !j < !i then "" else String.sub s !i (!j - !i + 1)
+
+(* split "F(a, b)" into ("F", ["a"; "b"]) *)
+let split_call line lineno =
+  match String.index_opt line '(' with
+  | None -> raise (Parse_error ("expected '('", lineno))
+  | Some i ->
+      let f = strip (String.sub line 0 i) in
+      let rest = String.sub line (i + 1) (String.length line - i - 1) in
+      let rest = strip rest in
+      if String.length rest = 0 || rest.[String.length rest - 1] <> ')' then
+        raise (Parse_error ("expected ')'", lineno));
+      let inner = String.sub rest 0 (String.length rest - 1) in
+      let args =
+        if strip inner = "" then []
+        else String.split_on_char ',' inner |> List.map strip
+      in
+      (f, args)
+
+let parse_line line lineno : instr option =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = strip line in
+  if line = "" then None
+  else
+    (* assignment or bare statement *)
+    let assign =
+      (* find ":=" *)
+      let rec find i =
+        if i + 1 >= String.length line then None
+        else if line.[i] = ':' && line.[i + 1] = '=' then Some i
+        else find (i + 1)
+      in
+      find 0
+    in
+    match assign with
+    | Some i ->
+        let x = strip (String.sub line 0 i) in
+        let rhs = strip (String.sub line (i + 2) (String.length line - i - 2)) in
+        (* "(y = z)" sugar for equality *)
+        if String.length rhs > 0 && rhs.[0] = '(' then begin
+          let inner = String.sub rhs 1 (String.length rhs - 2) in
+          match String.index_opt inner '=' with
+          | Some j ->
+              let y = strip (String.sub inner 0 j) in
+              let z = strip (String.sub inner (j + 1) (String.length inner - j - 1)) in
+              Some (Eq (x, y, z))
+          | None -> raise (Parse_error ("expected '=' in comparison", lineno))
+        end
+        else begin
+          let f, args = split_call rhs lineno in
+          match (String.uppercase_ascii f, args) with
+          | "INPUT", [] -> Some (Input x)
+          | "CONST", [ v ] -> (
+              match int_of_string_opt v with
+              | Some n -> Some (Const (x, n))
+              | None -> raise (Parse_error ("CONST expects an integer", lineno)))
+          | "OP", [ y; z ] -> Some (Op (x, y, z))
+          | "EQ", [ y; z ] -> Some (Eq (x, y, z))
+          | "HASH", [ y ] -> Some (Hash (x, y))
+          | "GUARD", [ p; y ] -> Some (Guard (x, p, y))
+          | f, _ -> raise (Parse_error ("unknown instruction " ^ f, lineno))
+        end
+    | None ->
+        let f, args = split_call line lineno in
+        (match (String.uppercase_ascii f, args) with
+        | "SSTORE", [ a; b ] -> Some (Sstore (a, b))
+        | "SLOAD", [ a; b ] -> Some (Sload (a, b))
+        | "SINK", [ a ] -> Some (Sink a)
+        | f, _ -> raise (Parse_error ("unknown statement " ^ f, lineno)))
+
+(** Parse a program in the Fig. 1 concrete syntax. *)
+let parse (src : string) : program =
+  String.split_on_char '\n' src
+  |> List.mapi (fun i l -> (i + 1, l))
+  |> List.filter_map (fun (n, l) -> parse_line l n)
+
+let pp_instr fmt = function
+  | Input x -> Format.fprintf fmt "%s := INPUT()" x
+  | Const (x, v) -> Format.fprintf fmt "%s := CONST(%d)" x v
+  | Op (x, y, z) -> Format.fprintf fmt "%s := OP(%s, %s)" x y z
+  | Eq (x, y, z) -> Format.fprintf fmt "%s := (%s = %s)" x y z
+  | Hash (x, y) -> Format.fprintf fmt "%s := HASH(%s)" x y
+  | Guard (x, p, y) -> Format.fprintf fmt "%s := GUARD(%s, %s)" x p y
+  | Sstore (f, t) -> Format.fprintf fmt "SSTORE(%s, %s)" f t
+  | Sload (f, t) -> Format.fprintf fmt "SLOAD(%s, %s)" f t
+  | Sink x -> Format.fprintf fmt "SINK(%s)" x

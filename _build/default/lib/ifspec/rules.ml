@@ -1,0 +1,259 @@
+(** The information-flow rules of Fig. 3 and Fig. 4, as a literal
+    Datalog program over the abstract language, executed on
+    {!Ethainter_datalog}.
+
+    Relations (Fig. 2):
+    - [input_tainted(x)], [storage_tainted(x)] — the two taint kinds;
+    - [tainted_storage(v)] — storage slot [v] holds tainted data;
+    - [non_san_guard(p)] — predicate [p] fails to sanitize;
+    - [const_value(x,v)], [storage_alias(x,v)] — the conventional
+      value-flow relations (here: [CONST] definitions, and loads from
+      constant slots);
+    - [ds(x)], [dsa(x)] — sender-keyed data structures (Fig. 4),
+      computed in an earlier stratum because [ds] is negated.
+
+    Design notes mirrored from the paper (§4.2/§4.4):
+    - Guard-1: storage taint flows through guards unconditionally;
+    - Guard-2: input taint flows through a guard only when the guard is
+      non-sanitizing;
+    - StorageWrite-2 over-approximates: a store with tainted value
+      {e and} tainted address taints every statically-known slot;
+    - Uguard-NDS under-approximates: a comparison that involves no
+      sender-derived value on either side does not sanitize;
+    - taint propagation through [HASH] follows the implementation
+      (hashed attacker data is attacker-chosen), although the minimal
+      Fig. 3 elides it. *)
+
+module D = Ethainter_datalog.Datalog
+open Lang
+
+type result = {
+  db : D.db;
+  input_tainted : string list;
+  storage_tainted : string list;
+  tainted_storage : int list;
+  non_san_guards : string list;
+  violations : int list; (* instruction indices of violated SINKs *)
+  inferred_sinks : string list; (* §4.5: owner-variable sinks *)
+}
+
+let build_program () : D.program =
+  let p = D.create () in
+  (* EDB: instruction facts *)
+  D.declare p "input" 2; (* (id, x) *)
+  D.declare p "consti" 3; (* (id, x, v) *)
+  D.declare p "op" 4; (* (id, x, y, z) — includes equality *)
+  D.declare p "eq" 4; (* (id, p, y, z) — equality marker *)
+  D.declare p "hash" 3; (* (id, x, y) *)
+  D.declare p "guard" 4; (* (id, x, p, y) *)
+  D.declare p "sstore" 3; (* (id, f, t) *)
+  D.declare p "sload" 3; (* (id, f, t) *)
+  D.declare p "sink" 2; (* (id, x) *)
+  (* IDB *)
+  D.declare p "const_value" 2; (* (x, v) *)
+  D.declare p "storage_alias" 2; (* (x, v) *)
+  D.declare p "slot" 1; (* (v) — slots arising in the analysis *)
+  D.declare p "ds" 1;
+  D.declare p "dsa" 1;
+  D.declare p "input_tainted" 1;
+  D.declare p "storage_tainted" 1;
+  D.declare p "tainted_storage" 1;
+  D.declare p "non_san_guard" 1;
+  D.declare p "violation" 1;
+  D.declare p "inferred_sink" 1;
+  let open D in
+  (* ---- conventional value-flow (the elided C(x)=v / x~S(v)) ---- *)
+  add_rule p ("const_value", [ v "x"; v "c" ])
+    [ Pos ("consti", [ v "id"; v "x"; v "c" ]) ];
+  (* slots arising in the analysis: constant addresses used in storage
+     instructions *)
+  add_rule p ("slot", [ v "c" ])
+    [ Pos ("sstore", [ v "id"; v "f"; v "t" ]);
+      Pos ("const_value", [ v "t"; v "c" ]) ];
+  add_rule p ("slot", [ v "c" ])
+    [ Pos ("sload", [ v "id"; v "f"; v "t" ]);
+      Pos ("const_value", [ v "f"; v "c" ]) ];
+  (* x ~ S(v): x is loaded from constant slot v *)
+  add_rule p ("storage_alias", [ v "t"; v "c" ])
+    [ Pos ("sload", [ v "id"; v "f"; v "t" ]);
+      Pos ("const_value", [ v "f"; v "c" ]) ];
+  (* ---- Fig. 4: DS / DSA ---- *)
+  (* DS-SenderKey *)
+  add_rule p ("ds", [ sym "sender" ]) [];
+  (* DS-Lookup *)
+  add_rule p ("dsa", [ v "x" ])
+    [ Pos ("hash", [ v "id"; v "x"; v "y" ]); Pos ("ds", [ v "y" ]) ];
+  (* DSA-Lookup *)
+  add_rule p ("dsa", [ v "x" ])
+    [ Pos ("hash", [ v "id"; v "x"; v "y" ]); Pos ("dsa", [ v "y" ]) ];
+  (* DS-AddrOp-1/2 *)
+  add_rule p ("dsa", [ v "x" ])
+    [ Pos ("op", [ v "id"; v "x"; v "y"; v "z" ]); Pos ("dsa", [ v "y" ]) ];
+  add_rule p ("dsa", [ v "x" ])
+    [ Pos ("op", [ v "id"; v "x"; v "y"; v "z" ]); Pos ("dsa", [ v "z" ]) ];
+  (* DSA-Load *)
+  add_rule p ("ds", [ v "t" ])
+    [ Pos ("sload", [ v "id"; v "f"; v "t" ]); Pos ("dsa", [ v "f" ]) ];
+  (* ---- Fig. 3: the core information-flow rules ---- *)
+  (* LoadInput *)
+  add_rule p ("input_tainted", [ v "x" ])
+    [ Pos ("input", [ v "id"; v "x" ]) ];
+  (* Operation-1/2 (same taint kind in as out) *)
+  add_rule p ("input_tainted", [ v "x" ])
+    [ Pos ("op", [ v "id"; v "x"; v "y"; v "z" ]);
+      Pos ("input_tainted", [ v "y" ]) ];
+  add_rule p ("input_tainted", [ v "x" ])
+    [ Pos ("op", [ v "id"; v "x"; v "y"; v "z" ]);
+      Pos ("input_tainted", [ v "z" ]) ];
+  add_rule p ("storage_tainted", [ v "x" ])
+    [ Pos ("op", [ v "id"; v "x"; v "y"; v "z" ]);
+      Pos ("storage_tainted", [ v "y" ]) ];
+  add_rule p ("storage_tainted", [ v "x" ])
+    [ Pos ("op", [ v "id"; v "x"; v "y"; v "z" ]);
+      Pos ("storage_tainted", [ v "z" ]) ];
+  (* hash propagation (implementation behaviour; see module doc) *)
+  add_rule p ("input_tainted", [ v "x" ])
+    [ Pos ("hash", [ v "id"; v "x"; v "y" ]);
+      Pos ("input_tainted", [ v "y" ]) ];
+  add_rule p ("storage_tainted", [ v "x" ])
+    [ Pos ("hash", [ v "id"; v "x"; v "y" ]);
+      Pos ("storage_tainted", [ v "y" ]) ];
+  (* Guard-1: storage taint passes guards *)
+  add_rule p ("storage_tainted", [ v "x" ])
+    [ Pos ("guard", [ v "id"; v "x"; v "p"; v "y" ]);
+      Pos ("storage_tainted", [ v "y" ]) ];
+  (* Guard-2: input taint passes only non-sanitizing guards *)
+  add_rule p ("input_tainted", [ v "x" ])
+    [ Pos ("guard", [ v "id"; v "x"; v "p"; v "y" ]);
+      Pos ("input_tainted", [ v "y" ]);
+      Pos ("non_san_guard", [ v "p" ]) ];
+  (* StorageWrite-1: either taint kind becomes storage taint when
+     written to a statically-known slot *)
+  add_rule p ("tainted_storage", [ v "c" ])
+    [ Pos ("sstore", [ v "id"; v "f"; v "t" ]);
+      Pos ("input_tainted", [ v "f" ]);
+      Pos ("const_value", [ v "t"; v "c" ]) ];
+  add_rule p ("tainted_storage", [ v "c" ])
+    [ Pos ("sstore", [ v "id"; v "f"; v "t" ]);
+      Pos ("storage_tainted", [ v "f" ]);
+      Pos ("const_value", [ v "t"; v "c" ]) ];
+  (* StorageWrite-2: tainted value AND tainted address -> every slot *)
+  add_rule p ("tainted_storage", [ v "c" ])
+    [ Pos ("sstore", [ v "id"; v "f"; v "t" ]);
+      Pos ("input_tainted", [ v "f" ]);
+      Pos ("input_tainted", [ v "t" ]);
+      Pos ("slot", [ v "c" ]) ];
+  add_rule p ("tainted_storage", [ v "c" ])
+    [ Pos ("sstore", [ v "id"; v "f"; v "t" ]);
+      Pos ("storage_tainted", [ v "f" ]);
+      Pos ("input_tainted", [ v "t" ]);
+      Pos ("slot", [ v "c" ]) ];
+  add_rule p ("tainted_storage", [ v "c" ])
+    [ Pos ("sstore", [ v "id"; v "f"; v "t" ]);
+      Pos ("input_tainted", [ v "f" ]);
+      Pos ("storage_tainted", [ v "t" ]);
+      Pos ("slot", [ v "c" ]) ];
+  add_rule p ("tainted_storage", [ v "c" ])
+    [ Pos ("sstore", [ v "id"; v "f"; v "t" ]);
+      Pos ("storage_tainted", [ v "f" ]);
+      Pos ("storage_tainted", [ v "t" ]);
+      Pos ("slot", [ v "c" ]) ];
+  (* StorageLoad *)
+  add_rule p ("storage_tainted", [ v "t" ])
+    [ Pos ("sload", [ v "id"; v "f"; v "t" ]);
+      Pos ("const_value", [ v "f"; v "c" ]);
+      Pos ("tainted_storage", [ v "c" ]) ];
+  (* Violation *)
+  add_rule p ("violation", [ v "id" ])
+    [ Pos ("sink", [ v "id"; v "x" ]); Pos ("input_tainted", [ v "x" ]) ];
+  add_rule p ("violation", [ v "id" ])
+    [ Pos ("sink", [ v "id"; v "x" ]); Pos ("storage_tainted", [ v "x" ]) ];
+  (* Uguard-T: guard compares sender against a tainted storage slot *)
+  add_rule p ("non_san_guard", [ v "p" ])
+    [ Pos ("eq", [ v "id"; v "p"; sym "sender"; v "z" ]);
+      Pos ("storage_alias", [ v "z"; v "c" ]);
+      Pos ("tainted_storage", [ v "c" ]) ];
+  add_rule p ("non_san_guard", [ v "p" ])
+    [ Pos ("eq", [ v "id"; v "p"; v "z"; sym "sender" ]);
+      Pos ("storage_alias", [ v "z"; v "c" ]);
+      Pos ("tainted_storage", [ v "c" ]) ];
+  (* Uguard-NDS: no sender scrutiny on either side *)
+  add_rule p ("non_san_guard", [ v "p" ])
+    [ Pos ("eq", [ v "id"; v "p"; v "y"; v "z" ]);
+      Neg ("ds", [ v "y" ]); Neg ("ds", [ v "z" ]) ];
+  (* tainted guard condition (§4.1 prose: "the guard condition is
+     itself tainted") *)
+  add_rule p ("non_san_guard", [ v "p" ])
+    [ Pos ("guard", [ v "id"; v "x"; v "p"; v "y" ]);
+      Pos ("storage_tainted", [ v "p" ]) ];
+  add_rule p ("non_san_guard", [ v "p" ])
+    [ Pos ("guard", [ v "id"; v "x"; v "p"; v "y" ]);
+      Pos ("input_tainted", [ v "p" ]) ];
+  (* ---- §4.5: inferred sinks ----
+     *:= GUARD(p, x) with p := (sender = z), x tainted, z ~ S(_):
+     the storage variable z scrutinized by the guard is a sink. *)
+  add_rule p ("inferred_sink", [ v "z" ])
+    [ Pos ("guard", [ v "id"; v "x"; v "p"; v "y" ]);
+      Pos ("eq", [ v "id2"; v "p"; sym "sender"; v "z" ]);
+      Pos ("input_tainted", [ v "y" ]);
+      Pos ("storage_alias", [ v "z"; v "c" ]) ];
+  add_rule p ("inferred_sink", [ v "z" ])
+    [ Pos ("guard", [ v "id"; v "x"; v "p"; v "y" ]);
+      Pos ("eq", [ v "id2"; v "p"; v "z"; sym "sender" ]);
+      Pos ("input_tainted", [ v "y" ]);
+      Pos ("storage_alias", [ v "z"; v "c" ]) ];
+  p
+
+(** Translate a Fig. 1 program into EDB facts. *)
+let facts_of_program (prog : Lang.program) : (string * D.tuple list) list =
+  let input = ref [] and consti = ref [] and op = ref [] and eq = ref [] in
+  let hash = ref [] and guard = ref [] and sstore = ref [] in
+  let sload = ref [] and sink = ref [] in
+  List.iteri
+    (fun i instr ->
+      let id = D.Int i in
+      let s x = D.Sym x in
+      match instr with
+      | Input x -> input := [| id; s x |] :: !input
+      | Const (x, c) -> consti := [| id; s x; D.Int c |] :: !consti
+      | Op (x, y, z) -> op := [| id; s x; s y; s z |] :: !op
+      | Eq (x, y, z) ->
+          (* equality is also an OP for propagation purposes (§4.1) *)
+          op := [| id; s x; s y; s z |] :: !op;
+          eq := [| id; s x; s y; s z |] :: !eq
+      | Hash (x, y) -> hash := [| id; s x; s y |] :: !hash
+      | Guard (x, p, y) -> guard := [| id; s x; s p; s y |] :: !guard
+      | Sstore (f, t) -> sstore := [| id; s f; s t |] :: !sstore
+      | Sload (f, t) -> sload := [| id; s f; s t |] :: !sload
+      | Sink x -> sink := [| id; s x |] :: !sink)
+    prog;
+  [ ("input", !input); ("consti", !consti); ("op", !op); ("eq", !eq);
+    ("hash", !hash); ("guard", !guard); ("sstore", !sstore);
+    ("sload", !sload); ("sink", !sink) ]
+
+(** Run the Fig. 3/4 analysis on an abstract-language program. *)
+let analyze (prog : Lang.program) : result =
+  (match Lang.validate prog with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Rules.analyze: " ^ e));
+  let p = build_program () in
+  let db = D.solve p (facts_of_program prog) in
+  let syms name =
+    D.relation db name
+    |> List.filter_map (fun t ->
+           match t.(0) with D.Sym s -> Some s | _ -> None)
+    |> List.sort_uniq compare
+  in
+  let ints name =
+    D.relation db name
+    |> List.filter_map (fun t ->
+           match t.(0) with D.Int i -> Some i | _ -> None)
+    |> List.sort_uniq compare
+  in
+  { db;
+    input_tainted = syms "input_tainted";
+    storage_tainted = syms "storage_tainted";
+    tainted_storage = ints "tainted_storage";
+    non_san_guards = syms "non_san_guard";
+    violations = ints "violation";
+    inferred_sinks = syms "inferred_sink" }

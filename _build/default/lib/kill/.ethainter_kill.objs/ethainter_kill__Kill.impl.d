@@ -1,0 +1,1 @@
+lib/kill/kill.ml: Decomp Ethainter_chain Ethainter_core Ethainter_evm Ethainter_tac Ethainter_word List String Tac

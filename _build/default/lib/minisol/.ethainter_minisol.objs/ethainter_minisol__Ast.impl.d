@@ -1,0 +1,1 @@
+lib/minisol/ast.ml: Ethainter_word List Printf String

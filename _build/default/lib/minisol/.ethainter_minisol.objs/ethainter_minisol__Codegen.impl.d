@@ -1,0 +1,1 @@
+lib/minisol/codegen.ml: Ast Ethainter_crypto Ethainter_evm Ethainter_word List Parser Printf String Typecheck

@@ -1,0 +1,1 @@
+lib/minisol/lexer.ml: Ethainter_word List Printf String

@@ -1,0 +1,1 @@
+lib/minisol/parser.ml: Ast Lexer List Printf

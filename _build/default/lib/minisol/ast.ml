@@ -1,0 +1,116 @@
+(** Abstract syntax for MiniSol, a Solidity subset.
+
+    MiniSol exists so the reproduction has a source of *realistic* EVM
+    bytecode: contracts with function-selector dispatch, storage
+    mappings addressed through keccak, owner checks in modifiers — the
+    exact guarding patterns the paper's analysis models. Every contract
+    in the evaluation corpus is written in MiniSol, compiled by
+    {!Codegen}, and then analyzed at the bytecode level (as Ethainter
+    does with solc output). The source is additionally consumed by the
+    Securify2 baseline, which is a source-level tool (§6.2). *)
+
+module U = Ethainter_word.Uint256
+
+type ty =
+  | TUint
+  | TAddress
+  | TBool
+  | TMapping of ty * ty
+
+let rec ty_to_string = function
+  | TUint -> "uint256"
+  | TAddress -> "address"
+  | TBool -> "bool"
+  | TMapping (k, v) ->
+      Printf.sprintf "mapping(%s => %s)" (ty_to_string k) (ty_to_string v)
+
+(** ABI type string used in function signatures / selectors. *)
+let abi_type = function
+  | TUint -> "uint256"
+  | TAddress -> "address"
+  | TBool -> "bool"
+  | TMapping _ -> invalid_arg "abi_type: mapping"
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Gt | Le | Ge | Eq | Neq
+  | And | Or
+
+let binop_to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Lt -> "<" | Gt -> ">" | Le -> "<=" | Ge -> ">=" | Eq -> "=="
+  | Neq -> "!=" | And -> "&&" | Or -> "||"
+
+type expr =
+  | Num of U.t
+  | BoolLit of bool
+  | Var of string                  (** local, parameter, or state scalar *)
+  | Index of expr * expr           (** mapping lookup m[k] (possibly nested) *)
+  | Sender                         (** msg.sender *)
+  | Value                          (** msg.value *)
+  | This                           (** address(this) *)
+  | Origin                         (** tx.origin *)
+  | SelfBalance                    (** address(this).balance *)
+  | Bin of binop * expr * expr
+  | Not of expr
+  | CallFn of string * expr list   (** internal function call *)
+  | KeccakOf of expr               (** keccak256(abi.encode(e)) *)
+  | RawSload of expr               (** assembly { sload(e) } — raw slot read *)
+
+type lvalue =
+  | LVar of string
+  | LIndex of lvalue * expr
+
+type stmt =
+  | SLet of string * ty * expr              (** ty x = e; *)
+  | SAssign of lvalue * expr                (** lv = e; *)
+  | SIf of expr * block * block
+  | SWhile of expr * block
+  | SRequire of expr
+  | SReturn of expr option
+  | SExpr of expr
+  | SSelfdestruct of expr                   (** selfdestruct(addr) *)
+  | SDelegatecall of expr                   (** addr.delegatecall("") *)
+  | SCallExt of expr * expr                 (** addr.call{value: v}("") *)
+  | SStaticcall of { target : expr; checked : bool }
+      (** staticcall writing output over input; [checked] inserts the
+          RETURNDATASIZE guard of §3.5 *)
+  | SRawSstore of expr * expr               (** assembly { sstore(slot, v) } *)
+  | SLogEvent of expr * expr                (** emit-style event: LOG1 with
+                                                one topic and one data word *)
+  | SPlaceholder                            (** the [_;] inside a modifier *)
+
+and block = stmt list
+
+type visibility = Public | Private
+
+type func = {
+  fname : string;
+  params : (string * ty) list;
+  ret : ty option;
+  vis : visibility;
+  mods : string list; (** modifier names, applied outermost first *)
+  body : block;
+}
+
+type modifier_def = { mname : string; mbody : block }
+
+type contract = {
+  cname : string;
+  state_vars : (string * ty) list; (** declaration order = slot order *)
+  modifiers : modifier_def list;
+  ctor : block option;
+  funcs : func list;
+}
+
+(** Solidity-style signature of a function, e.g. [kill()] or
+    [transfer(address,uint256)] — hashed for the 4-byte selector. *)
+let signature (f : func) : string =
+  Printf.sprintf "%s(%s)" f.fname
+    (String.concat "," (List.map (fun (_, t) -> abi_type t) f.params))
+
+let find_func (c : contract) (name : string) : func option =
+  List.find_opt (fun f -> f.fname = name) c.funcs
+
+let find_modifier (c : contract) (name : string) : modifier_def option =
+  List.find_opt (fun m -> m.mname = name) c.modifiers

@@ -1,0 +1,91 @@
+(** Hand-written lexer for MiniSol. *)
+
+module U = Ethainter_word.Uint256
+
+type token =
+  | TIdent of string
+  | TNum of U.t
+  | TKw of string        (* keywords *)
+  | TPunct of string     (* punctuation / operators *)
+  | TEOF
+
+type lexed = { tok : token; line : int }
+
+exception Lex_error of string * int
+
+let keywords =
+  [ "contract"; "function"; "modifier"; "constructor"; "mapping";
+    "uint256"; "uint"; "address"; "bool"; "public"; "private"; "returns";
+    "return"; "require"; "if"; "else"; "while"; "true"; "false"; "msg";
+    "sender"; "value"; "this"; "tx"; "origin"; "selfdestruct";
+    "delegatecall"; "staticcall_checked"; "staticcall_unchecked";
+    "call_value"; "keccak256"; "balance"; "payable"; "view"; "external";
+    "assembly_sstore"; "assembly_sload"; "log_event";
+    "internal"; "memory"; "storage" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let tokenize (src : string) : lexed list =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push t = toks := { tok = t; line = !line } :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let fin = ref false in
+      while not !fin do
+        if !i + 1 >= n then raise (Lex_error ("unterminated comment", !line));
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && src.[!i + 1] = '/' then begin
+          i := !i + 2; fin := true
+        end
+        else incr i
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      let word = String.sub src start (!i - start) in
+      if List.mem word keywords then push (TKw word) else push (TIdent word)
+    end
+    else if is_digit c then begin
+      let start = !i in
+      if c = '0' && !i + 1 < n && (src.[!i + 1] = 'x' || src.[!i + 1] = 'X')
+      then begin
+        i := !i + 2;
+        while !i < n && is_hex src.[!i] do incr i done;
+        push (TNum (U.of_hex (String.sub src start (!i - start))))
+      end
+      else begin
+        while !i < n && (is_digit src.[!i] || src.[!i] = '_') do incr i done;
+        push (TNum (U.of_decimal (String.sub src start (!i - start))))
+      end
+    end
+    else begin
+      (* multi-char operators first *)
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "==" | "!=" | "<=" | ">=" | "&&" | "||" | "+=" | "-=" | "=>" ->
+          push (TPunct two); i := !i + 2
+      | _ -> (
+          match c with
+          | '{' | '}' | '(' | ')' | '[' | ']' | ';' | ',' | '.' | '='
+          | '+' | '-' | '*' | '/' | '%' | '<' | '>' | '!' ->
+              push (TPunct (String.make 1 c));
+              incr i
+          | _ -> raise (Lex_error (Printf.sprintf "bad character %C" c, !line)))
+    end
+  done;
+  push TEOF;
+  List.rev !toks

@@ -1,0 +1,495 @@
+(** Recursive-descent parser for MiniSol.
+
+    Grammar (Solidity subset):
+    {v
+    contract  ::= "contract" IDENT "{" decl* "}"
+    decl      ::= statevar | modifier | constructor | function
+    statevar  ::= type IDENT ";"
+    type      ::= "uint256" | "uint" | "address" | "bool"
+                | "mapping" "(" type "=>" type ")"
+    modifier  ::= "modifier" IDENT block
+    function  ::= "function" IDENT "(" params ")" attrs
+                  ("returns" "(" type ")")? block
+    attrs     ::= ("public"|"private"|"payable"|"view"|...|IDENT)*
+    stmt      ::= type IDENT "=" expr ";" | lvalue ("="|"+="|"-=") expr ";"
+                | "if" "(" expr ")" block ("else" block)?
+                | "while" "(" expr ")" block
+                | "require" "(" expr ")" ";" | "return" expr? ";"
+                | "selfdestruct" "(" expr ")" ";"
+                | "delegatecall" "(" expr ")" ";"
+                | "staticcall_checked" "(" expr ")" ";"
+                | "staticcall_unchecked" "(" expr ")" ";"
+                | "call_value" "(" expr "," expr ")" ";"
+                | "_" ";" | expr ";"
+    v}
+    Expressions use standard precedence: [||] < [&&] < comparisons <
+    [+ -] < [* / %] < unary [!] < postfix indexing/calls. *)
+
+open Ast
+module L = Lexer
+
+exception Parse_error of string * int
+
+type st = { mutable toks : L.lexed list }
+
+let peek st =
+  match st.toks with [] -> L.{ tok = TEOF; line = 0 } | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: r -> st.toks <- r
+
+let err st msg = raise (Parse_error (msg, (peek st).L.line))
+
+let expect_punct st p =
+  match (peek st).L.tok with
+  | L.TPunct q when q = p -> advance st
+  | _ -> err st (Printf.sprintf "expected %S" p)
+
+let expect_kw st k =
+  match (peek st).L.tok with
+  | L.TKw q when q = k -> advance st
+  | _ -> err st (Printf.sprintf "expected keyword %S" k)
+
+let accept_punct st p =
+  match (peek st).L.tok with
+  | L.TPunct q when q = p ->
+      advance st;
+      true
+  | _ -> false
+
+let accept_kw st k =
+  match (peek st).L.tok with
+  | L.TKw q when q = k ->
+      advance st;
+      true
+  | _ -> false
+
+let ident st =
+  match (peek st).L.tok with
+  | L.TIdent x ->
+      advance st;
+      x
+  (* allow a few keywords as identifiers in harmless positions *)
+  | L.TKw (("sender" | "value" | "origin" | "balance") as x) ->
+      advance st;
+      x
+  | _ -> err st "expected identifier"
+
+let rec parse_type st : ty =
+  if accept_kw st "uint256" || accept_kw st "uint" then TUint
+  else if accept_kw st "address" then (
+    ignore (accept_kw st "payable");
+    TAddress)
+  else if accept_kw st "bool" then TBool
+  else if accept_kw st "mapping" then begin
+    expect_punct st "(";
+    let k = parse_type st in
+    expect_punct st "=>";
+    let v = parse_type st in
+    expect_punct st ")";
+    TMapping (k, v)
+  end
+  else err st "expected type"
+
+(* ---------------- expressions ---------------- *)
+
+let rec parse_expr st : expr = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if accept_punct st "||" then Bin (Or, lhs, parse_or st) else lhs
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  if accept_punct st "&&" then Bin (And, lhs, parse_and st) else lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  if accept_punct st "==" then Bin (Eq, lhs, parse_add st)
+  else if accept_punct st "!=" then Bin (Neq, lhs, parse_add st)
+  else if accept_punct st "<=" then Bin (Le, lhs, parse_add st)
+  else if accept_punct st ">=" then Bin (Ge, lhs, parse_add st)
+  else if accept_punct st "<" then Bin (Lt, lhs, parse_add st)
+  else if accept_punct st ">" then Bin (Gt, lhs, parse_add st)
+  else lhs
+
+and parse_add st =
+  let rec loop lhs =
+    if accept_punct st "+" then loop (Bin (Add, lhs, parse_mul st))
+    else if accept_punct st "-" then loop (Bin (Sub, lhs, parse_mul st))
+    else lhs
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop lhs =
+    if accept_punct st "*" then loop (Bin (Mul, lhs, parse_unary st))
+    else if accept_punct st "/" then loop (Bin (Div, lhs, parse_unary st))
+    else if accept_punct st "%" then loop (Bin (Mod, lhs, parse_unary st))
+    else lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  if accept_punct st "!" then Not (parse_unary st) else parse_postfix st
+
+and parse_postfix st =
+  let rec loop e =
+    if accept_punct st "[" then begin
+      let k = parse_expr st in
+      expect_punct st "]";
+      loop (Index (e, k))
+    end
+    else if accept_punct st "." then begin
+      (* this.f(...) — sugar for internal call; addr.balance *)
+      match (peek st).L.tok with
+      | L.TKw "balance" ->
+          advance st;
+          loop SelfBalance
+      | L.TIdent f ->
+          advance st;
+          expect_punct st "(";
+          let args = parse_args st in
+          loop (CallFn (f, args))
+      | _ -> err st "expected member name"
+    end
+    else e
+  in
+  loop (parse_primary st)
+
+and parse_args st =
+  if accept_punct st ")" then []
+  else begin
+    let rec go acc =
+      let e = parse_expr st in
+      if accept_punct st "," then go (e :: acc)
+      else begin
+        expect_punct st ")";
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+and parse_primary st =
+  match (peek st).L.tok with
+  | L.TNum v ->
+      advance st;
+      Num v
+  | L.TKw "true" ->
+      advance st;
+      BoolLit true
+  | L.TKw "false" ->
+      advance st;
+      BoolLit false
+  | L.TKw "msg" ->
+      advance st;
+      expect_punct st ".";
+      if accept_kw st "sender" then Sender
+      else if accept_kw st "value" then Value
+      else err st "expected msg.sender or msg.value"
+  | L.TKw "tx" ->
+      advance st;
+      expect_punct st ".";
+      expect_kw st "origin";
+      Origin
+  | L.TKw "this" ->
+      advance st;
+      if accept_punct st "." then
+        if accept_kw st "balance" then SelfBalance
+        else begin
+          (* this.f(args): external-style self call, treated internal *)
+          let f = ident st in
+          expect_punct st "(";
+          let args = parse_args st in
+          CallFn (f, args)
+        end
+      else This
+  | L.TKw "keccak256" ->
+      advance st;
+      expect_punct st "(";
+      let e = parse_expr st in
+      expect_punct st ")";
+      KeccakOf e
+  | L.TKw "assembly_sload" ->
+      advance st;
+      expect_punct st "(";
+      let e = parse_expr st in
+      expect_punct st ")";
+      RawSload e
+  | L.TKw ("address" | "uint256" | "uint") ->
+      (* address(e) / uint256(e) casts are identity in MiniSol: all
+         values are 256-bit words *)
+      advance st;
+      expect_punct st "(";
+      let e = parse_expr st in
+      expect_punct st ")";
+      e
+  | L.TPunct "(" ->
+      advance st;
+      let e = parse_expr st in
+      expect_punct st ")";
+      e
+  | L.TIdent x ->
+      advance st;
+      if accept_punct st "(" then CallFn (x, parse_args st) else Var x
+  (* soft keywords usable as plain identifiers *)
+  | L.TKw (("sender" | "value" | "origin" | "balance") as x) ->
+      advance st;
+      if accept_punct st "(" then CallFn (x, parse_args st) else Var x
+  | _ -> err st "expected expression"
+
+(* ---------------- statements ---------------- *)
+
+let rec expr_to_lvalue st (e : expr) : lvalue =
+  match e with
+  | Var x -> LVar x
+  | Index (b, k) -> LIndex (expr_to_lvalue st b, k)
+  | _ -> err st "invalid assignment target"
+
+let rec parse_block st : block =
+  expect_punct st "{";
+  let rec go acc =
+    if accept_punct st "}" then List.rev acc else go (parse_stmt st :: acc)
+  in
+  go []
+
+and parse_stmt st : stmt =
+  match (peek st).L.tok with
+  | L.TKw ("uint256" | "uint" | "address" | "bool") ->
+      let ty = parse_type st in
+      ignore (accept_kw st "memory");
+      let x = ident st in
+      expect_punct st "=";
+      let e = parse_expr st in
+      expect_punct st ";";
+      SLet (x, ty, e)
+  | L.TKw "if" ->
+      advance st;
+      expect_punct st "(";
+      let c = parse_expr st in
+      expect_punct st ")";
+      let thn = parse_block st in
+      let els = if accept_kw st "else" then parse_block st else [] in
+      SIf (c, thn, els)
+  | L.TKw "while" ->
+      advance st;
+      expect_punct st "(";
+      let c = parse_expr st in
+      expect_punct st ")";
+      SWhile (c, parse_block st)
+  | L.TKw "require" ->
+      advance st;
+      expect_punct st "(";
+      let c = parse_expr st in
+      expect_punct st ")";
+      expect_punct st ";";
+      SRequire c
+  | L.TKw "return" ->
+      advance st;
+      if accept_punct st ";" then SReturn None
+      else begin
+        let e = parse_expr st in
+        expect_punct st ";";
+        SReturn (Some e)
+      end
+  | L.TKw "selfdestruct" ->
+      advance st;
+      expect_punct st "(";
+      let e = parse_expr st in
+      expect_punct st ")";
+      expect_punct st ";";
+      SSelfdestruct e
+  | L.TKw "delegatecall" ->
+      advance st;
+      expect_punct st "(";
+      let e = parse_expr st in
+      expect_punct st ")";
+      expect_punct st ";";
+      SDelegatecall e
+  | L.TKw "staticcall_checked" ->
+      advance st;
+      expect_punct st "(";
+      let e = parse_expr st in
+      expect_punct st ")";
+      expect_punct st ";";
+      SStaticcall { target = e; checked = true }
+  | L.TKw "staticcall_unchecked" ->
+      advance st;
+      expect_punct st "(";
+      let e = parse_expr st in
+      expect_punct st ")";
+      expect_punct st ";";
+      SStaticcall { target = e; checked = false }
+  | L.TKw "call_value" ->
+      advance st;
+      expect_punct st "(";
+      let target = parse_expr st in
+      expect_punct st ",";
+      let v = parse_expr st in
+      expect_punct st ")";
+      expect_punct st ";";
+      SCallExt (target, v)
+  | L.TKw "log_event" ->
+      advance st;
+      expect_punct st "(";
+      let topic = parse_expr st in
+      expect_punct st ",";
+      let v = parse_expr st in
+      expect_punct st ")";
+      expect_punct st ";";
+      SLogEvent (topic, v)
+  | L.TKw "assembly_sstore" ->
+      advance st;
+      expect_punct st "(";
+      let slot = parse_expr st in
+      expect_punct st ",";
+      let v = parse_expr st in
+      expect_punct st ")";
+      expect_punct st ";";
+      SRawSstore (slot, v)
+  | L.TIdent "_" ->
+      advance st;
+      expect_punct st ";";
+      SPlaceholder
+  | _ ->
+      let e = parse_expr st in
+      if accept_punct st "=" then begin
+        let lv = expr_to_lvalue st e in
+        let rhs = parse_expr st in
+        expect_punct st ";";
+        SAssign (lv, rhs)
+      end
+      else if accept_punct st "+=" then begin
+        let lv = expr_to_lvalue st e in
+        let rhs = parse_expr st in
+        expect_punct st ";";
+        SAssign (lv, Bin (Add, e, rhs))
+      end
+      else if accept_punct st "-=" then begin
+        let lv = expr_to_lvalue st e in
+        let rhs = parse_expr st in
+        expect_punct st ";";
+        SAssign (lv, Bin (Sub, e, rhs))
+      end
+      else begin
+        expect_punct st ";";
+        SExpr e
+      end
+
+(* ---------------- declarations ---------------- *)
+
+let parse_params st : (string * ty) list =
+  expect_punct st "(";
+  if accept_punct st ")" then []
+  else begin
+    let rec go acc =
+      let ty = parse_type st in
+      ignore (accept_kw st "memory");
+      let x = ident st in
+      if accept_punct st "," then go ((x, ty) :: acc)
+      else begin
+        expect_punct st ")";
+        List.rev ((x, ty) :: acc)
+      end
+    in
+    go []
+  end
+
+let parse_function st : func =
+  expect_kw st "function";
+  let fname = ident st in
+  let params = parse_params st in
+  (* attribute soup: visibility, mutability, modifiers *)
+  let vis = ref Public in
+  let mods = ref [] in
+  let ret = ref None in
+  let rec attrs () =
+    match (peek st).L.tok with
+    | L.TKw "public" | L.TKw "external" ->
+        advance st;
+        vis := Public;
+        attrs ()
+    | L.TKw "private" | L.TKw "internal" ->
+        advance st;
+        vis := Private;
+        attrs ()
+    | L.TKw ("payable" | "view") ->
+        advance st;
+        attrs ()
+    | L.TKw "returns" ->
+        advance st;
+        expect_punct st "(";
+        ret := Some (parse_type st);
+        (* tolerate a name for the return value *)
+        (match (peek st).L.tok with
+        | L.TIdent _ -> ignore (ident st)
+        | _ -> ());
+        expect_punct st ")";
+        attrs ()
+    | L.TIdent m ->
+        advance st;
+        (* modifier, possibly with empty arg list *)
+        if accept_punct st "(" then expect_punct st ")";
+        mods := m :: !mods;
+        attrs ()
+    | _ -> ()
+  in
+  attrs ();
+  let body = parse_block st in
+  { fname; params; ret = !ret; vis = !vis; mods = List.rev !mods; body }
+
+let parse_contract_body st cname : contract =
+  let state_vars = ref [] in
+  let modifiers = ref [] in
+  let funcs = ref [] in
+  let ctor = ref None in
+  expect_punct st "{";
+  let rec go () =
+    if accept_punct st "}" then ()
+    else begin
+      (match (peek st).L.tok with
+      | L.TKw "modifier" ->
+          advance st;
+          let mname = ident st in
+          if accept_punct st "(" then expect_punct st ")";
+          let mbody = parse_block st in
+          modifiers := { mname; mbody } :: !modifiers
+      | L.TKw "constructor" ->
+          advance st;
+          expect_punct st "(";
+          expect_punct st ")";
+          ignore (accept_kw st "public");
+          ignore (accept_kw st "payable");
+          ctor := Some (parse_block st)
+      | L.TKw "function" -> funcs := parse_function st :: !funcs
+      | L.TKw ("uint256" | "uint" | "address" | "bool" | "mapping") ->
+          let ty = parse_type st in
+          ignore (accept_kw st "public");
+          ignore (accept_kw st "private");
+          let x = ident st in
+          (* tolerate "= <literal>" initializers on declarations *)
+          if accept_punct st "=" then ignore (parse_expr st);
+          expect_punct st ";";
+          state_vars := (x, ty) :: !state_vars
+      | _ -> err st "expected contract member");
+      go ()
+    end
+  in
+  go ();
+  { cname; state_vars = List.rev !state_vars;
+    modifiers = List.rev !modifiers; ctor = !ctor;
+    funcs = List.rev !funcs }
+
+let parse_contract_toks st : contract =
+  expect_kw st "contract";
+  let cname = ident st in
+  parse_contract_body st cname
+
+(** Parse a single MiniSol contract from source text. *)
+let parse (src : string) : contract =
+  let st = { toks = Lexer.tokenize src } in
+  let c = parse_contract_toks st in
+  (match (peek st).L.tok with
+  | L.TEOF -> ()
+  | _ -> err st "trailing input after contract");
+  c

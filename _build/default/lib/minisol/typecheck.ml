@@ -1,0 +1,231 @@
+(** Semantic checks for MiniSol contracts.
+
+    Verifies name resolution (state variables, locals, parameters,
+    functions, modifiers), mapping index well-formedness, call arities,
+    absence of recursion (the codegen allocates locals statically, so
+    the call graph must be acyclic), and placeholder discipline
+    (exactly one [_;] per modifier, none elsewhere). *)
+
+open Ast
+
+exception Type_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+type env = {
+  contract : contract;
+  mutable locals : (string * ty) list;
+  in_modifier : bool;
+}
+
+let state_var_ty (c : contract) x =
+  List.assoc_opt x c.state_vars
+
+let rec check_expr (env : env) (e : expr) : ty =
+  match e with
+  | Num _ -> TUint
+  | BoolLit _ -> TBool
+  | Sender | Origin | This -> TAddress
+  | Value | SelfBalance -> TUint
+  | KeccakOf e ->
+      ignore (check_expr env e);
+      TUint
+  | RawSload e ->
+      ignore (check_expr env e);
+      TUint
+  | Var x -> (
+      match List.assoc_opt x env.locals with
+      | Some t -> t
+      | None -> (
+          match state_var_ty env.contract x with
+          | Some t -> t
+          | None -> fail "unbound variable %s" x))
+  | Index (base, key) -> (
+      let bt = check_expr env base in
+      let kt = check_expr env key in
+      match bt with
+      | TMapping (k, v) ->
+          if k <> kt && not (k = TUint && kt = TAddress)
+             && not (k = TAddress && kt = TUint) then
+            fail "mapping key type mismatch: expected %s, got %s"
+              (ty_to_string k) (ty_to_string kt);
+          v
+      | t -> fail "indexing a non-mapping of type %s" (ty_to_string t))
+  | Not e ->
+      let t = check_expr env e in
+      if t <> TBool then fail "! applied to %s" (ty_to_string t);
+      TBool
+  | Bin (op, a, b) -> (
+      let ta = check_expr env a in
+      let tb = check_expr env b in
+      match op with
+      | Add | Sub | Mul | Div | Mod ->
+          if ta = TBool || tb = TBool then fail "arithmetic on bool";
+          TUint
+      | Lt | Gt | Le | Ge ->
+          if ta = TBool || tb = TBool then fail "comparison on bool";
+          TBool
+      | Eq | Neq -> TBool
+      | And | Or ->
+          if ta <> TBool || tb <> TBool then fail "&&/|| on non-bool";
+          TBool)
+  | CallFn (f, args) -> (
+      match find_func env.contract f with
+      | None -> fail "call to undefined function %s" f
+      | Some fn ->
+          if List.length args <> List.length fn.params then
+            fail "function %s expects %d arguments, got %d" f
+              (List.length fn.params) (List.length args);
+          List.iter (fun a -> ignore (check_expr env a)) args;
+          (match fn.ret with
+          | Some t -> t
+          | None -> fail "function %s has no return value" f))
+
+let rec check_lvalue env (lv : lvalue) : ty =
+  match lv with
+  | LVar x -> (
+      match List.assoc_opt x env.locals with
+      | Some t -> t
+      | None -> (
+          match state_var_ty env.contract x with
+          | Some t -> t
+          | None -> fail "assignment to unbound variable %s" x))
+  | LIndex (base, key) -> (
+      let bt = check_lvalue env base in
+      ignore (check_expr env key);
+      match bt with
+      | TMapping (_, v) -> v
+      | t -> fail "indexing a non-mapping lvalue of type %s" (ty_to_string t))
+
+let rec check_stmt env (s : stmt) : unit =
+  match s with
+  | SLet (x, ty, e) ->
+      if List.mem_assoc x env.locals then fail "shadowed local %s" x;
+      ignore (check_expr env e);
+      env.locals <- (x, ty) :: env.locals
+  | SAssign (lv, e) ->
+      let lt = check_lvalue env lv in
+      (match lt with
+      | TMapping _ -> fail "cannot assign whole mapping"
+      | _ -> ());
+      ignore (check_expr env e)
+  | SIf (c, thn, els) ->
+      ignore (check_expr env c);
+      List.iter (check_stmt env) thn;
+      List.iter (check_stmt env) els
+  | SWhile (c, body) ->
+      ignore (check_expr env c);
+      List.iter (check_stmt env) body
+  | SRequire c -> ignore (check_expr env c)
+  | SReturn None -> ()
+  | SReturn (Some e) -> ignore (check_expr env e)
+  | SExpr e -> ignore (check_expr env e)
+  | SSelfdestruct e | SDelegatecall e -> ignore (check_expr env e)
+  | SStaticcall { target; _ } -> ignore (check_expr env target)
+  | SCallExt (t, v) ->
+      ignore (check_expr env t);
+      ignore (check_expr env v)
+  | SRawSstore (slot, v) | SLogEvent (slot, v) ->
+      ignore (check_expr env slot);
+      ignore (check_expr env v)
+  | SPlaceholder ->
+      if not env.in_modifier then fail "placeholder _; outside modifier"
+
+let count_placeholders (b : block) : int =
+  let rec go acc = function
+    | [] -> acc
+    | SPlaceholder :: r -> go (acc + 1) r
+    | SIf (_, t, e) :: r -> go (go (go acc t) e) r
+    | SWhile (_, b) :: r -> go (go acc b) r
+    | _ :: r -> go acc r
+  in
+  go 0 b
+
+(* Detect recursion through the static call graph. *)
+let check_no_recursion (c : contract) =
+  let rec calls_of_expr acc = function
+    | CallFn (f, args) -> List.fold_left calls_of_expr (f :: acc) args
+    | Bin (_, a, b) -> calls_of_expr (calls_of_expr acc a) b
+    | Not e | KeccakOf e | RawSload e -> calls_of_expr acc e
+    | Index (a, b) -> calls_of_expr (calls_of_expr acc a) b
+    | _ -> acc
+  in
+  let rec calls_of_stmt acc = function
+    | SLet (_, _, e) | SRequire e | SExpr e | SSelfdestruct e
+    | SDelegatecall e | SReturn (Some e) ->
+        calls_of_expr acc e
+    | SStaticcall { target; _ } -> calls_of_expr acc target
+    | SAssign (lv, e) ->
+        let rec lv_calls acc = function
+          | LVar _ -> acc
+          | LIndex (b, k) -> lv_calls (calls_of_expr acc k) b
+        in
+        lv_calls (calls_of_expr acc e) lv
+    | SCallExt (a, b) | SRawSstore (a, b) | SLogEvent (a, b) ->
+        calls_of_expr (calls_of_expr acc a) b
+    | SIf (c, t, e) ->
+        let acc = calls_of_expr acc c in
+        let acc = List.fold_left calls_of_stmt acc t in
+        List.fold_left calls_of_stmt acc e
+    | SWhile (c, b) ->
+        List.fold_left calls_of_stmt (calls_of_expr acc c) b
+    | SReturn None | SPlaceholder -> acc
+  in
+  let edges f = List.fold_left calls_of_stmt [] f.body in
+  let visiting = Hashtbl.create 8 and done_ = Hashtbl.create 8 in
+  let rec dfs fname =
+    if Hashtbl.mem done_ fname then ()
+    else if Hashtbl.mem visiting fname then
+      fail "recursive call cycle through %s (unsupported)" fname
+    else begin
+      Hashtbl.replace visiting fname ();
+      (match find_func c fname with
+      | None -> ()
+      | Some f -> List.iter dfs (edges f));
+      Hashtbl.remove visiting fname;
+      Hashtbl.replace done_ fname ()
+    end
+  in
+  List.iter (fun f -> dfs f.fname) c.funcs
+
+(** Check a whole contract; raises {!Type_error} on failure. *)
+let check (c : contract) : unit =
+  (* duplicate names *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (x, _) ->
+      if Hashtbl.mem seen x then fail "duplicate state variable %s" x;
+      Hashtbl.replace seen x ())
+    c.state_vars;
+  let seenf = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem seenf f.fname then fail "duplicate function %s" f.fname;
+      Hashtbl.replace seenf f.fname ())
+    c.funcs;
+  (* modifiers: exist, have exactly one placeholder *)
+  List.iter
+    (fun m ->
+      if count_placeholders m.mbody <> 1 then
+        fail "modifier %s must contain exactly one _;" m.mname;
+      let env = { contract = c; locals = []; in_modifier = true } in
+      List.iter (check_stmt env) m.mbody)
+    c.modifiers;
+  (* functions *)
+  List.iter
+    (fun f ->
+      List.iter
+        (fun m ->
+          if find_modifier c m = None then
+            fail "function %s uses undefined modifier %s" f.fname m)
+        f.mods;
+      let env = { contract = c; locals = f.params; in_modifier = false } in
+      List.iter (check_stmt env) f.body)
+    c.funcs;
+  (* constructor *)
+  (match c.ctor with
+  | None -> ()
+  | Some b ->
+      let env = { contract = c; locals = []; in_modifier = false } in
+      List.iter (check_stmt env) b);
+  check_no_recursion c

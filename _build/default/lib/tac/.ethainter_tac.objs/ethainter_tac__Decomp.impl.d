@@ -1,0 +1,1 @@
+lib/tac/decomp.ml: Array Ethainter_evm Ethainter_word Hashtbl List String Tac VarSet

@@ -1,0 +1,1 @@
+lib/tac/dominators.ml: Array Hashtbl List Tac

@@ -1,0 +1,1 @@
+lib/tac/tac.ml: Ethainter_evm Ethainter_word Format Hashtbl List Map Printf Set String

@@ -1,0 +1,89 @@
+(** Dominator computation over the TAC control-flow graph.
+
+    Guard inference needs dominance: a [JUMPI] condition protects
+    exactly the statements that can only execute after taking a
+    particular branch, i.e. the blocks dominated by that branch target
+    (§4.5: "if a check dominates a use of a tainted variable, it is
+    considered a guard for that variable").
+
+    Cooper–Harvey–Kennedy iterative algorithm over a reverse-postorder
+    numbering. *)
+
+open Tac
+
+type t = {
+  idom : (int, int) Hashtbl.t;      (** immediate dominator (entry maps to itself) *)
+  rpo : int array;                  (** blocks in reverse postorder *)
+}
+
+let compute (p : program) : t =
+  (* reverse postorder from entry *)
+  let visited = Hashtbl.create 64 in
+  let order = ref [] in
+  let rec dfs e =
+    if not (Hashtbl.mem visited e) then begin
+      Hashtbl.replace visited e ();
+      (match block p e with
+      | Some b -> List.iter dfs b.b_succs
+      | None -> ());
+      order := e :: !order
+    end
+  in
+  dfs p.p_entry;
+  let rpo = Array.of_list !order in
+  let index = Hashtbl.create 64 in
+  Array.iteri (fun i e -> Hashtbl.replace index e i) rpo;
+  let idom = Hashtbl.create 64 in
+  Hashtbl.replace idom p.p_entry p.p_entry;
+  let intersect a b =
+    (* walk up the idom tree by rpo index *)
+    let rec go a b =
+      if a = b then a
+      else
+        let ia = Hashtbl.find index a and ib = Hashtbl.find index b in
+        if ia > ib then go (Hashtbl.find idom a) b
+        else go a (Hashtbl.find idom b)
+    in
+    go a b
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun e ->
+        if e <> p.p_entry then
+          match block p e with
+          | None -> ()
+          | Some b ->
+              let processed_preds =
+                List.filter
+                  (fun q -> Hashtbl.mem idom q && Hashtbl.mem index q)
+                  b.b_preds
+              in
+              (match processed_preds with
+              | [] -> ()
+              | first :: rest ->
+                  let nd = List.fold_left intersect first rest in
+                  if Hashtbl.find_opt idom e <> Some nd then begin
+                    Hashtbl.replace idom e nd;
+                    changed := true
+                  end))
+      rpo
+  done;
+  { idom; rpo }
+
+(** [dominates t a b]: does block [a] dominate block [b]? *)
+let dominates (t : t) (a : int) (b : int) : bool =
+  let rec walk x =
+    if x = a then true
+    else
+      match Hashtbl.find_opt t.idom x with
+      | None -> false
+      | Some d -> if d = x then x = a else walk d
+  in
+  walk b
+
+(** All blocks dominated by [a] (including [a] itself), among blocks
+    reachable from the entry. *)
+let dominated_by (t : t) (a : int) : int list =
+  Array.to_list t.rpo |> List.filter (fun b -> dominates t a b)

@@ -1,0 +1,133 @@
+(** Three-address-code IR produced by decompiling EVM bytecode.
+
+    This is our stand-in for the Gigahorse decompiler's "functional
+    3-address code representation of an EVM bytecode program" (§5): the
+    input language of the Datalog-level analysis. Stack juggling
+    ([PUSH]/[DUP]/[SWAP]/[POP]) disappears; every remaining operation
+    defines at most one variable; block-boundary stack merges become
+    phi variables. *)
+
+module U = Ethainter_word.Uint256
+module Op = Ethainter_evm.Opcode
+
+(** Variables are value names, SSA-like by construction: a [Vdef] is
+    the unique result of the instruction at a bytecode offset, a [Vphi]
+    merges incoming stack entries at a block boundary, a [Vunk] stands
+    for a stack entry below the statically-known portion of the entry
+    stack. *)
+type var =
+  | Vdef of int          (** result of instruction at this pc *)
+  | Vphi of int * int    (** (block entry pc, stack position) *)
+  | Vunk of int * int    (** unknown entry-stack slot (block, depth) *)
+
+let var_to_string = function
+  | Vdef pc -> Printf.sprintf "v%d" pc
+  | Vphi (b, i) -> Printf.sprintf "phi%d_%d" b i
+  | Vunk (b, i) -> Printf.sprintf "unk%d_%d" b i
+
+module VarSet = Set.Make (struct
+  type t = var
+  let compare = compare
+end)
+
+module VarMap = Map.Make (struct
+  type t = var
+  let compare = compare
+end)
+
+(** TAC operations: real EVM opcodes (minus stack manipulation),
+    constants, and phis. *)
+type top =
+  | TOp of Op.t
+  | TConst of U.t
+  | TPhi
+
+type stmt = {
+  s_pc : int;            (** bytecode offset *)
+  s_block : int;         (** entry pc of the containing block *)
+  s_op : top;
+  s_args : var list;     (** operands in EVM pop order *)
+  s_res : var option;
+  s_sha3_args : var list option;
+      (** for SHA3: the variables whose concatenation is hashed, when
+          the memory region could be resolved (scratch-space hashing of
+          mapping keys); [None] when unresolved *)
+}
+
+type block = {
+  b_entry : int;
+  b_stmts : stmt list;
+  b_succs : int list;
+  b_preds : int list;
+}
+
+type program = {
+  p_blocks : (int, block) Hashtbl.t;
+  p_entry : int;
+  p_def : (var, stmt) Hashtbl.t;           (** defining statement *)
+  p_consts : (var, U.t list) Hashtbl.t;    (** possible constant values
+                                               (bounded set; singleton =
+                                               proper constant) *)
+  p_phi_args : (var, VarSet.t) Hashtbl.t;  (** phi var -> merged vars *)
+  p_orphans : (int, unit) Hashtbl.t;
+      (** blocks decompiled speculatively, with no path from the entry
+          (no public entry point reaches them) *)
+  p_code_size : int;
+}
+
+let is_orphan_block p e = Hashtbl.mem p.p_orphans e
+
+let blocks p = Hashtbl.fold (fun _ b acc -> b :: acc) p.p_blocks []
+
+let block p entry = Hashtbl.find_opt p.p_blocks entry
+
+let stmts p =
+  blocks p |> List.concat_map (fun b -> b.b_stmts)
+
+let def p v = Hashtbl.find_opt p.p_def v
+
+(** The single constant value of [v], if it has exactly one. *)
+let const_of p v =
+  match Hashtbl.find_opt p.p_consts v with
+  | Some [ c ] -> Some c
+  | _ -> None
+
+(** All possible constant values known for [v] (empty = none known). *)
+let const_set p v =
+  match Hashtbl.find_opt p.p_consts v with Some l -> l | None -> []
+
+let phi_args p v =
+  match Hashtbl.find_opt p.p_phi_args v with
+  | Some s -> VarSet.elements s
+  | None -> []
+
+let op_name = function
+  | TOp o -> Op.name o
+  | TConst _ -> "CONST"
+  | TPhi -> "PHI"
+
+let pp_stmt fmt (s : stmt) =
+  let res = match s.s_res with
+    | Some v -> var_to_string v ^ " = "
+    | None -> "" in
+  let args = String.concat ", " (List.map var_to_string s.s_args) in
+  match s.s_op with
+  | TConst c ->
+      Format.fprintf fmt "%4d: %s%s" s.s_pc res (U.to_hex c)
+  | _ -> Format.fprintf fmt "%4d: %s%s(%s)" s.s_pc res (op_name s.s_op) args
+
+let pp_program fmt (p : program) =
+  let bs = blocks p |> List.sort (fun a b -> compare a.b_entry b.b_entry) in
+  List.iter
+    (fun b ->
+      Format.fprintf fmt "block %d  (succs: %s)@."
+        b.b_entry
+        (String.concat "," (List.map string_of_int b.b_succs));
+      List.iter (fun s -> Format.fprintf fmt "  %a@." pp_stmt s) b.b_stmts)
+    bs
+
+let to_string p = Format.asprintf "%a" pp_program p
+
+(** Count of three-address statements — the paper reports corpus size
+    in "lines of 3-address code". *)
+let loc p = List.length (stmts p)

@@ -1,0 +1,1 @@
+lib/word/hex.ml: Buffer Char Printf String

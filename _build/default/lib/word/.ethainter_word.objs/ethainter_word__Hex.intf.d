@@ -1,0 +1,1 @@
+lib/word/hex.mli:

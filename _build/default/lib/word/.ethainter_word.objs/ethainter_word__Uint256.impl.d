@@ -1,0 +1,1 @@
+lib/word/uint256.ml: Array Buffer Bytes Char Format Int64 Printf String

@@ -1,0 +1,1 @@
+lib/word/uint256.mli: Format

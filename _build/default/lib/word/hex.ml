@@ -1,0 +1,43 @@
+(** Hex string <-> raw byte string conversions used throughout the
+    EVM toolchain (bytecode files, calldata, addresses). *)
+
+let digit_val c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg (Printf.sprintf "Hex.decode: bad digit %C" c)
+
+let strip_prefix s =
+  if String.length s >= 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then
+    String.sub s 2 (String.length s - 2)
+  else s
+
+(** Decode a hex string (with or without [0x] prefix, whitespace
+    tolerated) into raw bytes. *)
+let decode s =
+  let s = strip_prefix s in
+  let buf = Buffer.create (String.length s / 2) in
+  let pending = ref (-1) in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\n' | '\t' | '\r' -> ()
+      | _ ->
+          let v = digit_val c in
+          if !pending < 0 then pending := v
+          else begin
+            Buffer.add_char buf (Char.chr ((!pending lsl 4) lor v));
+            pending := -1
+          end)
+    s;
+  if !pending >= 0 then invalid_arg "Hex.decode: odd number of digits";
+  Buffer.contents buf
+
+(** Encode raw bytes as a lowercase hex string without prefix. *)
+let encode s =
+  let buf = Buffer.create (String.length s * 2) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let encode0x s = "0x" ^ encode s

@@ -1,0 +1,16 @@
+(** Hex string <-> raw byte string conversions used throughout the EVM
+    toolchain (bytecode files, calldata, addresses). *)
+
+val decode : string -> string
+(** Decode hex (with or without [0x] prefix; whitespace tolerated) into
+    raw bytes.
+    @raise Invalid_argument on bad digits or odd length. *)
+
+val encode : string -> string
+(** Lowercase hex, no prefix. *)
+
+val encode0x : string -> string
+(** Lowercase hex with a [0x] prefix. *)
+
+val strip_prefix : string -> string
+val digit_val : char -> int

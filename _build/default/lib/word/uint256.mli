@@ -1,0 +1,142 @@
+(** 256-bit unsigned integers with EVM (mod 2^256) semantics.
+
+    The EVM word type. All arithmetic wraps modulo 2^256, matching the
+    Yellow-Paper semantics of [ADD], [MUL], [SUB], etc. Signed
+    operations ([sdiv], [smod], [slt], ...) interpret words as
+    two's-complement. Division and modulo by zero return zero (EVM
+    convention), they do not raise. *)
+
+type t
+
+val zero : t
+val one : t
+val max_value : t
+
+(** {1 Construction} *)
+
+val make : int64 -> int64 -> int64 -> int64 -> t
+(** [make l0 l1 l2 l3] builds a word from four little-endian 64-bit
+    limbs ([l0] least significant). *)
+
+val of_int : int -> t
+(** @raise Invalid_argument on negative input. *)
+
+val of_int64 : int64 -> t
+(** Interprets the argument as unsigned. *)
+
+val of_string : string -> t
+(** Accepts [0x]-prefixed hex or decimal. *)
+
+val of_hex : string -> t
+val of_decimal : string -> t
+
+val of_bytes : string -> t
+(** Big-endian bytes; shorter strings are left-padded with zeros,
+    longer ones keep their last 32 bytes. *)
+
+val of_bool : bool -> t
+(** [true] is [one], [false] is [zero] (EVM comparison results). *)
+
+(** {1 Inspection} *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Unsigned total order. *)
+
+val is_zero : t -> bool
+val to_bool : t -> bool
+(** Truthiness per [JUMPI]: anything nonzero is true. *)
+
+val is_neg : t -> bool
+(** Top bit set (negative as two's-complement). *)
+
+val hash : t -> int
+val limb : int -> t -> int64
+val num_bits : t -> int
+(** Position of the highest set bit plus one; 0 for zero. *)
+
+val bit : t -> int -> bool
+val fits_int : t -> bool
+val to_int : t -> int
+(** @raise Invalid_argument when the value exceeds [max_int]. *)
+
+val to_int_opt : t -> int option
+val to_int64_trunc : t -> int64
+(** Low 64 bits. *)
+
+(** {1 Conversion} *)
+
+val to_bytes : t -> string
+(** Exactly 32 big-endian bytes (the EVM memory/storage format). *)
+
+val to_hex : t -> string
+(** Minimal [0x...] form. *)
+
+val to_hex_padded : t -> string
+(** Always 64 hex digits. *)
+
+val to_decimal : t -> string
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** {1 Arithmetic (mod 2^256)} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val neg : t -> t
+val succ : t -> t
+val pred : t -> t
+
+val divmod : t -> t -> t * t
+(** [(quotient, remainder)]; both zero when the divisor is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+val exp : t -> t -> t
+(** Square-and-multiply; wraps naturally. [exp zero zero = one]. *)
+
+val addmod : t -> t -> t -> t
+(** [(a + b) mod m] computed at 512-bit intermediate precision. *)
+
+val mulmod : t -> t -> t -> t
+(** [(a * b) mod m] computed at 512-bit intermediate precision. *)
+
+(** {1 Signed operations (two's-complement)} *)
+
+val sdiv : t -> t -> t
+(** Truncates toward zero, per EVM [SDIV]. *)
+
+val smod : t -> t -> t
+(** Result takes the dividend's sign, per EVM [SMOD]. *)
+
+val slt : t -> t -> bool
+val sgt : t -> t -> bool
+val signextend : t -> t -> t
+(** [signextend b x]: sign-extend [x] from the byte at position [b]
+    (EVM [SIGNEXTEND]). *)
+
+(** {1 Comparisons (unsigned)} *)
+
+val lt : t -> t -> bool
+val gt : t -> t -> bool
+val le : t -> t -> bool
+val ge : t -> t -> bool
+
+(** {1 Bitwise} *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+(** Logical shift. *)
+
+val shift_right_arith : t -> int -> t
+(** Arithmetic shift (EVM [SAR]). *)
+
+val set_bit : t -> int -> t
+val byte : t -> t -> t
+(** [byte i x]: the [i]-th byte of [x] counting from the most
+    significant (EVM [BYTE]); zero when [i > 31]. *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Ethainter_core Ethainter_corpus Ethainter_minisol List String

@@ -1,0 +1,1 @@
+test/test_chain.ml: Alcotest Ethainter_chain Ethainter_evm Ethainter_minisol Ethainter_word List Printf

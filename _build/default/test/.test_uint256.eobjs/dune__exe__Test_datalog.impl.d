@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Ethainter_datalog Hashtbl List Printf QCheck QCheck_alcotest String

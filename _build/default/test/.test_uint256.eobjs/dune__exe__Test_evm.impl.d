@@ -1,0 +1,1 @@
+test/test_evm.ml: Alcotest Ethainter_crypto Ethainter_evm Ethainter_word Hashtbl List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Ethainter_core Ethainter_experiments List Printf

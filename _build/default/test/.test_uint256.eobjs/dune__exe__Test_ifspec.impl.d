@@ -1,0 +1,1 @@
+test/test_ifspec.ml: Alcotest Ethainter_ifspec List

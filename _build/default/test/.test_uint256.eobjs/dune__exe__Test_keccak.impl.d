@@ -1,0 +1,1 @@
+test/test_keccak.ml: Alcotest Ethainter_crypto Ethainter_word Gen Hashtbl List Printf QCheck QCheck_alcotest String

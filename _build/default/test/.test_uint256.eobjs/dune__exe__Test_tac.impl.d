@@ -1,0 +1,1 @@
+test/test_tac.ml: Alcotest Ethainter_evm Ethainter_minisol Ethainter_tac Ethainter_word List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_uint256.ml: Alcotest Ethainter_word Int64 List QCheck QCheck_alcotest String

@@ -1,0 +1,440 @@
+(* End-to-end tests of the Ethainter core analysis over compiled
+   MiniSol contracts: every §3 vulnerability, safe counterparts, the
+   §2 composite escalation, sink inference, and the ablation configs. *)
+
+module P = Ethainter_core.Pipeline
+module V = Ethainter_core.Vulns
+module C = Ethainter_core.Config
+
+let analyze ?cfg src =
+  P.analyze_runtime ?cfg (Ethainter_minisol.Codegen.compile_source_runtime src)
+
+let flags ?cfg src k = P.flags (analyze ?cfg src) k
+
+let check_flag msg src k expected =
+  Alcotest.(check bool) msg expected (flags src k)
+
+(* ---------- §3.1 tainted owner variable ---------- *)
+
+let src_tainted_owner = {|
+contract C {
+  address owner;
+  function initOwner(address o) public { owner = o; }
+  function kill() public { if (msg.sender == owner) { selfdestruct(owner); } }
+}|}
+
+let src_safe_owner = {|
+contract C {
+  address owner;
+  constructor() { owner = msg.sender; }
+  function setOwner(address o) public { require(msg.sender == owner); owner = o; }
+  function kill() public { require(msg.sender == owner); selfdestruct(owner); }
+}|}
+
+let test_tainted_owner () =
+  check_flag "3.1 flags tainted owner" src_tainted_owner V.TaintedOwnerVariable
+    true;
+  check_flag "3.1 escalates to accessible sd" src_tainted_owner
+    V.AccessibleSelfdestruct true;
+  check_flag "safe owner clean (tainted owner)" src_safe_owner
+    V.TaintedOwnerVariable false;
+  check_flag "safe owner clean (accessible sd)" src_safe_owner
+    V.AccessibleSelfdestruct false
+
+(* ---------- §3.2 tainted delegatecall ---------- *)
+
+let test_tainted_delegatecall () =
+  check_flag "3.2 flags"
+    {|contract C { function migrate(address d) public { delegatecall(d); } }|}
+    V.TaintedDelegatecall true;
+  check_flag "guarded delegatecall clean"
+    {|contract C {
+        address owner;
+        constructor() { owner = msg.sender; }
+        function migrate(address d) public {
+          require(msg.sender == owner);
+          delegatecall(d);
+        } }|}
+    V.TaintedDelegatecall false;
+  check_flag "constant target clean"
+    {|contract C {
+        function fwd() public { delegatecall(0x1234); } }|}
+    V.TaintedDelegatecall false
+
+(* ---------- §3.3 accessible selfdestruct ---------- *)
+
+let test_accessible_selfdestruct () =
+  check_flag "3.3 flags"
+    {|contract C {
+        address b;
+        constructor() { b = msg.sender; }
+        function kill() public { selfdestruct(b); } }|}
+    V.AccessibleSelfdestruct true;
+  check_flag "guarded kill clean" src_safe_owner V.AccessibleSelfdestruct false
+
+(* ---------- §3.4 tainted selfdestruct ---------- *)
+
+let src_tainted_beneficiary = {|
+contract C {
+  address owner;
+  address administrator;
+  constructor() { owner = msg.sender; }
+  function initAdmin(address a) public { administrator = a; }
+  function kill() public {
+    if (msg.sender == owner) { selfdestruct(administrator); }
+  }
+}|}
+
+let test_tainted_selfdestruct () =
+  let r = analyze src_tainted_beneficiary in
+  Alcotest.(check bool) "3.4 flags tainted sd" true
+    (P.flags r V.TaintedSelfdestruct);
+  (* crucially: the selfdestruct is NOT accessible (the owner guard
+     holds; only the beneficiary is tainted) *)
+  Alcotest.(check bool) "3.4 does not flag accessible sd" false
+    (P.flags r V.AccessibleSelfdestruct)
+
+(* ---------- §3.5 unchecked tainted staticcall ---------- *)
+
+let test_staticcall () =
+  check_flag "3.5 unchecked flags"
+    {|contract C { function v(address w) public { staticcall_unchecked(w); } }|}
+    V.UncheckedTaintedStaticcall true;
+  check_flag "3.5 checked clean"
+    {|contract C { function v(address w) public { staticcall_checked(w); } }|}
+    V.UncheckedTaintedStaticcall false
+
+(* ---------- §2 composite ---------- *)
+
+let src_victim = {|
+contract Victim {
+  mapping(address => bool) admins;
+  mapping(address => bool) users;
+  address owner;
+  modifier onlyAdmins { require(admins[msg.sender]); _; }
+  modifier onlyUsers { require(users[msg.sender]); _; }
+  constructor() { owner = msg.sender; }
+  function registerSelf() public { users[msg.sender] = true; }
+  function referUser(address user) public onlyUsers { users[user] = true; }
+  function referAdmin(address adm) public onlyUsers { admins[adm] = true; }
+  function changeOwner(address o) public onlyAdmins { owner = o; }
+  function kill() public onlyAdmins { selfdestruct(owner); }
+}|}
+
+(* the corrected Victim: referAdmin is admin-guarded, closing the hole *)
+let src_victim_fixed = {|
+contract Victim {
+  mapping(address => bool) admins;
+  mapping(address => bool) users;
+  address owner;
+  modifier onlyAdmins { require(admins[msg.sender]); _; }
+  modifier onlyUsers { require(users[msg.sender]); _; }
+  constructor() { owner = msg.sender; admins[msg.sender] = true; }
+  function registerSelf() public { users[msg.sender] = true; }
+  function referUser(address user) public onlyUsers { users[user] = true; }
+  function referAdmin(address adm) public onlyAdmins { admins[adm] = true; }
+  function changeOwner(address o) public onlyAdmins { owner = o; }
+  function kill() public onlyAdmins { selfdestruct(owner); }
+}|}
+
+let test_composite_victim () =
+  let r = analyze src_victim in
+  Alcotest.(check bool) "victim: accessible sd" true
+    (P.flags r V.AccessibleSelfdestruct);
+  Alcotest.(check bool) "victim: tainted sd" true
+    (P.flags r V.TaintedSelfdestruct);
+  (* reports carry the composite marker *)
+  Alcotest.(check bool) "composite marker" true
+    (List.exists (fun rep -> rep.V.r_composite) r.P.reports)
+
+let test_fixed_victim_clean () =
+  let r = analyze src_victim_fixed in
+  Alcotest.(check int) "fixed victim: no reports" 0 (List.length r.P.reports)
+
+(* registerSelf is the linchpin: remove it and the chain collapses *)
+let test_no_entry_no_escalation () =
+  let src = {|
+contract Victim {
+  mapping(address => bool) admins;
+  mapping(address => bool) users;
+  address owner;
+  modifier onlyAdmins { require(admins[msg.sender]); _; }
+  modifier onlyUsers { require(users[msg.sender]); _; }
+  constructor() { owner = msg.sender; }
+  function referUser(address user) public onlyUsers { users[user] = true; }
+  function referAdmin(address adm) public onlyUsers { admins[adm] = true; }
+  function changeOwner(address o) public onlyAdmins { owner = o; }
+  function kill() public onlyAdmins { selfdestruct(owner); }
+}|} in
+  let r = analyze src in
+  Alcotest.(check int) "no self-registration, no reports" 0
+    (List.length r.P.reports)
+
+(* ---------- sink inference (§4.5) ---------- *)
+
+let test_sink_inference_negative () =
+  (* stores to a slot never used in a sender guard are not owner sinks *)
+  let src = {|
+contract C {
+  uint256 counter;
+  address owner;
+  constructor() { owner = msg.sender; }
+  function bump(uint256 x) public { counter = x; }
+  function kill() public { require(msg.sender == owner); selfdestruct(owner); }
+}|} in
+  Alcotest.(check bool) "counter is not an owner variable" false
+    (flags src V.TaintedOwnerVariable)
+
+let test_membership_guard_not_sink () =
+  (* DS-membership guards (admins[msg.sender]) do not make the mapping
+     an owner sink per the §4.5 equality rule *)
+  let src = {|
+contract C {
+  mapping(address => bool) admins;
+  constructor() { admins[msg.sender] = true; }
+  function add(address a) public { require(admins[msg.sender]); admins[a] = true; }
+}|} in
+  Alcotest.(check bool) "membership base not flagged as owner var" false
+    (flags src V.TaintedOwnerVariable)
+
+(* ---------- memory taint (parameters travel via memory) ---------- *)
+
+let test_memory_taint_param_flow () =
+  (* the delegatecall target flows calldata -> memory slot -> MLOAD *)
+  Alcotest.(check bool) "param flow through memory" true
+    (flags
+       {|contract C {
+           function f(address d) public {
+             address copy = d;
+             delegatecall(copy);
+           } }|}
+       V.TaintedDelegatecall)
+
+(* ---------- orphan code ---------- *)
+
+let test_orphan_flagged () =
+  let src = {|
+contract C {
+  address owner;
+  constructor() { owner = msg.sender; }
+  function noop() public { }
+  function escape() private { selfdestruct(owner); }
+}|} in
+  let r = analyze src in
+  let sd_reports =
+    List.filter (fun rep -> rep.V.r_kind = V.AccessibleSelfdestruct) r.P.reports
+  in
+  Alcotest.(check bool) "orphan selfdestruct flagged" true (sd_reports <> []);
+  Alcotest.(check bool) "marked as no-public-entry" true
+    (List.for_all (fun rep -> rep.V.r_orphan) sd_reports)
+
+(* ---------- ablations ---------- *)
+
+let test_ablation_no_guards () =
+  (* without guard modeling even the safe owner contract is flagged *)
+  Alcotest.(check bool) "safe contract flagged without guard model" true
+    (flags ~cfg:C.no_guard_model src_safe_owner V.AccessibleSelfdestruct)
+
+let test_ablation_no_storage () =
+  (* without storage taint the composite escalation disappears... *)
+  Alcotest.(check bool) "victim invisible without storage modeling" false
+    (flags ~cfg:C.no_storage_model src_victim V.AccessibleSelfdestruct);
+  (* ...but direct single-transaction vulnerabilities remain *)
+  Alcotest.(check bool) "direct delegatecall still flagged" true
+    (flags ~cfg:C.no_storage_model
+       {|contract C { function m(address d) public { delegatecall(d); } }|}
+       V.TaintedDelegatecall)
+
+let test_ablation_conservative () =
+  (* raw pointer writes alias everything only under conservative mode *)
+  let src = {|
+contract C {
+  address owner;
+  uint256 ptr;
+  constructor() {
+    owner = msg.sender;
+    ptr = 99999999;
+  }
+  function setValue(uint256 v) public { assembly_sstore(assembly_sload(1), v); }
+  function kill() public { require(msg.sender == owner); selfdestruct(owner); }
+}|} in
+  Alcotest.(check bool) "default: precise, clean" false
+    (flags src V.AccessibleSelfdestruct);
+  Alcotest.(check bool) "conservative: flagged" true
+    (flags ~cfg:C.conservative src V.AccessibleSelfdestruct)
+
+(* ---------- report metadata ---------- *)
+
+let test_report_fields () =
+  let r = analyze src_tainted_owner in
+  List.iter
+    (fun rep ->
+      Alcotest.(check bool) "pc positive" true (rep.V.r_pc > 0);
+      Alcotest.(check bool) "report renders" true
+        (String.length (V.report_to_string rep) > 0))
+    r.P.reports;
+  Alcotest.(check bool) "pipeline counts stmts" true (r.P.tac_loc > 0);
+  Alcotest.(check bool) "pipeline counts blocks" true (r.P.blocks > 0)
+
+let test_timeout_handling () =
+  let runtime =
+    Ethainter_minisol.Codegen.compile_source_runtime src_victim
+  in
+  let r = P.analyze_runtime ~timeout_s:0.0 runtime in
+  Alcotest.(check bool) "zero budget times out" true r.P.timed_out
+
+(* The fixpoint must terminate on every corpus template (regression
+   guard against non-monotone rule changes). *)
+let test_fixpoint_terminates_everywhere () =
+  List.iter
+    (fun (t : Ethainter_corpus.Patterns.template) ->
+      let r =
+        P.analyze_runtime
+          (Ethainter_minisol.Codegen.compile_source_runtime
+             t.Ethainter_corpus.Patterns.t_source)
+      in
+      Alcotest.(check bool)
+        (t.Ethainter_corpus.Patterns.t_name ^ " rounds sane")
+        true
+        (r.P.analysis_rounds < 50))
+    Ethainter_corpus.Patterns.all_templates
+
+(* ---------- explanations ---------- *)
+
+module Ex = Ethainter_core.Explain
+
+let explanations src =
+  Ex.explain_runtime (Ethainter_minisol.Codegen.compile_source_runtime src)
+
+let test_explain_tainted_selfdestruct () =
+  let exps = explanations src_tainted_beneficiary in
+  let e =
+    List.find
+      (fun (e : Ex.explanation) ->
+        e.Ex.e_report.V.r_kind = V.TaintedSelfdestruct)
+      exps
+  in
+  (* the witness must show: input source, storage round-trip, sink *)
+  let has_step p = List.exists p e.Ex.e_steps in
+  Alcotest.(check bool) "starts at attacker input" true
+    (has_step (function Ex.SourceInput _ -> true | _ -> false));
+  Alcotest.(check bool) "passes into storage" true
+    (has_step (function Ex.IntoStorage _ -> true | _ -> false));
+  Alcotest.(check bool) "comes back out of storage" true
+    (has_step (function Ex.OutOfStorage _ -> true | _ -> false));
+  Alcotest.(check bool) "ends at the sink" true
+    (match List.rev e.Ex.e_steps with
+    | Ex.Sink _ :: _ -> true
+    | _ -> false)
+
+let test_explain_guard_defeat () =
+  let exps = explanations src_victim in
+  let e =
+    List.find
+      (fun (e : Ex.explanation) ->
+        e.Ex.e_report.V.r_kind = V.AccessibleSelfdestruct)
+      exps
+  in
+  Alcotest.(check bool) "names the defeated guard" true
+    (List.exists
+       (function Ex.GuardDefeated _ -> true | _ -> false)
+       e.Ex.e_steps);
+  (* explanations render *)
+  Alcotest.(check bool) "renders" true
+    (String.length (Ex.explanation_to_string e) > 0)
+
+let test_explain_every_report_has_sink () =
+  List.iter
+    (fun (t : Ethainter_corpus.Patterns.template) ->
+      let exps =
+        Ex.explain_runtime
+          (Ethainter_minisol.Codegen.compile_source_runtime
+             t.Ethainter_corpus.Patterns.t_source)
+      in
+      List.iter
+        (fun (e : Ex.explanation) ->
+          Alcotest.(check bool)
+            (t.Ethainter_corpus.Patterns.t_name ^ ": witness ends in sink")
+            true
+            (match List.rev e.Ex.e_steps with
+            | Ex.Sink _ :: _ -> true
+            | _ -> false))
+        exps)
+    Ethainter_corpus.Patterns.all_templates
+
+(* ---------- declarative / native agreement ---------- *)
+
+(* The Fig. 5 skeleton run on the Datalog engine must agree with the
+   native fixpoint on the selfdestruct/delegatecall verdicts, for every
+   corpus template. *)
+let test_datalog_native_agreement () =
+  List.iter
+    (fun (t : Ethainter_corpus.Patterns.template) ->
+      let runtime =
+        Ethainter_minisol.Codegen.compile_source_runtime
+          t.Ethainter_corpus.Patterns.t_source
+      in
+      let native = P.analyze_runtime runtime in
+      let decl = Ethainter_core.Datalog_frontend.analyze_runtime runtime in
+      let open Ethainter_core.Datalog_frontend in
+      Alcotest.(check bool)
+        (t.Ethainter_corpus.Patterns.t_name ^ ": accessible selfdestruct")
+        (P.flags native V.AccessibleSelfdestruct)
+        (decl.d_reachable_selfdestruct <> []);
+      Alcotest.(check bool)
+        (t.Ethainter_corpus.Patterns.t_name ^ ": tainted selfdestruct")
+        (P.flags native V.TaintedSelfdestruct)
+        (decl.d_tainted_selfdestruct <> []);
+      Alcotest.(check bool)
+        (t.Ethainter_corpus.Patterns.t_name ^ ": tainted delegatecall")
+        (P.flags native V.TaintedDelegatecall)
+        (decl.d_tainted_delegatecall <> []))
+    Ethainter_corpus.Patterns.all_templates
+
+let () =
+  Alcotest.run "analysis"
+    [ ( "primitives",
+        [ Alcotest.test_case "3.1 tainted owner" `Quick test_tainted_owner;
+          Alcotest.test_case "3.2 tainted delegatecall" `Quick
+            test_tainted_delegatecall;
+          Alcotest.test_case "3.3 accessible selfdestruct" `Quick
+            test_accessible_selfdestruct;
+          Alcotest.test_case "3.4 tainted selfdestruct" `Quick
+            test_tainted_selfdestruct;
+          Alcotest.test_case "3.5 staticcall" `Quick test_staticcall ] );
+      ( "composite",
+        [ Alcotest.test_case "victim escalation" `Quick test_composite_victim;
+          Alcotest.test_case "fixed victim clean" `Quick
+            test_fixed_victim_clean;
+          Alcotest.test_case "no entry, no escalation" `Quick
+            test_no_entry_no_escalation ] );
+      ( "sinks",
+        [ Alcotest.test_case "non-guard slot not a sink" `Quick
+            test_sink_inference_negative;
+          Alcotest.test_case "membership guard not a sink" `Quick
+            test_membership_guard_not_sink ] );
+      ( "flows",
+        [ Alcotest.test_case "memory taint" `Quick
+            test_memory_taint_param_flow;
+          Alcotest.test_case "orphan code" `Quick test_orphan_flagged ] );
+      ( "ablations",
+        [ Alcotest.test_case "no guard model" `Quick test_ablation_no_guards;
+          Alcotest.test_case "no storage model" `Quick
+            test_ablation_no_storage;
+          Alcotest.test_case "conservative storage" `Quick
+            test_ablation_conservative ] );
+      ( "infrastructure",
+        [ Alcotest.test_case "report fields" `Quick test_report_fields;
+          Alcotest.test_case "timeout" `Quick test_timeout_handling;
+          Alcotest.test_case "fixpoint terminates" `Quick
+            test_fixpoint_terminates_everywhere ] );
+      ( "explanations",
+        [ Alcotest.test_case "tainted selfdestruct witness" `Quick
+            test_explain_tainted_selfdestruct;
+          Alcotest.test_case "guard defeat named" `Quick
+            test_explain_guard_defeat;
+          Alcotest.test_case "every report explained" `Quick
+            test_explain_every_report_has_sink ] );
+      ( "declarative",
+        [ Alcotest.test_case "datalog/native agreement" `Slow
+            test_datalog_native_agreement ] ) ]

@@ -1,0 +1,200 @@
+(* Corpus tests: every template compiles, analyzes exactly per its
+   ground truth, and — the strongest check — the ground truth itself is
+   validated dynamically: templates marked exploitable are actually
+   destroyed by Kill, templates marked safe survive a full attack
+   sweep. The generator's determinism and uniqueness are also covered. *)
+
+module U = Ethainter_word.Uint256
+module T = Ethainter_chain.Testnet
+module P = Ethainter_core.Pipeline
+module V = Ethainter_core.Vulns
+module Pat = Ethainter_corpus.Patterns
+module G = Ethainter_corpus.Generator
+module K = Ethainter_kill.Kill
+
+let compile_template (t : Pat.template) =
+  Ethainter_minisol.Codegen.compile_source_runtime t.Pat.t_source
+
+(* static verdicts match ground truth exactly: flagged = vulnerable ∪
+   expected-FPs, for every kind and every template *)
+let test_static_matrix () =
+  List.iter
+    (fun (t : Pat.template) ->
+      let r = P.analyze_runtime (compile_template t) in
+      List.iter
+        (fun k ->
+          let expected =
+            List.mem k t.Pat.t_truth.Pat.vulnerable
+            || List.mem k t.Pat.t_truth.Pat.fp_for
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s / %s" t.Pat.t_name (V.kind_id k))
+            expected (P.flags r k))
+        V.all_kinds)
+    Pat.all_templates
+
+(* dynamic ground-truth validation via Ethainter-Kill *)
+let test_dynamic_exploitability () =
+  List.iter
+    (fun (t : Pat.template) ->
+      let truth = t.Pat.t_truth in
+      (* only meaningful where a selfdestruct claim exists either way *)
+      let net = T.create () in
+      let deployer = T.account_of_seed "deployer" in
+      let attacker = T.account_of_seed "attacker" in
+      T.fund_account net deployer (U.of_string "1000000000000000000");
+      T.fund_account net attacker (U.of_string "1000000000000000000");
+      let r =
+        T.deploy net ~from:deployer
+          (Ethainter_minisol.Codegen.compile_deploy
+             (Ethainter_minisol.Parser.parse t.Pat.t_source))
+      in
+      match r.T.created with
+      | None -> Alcotest.fail (t.Pat.t_name ^ ": deployment failed")
+      | Some victim ->
+          let reports =
+            (P.analyze_runtime
+               (Ethainter_evm.State.code (T.state net) victim))
+              .P.reports
+          in
+          (* force an attack attempt regardless of report kinds *)
+          let forced =
+            V.{ r_kind = AccessibleSelfdestruct; r_pc = 0; r_block = 0;
+                r_orphan = false; r_composite = false; r_note = "" }
+          in
+          let a =
+            K.attack net ~attacker ~victim
+              (if reports = [] then [ forced ] else reports)
+          in
+          if truth.Pat.exploitable_selfdestruct then
+            Alcotest.(check bool)
+              (t.Pat.t_name ^ ": marked exploitable, Kill must destroy it")
+              true
+              (a.K.a_outcome = K.Destroyed)
+          else
+            Alcotest.(check bool)
+              (t.Pat.t_name ^ ": marked safe, must survive the sweep")
+              true
+              (T.is_alive net victim))
+    Pat.all_templates
+
+let test_generator_deterministic () =
+  let c1 = G.mainnet ~seed:7 ~size:60 () in
+  let c2 = G.mainnet ~seed:7 ~size:60 () in
+  Alcotest.(check int) "same size" (List.length c1) (List.length c2);
+  List.iter2
+    (fun (a : G.instance) (b : G.instance) ->
+      Alcotest.(check string) "same name" a.G.i_name b.G.i_name;
+      Alcotest.(check string) "same bytecode"
+        (Ethainter_word.Hex.encode a.G.i_runtime)
+        (Ethainter_word.Hex.encode b.G.i_runtime))
+    c1 c2;
+  let c3 = G.mainnet ~seed:8 ~size:60 () in
+  Alcotest.(check bool) "different seed differs" true
+    (List.exists2
+       (fun (a : G.instance) (b : G.instance) ->
+         a.G.i_runtime <> b.G.i_runtime)
+       c1 c3)
+
+let test_generator_unique_bytecodes () =
+  let corpus = G.mainnet ~seed:3 ~size:120 () in
+  let tbl = Hashtbl.create 128 in
+  let dups = ref 0 in
+  List.iter
+    (fun (i : G.instance) ->
+      if Hashtbl.mem tbl i.G.i_runtime then incr dups
+      else Hashtbl.replace tbl i.G.i_runtime ())
+    corpus;
+  (* the filler injection makes duplicates rare; tolerate a handful *)
+  Alcotest.(check bool)
+    (Printf.sprintf "few duplicate bytecodes (%d)" !dups)
+    true
+    (!dups * 10 < List.length corpus)
+
+let test_generated_instances_compile_and_run () =
+  let corpus = G.mainnet ~seed:11 ~size:50 () in
+  List.iter
+    (fun (i : G.instance) ->
+      Alcotest.(check bool)
+        (i.G.i_name ^ " has bytecode")
+        true
+        (String.length i.G.i_runtime > 0);
+      (* every instance still matches its template's ground truth on
+         the vulnerable set (fillers must not add vulnerabilities) *)
+      let r = P.analyze_runtime i.G.i_runtime in
+      List.iter
+        (fun k ->
+          let expected =
+            G.truly_vulnerable i k || G.expected_fp i k
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s / %s" i.G.i_name (V.kind_id k))
+            expected (P.flags r k))
+        V.all_kinds)
+    corpus
+
+let test_balances_biased () =
+  (* the paper's observation: value concentrates in safe contracts *)
+  let corpus = G.mainnet ~seed:5 ~size:400 () in
+  let sum f =
+    List.fold_left
+      (fun acc (i : G.instance) ->
+        if f i then U.add acc i.G.i_eth_held else acc)
+      U.zero corpus
+  in
+  let safe_eth =
+    sum (fun i -> i.G.i_template.Pat.t_truth.Pat.vulnerable = [])
+  in
+  let vuln_eth =
+    sum (fun i -> i.G.i_template.Pat.t_truth.Pat.vulnerable <> [])
+  in
+  Alcotest.(check bool) "safe holds more" true (U.gt safe_eth vuln_eth)
+
+let test_ropsten_mix_denser () =
+  let ropsten = G.ropsten ~seed:1 ~size:200 () in
+  let mainnet = G.mainnet ~seed:1 ~size:200 () in
+  let vuln_count c =
+    List.length
+      (List.filter
+         (fun (i : G.instance) ->
+           i.G.i_template.Pat.t_truth.Pat.vulnerable <> [])
+         c)
+  in
+  Alcotest.(check bool) "testnet denser in vulnerable deployments" true
+    (vuln_count ropsten > vuln_count mainnet)
+
+let test_source_info () =
+  let corpus = G.mainnet ~seed:2 ~size:80 () in
+  let with_source =
+    List.filter (fun (i : G.instance) -> i.G.i_has_source) corpus
+  in
+  (* ~80% have verified source *)
+  Alcotest.(check bool) "majority verified" true
+    (List.length with_source * 10 > List.length corpus * 6);
+  List.iter
+    (fun (i : G.instance) ->
+      let si = G.source_info i in
+      match si.Ethainter_baselines.Securify2.src with
+      | Some s when i.G.i_has_source ->
+          Alcotest.(check bool) "source matches instance" true
+            (s = i.G.i_source)
+      | None when not i.G.i_has_source -> ()
+      | _ -> Alcotest.fail "source_info inconsistent")
+    corpus
+
+let () =
+  Alcotest.run "corpus"
+    [ ( "templates",
+        [ Alcotest.test_case "static matrix" `Quick test_static_matrix;
+          Alcotest.test_case "dynamic exploitability" `Slow
+            test_dynamic_exploitability ] );
+      ( "generator",
+        [ Alcotest.test_case "deterministic" `Quick
+            test_generator_deterministic;
+          Alcotest.test_case "unique bytecodes" `Quick
+            test_generator_unique_bytecodes;
+          Alcotest.test_case "instances analyze per truth" `Quick
+            test_generated_instances_compile_and_run;
+          Alcotest.test_case "balance bias" `Quick test_balances_biased;
+          Alcotest.test_case "ropsten density" `Quick test_ropsten_mix_denser;
+          Alcotest.test_case "source info" `Quick test_source_info ] ) ]

@@ -1,0 +1,215 @@
+(* Datalog engine tests: textbook programs (transitive closure,
+   same-generation), stratified negation, errors, and a differential
+   property against a reference reachability computation. *)
+
+module D = Ethainter_datalog.Datalog
+
+let sym = D.sym
+let v = D.v
+
+let edge_facts edges =
+  ("edge", List.map (fun (a, b) -> [| D.Sym a; D.Sym b |]) edges)
+
+let tc_program () =
+  let p = D.create () in
+  D.declare p "edge" 2;
+  D.declare p "path" 2;
+  D.add_rule p ("path", [ v "x"; v "y" ]) [ D.Pos ("edge", [ v "x"; v "y" ]) ];
+  D.add_rule p
+    ("path", [ v "x"; v "z" ])
+    [ D.Pos ("path", [ v "x"; v "y" ]); D.Pos ("edge", [ v "y"; v "z" ]) ];
+  p
+
+let test_transitive_closure () =
+  let p = tc_program () in
+  let db = D.solve p [ edge_facts [ ("a", "b"); ("b", "c"); ("c", "d") ] ] in
+  Alcotest.(check int) "path count" 6 (D.size db "path");
+  Alcotest.(check bool) "a->d" true
+    (D.mem db "path" [| D.Sym "a"; D.Sym "d" |]);
+  Alcotest.(check bool) "no d->a" false
+    (D.mem db "path" [| D.Sym "d"; D.Sym "a" |])
+
+let test_cycle () =
+  let p = tc_program () in
+  let db = D.solve p [ edge_facts [ ("a", "b"); ("b", "a") ] ] in
+  (* terminates on cycles; all 4 pairs derivable *)
+  Alcotest.(check int) "cycle closure" 4 (D.size db "path")
+
+let test_same_generation () =
+  let p = D.create () in
+  D.declare p "parent" 2;
+  D.declare p "sg" 2;
+  (* siblings *)
+  D.add_rule p
+    ("sg", [ v "x"; v "y" ])
+    [ D.Pos ("parent", [ v "p"; v "x" ]); D.Pos ("parent", [ v "p"; v "y" ]) ];
+  (* same generation via parents *)
+  D.add_rule p
+    ("sg", [ v "x"; v "y" ])
+    [ D.Pos ("parent", [ v "px"; v "x" ]);
+      D.Pos ("sg", [ v "px"; v "py" ]);
+      D.Pos ("parent", [ v "py"; v "y" ]) ];
+  let facts =
+    [ ( "parent",
+        [ [| D.Sym "root"; D.Sym "a" |]; [| D.Sym "root"; D.Sym "b" |];
+          [| D.Sym "a"; D.Sym "a1" |]; [| D.Sym "b"; D.Sym "b1" |] ] ) ]
+  in
+  let db = D.solve p facts in
+  Alcotest.(check bool) "cousins same generation" true
+    (D.mem db "sg" [| D.Sym "a1"; D.Sym "b1" |]);
+  Alcotest.(check bool) "different generations" false
+    (D.mem db "sg" [| D.Sym "a"; D.Sym "b1" |])
+
+let test_negation_stratified () =
+  (* unreachable(x) :- node(x), !reach(x) *)
+  let p = D.create () in
+  D.declare p "edge" 2;
+  D.declare p "node" 1;
+  D.declare p "reach" 1;
+  D.declare p "unreachable" 1;
+  D.add_rule p ("reach", [ sym "start" ]) [];
+  D.add_rule p
+    ("reach", [ v "y" ])
+    [ D.Pos ("reach", [ v "x" ]); D.Pos ("edge", [ v "x"; v "y" ]) ];
+  D.add_rule p
+    ("unreachable", [ v "x" ])
+    [ D.Pos ("node", [ v "x" ]); D.Neg ("reach", [ v "x" ]) ];
+  let db =
+    D.solve p
+      [ edge_facts [ ("start", "m"); ("m", "n") ];
+        ("node",
+         [ [| D.Sym "start" |]; [| D.Sym "m" |]; [| D.Sym "n" |];
+           [| D.Sym "island" |] ]) ]
+  in
+  Alcotest.(check int) "one unreachable" 1 (D.size db "unreachable");
+  Alcotest.(check bool) "island" true
+    (D.mem db "unreachable" [| D.Sym "island" |])
+
+let test_unstratifiable_rejected () =
+  (* p(x) :- q(x), !p(x) — negation in a cycle *)
+  let p = D.create () in
+  D.declare p "q" 1;
+  D.declare p "p" 1;
+  D.add_rule p ("p", [ v "x" ])
+    [ D.Pos ("q", [ v "x" ]); D.Neg ("p", [ v "x" ]) ];
+  match D.solve p [ ("q", [ [| D.Sym "a" |] ]) ] with
+  | exception D.Datalog_error _ -> ()
+  | _ -> Alcotest.fail "unstratifiable program must be rejected"
+
+let test_arity_checks () =
+  let p = D.create () in
+  D.declare p "r" 2;
+  (match D.add_rule p ("r", [ v "x" ]) [] with
+  | exception D.Datalog_error _ -> ()
+  | _ -> Alcotest.fail "arity mismatch in head");
+  match D.solve p [ ("r", [ [| D.Sym "a" |] ]) ] with
+  | exception D.Datalog_error _ -> ()
+  | _ -> Alcotest.fail "arity mismatch in facts"
+
+let test_undeclared_rejected () =
+  let p = D.create () in
+  D.declare p "r" 1;
+  match D.add_rule p ("r", [ v "x" ]) [ D.Pos ("nope", [ v "x" ]) ] with
+  | exception D.Datalog_error _ -> ()
+  | _ -> Alcotest.fail "undeclared relation must be rejected"
+
+let test_filter_and_bind () =
+  (* double(x, y) :- n(x), y := 2x, y < 10 *)
+  let p = D.create () in
+  D.declare p "n" 1;
+  D.declare p "double" 2;
+  D.add_rule p
+    ("double", [ v "x"; v "y" ])
+    [ D.Pos ("n", [ v "x" ]);
+      D.Bind
+        ( "y", [ "x" ],
+          function [ D.Int i ] -> Some (D.Int (2 * i)) | _ -> None );
+      D.Filter ([ "y" ], function [ D.Int y ] -> y < 10 | _ -> false) ];
+  let db =
+    D.solve p [ ("n", [ [| D.Int 2 |]; [| D.Int 3 |]; [| D.Int 7 |] ]) ]
+  in
+  Alcotest.(check int) "two pass the filter" 2 (D.size db "double");
+  Alcotest.(check bool) "2 -> 4" true (D.mem db "double" [| D.Int 2; D.Int 4 |]);
+  Alcotest.(check bool) "7 filtered out" false
+    (D.mem db "double" [| D.Int 7; D.Int 14 |])
+
+let test_constants_in_rules () =
+  let p = tc_program () in
+  D.declare p "from_a" 1;
+  D.add_rule p ("from_a", [ v "y" ]) [ D.Pos ("path", [ sym "a"; v "y" ]) ];
+  let db = D.solve p [ edge_facts [ ("a", "b"); ("b", "c"); ("z", "w") ] ] in
+  Alcotest.(check int) "only a's targets" 2 (D.size db "from_a")
+
+(* differential property: Datalog TC = reference DFS reachability on
+   random graphs *)
+let prop_tc_matches_dfs =
+  let gen_edges =
+    QCheck.Gen.(
+      list_size (int_bound 30)
+        (pair (int_bound 8) (int_bound 8)))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"TC matches DFS reachability" ~count:60
+       (QCheck.make gen_edges ~print:(fun es ->
+            String.concat ";"
+              (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) es)))
+       (fun edges ->
+         let name i = "n" ^ string_of_int i in
+         let p = tc_program () in
+         let db =
+           D.solve p
+             [ edge_facts (List.map (fun (a, b) -> (name a, name b)) edges) ]
+         in
+         (* reference: DFS from each node *)
+         let adj = Hashtbl.create 16 in
+         List.iter
+           (fun (a, b) ->
+             Hashtbl.replace adj a
+               (b :: (try Hashtbl.find adj a with Not_found -> [])))
+           edges;
+         let reachable_from a =
+           let seen = Hashtbl.create 8 in
+           let rec dfs x =
+             List.iter
+               (fun y ->
+                 if not (Hashtbl.mem seen y) then begin
+                   Hashtbl.replace seen y ();
+                   dfs y
+                 end)
+               (try Hashtbl.find adj x with Not_found -> [])
+           in
+           dfs a;
+           seen
+         in
+         let nodes =
+           List.sort_uniq compare
+             (List.concat_map (fun (a, b) -> [ a; b ]) edges)
+         in
+         List.for_all
+           (fun a ->
+             let ref_set = reachable_from a in
+             List.for_all
+               (fun b ->
+                 D.mem db "path" [| D.Sym (name a); D.Sym (name b) |]
+                 = Hashtbl.mem ref_set b)
+               nodes)
+           nodes))
+
+let () =
+  Alcotest.run "datalog"
+    [ ( "engine",
+        [ Alcotest.test_case "transitive closure" `Quick
+            test_transitive_closure;
+          Alcotest.test_case "cycles terminate" `Quick test_cycle;
+          Alcotest.test_case "same generation" `Quick test_same_generation;
+          Alcotest.test_case "stratified negation" `Quick
+            test_negation_stratified;
+          Alcotest.test_case "unstratifiable rejected" `Quick
+            test_unstratifiable_rejected;
+          Alcotest.test_case "arity checks" `Quick test_arity_checks;
+          Alcotest.test_case "undeclared rejected" `Quick
+            test_undeclared_rejected;
+          Alcotest.test_case "filter and bind" `Quick test_filter_and_bind;
+          Alcotest.test_case "constants in rules" `Quick
+            test_constants_in_rules ] );
+      ("properties", [ prop_tc_matches_dfs ]) ]

@@ -1,0 +1,139 @@
+(* Shape tests for the experiment harness: each §6 reproduction must
+   exhibit the qualitative relationships the paper reports, at reduced
+   scale so the suite stays fast. *)
+
+module E = Ethainter_experiments.Experiments
+module V = Ethainter_core.Vulns
+
+let find_row rows k =
+  List.find (fun (r : E.t1_row) -> r.E.t1_kind = k) rows
+
+let test_t1_shape () =
+  let rows, total = E.t1_flagged ~size:400 () in
+  Alcotest.(check bool) "corpus materialized" true (total > 300);
+  List.iter
+    (fun (r : E.t1_row) ->
+      Alcotest.(check bool)
+        (V.kind_name r.E.t1_kind ^ " flagged minority")
+        true
+        (r.E.t1_pct < 10.0))
+    rows;
+  (* staticcall is the rarest class (recent opcode, §6.2) *)
+  let sc = find_row rows V.UncheckedTaintedStaticcall in
+  List.iter
+    (fun (r : E.t1_row) ->
+      if r.E.t1_kind <> V.UncheckedTaintedStaticcall then
+        Alcotest.(check bool) "staticcall rarest" true
+          (sc.E.t1_count <= r.E.t1_count))
+    rows
+
+let test_f6_precision_shape () =
+  let r = E.f6_precision ~size:2600 ~sample:30 () in
+  Alcotest.(check bool) "sampled enough" true (r.E.f6_sample >= 15);
+  Alcotest.(check bool)
+    (Printf.sprintf "precision in the paper's regime (%.1f%%)"
+       r.E.f6_precision)
+    true
+    (r.E.f6_precision >= 65.0 && r.E.f6_precision <= 95.0);
+  Alcotest.(check bool) "composite TPs present" true (r.E.f6_composite_tps > 0)
+
+let test_s1_securify_shape () =
+  let r = E.s1_securify ~size:200 () in
+  (* Securify flags the vast majority; precision near zero *)
+  Alcotest.(check bool) "high flag rate" true (r.E.s1_flag_rate > 50.0);
+  Alcotest.(check bool) "low precision" true
+    (r.E.s1_tp * 4 <= r.E.s1_sample);
+  Alcotest.(check bool) "several violations each" true
+    (r.E.s1_avg_findings >= 2.0)
+
+let test_f7_securify2_shape () =
+  let r = E.f7_securify2 ~size:250 () in
+  let row name =
+    List.find (fun (x : E.f7_row) -> x.E.f7_vuln = name) r.E.f7_rows
+  in
+  let sd = row "accessible selfdestruct" in
+  let uw = row "tainted owner var. / unr. write" in
+  let dc = row "tainted delegatecall" in
+  (* Ethainter reports at least as many selfdestructs, more TPs *)
+  Alcotest.(check bool) "ethainter >= securify2 on selfdestruct" true
+    (sd.E.f7_eth_reports >= sd.E.f7_s2_reports);
+  (* Securify2 floods unrestricted-write with low precision *)
+  Alcotest.(check bool) "securify2 floods writes" true
+    (uw.E.f7_s2_reports > 4 * uw.E.f7_eth_reports);
+  (* the inline-assembly blind spot *)
+  Alcotest.(check bool) "securify2 misses delegatecall" true
+    (dc.E.f7_s2_tp <= dc.E.f7_eth_tp)
+
+let test_te_teether_shape () =
+  let r = E.te_teether ~size:250 () in
+  (* Ethainter finds strictly more accessible selfdestructs *)
+  Alcotest.(check bool) "ethainter flags more" true
+    (r.E.te_eth_flags > r.E.te_teether_flags);
+  (* teEther's exploit-backed flags are inside Ethainter's set *)
+  Alcotest.(check bool) "teether subset of ethainter" true
+    (r.E.te_overlap = r.E.te_teether_flags)
+
+let test_e1_kill_shape () =
+  let r = E.e1_kill ~size:80 () in
+  Alcotest.(check bool) "some contracts flagged" true (r.E.e1_flagged > 0);
+  Alcotest.(check bool) "some destroyed" true (r.E.e1_destroyed > 0);
+  Alcotest.(check bool) "destroyed <= pinpointed <= flagged" true
+    (r.E.e1_destroyed <= r.E.e1_pinpointed
+    && r.E.e1_pinpointed <= r.E.e1_flagged);
+  (* a minority of flags convert to automated kills (paper: 16.7%) *)
+  Alcotest.(check bool) "kill rate is a minority share" true
+    (r.E.e1_destroyed_pct_of_flagged < 60.0)
+
+let test_rq2_efficiency_shape () =
+  let r = E.rq2_efficiency ~size:150 () in
+  Alcotest.(check bool) "well under the 5s/contract budget" true
+    (r.E.rq2_avg_s < 1.0);
+  Alcotest.(check bool) "tac loc counted" true (r.E.rq2_tac_loc > 1000)
+
+let ratio rows k =
+  (List.find (fun (r : E.f8_row) -> r.E.f8_kind = k) rows).E.f8_ratio
+
+let test_f8a_completeness_drop () =
+  let rows = E.f8a ~size:400 () in
+  (* no storage modeling: strictly fewer tainted-selfdestruct reports *)
+  Alcotest.(check bool) "tainted sd drops" true
+    (ratio rows V.TaintedSelfdestruct < 1.0);
+  List.iter
+    (fun (r : E.f8_row) ->
+      Alcotest.(check bool)
+        (V.kind_name r.E.f8_kind ^ " does not grow")
+        true (r.E.f8_ratio <= 1.0))
+    rows
+
+let test_f8b_precision_drop () =
+  let rows = E.f8b ~size:400 () in
+  Alcotest.(check bool) "tainted sd inflates" true
+    (ratio rows V.TaintedSelfdestruct > 1.5);
+  Alcotest.(check bool) "tainted owner inflates" true
+    (ratio rows V.TaintedOwnerVariable > 1.5)
+
+let test_f8c_conservative_inflation () =
+  let rows = E.f8c ~size:400 () in
+  Alcotest.(check bool) "tainted sd inflates moderately" true
+    (ratio rows V.TaintedSelfdestruct > 1.0);
+  List.iter
+    (fun (r : E.f8_row) ->
+      Alcotest.(check bool)
+        (V.kind_name r.E.f8_kind ^ " never shrinks")
+        true (r.E.f8_ratio >= 1.0))
+    rows
+
+let () =
+  Alcotest.run "experiments"
+    [ ( "shapes",
+        [ Alcotest.test_case "T1 flagged percentages" `Slow test_t1_shape;
+          Alcotest.test_case "F6 precision" `Slow test_f6_precision_shape;
+          Alcotest.test_case "S1 securify" `Slow test_s1_securify_shape;
+          Alcotest.test_case "F7 securify2" `Slow test_f7_securify2_shape;
+          Alcotest.test_case "TE teether" `Slow test_te_teether_shape;
+          Alcotest.test_case "E1 kill campaign" `Slow test_e1_kill_shape;
+          Alcotest.test_case "RQ2 efficiency" `Slow test_rq2_efficiency_shape;
+          Alcotest.test_case "F8a no storage" `Slow test_f8a_completeness_drop;
+          Alcotest.test_case "F8b no guards" `Slow test_f8b_precision_drop;
+          Alcotest.test_case "F8c conservative" `Slow
+            test_f8c_conservative_inflation ] ) ]

@@ -1,0 +1,352 @@
+(* Tests for the Section-4 formal model: the Fig. 1 abstract language
+   and the literal Fig. 3 / Fig. 4 rules on the Datalog engine. Each
+   inference rule is exercised in isolation and in combination. *)
+
+module L = Ethainter_ifspec.Lang
+module R = Ethainter_ifspec.Rules
+
+let analyze src = R.analyze (L.parse src)
+
+let has l x = List.mem x l
+
+(* ---------- language / parser ---------- *)
+
+let test_parse_forms () =
+  let p =
+    L.parse
+      {|
+# a comment
+x := INPUT()
+c := CONST(42)
+s := OP(x, c)
+e := (sender = s)
+h := HASH(sender)
+g := GUARD(e, x)
+SSTORE(g, c)
+SLOAD(c, y)
+SINK(y)
+|}
+  in
+  Alcotest.(check int) "nine instructions" 9 (List.length p);
+  match L.validate p with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_ssa_violations () =
+  let bad = L.parse "x := INPUT()\nx := CONST(1)" in
+  (match L.validate bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "double definition must fail");
+  let undef = L.parse "SINK(ghost)" in
+  match L.validate undef with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "undefined use must fail"
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      match L.parse src with
+      | exception L.Parse_error _ -> ()
+      | _ -> Alcotest.fail ("should not parse: " ^ src))
+    [ "x := BOGUS(y)"; "x := CONST(notanum)"; "SSTORE(a)"; "x := " ]
+
+(* ---------- individual rules ---------- *)
+
+(* LoadInput + Violation *)
+let test_loadinput_violation () =
+  let r = analyze "x := INPUT()\nSINK(x)" in
+  Alcotest.(check bool) "x input-tainted" true (has r.R.input_tainted "x");
+  Alcotest.(check int) "violation at SINK" 1 (List.length r.R.violations)
+
+(* Operation propagation *)
+let test_operation_propagation () =
+  let r = analyze "x := INPUT()\nc := CONST(1)\ny := OP(x, c)\nz := OP(c, y)\nSINK(z)" in
+  Alcotest.(check bool) "z tainted through two ops" true
+    (has r.R.input_tainted "z");
+  Alcotest.(check int) "violation" 1 (List.length r.R.violations)
+
+(* Guard-2 with a sanitizing guard: input taint blocked *)
+let test_sanitizing_guard_blocks () =
+  let r =
+    analyze
+      {|
+slot := CONST(0)
+SLOAD(slot, z)
+p := (sender = z)
+x := INPUT()
+g := GUARD(p, x)
+SINK(g)
+|}
+  in
+  Alcotest.(check bool) "guard output clean" false (has r.R.input_tainted "g");
+  Alcotest.(check int) "no violation" 0 (List.length r.R.violations)
+
+(* Uguard-NDS: a guard comparing two non-sender values fails *)
+let test_uguard_nds () =
+  let r =
+    analyze
+      {|
+a := CONST(1)
+b := CONST(2)
+p := (a = b)
+x := INPUT()
+g := GUARD(p, x)
+SINK(g)
+|}
+  in
+  Alcotest.(check bool) "non-sender guard is non-sanitizing" true
+    (has r.R.non_san_guards "p");
+  Alcotest.(check int) "violation" 1 (List.length r.R.violations)
+
+(* Uguard-T: comparing sender against a *tainted* storage slot *)
+let test_uguard_t () =
+  let r =
+    analyze
+      {|
+evil := INPUT()
+slot := CONST(0)
+SSTORE(evil, slot)
+slot2 := CONST(0)
+SLOAD(slot2, z)
+p := (sender = z)
+x := INPUT()
+g := GUARD(p, x)
+SINK(g)
+|}
+  in
+  Alcotest.(check bool) "slot 0 tainted" true (has r.R.tainted_storage 0);
+  Alcotest.(check bool) "guard defeated (Uguard-T)" true
+    (has r.R.non_san_guards "p");
+  Alcotest.(check int) "violation" 1 (List.length r.R.violations)
+
+(* Guard-1: storage taint is NOT sanitized by guards *)
+let test_storage_taint_passes_guards () =
+  let r =
+    analyze
+      {|
+evil := INPUT()
+slot := CONST(7)
+SSTORE(evil, slot)
+slot2 := CONST(7)
+SLOAD(slot2, dirty)
+own := CONST(0)
+SLOAD(own, z)
+p := (sender = z)
+g := GUARD(p, dirty)
+SINK(g)
+|}
+  in
+  Alcotest.(check bool) "dirty is storage-tainted" true
+    (has r.R.storage_tainted "dirty");
+  Alcotest.(check bool) "storage taint passes the guard" true
+    (has r.R.storage_tainted "g");
+  Alcotest.(check int) "violation despite sanitizing guard" 1
+    (List.length r.R.violations)
+
+(* StorageWrite-1 + StorageLoad: taint through storage *)
+let test_storage_write_load () =
+  let r =
+    analyze
+      {|
+x := INPUT()
+t := CONST(3)
+SSTORE(x, t)
+f := CONST(3)
+SLOAD(f, y)
+SINK(y)
+|}
+  in
+  Alcotest.(check bool) "slot 3 tainted" true (has r.R.tainted_storage 3);
+  Alcotest.(check bool) "loaded var storage-tainted" true
+    (has r.R.storage_tainted "y");
+  Alcotest.(check int) "violation" 1 (List.length r.R.violations)
+
+(* StorageWrite-2: tainted value AND tainted address taints all slots *)
+let test_storage_write_2 () =
+  let r =
+    analyze
+      {|
+x := INPUT()
+a := INPUT()
+SSTORE(x, a)
+safe := CONST(9)
+other := CONST(5)
+SSTORE(safe, other)
+rd := CONST(5)
+SLOAD(rd, y)
+SINK(y)
+|}
+  in
+  (* slot 5 was written with an untainted constant, but the wild write
+     may have hit it *)
+  Alcotest.(check bool) "slot 5 conservatively tainted" true
+    (has r.R.tainted_storage 5);
+  Alcotest.(check int) "violation" 1 (List.length r.R.violations)
+
+(* without the tainted address, the same program is clean *)
+let test_storage_write_2_needs_tainted_addr () =
+  let r =
+    analyze
+      {|
+x := INPUT()
+a := CONST(1)
+SSTORE(x, a)
+rd := CONST(5)
+SLOAD(rd, y)
+SINK(y)
+|}
+  in
+  Alcotest.(check bool) "slot 5 untouched" false (has r.R.tainted_storage 5);
+  Alcotest.(check int) "no violation" 0 (List.length r.R.violations)
+
+(* ---------- Fig. 4: DS/DSA ---------- *)
+
+let test_ds_lookup_chain () =
+  let r =
+    analyze
+      {|
+h := HASH(sender)
+SLOAD(h, member)
+one := CONST(1)
+p := (member = one)
+x := INPUT()
+g := GUARD(p, x)
+SINK(g)
+|}
+  in
+  (* the guard scrutinizes a sender-keyed structure: sanitizing *)
+  Alcotest.(check bool) "DS-lookup guard sanitizes" false
+    (has r.R.non_san_guards "p");
+  Alcotest.(check int) "no violation" 0 (List.length r.R.violations)
+
+let test_dsa_nested_and_arith () =
+  let r =
+    analyze
+      {|
+h1 := HASH(sender)
+one := CONST(1)
+h2 := OP(h1, one)
+h3 := HASH(h2)
+SLOAD(h3, deep)
+p := (deep = one)
+x := INPUT()
+g := GUARD(p, x)
+SINK(g)
+|}
+  in
+  (* nested hash + address arithmetic still counts as sender scrutiny *)
+  Alcotest.(check bool) "nested DSA guard sanitizes" false
+    (has r.R.non_san_guards "p");
+  Alcotest.(check int) "no violation" 0 (List.length r.R.violations)
+
+let test_non_sender_hash_is_not_ds () =
+  let r =
+    analyze
+      {|
+c := CONST(42)
+h := HASH(c)
+SLOAD(h, entry)
+one := CONST(1)
+p := (entry = one)
+x := INPUT()
+g := GUARD(p, x)
+SINK(g)
+|}
+  in
+  Alcotest.(check bool) "hash of constant is not sender-keyed" true
+    (has r.R.non_san_guards "p");
+  Alcotest.(check int) "violation" 1 (List.length r.R.violations)
+
+(* ---------- §4.5 inferred sinks ---------- *)
+
+let test_inferred_sink () =
+  let r =
+    analyze
+      {|
+slot := CONST(0)
+SLOAD(slot, z)
+p := (sender = z)
+x := INPUT()
+g := GUARD(p, x)
+|}
+  in
+  Alcotest.(check bool) "owner variable inferred as sink" true
+    (has r.R.inferred_sinks "z")
+
+(* ---------- the composite escalation, §2 in miniature ---------- *)
+
+let test_composite_escalation () =
+  (* step 1: unguarded write taints the "admin" slot; step 2: the admin
+     guard stops sanitizing; step 3: taint reaches the sink through the
+     now-useless guard *)
+  let r =
+    analyze
+      {|
+attacker := INPUT()
+adminslot := CONST(1)
+SSTORE(attacker, adminslot)
+rd := CONST(1)
+SLOAD(rd, adm)
+p := (sender = adm)
+payload := INPUT()
+g := GUARD(p, payload)
+SINK(g)
+|}
+  in
+  Alcotest.(check bool) "guard tainted" true (has r.R.non_san_guards "p");
+  Alcotest.(check int) "escalated violation" 1 (List.length r.R.violations)
+
+let test_safe_composite_counterpart () =
+  (* identical but the admin slot is written from a constant: the guard
+     holds and the sink is protected *)
+  let r =
+    analyze
+      {|
+trusted := CONST(123)
+adminslot := CONST(1)
+SSTORE(trusted, adminslot)
+rd := CONST(1)
+SLOAD(rd, adm)
+p := (sender = adm)
+payload := INPUT()
+g := GUARD(p, payload)
+SINK(g)
+|}
+  in
+  Alcotest.(check bool) "guard intact" false (has r.R.non_san_guards "p");
+  Alcotest.(check int) "no violation" 0 (List.length r.R.violations)
+
+let () =
+  Alcotest.run "ifspec"
+    [ ( "language",
+        [ Alcotest.test_case "parse forms" `Quick test_parse_forms;
+          Alcotest.test_case "SSA validation" `Quick test_ssa_violations;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors ] );
+      ( "fig3-rules",
+        [ Alcotest.test_case "LoadInput/Violation" `Quick
+            test_loadinput_violation;
+          Alcotest.test_case "Operation-1/2" `Quick
+            test_operation_propagation;
+          Alcotest.test_case "sanitizing guard" `Quick
+            test_sanitizing_guard_blocks;
+          Alcotest.test_case "Uguard-NDS" `Quick test_uguard_nds;
+          Alcotest.test_case "Uguard-T" `Quick test_uguard_t;
+          Alcotest.test_case "Guard-1 (storage passes)" `Quick
+            test_storage_taint_passes_guards;
+          Alcotest.test_case "StorageWrite-1/StorageLoad" `Quick
+            test_storage_write_load;
+          Alcotest.test_case "StorageWrite-2" `Quick test_storage_write_2;
+          Alcotest.test_case "StorageWrite-2 needs tainted addr" `Quick
+            test_storage_write_2_needs_tainted_addr ] );
+      ( "fig4-rules",
+        [ Alcotest.test_case "DS lookup" `Quick test_ds_lookup_chain;
+          Alcotest.test_case "nested DSA + arith" `Quick
+            test_dsa_nested_and_arith;
+          Alcotest.test_case "non-sender hash" `Quick
+            test_non_sender_hash_is_not_ds ] );
+      ( "sec4.5",
+        [ Alcotest.test_case "inferred sink" `Quick test_inferred_sink ] );
+      ( "composite",
+        [ Alcotest.test_case "escalation" `Quick test_composite_escalation;
+          Alcotest.test_case "safe counterpart" `Quick
+            test_safe_composite_counterpart ] ) ]

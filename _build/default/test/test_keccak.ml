@@ -1,0 +1,103 @@
+(* Keccak-256 known-answer tests and properties. The digests below are
+   the standard published Keccak-256 (pre-NIST-padding) values used by
+   Ethereum. *)
+
+module K = Ethainter_crypto.Keccak
+module H = Ethainter_word.Hex
+module U = Ethainter_word.Uint256
+
+let hex_of s = H.encode (K.hash s)
+
+let test_known_vectors () =
+  Alcotest.(check string) "empty string"
+    "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+    (hex_of "");
+  Alcotest.(check string) "abc"
+    "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+    (hex_of "abc");
+  Alcotest.(check string) "quick brown fox"
+    "4d741b6f1eb29cb2a9b9911c82f56fa8d73b04959d3d9d222895df6c0b28aa15"
+    (hex_of "The quick brown fox jumps over the lazy dog")
+
+let test_selectors () =
+  (* canonical ERC-20 selectors *)
+  let sel s = H.encode (K.selector s) in
+  Alcotest.(check string) "transfer" "a9059cbb" (sel "transfer(address,uint256)");
+  Alcotest.(check string) "balanceOf" "70a08231" (sel "balanceOf(address)");
+  Alcotest.(check string) "approve" "095ea7b3" (sel "approve(address,uint256)");
+  Alcotest.(check string) "transferFrom" "23b872dd"
+    (sel "transferFrom(address,address,uint256)")
+
+let test_rate_boundaries () =
+  (* messages straddling the 136-byte rate must absorb correctly *)
+  List.iter
+    (fun n ->
+      let m = String.make n 'x' in
+      let h1 = K.hash m in
+      Alcotest.(check int) (Printf.sprintf "digest length (n=%d)" n) 32
+        (String.length h1);
+      (* determinism *)
+      Alcotest.(check string) (Printf.sprintf "deterministic (n=%d)" n)
+        (H.encode h1)
+        (H.encode (K.hash m)))
+    [ 0; 1; 135; 136; 137; 271; 272; 273; 1000 ]
+
+let test_distinct_inputs () =
+  (* neighbouring messages should never collide *)
+  let seen = Hashtbl.create 64 in
+  for i = 0 to 200 do
+    let h = K.hash (string_of_int i) in
+    Alcotest.(check bool)
+      (Printf.sprintf "no collision at %d" i)
+      false (Hashtbl.mem seen h);
+    Hashtbl.replace seen h ()
+  done
+
+let test_hash_word () =
+  (* hash_word interprets the digest big-endian *)
+  let w = K.hash_word "" in
+  Alcotest.(check string) "hash_word of empty"
+    "0xc5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+    (U.to_hex w)
+
+let test_mapping_slot () =
+  (* mapping_slot(key, slot) = keccak(pad32 key ++ pad32 slot) —
+     cross-check against a direct computation *)
+  let key = U.of_int 0xabc and slot = U.of_int 3 in
+  let direct = K.hash_word (U.to_bytes key ^ U.to_bytes slot) in
+  Alcotest.(check string) "mapping slot"
+    (U.to_hex direct)
+    (U.to_hex (K.mapping_slot ~key ~slot));
+  (* distinct keys hit distinct slots *)
+  Alcotest.(check bool) "key separation" false
+    (U.equal
+       (K.mapping_slot ~key:(U.of_int 1) ~slot)
+       (K.mapping_slot ~key:(U.of_int 2) ~slot));
+  (* distinct base slots separate too *)
+  Alcotest.(check bool) "slot separation" false
+    (U.equal
+       (K.mapping_slot ~key ~slot:(U.of_int 0))
+       (K.mapping_slot ~key ~slot:(U.of_int 1)))
+
+let prop name count arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+let properties =
+  [ prop "deterministic" 100 QCheck.(string_of_size (Gen.int_bound 500))
+      (fun s -> K.hash s = K.hash s);
+    prop "32-byte output" 100 QCheck.(string_of_size (Gen.int_bound 500))
+      (fun s -> String.length (K.hash s) = 32);
+    prop "prefix sensitivity" 100 QCheck.(string_of_size (Gen.int_bound 200))
+      (fun s -> K.hash s <> K.hash (s ^ "\x00"));
+  ]
+
+let () =
+  Alcotest.run "keccak"
+    [ ( "unit",
+        [ Alcotest.test_case "known vectors" `Quick test_known_vectors;
+          Alcotest.test_case "ERC-20 selectors" `Quick test_selectors;
+          Alcotest.test_case "rate boundaries" `Quick test_rate_boundaries;
+          Alcotest.test_case "no collisions" `Quick test_distinct_inputs;
+          Alcotest.test_case "hash_word" `Quick test_hash_word;
+          Alcotest.test_case "mapping slots" `Quick test_mapping_slot ] );
+      ("properties", properties) ]

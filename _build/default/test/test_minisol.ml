@@ -1,0 +1,418 @@
+(* MiniSol compiler tests: lexing, parsing, semantic checks, and —
+   most importantly — differential execution: compiled contracts must
+   behave per the source semantics when run on the EVM. *)
+
+module U = Ethainter_word.Uint256
+module T = Ethainter_chain.Testnet
+module MS = Ethainter_minisol
+
+let compile = MS.Codegen.compile_source
+
+(* deploy a source and return (net, owner-account, other-account, addr) *)
+let deploy_src src =
+  let net = T.create () in
+  let owner = T.account_of_seed "owner" in
+  let other = T.account_of_seed "other" in
+  T.fund_account net owner (U.of_string "1000000000000000000");
+  T.fund_account net other (U.of_string "1000000000000000000");
+  let r = T.deploy net ~from:owner (compile src) in
+  match r.T.created with
+  | Some addr -> (net, owner, other, addr)
+  | None -> Alcotest.fail "deployment failed"
+
+let word r =
+  match T.return_word r with
+  | Some v -> v
+  | None -> Alcotest.fail "expected return value"
+
+(* ---------- parsing ---------- *)
+
+let test_parse_basic () =
+  let c =
+    MS.Parser.parse
+      {|contract C { uint256 x; function f(uint256 a) public returns (uint256) { return a + x; } }|}
+  in
+  Alcotest.(check string) "name" "C" c.MS.Ast.cname;
+  Alcotest.(check int) "one state var" 1 (List.length c.MS.Ast.state_vars);
+  Alcotest.(check int) "one function" 1 (List.length c.MS.Ast.funcs)
+
+let test_parse_mapping_types () =
+  let c =
+    MS.Parser.parse
+      {|contract C { mapping(address => mapping(address => uint256)) m; }|}
+  in
+  match c.MS.Ast.state_vars with
+  | [ (_, MS.Ast.TMapping (MS.Ast.TAddress, MS.Ast.TMapping _)) ] -> ()
+  | _ -> Alcotest.fail "nested mapping type"
+
+let test_parse_precedence () =
+  (* 1 + 2 * 3 parses as 1 + (2*3); verified by evaluation below *)
+  let src = {|
+contract C { function f() public returns (uint256) { return 1 + 2 * 3; } }|} in
+  let net, owner, _, addr = deploy_src src in
+  let r = T.call_fn net ~from:owner ~to_:addr "f()" [] in
+  Alcotest.(check string) "precedence" "0x7" (U.to_hex (word r))
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      match MS.Parser.parse src with
+      | exception MS.Parser.Parse_error _ -> ()
+      | exception MS.Lexer.Lex_error _ -> ()
+      | _ -> Alcotest.fail ("should not parse: " ^ src))
+    [ "contract C {";
+      "contract C { function f( public {} }";
+      "contract C { uint256 }";
+      "contract { }";
+      "contract C { function f() public { 1 + ; } }" ]
+
+let test_typecheck_errors () =
+  List.iter
+    (fun (src, what) ->
+      match MS.Typecheck.check (MS.Parser.parse src) with
+      | exception MS.Typecheck.Type_error _ -> ()
+      | () -> Alcotest.fail ("typecheck should fail: " ^ what))
+    [ ( {|contract C { function f() public { x = 1; } }|},
+        "unbound variable" );
+      ( {|contract C { uint256 x; function f() public onlyY { x = 1; } }|},
+        "undefined modifier" );
+      ( {|contract C { function f() public returns (uint256) { return g(); } }|},
+        "undefined function" );
+      ( {|contract C { function f() public { _; } }|},
+        "placeholder outside modifier" );
+      ( {|contract C { modifier m { _; _; } function f() public m { } }|},
+        "two placeholders" );
+      ( {|contract C {
+            function f() public returns (uint256) { return g(); }
+            function g() public returns (uint256) { return f(); } }|},
+        "recursion" );
+      ( {|contract C { uint256 x; uint256 x; }|}, "duplicate state var" ) ]
+
+(* ---------- execution semantics ---------- *)
+
+let test_state_and_params () =
+  let src = {|
+contract C {
+  uint256 total;
+  function addTwice(uint256 a, uint256 b) public returns (uint256) {
+    total = total + a;
+    total = total + b;
+    return total;
+  }
+}|} in
+  let net, owner, _, addr = deploy_src src in
+  let r = T.call_fn net ~from:owner ~to_:addr "addTwice(uint256,uint256)"
+      [ U.of_int 3; U.of_int 4 ] in
+  Alcotest.(check string) "3+4" "0x7" (U.to_hex (word r));
+  let r2 = T.call_fn net ~from:owner ~to_:addr "addTwice(uint256,uint256)"
+      [ U.of_int 1; U.of_int 2 ] in
+  Alcotest.(check string) "accumulates" "0xa" (U.to_hex (word r2))
+
+let test_constructor_runs () =
+  let src = {|
+contract C {
+  address owner;
+  uint256 magic;
+  constructor() { owner = msg.sender; magic = 77; }
+  function getMagic() public returns (uint256) { return magic; }
+}|} in
+  let net, owner, _, addr = deploy_src src in
+  let r = T.call_fn net ~from:owner ~to_:addr "getMagic()" [] in
+  Alcotest.(check string) "ctor ran" "0x4d" (U.to_hex (word r))
+
+let test_require_and_guards () =
+  let src = {|
+contract C {
+  address owner;
+  uint256 v;
+  constructor() { owner = msg.sender; }
+  function set(uint256 x) public {
+    require(msg.sender == owner);
+    v = x;
+  }
+  function get() public returns (uint256) { return v; }
+}|} in
+  let net, owner, other, addr = deploy_src src in
+  Alcotest.(check bool) "owner can set" true
+    (T.succeeded (T.call_fn net ~from:owner ~to_:addr "set(uint256)" [ U.of_int 9 ]));
+  Alcotest.(check bool) "other cannot" false
+    (T.succeeded (T.call_fn net ~from:other ~to_:addr "set(uint256)" [ U.of_int 1 ]));
+  let r = T.call_fn net ~from:other ~to_:addr "get()" [] in
+  Alcotest.(check string) "value is owner's" "0x9" (U.to_hex (word r))
+
+let test_modifiers_compose () =
+  let src = {|
+contract C {
+  mapping(address => bool) vips;
+  uint256 n;
+  modifier onlyVip { require(vips[msg.sender]); _; }
+  constructor() { vips[msg.sender] = true; }
+  function bump() public onlyVip { n = n + 1; }
+  function get() public returns (uint256) { return n; }
+}|} in
+  let net, owner, other, addr = deploy_src src in
+  Alcotest.(check bool) "vip passes" true
+    (T.succeeded (T.call_fn net ~from:owner ~to_:addr "bump()" []));
+  Alcotest.(check bool) "non-vip blocked" false
+    (T.succeeded (T.call_fn net ~from:other ~to_:addr "bump()" []))
+
+let test_mappings_nested () =
+  let src = {|
+contract C {
+  mapping(address => mapping(address => uint256)) allowed;
+  function approve(address spender, uint256 x) public {
+    allowed[msg.sender][spender] = x;
+  }
+  function allowance(address o, address s) public returns (uint256) {
+    return allowed[o][s];
+  }
+}|} in
+  let net, owner, other, addr = deploy_src src in
+  ignore (T.call_fn net ~from:owner ~to_:addr "approve(address,uint256)"
+            [ other; U.of_int 555 ]);
+  let r = T.call_fn net ~from:other ~to_:addr "allowance(address,address)"
+      [ owner; other ] in
+  Alcotest.(check string) "nested mapping" "0x22b" (U.to_hex (word r));
+  (* unset entries read zero *)
+  let r0 = T.call_fn net ~from:owner ~to_:addr "allowance(address,address)"
+      [ other; owner ] in
+  Alcotest.(check string) "unset is zero" "0x0" (U.to_hex (word r0))
+
+let test_if_else_while () =
+  let src = {|
+contract C {
+  function collatzSteps(uint256 n) public returns (uint256) {
+    uint256 steps = 0;
+    uint256 x = n;
+    while (x != 1) {
+      if (x % 2 == 0) { x = x / 2; } else { x = 3 * x + 1; }
+      steps = steps + 1;
+    }
+    return steps;
+  }
+}|} in
+  let net, owner, _, addr = deploy_src src in
+  let steps n =
+    U.to_int (word (T.call_fn net ~from:owner ~to_:addr
+                      "collatzSteps(uint256)" [ U.of_int n ]))
+  in
+  Alcotest.(check int) "collatz 1" 0 (steps 1);
+  Alcotest.(check int) "collatz 6" 8 (steps 6);
+  Alcotest.(check int) "collatz 27" 111 (steps 27)
+
+let test_internal_calls () =
+  let src = {|
+contract C {
+  function double(uint256 x) private returns (uint256) { return x * 2; }
+  function quad(uint256 x) public returns (uint256) {
+    return double(double(x));
+  }
+  function mixed(uint256 x) public returns (uint256) {
+    uint256 a = double(x);
+    return a + double(x + 1);
+  }
+}|} in
+  let net, owner, _, addr = deploy_src src in
+  let call f args = word (T.call_fn net ~from:owner ~to_:addr f args) in
+  Alcotest.(check string) "quad" "0x14" (U.to_hex (call "quad(uint256)" [ U.of_int 5 ]));
+  Alcotest.(check string) "mixed: 2x + 2(x+1) for x=5" "0x16"
+    (U.to_hex (call "mixed(uint256)" [ U.of_int 5 ]))
+
+let test_private_not_dispatched () =
+  let src = {|
+contract C {
+  uint256 secret;
+  function setSecret(uint256 x) private { secret = x; }
+  function ok() public returns (uint256) { return 1; }
+}|} in
+  let net, owner, _, addr = deploy_src src in
+  let r = T.call_fn net ~from:owner ~to_:addr "setSecret(uint256)" [ U.of_int 1 ] in
+  Alcotest.(check bool) "private selector rejected" false (T.succeeded r);
+  Alcotest.(check bool) "public works" true
+    (T.succeeded (T.call_fn net ~from:owner ~to_:addr "ok()" []))
+
+let test_bool_logic () =
+  let src = {|
+contract C {
+  function test(uint256 a, uint256 b) public returns (bool) {
+    return (a < b && b < 100) || a == 42;
+  }
+}|} in
+  let net, owner, _, addr = deploy_src src in
+  let call a b =
+    U.to_int (word (T.call_fn net ~from:owner ~to_:addr
+                      "test(uint256,uint256)" [ U.of_int a; U.of_int b ]))
+  in
+  Alcotest.(check int) "true: 1<2<100" 1 (call 1 2);
+  Alcotest.(check int) "false: 5>3" 0 (call 5 3);
+  Alcotest.(check int) "true via ==42" 1 (call 42 3);
+  Alcotest.(check int) "false: b too big" 0 (call 1 200)
+
+let test_keccak_builtin () =
+  let src = {|
+contract C {
+  function h(uint256 x) public returns (uint256) { return keccak256(x); }
+}|} in
+  let net, owner, _, addr = deploy_src src in
+  let r = word (T.call_fn net ~from:owner ~to_:addr "h(uint256)" [ U.of_int 7 ]) in
+  Alcotest.(check string) "keccak matches library"
+    (U.to_hex (Ethainter_crypto.Keccak.hash_word (U.to_bytes (U.of_int 7))))
+    (U.to_hex r)
+
+let test_raw_storage_ops () =
+  let src = {|
+contract C {
+  function put(uint256 slot, uint256 v) public { assembly_sstore(slot, v); }
+  function getIt(uint256 slot) public returns (uint256) {
+    return assembly_sload(slot);
+  }
+}|} in
+  let net, owner, _, addr = deploy_src src in
+  ignore (T.call_fn net ~from:owner ~to_:addr "put(uint256,uint256)"
+            [ U.of_int 1234; U.of_int 88 ]);
+  let r = word (T.call_fn net ~from:owner ~to_:addr "getIt(uint256)" [ U.of_int 1234 ]) in
+  Alcotest.(check string) "raw roundtrip" "0x58" (U.to_hex r)
+
+let test_selfdestruct_stmt () =
+  let src = {|
+contract C {
+  address beneficiary;
+  constructor() { beneficiary = msg.sender; }
+  function kill() public { selfdestruct(beneficiary); }
+}|} in
+  let net, owner, _, addr = deploy_src src in
+  ignore (T.call_fn net ~from:owner ~to_:addr "kill()" []);
+  Alcotest.(check bool) "gone" false (T.is_alive net addr)
+
+(* storage layout: declaration order = slot order *)
+let test_storage_layout () =
+  let src = {|
+contract C {
+  uint256 a;
+  uint256 b;
+  uint256 c;
+  function setAll() public { a = 1; b = 2; c = 3; }
+}|} in
+  let net, owner, _, addr = deploy_src src in
+  ignore (T.call_fn net ~from:owner ~to_:addr "setAll()" []);
+  let slot i = Ethainter_evm.State.sload (T.state net) addr (U.of_int i) in
+  Alcotest.(check string) "slot0" "0x1" (U.to_hex (slot 0));
+  Alcotest.(check string) "slot1" "0x2" (U.to_hex (slot 1));
+  Alcotest.(check string) "slot2" "0x3" (U.to_hex (slot 2))
+
+(* mapping slot derivation matches the Solidity convention *)
+let test_mapping_slot_convention () =
+  let src = {|
+contract C {
+  uint256 pad;
+  mapping(address => uint256) m;
+  function put(uint256 v) public { m[msg.sender] = v; }
+}|} in
+  let net, owner, _, addr = deploy_src src in
+  ignore (T.call_fn net ~from:owner ~to_:addr "put(uint256)" [ U.of_int 99 ]);
+  let expected_slot =
+    Ethainter_crypto.Keccak.mapping_slot ~key:owner ~slot:(U.of_int 1)
+  in
+  Alcotest.(check string) "keccak(key . slot)" "0x63"
+    (U.to_hex (Ethainter_evm.State.sload (T.state net) addr expected_slot))
+
+let test_msg_value_and_balance () =
+  let src = {|
+contract Bank {
+  uint256 lastDeposit;
+  function deposit() public payable {
+    lastDeposit = msg.value;
+  }
+  function worth() public returns (uint256) {
+    return this.balance;
+  }
+}|} in
+  let net, owner, _, addr = deploy_src src in
+  ignore
+    (T.call_fn net ~from:owner ~to_:addr ~value:(U.of_int 12345) "deposit()" []);
+  let r = T.call_fn net ~from:owner ~to_:addr "worth()" [] in
+  Alcotest.(check string) "balance visible" "0x3039" (U.to_hex (word r));
+  Alcotest.(check string) "msg.value recorded" "0x3039"
+    (U.to_hex (Ethainter_evm.State.sload (T.state net) addr U.zero))
+
+let test_call_value_transfers () =
+  let src = {|
+contract Payout {
+  function pay(address to, uint256 amount) public payable {
+    call_value(to, amount);
+  }
+}|} in
+  let net, owner, other, addr = deploy_src src in
+  let before = Ethainter_evm.State.balance (T.state net) other in
+  ignore
+    (T.call_fn net ~from:owner ~to_:addr ~value:(U.of_int 500)
+       "pay(address,uint256)" [ other; U.of_int 500 ]);
+  let after = Ethainter_evm.State.balance (T.state net) other in
+  Alcotest.(check string) "funds forwarded" "0x1f4"
+    (U.to_hex (U.sub after before))
+
+let test_tx_origin () =
+  let src = {|
+contract O {
+  function whoStarted() public returns (address) { return tx.origin; }
+}|} in
+  let net, owner, _, addr = deploy_src src in
+  let r = T.call_fn net ~from:owner ~to_:addr "whoStarted()" [] in
+  Alcotest.(check string) "origin is the sender for a direct call"
+    (U.to_hex owner)
+    (U.to_hex (word r))
+
+(* differential property: compiled arithmetic expressions evaluate to
+   the Uint256 value *)
+let prop_compiled_arith =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"compiled (a*b+c)%m matches Uint256" ~count:30
+       QCheck.(triple (int_bound 100000) (int_bound 100000) (int_bound 100000))
+       (fun (a, b, c) ->
+         let src =
+           Printf.sprintf
+             {|contract C { function f() public returns (uint256) { return (%d * %d + %d) %% 65537; } }|}
+             a b c
+         in
+         let net, owner, _, addr = deploy_src src in
+         let r = word (T.call_fn net ~from:owner ~to_:addr "f()" []) in
+         let expected =
+           U.rem
+             (U.add (U.mul (U.of_int a) (U.of_int b)) (U.of_int c))
+             (U.of_int 65537)
+         in
+         U.equal r expected))
+
+let () =
+  Alcotest.run "minisol"
+    [ ( "front-end",
+        [ Alcotest.test_case "parse basic" `Quick test_parse_basic;
+          Alcotest.test_case "nested mapping type" `Quick
+            test_parse_mapping_types;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "typecheck errors" `Quick test_typecheck_errors ]
+      );
+      ( "execution",
+        [ Alcotest.test_case "state & params" `Quick test_state_and_params;
+          Alcotest.test_case "constructor" `Quick test_constructor_runs;
+          Alcotest.test_case "require guards" `Quick test_require_and_guards;
+          Alcotest.test_case "modifiers" `Quick test_modifiers_compose;
+          Alcotest.test_case "nested mappings" `Quick test_mappings_nested;
+          Alcotest.test_case "if/else/while" `Quick test_if_else_while;
+          Alcotest.test_case "internal calls" `Quick test_internal_calls;
+          Alcotest.test_case "private not dispatched" `Quick
+            test_private_not_dispatched;
+          Alcotest.test_case "boolean logic" `Quick test_bool_logic;
+          Alcotest.test_case "keccak builtin" `Quick test_keccak_builtin;
+          Alcotest.test_case "raw storage" `Quick test_raw_storage_ops;
+          Alcotest.test_case "selfdestruct" `Quick test_selfdestruct_stmt;
+          Alcotest.test_case "storage layout" `Quick test_storage_layout;
+          Alcotest.test_case "mapping slot convention" `Quick
+            test_mapping_slot_convention;
+          Alcotest.test_case "msg.value & balance" `Quick
+            test_msg_value_and_balance;
+          Alcotest.test_case "call_value transfers" `Quick
+            test_call_value_transfers;
+          Alcotest.test_case "tx.origin" `Quick test_tx_origin ] );
+      ("differential", [ prop_compiled_arith ]) ]

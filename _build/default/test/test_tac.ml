@@ -1,0 +1,271 @@
+(* Decompiler tests: block recovery, jump resolution, phi merging,
+   scratch-hash resolution, orphan recovery, and dominators. *)
+
+module U = Ethainter_word.Uint256
+module B = Ethainter_evm.Bytecode
+module Op = Ethainter_evm.Opcode
+module Tac = Ethainter_tac.Tac
+module D = Ethainter_tac.Decomp
+module Dom = Ethainter_tac.Dominators
+
+let decompile asm = D.decompile (B.assemble asm)
+
+let block_count p = List.length (Tac.blocks p)
+
+let has_op p op =
+  List.exists (fun s -> s.Tac.s_op = Tac.TOp op) (Tac.stmts p)
+
+let test_straightline () =
+  let p =
+    decompile
+      [ B.Push (U.of_int 1); B.Push (U.of_int 2); B.Op Op.ADD; B.Op Op.POP;
+        B.Op Op.STOP ]
+  in
+  Alcotest.(check int) "one block" 1 (block_count p);
+  Alcotest.(check bool) "has ADD" true (has_op p Op.ADD);
+  (* ADD's result var has no constant (we only fold selected cases
+     with both consts — here both are const so it folds) *)
+  let add_stmt =
+    List.find (fun s -> s.Tac.s_op = Tac.TOp Op.ADD) (Tac.stmts p)
+  in
+  match add_stmt.Tac.s_res with
+  | Some v ->
+      Alcotest.(check (option string)) "constant-folded"
+        (Some "0x3")
+        (Option.map U.to_hex (Tac.const_of p v))
+  | None -> Alcotest.fail "ADD has a result"
+
+let test_jump_resolution () =
+  let p =
+    decompile
+      [ B.PushLabel "target"; B.Op Op.JUMP; B.Op Op.STOP; B.Label "target";
+        B.Op Op.STOP ]
+  in
+  let entry = match Tac.block p 0 with Some b -> b | None -> assert false in
+  Alcotest.(check int) "one successor" 1 (List.length entry.Tac.b_succs);
+  (* the unreachable STOP between JUMP and the label forms its own
+     (unvisited or orphan-ineligible) block; entry's successor is the
+     JUMPDEST block *)
+  let succ = List.hd entry.Tac.b_succs in
+  match Tac.block p succ with
+  | Some b ->
+      Alcotest.(check bool) "successor starts with JUMPDEST" true
+        (List.exists (fun s -> s.Tac.s_op = Tac.TOp Op.JUMPDEST
+                               || s.Tac.s_block = succ)
+           b.Tac.b_stmts
+         || b.Tac.b_stmts = [])
+  | None -> Alcotest.fail "missing successor block"
+
+let test_jumpi_two_succs () =
+  let p =
+    decompile
+      [ B.Push U.one; B.PushLabel "yes"; B.Op Op.JUMPI; B.Op Op.STOP;
+        B.Label "yes"; B.Op Op.STOP ]
+  in
+  let entry = match Tac.block p 0 with Some b -> b | None -> assert false in
+  Alcotest.(check int) "two successors" 2 (List.length entry.Tac.b_succs)
+
+let test_phi_on_join () =
+  (* two paths push different constants, join and store *)
+  let asm =
+    [ B.Push U.one; B.PushLabel "a"; B.Op Op.JUMPI;
+      B.Push (U.of_int 10); B.PushLabel "join"; B.Op Op.JUMP;
+      B.Label "a"; B.Push (U.of_int 20); B.PushLabel "join"; B.Op Op.JUMP;
+      B.Label "join"; B.Push U.zero; B.Op Op.MSTORE; B.Op Op.STOP ]
+  in
+  let p = decompile asm in
+  (* the MSTORE's value operand must be a phi holding both constants *)
+  let mstore =
+    List.find (fun s -> s.Tac.s_op = Tac.TOp Op.MSTORE) (Tac.stmts p)
+  in
+  match mstore.Tac.s_args with
+  | [ _off; v ] ->
+      let consts = Tac.const_set p v |> List.map U.to_hex |> List.sort compare in
+      Alcotest.(check (list string)) "phi collects both" [ "0x14"; "0xa" ] consts
+  | _ -> Alcotest.fail "mstore args"
+
+let test_function_return_multi_caller () =
+  (* a "function" jumped to from two sites, returning via stack: both
+     return sites must be CFG successors of the callee's exit *)
+  let asm =
+    [ (* call 1 *)
+      B.PushLabel "ret1"; B.PushLabel "fn"; B.Op Op.JUMP; B.Label "ret1";
+      (* call 2 *)
+      B.PushLabel "ret2"; B.PushLabel "fn"; B.Op Op.JUMP; B.Label "ret2";
+      B.Op Op.STOP;
+      (* the function: just returns *)
+      B.Label "fn"; B.Op Op.JUMP ]
+  in
+  let p = decompile asm in
+  (* find the fn block: the one ending in JUMP whose target is a phi *)
+  let fn_block =
+    List.find
+      (fun b ->
+        match List.rev b.Tac.b_stmts with
+        | { Tac.s_op = Tac.TOp Op.JUMPDEST; _ } :: _ -> false
+        | { Tac.s_op = Tac.TOp Op.JUMP; s_args = [ t ]; _ } :: _ ->
+            List.length (Tac.const_set p t) = 2
+        | _ -> false)
+      (Tac.blocks p)
+  in
+  Alcotest.(check int) "both return sites are successors" 2
+    (List.length fn_block.Tac.b_succs)
+
+let test_sha3_args_resolved () =
+  (* the mapping-lookup idiom: MSTORE key, MSTORE slot, SHA3(0, 64) *)
+  let asm =
+    [ B.Op Op.CALLER; B.Push U.zero; B.Op Op.MSTORE;
+      B.Push (U.of_int 5); B.Push (U.of_int 32); B.Op Op.MSTORE;
+      B.Push (U.of_int 64); B.Push U.zero; B.Op Op.SHA3;
+      B.Op Op.POP; B.Op Op.STOP ]
+  in
+  let p = decompile asm in
+  let sha3 = List.find (fun s -> s.Tac.s_op = Tac.TOp Op.SHA3) (Tac.stmts p) in
+  match sha3.Tac.s_sha3_args with
+  | Some [ key; slot ] ->
+      (* key is the CALLER result; slot is the constant 5 *)
+      (match Tac.def p key with
+      | Some { Tac.s_op = Tac.TOp Op.CALLER; _ } -> ()
+      | _ -> Alcotest.fail "key should be CALLER");
+      Alcotest.(check (option string)) "slot const" (Some "0x5")
+        (Option.map U.to_hex (Tac.const_of p slot))
+  | _ -> Alcotest.fail "sha3 args unresolved"
+
+let test_orphan_recovery () =
+  (* code after STOP with a JUMPDEST: unreachable but decompiled *)
+  let asm =
+    [ B.Op Op.STOP; B.Label "orphan"; B.Op Op.CALLER; B.Op Op.SELFDESTRUCT ]
+  in
+  let p = decompile asm in
+  Alcotest.(check bool) "selfdestruct statement exists" true
+    (has_op p Op.SELFDESTRUCT);
+  let sd =
+    List.find (fun s -> s.Tac.s_op = Tac.TOp Op.SELFDESTRUCT) (Tac.stmts p)
+  in
+  Alcotest.(check bool) "marked orphan" true
+    (Tac.is_orphan_block p sd.Tac.s_block)
+
+let test_minisol_whole_contract () =
+  let runtime =
+    Ethainter_minisol.Codegen.compile_source_runtime
+      {|contract C {
+          mapping(address => uint256) m;
+          address owner;
+          constructor() { owner = msg.sender; }
+          function put(uint256 v) public { m[msg.sender] = v; }
+          function kill() public { require(msg.sender == owner); selfdestruct(owner); }
+        }|}
+  in
+  let p = D.decompile runtime in
+  (* every JUMP in a reachable block is resolved *)
+  List.iter
+    (fun b ->
+      if not (Tac.is_orphan_block p b.Tac.b_entry) then
+        match List.rev b.Tac.b_stmts with
+        | { Tac.s_op = Tac.TOp Op.JUMP; _ } :: _ ->
+            Alcotest.(check bool)
+              (Printf.sprintf "block %d jump resolved" b.Tac.b_entry)
+              true
+              (b.Tac.b_succs <> [])
+        | _ -> ())
+    (Tac.blocks p);
+  (* all SHA3s (mapping accesses) resolve their hashed arguments *)
+  List.iter
+    (fun s ->
+      if s.Tac.s_op = Tac.TOp Op.SHA3 then
+        Alcotest.(check bool) "sha3 resolved" true (s.Tac.s_sha3_args <> None))
+    (Tac.stmts p)
+
+let test_dominators_linear () =
+  let p =
+    decompile
+      [ B.Push U.one; B.PushLabel "b"; B.Op Op.JUMPI; B.Label "mid";
+        B.Op Op.STOP; B.Label "b"; B.Op Op.STOP ]
+  in
+  let doms = Dom.compute p in
+  (* entry dominates everything *)
+  List.iter
+    (fun b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "entry dominates %d" b.Tac.b_entry)
+        true
+        (Dom.dominates doms 0 b.Tac.b_entry))
+    (Tac.blocks p)
+
+let test_dominators_diamond () =
+  (* diamond: entry -> {left,right} -> join; neither branch dominates
+     the join, entry does *)
+  let asm =
+    [ B.Push U.one; B.PushLabel "right"; B.Op Op.JUMPI;
+      (* left *)
+      B.PushLabel "join"; B.Op Op.JUMP;
+      B.Label "right"; B.PushLabel "join"; B.Op Op.JUMP;
+      B.Label "join"; B.Op Op.STOP ]
+  in
+  let p = decompile asm in
+  let doms = Dom.compute p in
+  let join =
+    List.find
+      (fun b ->
+        List.exists (fun s -> s.Tac.s_op = Tac.TOp Op.STOP) b.Tac.b_stmts)
+      (Tac.blocks p)
+  in
+  (* either branch works: neither may dominate the join *)
+  let right =
+    List.find
+      (fun b ->
+        b.Tac.b_entry <> 0 && b.Tac.b_entry <> join.Tac.b_entry
+        && b.Tac.b_succs = [ join.Tac.b_entry ])
+      (Tac.blocks p)
+  in
+  Alcotest.(check bool) "entry dominates join" true
+    (Dom.dominates doms 0 join.Tac.b_entry);
+  Alcotest.(check bool) "branch does not dominate join" false
+    (Dom.dominates doms right.Tac.b_entry join.Tac.b_entry)
+
+let test_loc_counts () =
+  let p =
+    decompile [ B.Push U.one; B.Op Op.POP; B.Op Op.STOP ]
+  in
+  (* PUSH -> const stmt; POP -> nothing; STOP -> stmt *)
+  Alcotest.(check int) "loc" 2 (Tac.loc p)
+
+(* property: decompiling random straight-line stack programs neither
+   crashes nor loses the terminator *)
+let prop_random_straightline =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_bound 40)
+        (oneof
+           [ map (fun n -> B.Push (U.of_int (abs n))) int;
+             return (B.Op Op.ADD); return (B.Op Op.MUL);
+             return (B.Op (Op.DUP 1)); return (B.Op (Op.SWAP 1));
+             return (B.Op Op.POP); return (B.Op Op.CALLER);
+             return (B.Op Op.ISZERO) ]))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"random straightline decompiles" ~count:100
+       (QCheck.make gen)
+       (fun items ->
+         let asm = items @ [ B.Op Op.STOP ] in
+         let p = decompile asm in
+         has_op p Op.STOP))
+
+let () =
+  Alcotest.run "tac"
+    [ ( "decompiler",
+        [ Alcotest.test_case "straight line" `Quick test_straightline;
+          Alcotest.test_case "jump resolution" `Quick test_jump_resolution;
+          Alcotest.test_case "jumpi successors" `Quick test_jumpi_two_succs;
+          Alcotest.test_case "phi on join" `Quick test_phi_on_join;
+          Alcotest.test_case "multi-caller returns" `Quick
+            test_function_return_multi_caller;
+          Alcotest.test_case "sha3 args" `Quick test_sha3_args_resolved;
+          Alcotest.test_case "orphan recovery" `Quick test_orphan_recovery;
+          Alcotest.test_case "whole contract" `Quick
+            test_minisol_whole_contract;
+          Alcotest.test_case "loc" `Quick test_loc_counts ] );
+      ( "dominators",
+        [ Alcotest.test_case "linear" `Quick test_dominators_linear;
+          Alcotest.test_case "diamond" `Quick test_dominators_diamond ] );
+      ("properties", [ prop_random_straightline ]) ]

@@ -1,0 +1,286 @@
+(* Unit and property tests for the 256-bit word arithmetic. *)
+
+module U = Ethainter_word.Uint256
+module H = Ethainter_word.Hex
+
+let u = U.of_int
+let ustr = U.of_string
+let check_u msg a b = Alcotest.(check string) msg (U.to_hex a) (U.to_hex b)
+
+let max_u256 = U.max_value
+let two_255 = U.shift_left U.one 255
+
+(* ---------- unit tests ---------- *)
+
+let test_basic_constants () =
+  check_u "zero" U.zero (u 0);
+  check_u "one" U.one (u 1);
+  Alcotest.(check bool) "zero is zero" true (U.is_zero U.zero);
+  Alcotest.(check bool) "one not zero" false (U.is_zero U.one);
+  check_u "max+1 wraps" (U.add max_u256 U.one) U.zero
+
+let test_add_carry_chain () =
+  (* force carries across every limb boundary *)
+  let a = ustr "0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff" in
+  check_u "max + max" (U.add a a)
+    (ustr "0xfffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffe");
+  let b = ustr "0xffffffffffffffff" in
+  check_u "64-bit boundary carry" (U.add b U.one) (ustr "0x10000000000000000");
+  let c = ustr "0xffffffffffffffffffffffffffffffff" in
+  check_u "128-bit boundary carry" (U.add c U.one)
+    (ustr "0x100000000000000000000000000000000");
+  let d = ustr "0xffffffffffffffffffffffffffffffffffffffffffffffff" in
+  check_u "192-bit boundary carry" (U.add d U.one)
+    (ustr "0x1000000000000000000000000000000000000000000000000")
+
+let test_sub_borrow () =
+  check_u "0 - 1 wraps to max" (U.sub U.zero U.one) max_u256;
+  check_u "simple" (U.sub (u 1000) (u 1)) (u 999);
+  let b = ustr "0x10000000000000000" in
+  check_u "borrow across limb" (U.sub b U.one) (ustr "0xffffffffffffffff")
+
+let test_mul () =
+  check_u "small" (U.mul (u 1234) (u 5678)) (u (1234 * 5678));
+  check_u "by zero" (U.mul max_u256 U.zero) U.zero;
+  check_u "by one" (U.mul max_u256 U.one) max_u256;
+  (* (2^128)^2 = 2^256 = 0 mod 2^256 *)
+  let two_128 = U.shift_left U.one 128 in
+  check_u "2^128 squared wraps to 0" (U.mul two_128 two_128) U.zero;
+  (* (2^255) * 2 wraps *)
+  check_u "2^255 * 2 = 0" (U.mul two_255 (u 2)) U.zero;
+  (* max * max = 1 mod 2^256 *)
+  check_u "max*max" (U.mul max_u256 max_u256) U.one
+
+let test_divmod () =
+  let q, r = U.divmod (u 17) (u 5) in
+  check_u "17/5" q (u 3);
+  check_u "17%5" r (u 2);
+  check_u "div by zero is 0 (EVM)" (U.div (u 7) U.zero) U.zero;
+  check_u "mod by zero is 0 (EVM)" (U.rem (u 7) U.zero) U.zero;
+  let big = ustr "0xde0b6b3a7640000" (* 1e18 *) in
+  check_u "1e18 / 1e9" (U.div big (ustr "1000000000")) (ustr "1000000000")
+
+let test_decimal_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) ("decimal " ^ s) s (U.to_decimal (U.of_decimal s)))
+    [ "0"; "1"; "42"; "1000000000000000000";
+      "115792089237316195423570985008687907853269984665640564039457584007913129639935" ]
+
+let test_hex_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) ("hex " ^ s) s (U.to_hex (U.of_hex s)))
+    [ "0x0"; "0x1"; "0xdeadbeef";
+      "0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff" ]
+
+let test_bytes_roundtrip () =
+  let v = ustr "0x123456789abcdef0fedcba9876543210aabbccddeeff00112233445566778899" in
+  check_u "bytes roundtrip" (U.of_bytes (U.to_bytes v)) v;
+  Alcotest.(check int) "to_bytes length" 32 (String.length (U.to_bytes v));
+  (* short strings are left-padded *)
+  check_u "short bytes" (U.of_bytes "\x01\x02") (u 0x0102)
+
+let test_shifts () =
+  check_u "shl 4" (U.shift_left (u 0xf) 4) (u 0xf0);
+  check_u "shl 256 = 0" (U.shift_left max_u256 256) U.zero;
+  check_u "shr" (U.shift_right (u 0xf0) 4) (u 0xf);
+  check_u "shr 255 of 2^255" (U.shift_right two_255 255) U.one;
+  check_u "shl across limbs" (U.shift_left U.one 200)
+    (ustr ("0x1" ^ String.make 50 '0'));
+  (* sar: sign extension *)
+  check_u "sar of negative" (U.shift_right_arith max_u256 8) max_u256;
+  check_u "sar of positive" (U.shift_right_arith (u 256) 8) U.one
+
+let test_bitwise () =
+  check_u "and" (U.logand (u 0xff0f) (u 0x0fff)) (u 0x0f0f);
+  check_u "or" (U.logor (u 0xf000) (u 0x000f)) (u 0xf00f);
+  check_u "xor" (U.logxor (u 0xffff) (u 0x0ff0)) (u 0xf00f);
+  check_u "not zero" (U.lognot U.zero) max_u256
+
+let test_comparisons () =
+  Alcotest.(check bool) "lt" true (U.lt (u 1) (u 2));
+  Alcotest.(check bool) "unsigned: max > 1" true (U.gt max_u256 (u 1));
+  (* signed: max_u256 is -1 *)
+  Alcotest.(check bool) "slt: -1 < 1" true (U.slt max_u256 (u 1));
+  Alcotest.(check bool) "sgt: 1 > -1" true (U.sgt (u 1) max_u256);
+  Alcotest.(check bool) "slt: -2 < -1" true
+    (U.slt (U.sub U.zero (u 2)) (U.sub U.zero U.one))
+
+let test_signed_div () =
+  let neg x = U.neg (u x) in
+  check_u "sdiv -7 / 2 = -3 (trunc)" (U.sdiv (neg 7) (u 2)) (neg 3);
+  check_u "sdiv 7 / -2 = -3" (U.sdiv (u 7) (neg 2)) (neg 3);
+  check_u "sdiv -7 / -2 = 3" (U.sdiv (neg 7) (neg 2)) (u 3);
+  check_u "smod -7 % 2 = -1 (sign of dividend)" (U.smod (neg 7) (u 2)) (neg 1);
+  check_u "smod 7 % -2 = 1" (U.smod (u 7) (neg 2)) (u 1);
+  check_u "sdiv by zero" (U.sdiv (neg 7) U.zero) U.zero
+
+let test_exp () =
+  check_u "2^10" (U.exp (u 2) (u 10)) (u 1024);
+  check_u "x^0 = 1" (U.exp max_u256 U.zero) U.one;
+  check_u "0^0 = 1 (EVM)" (U.exp U.zero U.zero) U.one;
+  check_u "10^18" (U.exp (u 10) (u 18)) (ustr "1000000000000000000");
+  (* 2^256 wraps to 0 *)
+  check_u "2^256 = 0" (U.exp (u 2) (u 256)) U.zero
+
+let test_addmod_mulmod () =
+  check_u "addmod basic" (U.addmod (u 10) (u 10) (u 8)) (u 4);
+  check_u "addmod with wrap: (max + 2) mod 10" (U.addmod max_u256 (u 2) (u 10))
+    (* max = 2^256-1; 2^256+1 mod 10: 2^256 mod 10 = 6, so 7 *)
+    (u 7);
+  check_u "mulmod basic" (U.mulmod (u 10) (u 10) (u 8)) (u 4);
+  check_u "addmod by zero" (U.addmod (u 1) (u 1) U.zero) U.zero;
+  check_u "mulmod by zero" (U.mulmod (u 2) (u 2) U.zero) U.zero;
+  (* mulmod exceeding 256 bits: max * max mod (max) = 0 *)
+  check_u "max*max mod max" (U.mulmod max_u256 max_u256 max_u256) U.zero;
+  (* max * max mod (max-1): max = 1 mod (max-1), so result 1 *)
+  check_u "max*max mod (max-1)"
+    (U.mulmod max_u256 max_u256 (U.sub max_u256 U.one))
+    U.one
+
+let test_signextend_byte () =
+  (* sign-extend byte 0 of 0xff -> all ones *)
+  check_u "signextend 0 0xff" (U.signextend U.zero (u 0xff)) max_u256;
+  check_u "signextend 0 0x7f" (U.signextend U.zero (u 0x7f)) (u 0x7f);
+  check_u "signextend 1 0x80ff" (U.signextend U.one (u 0x80ff))
+    (U.logor (U.shift_left max_u256 16) (u 0x80ff));
+  (* BYTE: index from most significant *)
+  check_u "byte 31 is LSB" (U.byte (u 31) (u 0xab)) (u 0xab);
+  check_u "byte 30" (U.byte (u 30) (u 0xab00)) (u 0xab);
+  check_u "byte 0 of small value" (U.byte (u 0) (u 0xab)) U.zero;
+  check_u "byte out of range" (U.byte (u 32) max_u256) U.zero
+
+let test_num_bits () =
+  Alcotest.(check int) "bits of 0" 0 (U.num_bits U.zero);
+  Alcotest.(check int) "bits of 1" 1 (U.num_bits U.one);
+  Alcotest.(check int) "bits of 255" 8 (U.num_bits (u 255));
+  Alcotest.(check int) "bits of 256" 9 (U.num_bits (u 256));
+  Alcotest.(check int) "bits of max" 256 (U.num_bits max_u256)
+
+let test_hex_module () =
+  Alcotest.(check string) "decode/encode" "deadbeef"
+    (H.encode (H.decode "0xDEADBEEF"));
+  Alcotest.(check string) "empty" "" (H.encode (H.decode ""));
+  Alcotest.check_raises "odd digits" (Invalid_argument "Hex.decode: odd number of digits")
+    (fun () -> ignore (H.decode "0xabc"))
+
+(* ---------- properties ---------- *)
+
+let gen_u256 =
+  QCheck.Gen.(
+    map4
+      (fun a b c d -> U.make a b c d)
+      (map Int64.of_int int) (map Int64.of_int int) (map Int64.of_int int)
+      (map Int64.of_int int))
+
+let arb_u256 =
+  QCheck.make gen_u256 ~print:U.to_hex
+
+let prop name count arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+let properties =
+  [ prop "add commutative" 500
+      (QCheck.pair arb_u256 arb_u256)
+      (fun (a, b) -> U.equal (U.add a b) (U.add b a));
+    prop "add associative" 500
+      (QCheck.triple arb_u256 arb_u256 arb_u256)
+      (fun (a, b, c) ->
+        U.equal (U.add (U.add a b) c) (U.add a (U.add b c)));
+    prop "mul commutative" 300
+      (QCheck.pair arb_u256 arb_u256)
+      (fun (a, b) -> U.equal (U.mul a b) (U.mul b a));
+    prop "mul associative" 200
+      (QCheck.triple arb_u256 arb_u256 arb_u256)
+      (fun (a, b, c) ->
+        U.equal (U.mul (U.mul a b) c) (U.mul a (U.mul b c)));
+    prop "distributivity" 200
+      (QCheck.triple arb_u256 arb_u256 arb_u256)
+      (fun (a, b, c) ->
+        U.equal (U.mul a (U.add b c)) (U.add (U.mul a b) (U.mul a c)));
+    prop "sub inverse of add" 500
+      (QCheck.pair arb_u256 arb_u256)
+      (fun (a, b) -> U.equal (U.sub (U.add a b) b) a);
+    prop "neg involutive" 500 arb_u256 (fun a -> U.equal (U.neg (U.neg a)) a);
+    prop "divmod invariant: a = q*b + r, r < b" 300
+      (QCheck.pair arb_u256 arb_u256)
+      (fun (a, b) ->
+        if U.is_zero b then true
+        else
+          let q, r = U.divmod a b in
+          U.equal a (U.add (U.mul q b) r) && U.lt r b);
+    prop "shift_left/right by same amount" 300
+      (QCheck.pair arb_u256 QCheck.(int_bound 255))
+      (fun (a, n) ->
+        (* shifting left then right keeps the low (256-n) bits *)
+        let masked =
+          if n = 0 then a else U.logand a (U.sub (U.shift_left U.one (256 - n)) U.one)
+        in
+        U.equal (U.shift_right (U.shift_left a n) n) masked);
+    prop "shl n = mul 2^n" 300
+      (QCheck.pair arb_u256 QCheck.(int_bound 255))
+      (fun (a, n) ->
+        U.equal (U.shift_left a n) (U.mul a (U.exp (U.of_int 2) (U.of_int n))));
+    prop "compare total order vs decimal" 300
+      (QCheck.pair arb_u256 arb_u256)
+      (fun (a, b) ->
+        let c = U.compare a b in
+        let dc =
+          let da = U.to_decimal a and db = U.to_decimal b in
+          compare (String.length da, da) (String.length db, db)
+        in
+        (c < 0) = (dc < 0) && (c = 0) = (dc = 0));
+    prop "hex roundtrip" 300 arb_u256
+      (fun a -> U.equal (U.of_hex (U.to_hex a)) a);
+    prop "decimal roundtrip" 100 arb_u256
+      (fun a -> U.equal (U.of_decimal (U.to_decimal a)) a);
+    prop "bytes roundtrip" 300 arb_u256
+      (fun a -> U.equal (U.of_bytes (U.to_bytes a)) a);
+    prop "addmod matches add for small" 300
+      (QCheck.pair QCheck.(int_bound 100000) QCheck.(int_bound 100000))
+      (fun (a, b) ->
+        U.equal
+          (U.addmod (u a) (u b) (u 1000003))
+          (u ((a + b) mod 1000003)));
+    prop "mulmod matches mul for small" 300
+      (QCheck.pair QCheck.(int_bound 100000) QCheck.(int_bound 100000))
+      (fun (a, b) ->
+        U.equal
+          (U.mulmod (u a) (u b) (u 1000003))
+          (u (a * b mod 1000003)));
+    prop "lognot . lognot = id" 300 arb_u256
+      (fun a -> U.equal (U.lognot (U.lognot a)) a);
+    prop "de morgan" 300
+      (QCheck.pair arb_u256 arb_u256)
+      (fun (a, b) ->
+        U.equal
+          (U.lognot (U.logand a b))
+          (U.logor (U.lognot a) (U.lognot b)));
+    prop "slt antisymmetric-ish" 300
+      (QCheck.pair arb_u256 arb_u256)
+      (fun (a, b) ->
+        if U.equal a b then (not (U.slt a b)) && not (U.sgt a b)
+        else U.slt a b <> U.sgt a b);
+  ]
+
+let () =
+  Alcotest.run "uint256"
+    [ ( "unit",
+        [ Alcotest.test_case "constants" `Quick test_basic_constants;
+          Alcotest.test_case "add carries" `Quick test_add_carry_chain;
+          Alcotest.test_case "sub borrows" `Quick test_sub_borrow;
+          Alcotest.test_case "mul" `Quick test_mul;
+          Alcotest.test_case "divmod" `Quick test_divmod;
+          Alcotest.test_case "decimal roundtrip" `Quick test_decimal_roundtrip;
+          Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+          Alcotest.test_case "bytes roundtrip" `Quick test_bytes_roundtrip;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "bitwise" `Quick test_bitwise;
+          Alcotest.test_case "comparisons" `Quick test_comparisons;
+          Alcotest.test_case "signed division" `Quick test_signed_div;
+          Alcotest.test_case "exp" `Quick test_exp;
+          Alcotest.test_case "addmod/mulmod" `Quick test_addmod_mulmod;
+          Alcotest.test_case "signextend/byte" `Quick test_signextend_byte;
+          Alcotest.test_case "num_bits" `Quick test_num_bits;
+          Alcotest.test_case "hex module" `Quick test_hex_module ] );
+      ("properties", properties) ]
