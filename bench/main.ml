@@ -5,11 +5,18 @@
 
    Run with: dune exec bench/main.exe
    Fast mode (skip timing, print tables only):
-     dune exec bench/main.exe -- --tables-only *)
+     dune exec bench/main.exe -- --tables-only
+   Scaling comparison only (sequential-vs-parallel scheduler and
+   naive-vs-indexed Datalog joins, writes BENCH_pr1.json):
+     dune exec bench/main.exe -- --pr1-only *)
 
 open Bechamel
 open Toolkit
 module E = Ethainter_experiments.Experiments
+module P = Ethainter_core.Pipeline
+module S = Ethainter_core.Scheduler
+module D = Ethainter_datalog.Datalog
+module G = Ethainter_corpus.Generator
 
 (* Benchmarks run the analysis kernels at a reduced corpus size so a
    full Bechamel run stays in seconds; the printed tables below use the
@@ -91,12 +98,113 @@ let benchmark () =
         (List.sort compare rows))
     merged
 
-let () =
-  let tables_only = Array.exists (fun a -> a = "--tables-only") Sys.argv in
-  if not tables_only then begin
-    print_endline "Bechamel benchmarks (one per reproduced table/figure):";
-    benchmark ()
-  end;
+(* ------------------------------------------------------------------ *)
+(* PR1 scaling comparison: sequential vs parallel corpus analysis and  *)
+(* naive vs indexed Datalog joins, on seeded workloads, emitted as     *)
+(* machine-readable BENCH_pr1.json so later PRs have a trajectory.     *)
+(* ------------------------------------------------------------------ *)
+
+let time_best ?(reps = 3) (f : unit -> unit) : float =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    best := min !best (Unix.gettimeofday () -. t0)
+  done;
+  !best
+
+(* the indexed-join showcase: transitive closure over a seeded random
+   graph — every recursive step joins path against edge *)
+let tc_workload ~nodes ~edges =
+  let p = D.create () in
+  D.declare p "edge" 2;
+  D.declare p "path" 2;
+  D.add_rule p
+    ("path", [ D.v "x"; D.v "y" ])
+    [ D.Pos ("edge", [ D.v "x"; D.v "y" ]) ];
+  D.add_rule p
+    ("path", [ D.v "x"; D.v "z" ])
+    [ D.Pos ("path", [ D.v "x"; D.v "y" ]); D.Pos ("edge", [ D.v "y"; D.v "z" ]) ];
+  let state = ref 123456789 in
+  let rand n =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod n
+  in
+  let facts =
+    [ ( "edge",
+        List.init edges (fun _ ->
+            [| D.Sym (Printf.sprintf "n%d" (rand nodes));
+               D.Sym (Printf.sprintf "n%d" (rand nodes)) |]) ) ]
+  in
+  (p, facts)
+
+let bench_pr1 () =
   print_endline "";
-  print_endline "Reproduced tables and figures (full scale):";
-  E.run_all ()
+  print_endline "PR1 scaling comparison (scheduler + indexed joins):";
+  (* corpus analysis: sequential List.map vs the Domain worker pool *)
+  let corpus_size = 150 and corpus_seed = 42 in
+  let corpus = G.mainnet ~seed:corpus_seed ~size:corpus_size () in
+  let runtimes = List.map (fun (i : G.instance) -> i.G.i_runtime) corpus in
+  let workers = S.default_workers () in
+  let seq_s = time_best (fun () -> ignore (List.map P.analyze_runtime runtimes)) in
+  let par_s = time_best (fun () -> ignore (S.analyze_corpus ~workers runtimes)) in
+  let par_speedup = seq_s /. par_s in
+  Printf.printf
+    "  corpus (n=%d): sequential %.3f s, parallel %.3f s (%d workers) -> %.2fx\n"
+    corpus_size seq_s par_s workers par_speedup;
+  (* Datalog joins: naive full-relation scans vs hash indexes *)
+  let nodes = 250 and edges = 900 in
+  let p, facts = tc_workload ~nodes ~edges in
+  let naive_s = time_best (fun () -> ignore (D.solve ~indexed:false p facts)) in
+  let indexed_s = time_best (fun () -> ignore (D.solve ~indexed:true p facts)) in
+  let idx_speedup = naive_s /. indexed_s in
+  Printf.printf
+    "  datalog TC (%d nodes, %d edges): naive %.3f s, indexed %.3f s -> %.2fx\n"
+    nodes edges naive_s indexed_s idx_speedup;
+  let combined = par_speedup *. idx_speedup in
+  Printf.printf "  combined speedup: %.2fx\n" combined;
+  let oc = open_out "BENCH_pr1.json" in
+  Printf.fprintf oc
+    {|{
+  "pr": 1,
+  "machine_cores": %d,
+  "scheduler": {
+    "corpus_size": %d,
+    "corpus_seed": %d,
+    "workers": %d,
+    "sequential_s": %.6f,
+    "parallel_s": %.6f,
+    "speedup": %.4f
+  },
+  "datalog_joins": {
+    "workload": "transitive_closure",
+    "nodes": %d,
+    "edges": %d,
+    "naive_s": %.6f,
+    "indexed_s": %.6f,
+    "speedup": %.4f
+  },
+  "combined_speedup": %.4f
+}
+|}
+    (Domain.recommended_domain_count ())
+    corpus_size corpus_seed workers seq_s par_s par_speedup
+    nodes edges naive_s indexed_s idx_speedup combined;
+  close_out oc;
+  print_endline "  wrote BENCH_pr1.json"
+
+let () =
+  let has f = Array.exists (fun a -> a = f) Sys.argv in
+  let tables_only = has "--tables-only" in
+  let pr1_only = has "--pr1-only" in
+  if pr1_only then bench_pr1 ()
+  else begin
+    if not tables_only then begin
+      print_endline "Bechamel benchmarks (one per reproduced table/figure):";
+      benchmark ()
+    end;
+    bench_pr1 ();
+    print_endline "";
+    print_endline "Reproduced tables and figures (full scale):";
+    E.run_all ()
+  end

@@ -36,7 +36,10 @@ let load_runtime path =
   if Filename.check_suffix path ".sol" || Filename.check_suffix path ".msol"
   then Ethainter_minisol.Codegen.compile_source_runtime content
   else if looks_like_hex content then
-    Ethainter_word.Hex.decode (String.trim content)
+    try Ethainter_word.Hex.decode (String.trim content)
+    with Invalid_argument msg ->
+      prerr_endline ("error: " ^ path ^ ": " ^ msg);
+      exit 2
   else content (* raw bytecode *)
 
 let config_term =
@@ -80,9 +83,13 @@ let analyze_cmd =
     let r = Ethainter_core.Pipeline.analyze_runtime ~cfg runtime in
     Printf.printf "decompiled: %d blocks, %d 3-address statements\n"
       r.Ethainter_core.Pipeline.blocks r.Ethainter_core.Pipeline.tac_loc;
+    (match r.Ethainter_core.Pipeline.error with
+    | Some msg -> Printf.printf "ANALYSIS ERROR: %s\n" msg
+    | None -> ());
     if r.Ethainter_core.Pipeline.timed_out then print_endline "TIMEOUT"
     else if r.Ethainter_core.Pipeline.reports = [] then
-      print_endline "no vulnerabilities flagged"
+      (if r.Ethainter_core.Pipeline.error = None then
+         print_endline "no vulnerabilities flagged")
     else if explain then
       List.iter
         (fun e ->

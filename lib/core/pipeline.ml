@@ -10,11 +10,24 @@ type result = {
   analysis_rounds : int;
   elapsed_s : float;
   timed_out : bool;
+  error : string option;  (** per-contract failure, if any *)
 }
 
 let empty_result =
   { reports = []; tac_loc = 0; blocks = 0; analysis_rounds = 0;
-    elapsed_s = 0.0; timed_out = false }
+    elapsed_s = 0.0; timed_out = false; error = None }
+
+(* The exceptions a malformed contract is expected to produce while
+   being decompiled and analyzed. Anything else — Out_of_memory,
+   Stack_overflow, Assert_failure, ... — is a bug or a resource
+   failure and must propagate to the caller (the scheduler isolates it
+   per contract). *)
+let expected_failure = function
+  | Ethainter_evm.Interp.Evm_error _
+  | Ethainter_evm.Bytecode.Asm_error _
+  | Ethainter_datalog.Datalog.Datalog_error _
+  | Invalid_argument _ | Failure _ | Not_found -> true
+  | _ -> false
 
 (** Analyze runtime bytecode. [timeout_s] mimics the paper's cutoff:
     we check elapsed wall-clock between phases (decompilation /
@@ -35,9 +48,11 @@ let analyze_runtime ?(cfg = Config.default) ?(timeout_s = 120.0)
         { reports; tac_loc = Ethainter_tac.Tac.loc p;
           blocks = List.length (Ethainter_tac.Tac.blocks p);
           analysis_rounds = a.Analysis.rounds;
-          elapsed_s = Unix.gettimeofday () -. t0; timed_out = false }
-  with _ ->
-    { empty_result with elapsed_s = Unix.gettimeofday () -. t0 }
+          elapsed_s = Unix.gettimeofday () -. t0; timed_out = false;
+          error = None }
+  with e when expected_failure e ->
+    { empty_result with elapsed_s = Unix.gettimeofday () -. t0;
+      error = Some (Printexc.to_string e) }
 
 (** Convenience: analyze a contract given as hex-encoded runtime
     bytecode (the format of blockchain dumps). *)

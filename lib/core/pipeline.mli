@@ -10,6 +10,7 @@ type result = {
   analysis_rounds : int;  (** fixpoint rounds taken *)
   elapsed_s : float;
   timed_out : bool;
+  error : string option;  (** per-contract failure, if any *)
 }
 
 val empty_result : result
@@ -18,8 +19,11 @@ val analyze_runtime :
   ?cfg:Config.t -> ?timeout_s:float -> string -> result
 (** Analyze runtime bytecode. [timeout_s] mimics the paper's cutoff
     (default 120 s); on expiry the result carries [timed_out = true]
-    and no reports. Exceptions from malformed bytecode are contained
-    and yield an empty result. *)
+    and no reports. Expected decompile/analysis exceptions from
+    malformed bytecode are contained and recorded in [error];
+    asynchronous/fatal exceptions ([Out_of_memory], [Stack_overflow],
+    [Assert_failure], ...) propagate — the {!Scheduler} isolates those
+    per contract. *)
 
 val analyze_hex : ?cfg:Config.t -> ?timeout_s:float -> string -> result
 (** Same, for hex-encoded bytecode (the format of blockchain dumps). *)

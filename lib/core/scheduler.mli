@@ -1,0 +1,33 @@
+(** Parallel corpus scheduler: a [Domain]-based worker pool mapping the
+    per-contract analysis over a corpus, with deterministic result
+    ordering and per-contract fault isolation (the reproduction's
+    stand-in for the paper's §6.3 concurrency-45 Soufflé runs). *)
+
+val default_workers : unit -> int
+(** [ETHAINTER_WORKERS] if set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val map : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel map with results in input order, independent of worker
+    count and completion order. [f] must be safe to run concurrently
+    with itself. A per-item exception is re-raised (in input order)
+    only after the pool has drained. [workers] defaults to
+    {!default_workers}; [~workers:1] runs on the calling domain. *)
+
+val map_result :
+  ?workers:int -> ('a -> 'b) -> 'a list -> ('b, string) result list
+(** {!map} with per-item fault isolation: an exception in [f] yields
+    [Error message] for that item instead of propagating. *)
+
+val analyze_runtime :
+  ?cfg:Config.t -> ?timeout_s:float -> string -> Pipeline.result
+(** {!Pipeline.analyze_runtime} with total fault isolation: any escaped
+    exception (including [Out_of_memory] / [Stack_overflow]) is
+    recorded in the result's [error] field instead of propagating. *)
+
+val analyze_corpus :
+  ?cfg:Config.t -> ?timeout_s:float -> ?workers:int ->
+  string list -> Pipeline.result list
+(** Analyze a corpus on the worker pool; results are in input order and
+    identical to a sequential run (ordering determinism + fault
+    isolation make worker count unobservable in the output). *)

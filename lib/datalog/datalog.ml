@@ -9,7 +9,11 @@
       filter/compute atoms;
     - stratification with a negation-safety check (a relation may only
       be negated if it is fully computed in an earlier stratum);
-    - semi-naive (delta-driven) fixpoint within each stratum.
+    - semi-naive (delta-driven) fixpoint within each stratum;
+    - hash-indexed joins: positive literals probe lazily-built,
+      incrementally-maintained indexes keyed on their bound positions
+      (the naive full-scan matcher remains available via
+      [solve ~indexed:false] as the reference evaluator).
 
     The Section-4 formal model ({!Ethainter_ifspec}) runs literally on
     this engine; tests validate the engine against textbook programs
@@ -139,15 +143,53 @@ let stratify (p : program) : string list list =
 (* Evaluation                                                          *)
 (* ------------------------------------------------------------------ *)
 
-type db = (string, TupleSet.t ref) Hashtbl.t
+(* A stored relation: the tuple set plus hash indexes keyed on subsets
+   of column positions. Indexes are built lazily the first time a rule
+   evaluation needs one (the bound positions of a [Pos] literal under
+   the current environment) and are maintained incrementally as the
+   fixpoint derives new tuples, so a join probes a bucket instead of
+   scanning the full relation. *)
+type stored = {
+  mutable tuples : TupleSet.t;
+  indexes : (int list, (const array, tuple list ref) Hashtbl.t) Hashtbl.t;
+      (* positions (ascending) -> key values at those positions -> tuples *)
+}
 
-let get_rel (db : db) name =
+type db = (string, stored) Hashtbl.t
+
+let get_rel (db : db) name : stored =
   match Hashtbl.find_opt db name with
   | Some s -> s
   | None ->
-      let s = ref TupleSet.empty in
+      let s = { tuples = TupleSet.empty; indexes = Hashtbl.create 4 } in
       Hashtbl.replace db name s;
       s
+
+let key_at (positions : int list) (tup : tuple) : const array =
+  Array.of_list (List.map (fun p -> tup.(p)) positions)
+
+let index_insert (idx : (const array, tuple list ref) Hashtbl.t) positions tup =
+  let key = key_at positions tup in
+  match Hashtbl.find_opt idx key with
+  | Some bucket -> bucket := tup :: !bucket
+  | None -> Hashtbl.replace idx key (ref [ tup ])
+
+(* Add a tuple, keeping every registered index in sync. *)
+let stored_add (s : stored) (tup : tuple) : unit =
+  s.tuples <- TupleSet.add tup s.tuples;
+  Hashtbl.iter (fun positions idx -> index_insert idx positions tup) s.indexes
+
+(* The index on [positions], building it from the current tuples on
+   first use. *)
+let ensure_index (s : stored) (positions : int list) :
+    (const array, tuple list ref) Hashtbl.t =
+  match Hashtbl.find_opt s.indexes positions with
+  | Some idx -> idx
+  | None ->
+      let idx = Hashtbl.create 64 in
+      TupleSet.iter (fun tup -> index_insert idx positions tup) s.tuples;
+      Hashtbl.replace s.indexes positions idx;
+      idx
 
 type env = (string * const) list
 
@@ -179,12 +221,25 @@ let eval_term env = function
       | Some k -> k
       | None -> fail "unbound variable %s in rule head" x)
 
+(* Positions of a literal's terms that are ground under [env] (a
+   constant, or a variable already bound), with their values. *)
+let bound_positions (env : env) (terms : term list) : (int * const) list =
+  List.mapi (fun i t -> (i, t)) terms
+  |> List.filter_map (fun (i, t) ->
+         match t with
+         | Const c -> Some (i, c)
+         | Var x -> (
+             match lookup env x with Some c -> Some (i, c) | None -> None))
+
 (* Evaluate the body literals left-to-right; call k on each complete
    environment. [delta_at] optionally forces literal #i to range over a
-   delta set instead of the full relation (semi-naive). *)
-let rec eval_body (db : db) (delta : (string * TupleSet.t) option)
-    (delta_at : int option) (lits : literal list) (idx : int) (env : env)
-    (k : env -> unit) : unit =
+   delta set instead of the full relation (semi-naive). When [indexed]
+   is set, a [Pos] literal over the full relation probes a hash index
+   on its bound positions instead of scanning every tuple; with it
+   unset this is the naive reference evaluator. *)
+let rec eval_body ~(indexed : bool) (db : db)
+    (delta : (string * TupleSet.t) option) (delta_at : int option)
+    (lits : literal list) (idx : int) (env : env) (k : env -> unit) : unit =
   match lits with
   | [] -> k env
   | Filter (vars, f) :: rest ->
@@ -196,7 +251,7 @@ let rec eval_body (db : db) (delta : (string * TupleSet.t) option)
             | None -> fail "filter over unbound variable %s" x)
           vars
       in
-      if f vals then eval_body db delta delta_at rest (idx + 1) env k
+      if f vals then eval_body ~indexed db delta delta_at rest (idx + 1) env k
   | Bind (x, vars, f) :: rest -> (
       let vals =
         List.map
@@ -210,35 +265,66 @@ let rec eval_body (db : db) (delta : (string * TupleSet.t) option)
       | Some c -> (
           match lookup env x with
           | Some c' ->
-              if c = c' then eval_body db delta delta_at rest (idx + 1) env k
-          | None -> eval_body db delta delta_at rest (idx + 1) ((x, c) :: env) k)
+              if c = c' then
+                eval_body ~indexed db delta delta_at rest (idx + 1) env k
+          | None ->
+              eval_body ~indexed db delta delta_at rest (idx + 1) ((x, c) :: env)
+                k)
       | None -> ())
   | Neg (name, terms) :: rest ->
-      let rel = !(get_rel db name) in
+      let rel = (get_rel db name).tuples in
       let ground =
         List.map (fun t -> eval_term env t) terms |> Array.of_list
       in
       if not (TupleSet.mem ground rel) then
-        eval_body db delta delta_at rest (idx + 1) env k
-  | Pos (name, terms) :: rest ->
-      let source =
-        match (delta, delta_at) with
-        | Some (dname, dset), Some di when di = idx && dname = name -> dset
-        | _ -> !(get_rel db name)
+        eval_body ~indexed db delta delta_at rest (idx + 1) env k
+  | Pos (name, terms) :: rest -> (
+      let continue env' =
+        eval_body ~indexed db delta delta_at rest (idx + 1) env' k
       in
-      TupleSet.iter
-        (fun tup ->
-          match match_tuple env terms tup with
-          | Some env' -> eval_body db delta delta_at rest (idx + 1) env' k
-          | None -> ())
-        source
+      let scan source =
+        TupleSet.iter
+          (fun tup ->
+            match match_tuple env terms tup with
+            | Some env' -> continue env'
+            | None -> ())
+          source
+      in
+      match (delta, delta_at) with
+      | Some (dname, dset), Some di when di = idx && dname = name ->
+          (* deltas are small and short-lived; a scan is fine *)
+          scan dset
+      | _ ->
+          let s = get_rel db name in
+          let bound = if indexed then bound_positions env terms else [] in
+          if bound = [] then scan s.tuples
+          else begin
+            let positions = List.map fst bound in
+            let key = Array.of_list (List.map snd bound) in
+            let idx_tbl = ensure_index s positions in
+            match Hashtbl.find_opt idx_tbl key with
+            | None -> ()
+            | Some bucket ->
+                (* snapshot: new derivations cons onto the ref without
+                   affecting this iteration *)
+                List.iter
+                  (fun tup ->
+                    match match_tuple env terms tup with
+                    | Some env' -> continue env'
+                    | None -> ())
+                  !bucket
+          end)
 
 let head_tuple env (terms : term list) : tuple =
   List.map (eval_term env) terms |> Array.of_list
 
 (** Run the program over the initial facts; returns the database of all
-    derived relations. *)
-let solve (p : program) (facts : (string * tuple list) list) : db =
+    derived relations. [indexed] (default) joins through per-relation
+    hash indexes on the bound positions of each positive literal;
+    [~indexed:false] is the naive full-scan reference evaluator the
+    differential tests compare against. *)
+let solve ?(indexed = true) (p : program) (facts : (string * tuple list) list)
+    : db =
   let db : db = Hashtbl.create 32 in
   List.iter
     (fun (name, tuples) ->
@@ -251,7 +337,8 @@ let solve (p : program) (facts : (string * tuple list) list) : db =
                 fail "fact arity mismatch for %s" name)
             tuples);
       let r = get_rel db name in
-      r := List.fold_left (fun s t -> TupleSet.add t s) !r tuples)
+      List.iter (fun t -> if not (TupleSet.mem t r.tuples) then stored_add r t)
+        tuples)
     facts;
   let strata = stratify p in
   List.iter
@@ -263,8 +350,8 @@ let solve (p : program) (facts : (string * tuple list) list) : db =
       let deltas : (string, TupleSet.t) Hashtbl.t = Hashtbl.create 8 in
       let add_fact name tup =
         let r = get_rel db name in
-        if not (TupleSet.mem tup !r) then begin
-          r := TupleSet.add tup !r;
+        if not (TupleSet.mem tup r.tuples) then begin
+          stored_add r tup;
           let d =
             match Hashtbl.find_opt deltas name with
             | Some d -> d
@@ -275,7 +362,7 @@ let solve (p : program) (facts : (string * tuple list) list) : db =
       in
       List.iter
         (fun rule ->
-          eval_body db None None rule.body 0 []
+          eval_body ~indexed db None None rule.body 0 []
             (fun env -> add_fact (fst rule.head) (head_tuple env (snd rule.head))))
         rules;
       (* semi-naive iterations *)
@@ -291,8 +378,8 @@ let solve (p : program) (facts : (string * tuple list) list) : db =
                 | Pos (name, _) -> (
                     match List.assoc_opt name current with
                     | Some dset when not (TupleSet.is_empty dset) ->
-                        eval_body db (Some (name, dset)) (Some i) rule.body 0
-                          []
+                        eval_body ~indexed db (Some (name, dset)) (Some i)
+                          rule.body 0 []
                           (fun env ->
                             add_fact (fst rule.head)
                               (head_tuple env (snd rule.head)))
@@ -308,12 +395,12 @@ let solve (p : program) (facts : (string * tuple list) list) : db =
 (** All tuples of a relation in the solved database. *)
 let relation (db : db) name : tuple list =
   match Hashtbl.find_opt db name with
-  | Some s -> TupleSet.elements !s
+  | Some s -> TupleSet.elements s.tuples
   | None -> []
 
 let mem (db : db) name (tup : tuple) : bool =
   match Hashtbl.find_opt db name with
-  | Some s -> TupleSet.mem tup !s
+  | Some s -> TupleSet.mem tup s.tuples
   | None -> false
 
 let size (db : db) name = List.length (relation db name)

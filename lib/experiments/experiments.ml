@@ -18,6 +18,7 @@
 
 module U = Ethainter_word.Uint256
 module P = Ethainter_core.Pipeline
+module S = Ethainter_core.Scheduler
 module V = Ethainter_core.Vulns
 module C = Ethainter_core.Config
 module G = Ethainter_corpus.Generator
@@ -37,8 +38,11 @@ type analyzed = {
   result : P.result;
 }
 
+(* Every corpus sweep goes through the scheduler's worker pool; result
+   order (and content) is identical to the old sequential List.map. *)
 let analyze_corpus ?(cfg = C.default) (corpus : G.instance list) : analyzed list =
-  List.map (fun i -> { inst = i; result = P.analyze_runtime ~cfg i.G.i_runtime }) corpus
+  S.analyze_corpus ~cfg (List.map (fun (i : G.instance) -> i.G.i_runtime) corpus)
+  |> List.map2 (fun i result -> { inst = i; result }) corpus
 
 let flags_kind (a : analyzed) k = P.flags a.result k
 
@@ -75,7 +79,8 @@ let e1_kill ?(size = 160) ?(seed = 1337) () : e1_result =
       corpus
   in
   let analyzed =
-    List.map (fun (i, addr) -> (i, addr, P.analyze_runtime i.G.i_runtime)) deployed
+    S.analyze_corpus (List.map (fun ((i : G.instance), _) -> i.G.i_runtime) deployed)
+    |> List.map2 (fun (i, addr) r -> (i, addr, r)) deployed
   in
   let flagged =
     List.filter
@@ -264,7 +269,7 @@ type s1_result = {
 let s1_securify ?(size = 300) ?(seed = 42) ?(sample = 40) () : s1_result =
   let corpus = G.mainnet ~seed ~size () in
   let results =
-    List.map
+    S.map
       (fun (i : G.instance) ->
         (i, Ethainter_baselines.Securify.analyze i.G.i_runtime))
       corpus
@@ -356,7 +361,7 @@ let f7_securify2 ?(size = 400) ?(seed = 42) () : f7_result =
     List.filter (fun (i : G.instance) -> i.G.i_has_source) corpus
   in
   let s2 =
-    List.map
+    S.map
       (fun i -> (i, Ethainter_baselines.Securify2.analyze (G.source_info i)))
       universe
   in
@@ -375,7 +380,10 @@ let f7_securify2 ?(size = 400) ?(seed = 42) () : f7_result =
            | _ -> false)
          s2)
   in
-  let eth = List.map (fun (i : G.instance) -> (i, P.analyze_runtime i.G.i_runtime)) universe in
+  let eth =
+    S.analyze_corpus (List.map (fun (i : G.instance) -> i.G.i_runtime) universe)
+    |> List.combine universe
+  in
   let eth_timeouts =
     List.length (List.filter (fun (_, r) -> r.P.timed_out) eth)
   in
@@ -459,10 +467,11 @@ type te_result = {
 let te_teether ?(size = 300) ?(seed = 42) () : te_result =
   let corpus = G.mainnet ~seed ~size () in
   let eth =
-    List.map (fun (i : G.instance) -> (i, P.analyze_runtime i.G.i_runtime)) corpus
+    S.analyze_corpus (List.map (fun (i : G.instance) -> i.G.i_runtime) corpus)
+    |> List.combine corpus
   in
   let te =
-    List.map
+    S.map
       (fun (i : G.instance) ->
         (i, Ethainter_baselines.Teether.analyze i.G.i_runtime))
       corpus
@@ -545,7 +554,9 @@ type rq2_result = {
 let rq2_efficiency ?(size = 400) ?(seed = 7) () : rq2_result =
   let corpus = G.mainnet ~seed ~size () in
   let t0 = Unix.gettimeofday () in
-  let results = List.map (fun (i : G.instance) -> P.analyze_runtime i.G.i_runtime) corpus in
+  let results =
+    S.analyze_corpus (List.map (fun (i : G.instance) -> i.G.i_runtime) corpus)
+  in
   let dt = Unix.gettimeofday () -. t0 in
   let loc = List.fold_left (fun n r -> n + r.P.tac_loc) 0 results in
   { rq2_contracts = List.length corpus;

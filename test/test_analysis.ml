@@ -5,6 +5,8 @@
 module P = Ethainter_core.Pipeline
 module V = Ethainter_core.Vulns
 module C = Ethainter_core.Config
+module S = Ethainter_core.Scheduler
+module G = Ethainter_corpus.Generator
 
 let analyze ?cfg src =
   P.analyze_runtime ?cfg (Ethainter_minisol.Codegen.compile_source_runtime src)
@@ -263,6 +265,175 @@ contract C {
   Alcotest.(check bool) "conservative: flagged" true
     (flags ~cfg:C.conservative src V.AccessibleSelfdestruct)
 
+(* ---------- composite flows × ablation switches (§4 judgments) ---------- *)
+
+(* A writable owner is both a direct sink hit (tainted owner variable,
+   a single-transaction flow) and a composite guard defeat (the
+   equality guard trusts a tainted slot — Uguard-T — so the
+   selfdestruct escalates to accessible + tainted). *)
+let src_tainted_guard = {|
+contract C {
+  address owner;
+  constructor() { owner = msg.sender; }
+  function claim(address o) public { owner = o; }
+  function kill() public { require(msg.sender == owner); selfdestruct(owner); }
+}|}
+
+(* DS guard over an attacker-writable sender-keyed structure: the
+   admins[msg.sender] membership guard (Fig. 4 DS rules) is defeated
+   because anyone can write admins[x]. *)
+let src_ds_open = {|
+contract C {
+  mapping(address => bool) admins;
+  address owner;
+  constructor() { owner = msg.sender; }
+  function join(address a) public { admins[a] = true; }
+  function kill() public { require(admins[msg.sender]); selfdestruct(owner); }
+}|}
+
+(* Same guard, but the structure is closed (seeded in the constructor,
+   writes admin-guarded): sanitization holds. *)
+let src_ds_safe = {|
+contract C {
+  mapping(address => bool) admins;
+  address owner;
+  constructor() { owner = msg.sender; admins[msg.sender] = true; }
+  function add(address a) public { require(admins[msg.sender]); admins[a] = true; }
+  function kill() public { require(admins[msg.sender]); selfdestruct(owner); }
+}|}
+
+(* Two-step DSA escalation: self-registration (users[msg.sender], the
+   DSA sender-keyed write) unlocks tainting admins, which unlocks the
+   selfdestruct — the §2 chain in miniature. *)
+let src_dsa_self = {|
+contract C {
+  mapping(address => bool) users;
+  mapping(address => bool) admins;
+  address owner;
+  constructor() { owner = msg.sender; }
+  function registerSelf() public { users[msg.sender] = true; }
+  function referAdmin(address adm) public { require(users[msg.sender]); admins[adm] = true; }
+  function kill() public { require(admins[msg.sender]); selfdestruct(owner); }
+}|}
+
+(* The same shape without the open entry point: every structure is
+   guarded by an unreachable membership, so the chain never starts. *)
+let src_dsa_closed = {|
+contract C {
+  mapping(address => bool) users;
+  mapping(address => bool) admins;
+  address owner;
+  constructor() { owner = msg.sender; users[msg.sender] = true; }
+  function referUser(address u) public { require(users[msg.sender]); users[u] = true; }
+  function referAdmin(address adm) public { require(admins[msg.sender]); admins[adm] = true; }
+  function kill() public { require(admins[msg.sender]); selfdestruct(owner); }
+}|}
+
+(* expected AccessibleSelfdestruct verdict per (contract, config) *)
+let check_matrix name src ~default ~no_storage ~no_guard ~conservative =
+  List.iter
+    (fun (cname, cfg, expected) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s / %s" name cname)
+        expected
+        (flags ~cfg src V.AccessibleSelfdestruct))
+    [ ("default", C.default, default);
+      ("no_storage", C.no_storage_model, no_storage);
+      ("no_guard", C.no_guard_model, no_guard);
+      ("conservative", C.conservative, conservative) ]
+
+let test_ablation_matrix_tainted_guard () =
+  check_matrix "tainted guard" src_tainted_guard
+    ~default:true ~no_storage:false ~no_guard:true ~conservative:true;
+  (* the direct single-transaction flow survives the storage ablation
+     even though the composite escalation disappears *)
+  Alcotest.(check bool) "tainted owner survives no_storage" true
+    (flags ~cfg:C.no_storage_model src_tainted_guard V.TaintedOwnerVariable);
+  (* and the guard defeat also taints the selfdestruct beneficiary *)
+  Alcotest.(check bool) "beneficiary tainted under default" true
+    (flags src_tainted_guard V.TaintedSelfdestruct)
+
+let test_ablation_matrix_ds () =
+  check_matrix "open DS guard" src_ds_open
+    ~default:true ~no_storage:false ~no_guard:true ~conservative:true;
+  (* closed DS: clean everywhere except the no-guard ablation, whose
+     whole point is that sanitization is dropped (Fig. 8b precision
+     collapse); conservative storage stays precise because the mapping
+     has a known base slot *)
+  check_matrix "closed DS guard" src_ds_safe
+    ~default:false ~no_storage:false ~no_guard:true ~conservative:false
+
+let test_ablation_matrix_dsa () =
+  check_matrix "DSA self-registration chain" src_dsa_self
+    ~default:true ~no_storage:false ~no_guard:true ~conservative:true;
+  check_matrix "closed DSA chain" src_dsa_closed
+    ~default:false ~no_storage:false ~no_guard:true ~conservative:false
+
+(* ---------- parallel scheduler determinism ---------- *)
+
+(* What must be byte-identical between sequential and parallel runs:
+   flags, reports, timeout and error status (elapsed_s is wall-clock
+   and legitimately varies). *)
+let result_key (r : P.result) =
+  (P.flagged_kinds r, r.P.reports, r.P.tac_loc, r.P.blocks,
+   r.P.analysis_rounds, r.P.timed_out, r.P.error)
+
+let test_parallel_determinism () =
+  let corpus = G.mainnet ~seed:99 ~size:100 () in
+  (* include degenerate inputs: empty bytecode and garbage that makes
+     the decompiler raise — fault isolation must yield the same
+     error-kind results in parallel as sequentially *)
+  let runtimes =
+    List.map (fun (i : G.instance) -> i.G.i_runtime) corpus
+    @ [ ""; "\xfe\x01\x02garbage"; String.make 40 '\xff' ]
+  in
+  let seq = List.map S.analyze_runtime runtimes in
+  List.iter
+    (fun w ->
+      let par = S.analyze_corpus ~workers:w runtimes in
+      Alcotest.(check int)
+        (Printf.sprintf "workers=%d: corpus length" w)
+        (List.length seq) (List.length par);
+      List.iteri
+        (fun i (a, b) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "workers=%d: contract %d identical" w i)
+            true
+            (result_key a = result_key b))
+        (List.combine seq par))
+    [ 1; 2; 8 ]
+
+let test_parallel_determinism_timeouts () =
+  (* a zero budget times every contract out; the parallel run must
+     report exactly the same timeouts in the same order *)
+  let corpus = G.mainnet ~seed:5 ~size:20 () in
+  let runtimes = List.map (fun (i : G.instance) -> i.G.i_runtime) corpus in
+  let seq = List.map (S.analyze_runtime ~timeout_s:0.0) runtimes in
+  let par = S.analyze_corpus ~timeout_s:0.0 ~workers:8 runtimes in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "timed-out results identical" true
+        (result_key a = result_key b);
+      Alcotest.(check bool) "timed out" true b.P.timed_out)
+    seq par
+
+let test_scheduler_fault_isolation () =
+  (* one poisoned item must not kill the pool or perturb neighbours *)
+  let items = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let f x = if x = 5 then failwith "poison" else x * 10 in
+  let rs = S.map_result ~workers:4 f items in
+  Alcotest.(check int) "all items accounted for" 8 (List.length rs);
+  List.iteri
+    (fun i r ->
+      match (i + 1, r) with
+      | 5, Error msg ->
+          Alcotest.(check bool) "error message kept" true
+            (String.length msg > 0)
+      | 5, Ok _ -> Alcotest.fail "poisoned item must error"
+      | x, Ok y -> Alcotest.(check int) "value in order" (x * 10) y
+      | _, Error m -> Alcotest.failf "unexpected error: %s" m)
+    rs
+
 (* ---------- report metadata ---------- *)
 
 let test_report_fields () =
@@ -422,7 +593,20 @@ let () =
           Alcotest.test_case "no storage model" `Quick
             test_ablation_no_storage;
           Alcotest.test_case "conservative storage" `Quick
-            test_ablation_conservative ] );
+            test_ablation_conservative;
+          Alcotest.test_case "matrix: tainted guard" `Quick
+            test_ablation_matrix_tainted_guard;
+          Alcotest.test_case "matrix: DS sender-keyed" `Quick
+            test_ablation_matrix_ds;
+          Alcotest.test_case "matrix: DSA escalation chain" `Quick
+            test_ablation_matrix_dsa ] );
+      ( "scheduler",
+        [ Alcotest.test_case "parallel determinism w=1,2,8" `Slow
+            test_parallel_determinism;
+          Alcotest.test_case "parallel timeout determinism" `Quick
+            test_parallel_determinism_timeouts;
+          Alcotest.test_case "fault isolation" `Quick
+            test_scheduler_fault_isolation ] );
       ( "infrastructure",
         [ Alcotest.test_case "report fields" `Quick test_report_fields;
           Alcotest.test_case "timeout" `Quick test_timeout_handling;
