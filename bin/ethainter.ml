@@ -29,18 +29,19 @@ let looks_like_hex s =
          | _ -> false)
        s
 
-(* Obtain runtime bytecode from a file that may be MiniSol source or
-   hex-encoded bytecode. *)
-let load_runtime path =
+(* Obtain an analysis input from a file that may be MiniSol source or
+   hex-encoded bytecode. Hex is handed to the pipeline undecoded:
+   malformed hex becomes a clean per-contract error in the result, not
+   a CLI-level exception. *)
+let load_input path : Ethainter_core.Pipeline.input =
   let content = read_file path in
   if Filename.check_suffix path ".sol" || Filename.check_suffix path ".msol"
-  then Ethainter_minisol.Codegen.compile_source_runtime content
+  then
+    Ethainter_core.Pipeline.Runtime
+      (Ethainter_minisol.Codegen.compile_source_runtime content)
   else if looks_like_hex content then
-    try Ethainter_word.Hex.decode (String.trim content)
-    with Invalid_argument msg ->
-      prerr_endline ("error: " ^ path ^ ": " ^ msg);
-      exit 2
-  else content (* raw bytecode *)
+    Ethainter_core.Pipeline.Hex (String.trim content)
+  else Ethainter_core.Pipeline.Runtime content (* raw bytecode *)
 
 let config_term =
   let no_guards =
@@ -60,11 +61,42 @@ let config_term =
   in
   Term.(
     const (fun ng ns cs ->
-        { Ethainter_core.Config.default with
-          model_guards = not ng;
-          storage_taint = not ns;
-          conservative_storage = cs })
+        Ethainter_core.Config.(
+          default
+          |> with_model_guards (not ng)
+          |> with_storage_taint (not ns)
+          |> with_conservative_storage cs))
     $ no_guards $ no_storage $ conservative)
+
+(* Shared --no-cache / --cache-dir flags: applied for their side effect
+   on the process-wide Pipeline cache before the analysis runs. *)
+let cache_term =
+  let no_cache =
+    Arg.(value & flag
+         & info [ "no-cache" ]
+             ~doc:"Disable the content-addressed result cache (useful \
+                   for benchmarking the raw analysis).")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Persist analysis results under $(docv) (overrides \
+                   ETHAINTER_CACHE_DIR); cached contracts are not \
+                   re-analyzed across runs.")
+  in
+  Term.(
+    const (fun nc dir ->
+        if nc then Ethainter_core.Pipeline.set_cache_enabled false;
+        match dir with
+        | Some d -> Ethainter_core.Pipeline.set_cache_dir (Some d)
+        | None -> ())
+    $ no_cache $ cache_dir)
+
+let print_cache_stats () =
+  if Ethainter_core.Pipeline.cache_enabled () then
+    Format.eprintf "%a@."
+      Ethainter_core.Cache.pp_stats
+      (Ethainter_core.Pipeline.cache_stats ())
 
 let analyze_cmd =
   let file =
@@ -78,41 +110,52 @@ let analyze_cmd =
          & info [ "explain" ]
              ~doc:"Print a taint-derivation witness for every report.")
   in
-  let run cfg explain file =
-    let runtime = load_runtime file in
-    let r = Ethainter_core.Pipeline.analyze_runtime ~cfg runtime in
+  let run cfg () explain file =
+    let input = load_input file in
+    let r =
+      Ethainter_core.Pipeline.run
+        (Ethainter_core.Pipeline.request ~cfg input)
+    in
     Printf.printf "decompiled: %d blocks, %d 3-address statements\n"
       r.Ethainter_core.Pipeline.blocks r.Ethainter_core.Pipeline.tac_loc;
     (match r.Ethainter_core.Pipeline.error with
     | Some msg -> Printf.printf "ANALYSIS ERROR: %s\n" msg
     | None -> ());
-    if r.Ethainter_core.Pipeline.timed_out then print_endline "TIMEOUT"
-    else if r.Ethainter_core.Pipeline.reports = [] then
-      (if r.Ethainter_core.Pipeline.error = None then
-         print_endline "no vulnerabilities flagged")
-    else if explain then
-      List.iter
-        (fun e ->
-          print_string (Ethainter_core.Explain.explanation_to_string e))
-        (Ethainter_core.Explain.explain_runtime ~cfg runtime)
-    else
-      List.iter
-        (fun rep ->
-          print_endline
-            ("  " ^ Ethainter_core.Vulns.report_to_string rep))
-        r.Ethainter_core.Pipeline.reports
+    (if r.Ethainter_core.Pipeline.timed_out then print_endline "TIMEOUT"
+     else if r.Ethainter_core.Pipeline.reports = [] then
+       (if r.Ethainter_core.Pipeline.error = None then
+          print_endline "no vulnerabilities flagged")
+     else if explain then
+       match Ethainter_core.Pipeline.resolve_input input with
+       | Ok runtime ->
+           List.iter
+             (fun e ->
+               print_string (Ethainter_core.Explain.explanation_to_string e))
+             (Ethainter_core.Explain.explain_runtime ~cfg runtime)
+       | Error _ -> ()
+     else
+       List.iter
+         (fun rep ->
+           print_endline
+             ("  " ^ Ethainter_core.Vulns.report_to_string rep))
+         r.Ethainter_core.Pipeline.reports);
+    print_cache_stats ()
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Run the Ethainter analysis on a contract")
-    Term.(const run $ config_term $ explain $ file)
+    Term.(const run $ config_term $ cache_term $ explain $ file)
 
 let decompile_cmd =
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
   in
   let run file =
-    let runtime = load_runtime file in
-    let p = Ethainter_tac.Decomp.decompile runtime in
-    print_string (Ethainter_tac.Tac.to_string p)
+    match Ethainter_core.Pipeline.resolve_input (load_input file) with
+    | Ok runtime ->
+        let p = Ethainter_tac.Decomp.decompile runtime in
+        print_string (Ethainter_tac.Tac.to_string p)
+    | Error msg ->
+        prerr_endline ("error: " ^ file ^ ": " ^ msg);
+        exit 2
   in
   Cmd.v
     (Cmd.info "decompile" ~doc:"Decompile a contract to 3-address code")

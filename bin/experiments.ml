@@ -1,17 +1,42 @@
 (* Reproduce the paper's tables and figures. See DESIGN.md for the
    experiment index.
 
-   usage: experiments [all|e1|t1|f6|s1|f7|te|rq2|f8a|f8b|f8c] [scale] *)
+   usage: experiments [--no-cache] [--cache-dir DIR]
+                      [all|e1|t1|f6|s1|f7|te|rq2|f8a|f8b|f8c] [scale]
+
+   The experiments share the process-wide analysis-result cache
+   (overlapping corpora across t1/f6/f8 are analyzed once); a cache
+   stats line is printed at the end. --no-cache disables it,
+   --cache-dir persists results across runs. *)
 
 module E = Ethainter_experiments.Experiments
+module P = Ethainter_core.Pipeline
 
 let () =
-  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (* split cache flags off; the rest is the positional experiment/scale *)
+  let rec parse args positional =
+    match args with
+    | [] -> List.rev positional
+    | "--no-cache" :: rest ->
+        P.set_cache_enabled false;
+        parse rest positional
+    | "--cache-dir" :: dir :: rest ->
+        P.set_cache_dir (Some dir);
+        parse rest positional
+    | arg :: rest when String.length arg > 12
+                       && String.sub arg 0 12 = "--cache-dir=" ->
+        P.set_cache_dir
+          (Some (String.sub arg 12 (String.length arg - 12)));
+        parse rest positional
+    | arg :: rest -> parse rest (arg :: positional)
+  in
+  let positional = parse (List.tl (Array.to_list Sys.argv)) [] in
+  let which = match positional with w :: _ -> w | [] -> "all" in
   let scale =
-    if Array.length Sys.argv > 2 then float_of_string Sys.argv.(2) else 1.0
+    match positional with _ :: s :: _ -> float_of_string s | _ -> 1.0
   in
   let sz f = max 40 (int_of_float (float_of_int f *. scale)) in
-  match which with
+  (match which with
   | "all" -> E.run_all ~scale ()
   | "e1" -> E.print_e1 (E.e1_kill ~size:(sz 160) ())
   | "t1" ->
@@ -29,4 +54,6 @@ let () =
       Printf.eprintf
         "unknown experiment %S (expected all|e1|t1|f6|s1|f7|te|rq2|f8a|f8b|f8c)\n"
         other;
-      exit 1
+      exit 1);
+  if P.cache_enabled () then
+    Format.printf "%a@." Ethainter_core.Cache.pp_stats (P.cache_stats ())

@@ -1,0 +1,233 @@
+(* Content-addressed result cache: mutex-protected LRU memory tier +
+   optional one-file-per-key disk tier. See cache.mli for the
+   contract. *)
+
+(* Intrusive doubly-linked LRU list over hash-table nodes: every
+   operation is O(1), which matters because the scheduler's worker
+   domains all funnel through the one mutex. *)
+type 'v node = {
+  nkey : string;
+  mutable value : 'v;
+  mutable prev : 'v node option;  (* towards most-recently-used *)
+  mutable next : 'v node option;  (* towards least-recently-used *)
+}
+
+type 'v t = {
+  mu : Mutex.t;
+  tbl : (string, 'v node) Hashtbl.t;
+  mutable mru : 'v node option;
+  mutable lru : 'v node option;
+  capacity : int;
+  dir : string option;
+  encode : 'v -> string;
+  decode : string -> 'v option;
+  mutable hits : int;
+  mutable disk_hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable disk_writes : int;
+}
+
+type stats = {
+  hits : int;
+  disk_hits : int;
+  misses : int;
+  evictions : int;
+  disk_writes : int;
+  size : int;
+  capacity : int;
+}
+
+let create ?(capacity = 8192) ?dir ~encode ~decode () =
+  { mu = Mutex.create ();
+    tbl = Hashtbl.create 256;
+    mru = None; lru = None;
+    capacity = max 1 capacity;
+    dir; encode; decode;
+    hits = 0; disk_hits = 0; misses = 0; evictions = 0; disk_writes = 0 }
+
+let key ~version ~fingerprint bytecode =
+  let code_hash = Ethainter_crypto.Keccak.hash bytecode in
+  Ethainter_word.Hex.encode
+    (Ethainter_crypto.Keccak.hash
+       (version ^ "\x00" ^ fingerprint ^ "\x00" ^ code_hash))
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* ---------------- LRU list (call with t.mu held) ---------------- *)
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.mru <- n.next);
+  (match n.next with Some x -> x.prev <- n.prev | None -> t.lru <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.mru;
+  (match t.mru with Some m -> m.prev <- Some n | None -> t.lru <- Some n);
+  t.mru <- Some n
+
+let touch t n =
+  match t.mru with
+  | Some m when m == n -> ()
+  | _ ->
+      unlink t n;
+      push_front t n
+
+let insert t k v =
+  (match Hashtbl.find_opt t.tbl k with
+  | Some n ->
+      n.value <- v;
+      touch t n
+  | None ->
+      let n = { nkey = k; value = v; prev = None; next = None } in
+      Hashtbl.add t.tbl k n;
+      push_front t n);
+  while Hashtbl.length t.tbl > t.capacity do
+    match t.lru with
+    | Some n ->
+        unlink t n;
+        Hashtbl.remove t.tbl n.nkey;
+        t.evictions <- t.evictions + 1
+    | None -> assert false
+  done
+
+(* ---------------- disk tier ---------------- *)
+
+(* Keys from {!key} are already hex; defensively reject anything that
+   could escape the directory so the module stays safe for arbitrary
+   caller-chosen keys. *)
+let filename_safe k =
+  k <> ""
+  && String.for_all
+       (function
+         | '0' .. '9' | 'a' .. 'z' | 'A' .. 'Z' | '-' | '_' | '.' -> true
+         | _ -> false)
+       k
+  && k.[0] <> '.'
+
+let entry_path dir k = Filename.concat dir (k ^ ".cache")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* A write that can never expose a torn entry: write a uniquely-named
+   temp file in the same directory, then rename over the final path
+   (atomic on POSIX). Any I/O failure degrades to "not persisted". *)
+let tmp_counter = Atomic.make 0
+
+let disk_write t k v =
+  match t.dir with
+  | Some dir when filename_safe k -> (
+      try
+        if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+        let tmp =
+          Filename.concat dir
+            (Printf.sprintf ".%s.tmp.%d.%d" k (Unix.getpid ())
+               (Atomic.fetch_and_add tmp_counter 1))
+        in
+        let oc = open_out_bin tmp in
+        (try output_string oc (t.encode v)
+         with e -> close_out_noerr oc; raise e);
+        close_out oc;
+        Sys.rename tmp (entry_path dir k);
+        true
+      with _ -> false)
+  | _ -> false
+
+let disk_find t k =
+  match t.dir with
+  | Some dir when filename_safe k -> (
+      let path = entry_path dir k in
+      match (try Some (read_file path) with _ -> None) with
+      | None -> None
+      | Some raw -> (
+          match (try t.decode raw with _ -> None) with
+          | Some v -> Some v
+          | None ->
+              (* corrupt / truncated / stale codec: drop it and miss *)
+              (try Sys.remove path with _ -> ());
+              None))
+  | _ -> None
+
+(* ---------------- public operations ---------------- *)
+
+let find t k =
+  let mem_hit =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.tbl k with
+        | Some n ->
+            touch t n;
+            t.hits <- t.hits + 1;
+            Some n.value
+        | None -> None)
+  in
+  match mem_hit with
+  | Some _ as r -> r
+  | None -> (
+      (* Disk I/O and decoding happen outside the lock; only the
+         promotion and the counter update re-take it. *)
+      match disk_find t k with
+      | Some v ->
+          locked t (fun () ->
+              t.disk_hits <- t.disk_hits + 1;
+              insert t k v);
+          Some v
+      | None ->
+          locked t (fun () -> t.misses <- t.misses + 1);
+          None)
+
+let add t k v =
+  locked t (fun () -> insert t k v);
+  if disk_write t k v then
+    locked t (fun () -> t.disk_writes <- t.disk_writes + 1)
+
+let find_or_compute t ~key ?(cacheable = fun _ -> true) f =
+  match find t key with
+  | Some v -> v
+  | None ->
+      let v = f () in
+      if cacheable v then add t key v;
+      v
+
+let stats t =
+  locked t (fun () ->
+      { hits = t.hits; disk_hits = t.disk_hits; misses = t.misses;
+        evictions = t.evictions; disk_writes = t.disk_writes;
+        size = Hashtbl.length t.tbl; capacity = t.capacity })
+
+let reset_stats t =
+  locked t (fun () ->
+      t.hits <- 0;
+      t.disk_hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0;
+      t.disk_writes <- 0)
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.tbl;
+      t.mru <- None;
+      t.lru <- None;
+      t.hits <- 0;
+      t.disk_hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0;
+      t.disk_writes <- 0)
+
+let hit_rate (s : stats) =
+  let lookups = s.hits + s.disk_hits + s.misses in
+  if lookups = 0 then 0.0
+  else float_of_int (s.hits + s.disk_hits) /. float_of_int lookups
+
+let pp_stats fmt (s : stats) =
+  Format.fprintf fmt
+    "cache: %d hits, %d disk hits, %d misses (%.1f%% hit rate), %d evictions, size %d/%d"
+    s.hits s.disk_hits s.misses
+    (100.0 *. hit_rate s)
+    s.evictions s.size s.capacity

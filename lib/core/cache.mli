@@ -1,0 +1,86 @@
+(** Content-addressed analysis-result cache.
+
+    The paper runs Ethainter over the whole blockchain (§6), where the
+    same runtime bytecode recurs constantly — deployed duplicates on
+    mainnet, and the t1/f6/f8 experiment sweeps analyzing overlapping
+    corpora. The per-contract analysis is pure given the bytecode and
+    the {!Config}, so its result can be memoized under a
+    content-derived key (see {!key}).
+
+    Two tiers:
+    - an {b in-memory tier}: LRU-bounded hash map, safe for concurrent
+      use from {!Scheduler} worker domains (one mutex; lookups and
+      insertions are O(1) and never held across a computation);
+    - an optional {b on-disk tier}: one file per key under a directory
+      ([ETHAINTER_CACHE_DIR] by convention), written with an
+      atomic-rename protocol so concurrent writers and crashes never
+      leave a torn entry visible. Corrupt, truncated or stale entries
+      (the caller's [decode] returns [None] or raises) are deleted and
+      treated as misses. Disk hits are promoted into the memory tier.
+
+    The cache is generic in the value type; the caller supplies the
+    codec, which must be self-validating (a version header, checked in
+    [decode]) since disk entries outlive processes. *)
+
+type 'v t
+
+type stats = {
+  hits : int;        (** memory-tier hits *)
+  disk_hits : int;   (** memory misses answered by the disk tier *)
+  misses : int;      (** full misses (value had to be computed) *)
+  evictions : int;   (** LRU evictions from the memory tier *)
+  disk_writes : int; (** entries persisted to the disk tier *)
+  size : int;        (** current memory-tier entry count *)
+  capacity : int;    (** memory-tier LRU bound *)
+}
+
+val create :
+  ?capacity:int ->
+  ?dir:string ->
+  encode:('v -> string) ->
+  decode:(string -> 'v option) ->
+  unit -> 'v t
+(** [capacity] bounds the memory tier (default 8192 entries; at least
+    1). [dir] enables the disk tier; it is created on first write if
+    missing, and a directory that cannot be created or read simply
+    degrades to memory-only. [decode] may raise — any exception is a
+    miss. *)
+
+val key : version:string -> fingerprint:string -> string -> string
+(** [key ~version ~fingerprint bytecode] is the content address
+    [hex (keccak (version ‖ fingerprint ‖ keccak bytecode))]: 64 hex
+    characters, filename-safe, stable across runs and processes.
+    [version] is the analysis version (bump to invalidate every prior
+    entry); [fingerprint] is {!Config.fingerprint}, so ablation
+    configs never share entries. *)
+
+val find : 'v t -> string -> 'v option
+(** Memory tier first, then disk. A disk hit is promoted to memory. *)
+
+val add : 'v t -> string -> 'v -> unit
+(** Insert into the memory tier (evicting the least-recently-used
+    entry beyond capacity) and persist to the disk tier if one is
+    configured. Re-adding an existing key refreshes its recency. *)
+
+val find_or_compute :
+  'v t -> key:string -> ?cacheable:('v -> bool) -> (unit -> 'v) -> 'v
+(** [find_or_compute t ~key f] returns the cached value or computes,
+    stores and returns it. The lock is {e not} held during [f] — two
+    domains may race to compute the same key (both compute, last
+    insert wins; the analysis is deterministic so the values agree).
+    An exception in [f] propagates and caches nothing. [cacheable]
+    (default: always) gates storing — e.g. timed-out results, which
+    depend on wall-clock, are recomputed rather than cached. *)
+
+val stats : 'v t -> stats
+val reset_stats : 'v t -> unit
+val clear : 'v t -> unit
+(** Drop every memory-tier entry (disk entries are kept) and reset the
+    counters. *)
+
+val hit_rate : stats -> float
+(** [(hits + disk_hits) / lookups], or [0.] before any lookup. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One line, e.g.
+    ["cache: 120 hits, 3 disk hits, 30 misses (80.4% hit rate), 0 evictions, size 153/8192"]. *)

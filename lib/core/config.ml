@@ -30,11 +30,28 @@ let default =
   { model_guards = true; storage_taint = true; conservative_storage = false;
     max_fixpoint_rounds = 100 }
 
+let with_model_guards v t = { t with model_guards = v }
+let with_storage_taint v t = { t with storage_taint = v }
+let with_conservative_storage v t = { t with conservative_storage = v }
+let with_max_fixpoint_rounds v t = { t with max_fixpoint_rounds = v }
+
 (** Fig. 8a: "No Storage Modeling" — reduced completeness. *)
-let no_storage_model = { default with storage_taint = false }
+let no_storage_model = with_storage_taint false default
 
 (** Fig. 8b: "No Guard Modeling" — reduced precision. *)
-let no_guard_model = { default with model_guards = false }
+let no_guard_model = with_model_guards false default
 
 (** Fig. 8c: "Conservative Storage Modeling" — reduced precision. *)
-let conservative = { default with conservative_storage = true }
+let conservative = with_conservative_storage true default
+
+(* The fingerprint spells every switch out by name, so adding a field
+   without extending it is a compile error only if you keep the record
+   pattern below exhaustive — hence no `_` wildcard. *)
+let fingerprint
+    { model_guards; storage_taint; conservative_storage;
+      max_fixpoint_rounds } =
+  Printf.sprintf "cfg:g%d.s%d.c%d.r%d"
+    (Bool.to_int model_guards)
+    (Bool.to_int storage_taint)
+    (Bool.to_int conservative_storage)
+    max_fixpoint_rounds

@@ -22,6 +22,22 @@ type t = {
 val default : t
 (** The paper's tuned analysis. *)
 
+val with_model_guards : bool -> t -> t
+val with_storage_taint : bool -> t -> t
+val with_conservative_storage : bool -> t -> t
+val with_max_fixpoint_rounds : int -> t -> t
+(** Builder setters, e.g.
+    [Config.(default |> with_storage_taint false)] — ablation sweeps
+    and CLIs compose these instead of constructing records
+    positionally. *)
+
+val fingerprint : t -> string
+(** Deterministic encoding of every switch, stable across runs and
+    processes (e.g. ["cfg:g1.s1.c0.r100"]). Two configs have equal
+    fingerprints iff they are equal; the {!Cache} key includes it so a
+    result computed under one ablation is never served under
+    another. *)
+
 val no_storage_model : t
 (** Fig. 8a ablation. *)
 

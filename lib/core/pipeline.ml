@@ -1,7 +1,10 @@
 (** End-to-end analysis pipeline: bytecode → decompile → facts →
     fixpoint → reports. This is the per-contract unit of work that the
     paper runs over the whole blockchain (§6: "a combined cutoff of 120
-    seconds for decompilation and the information flow analysis"). *)
+    seconds for decompilation and the information flow analysis").
+
+    {!run} is the single entry point; see pipeline.mli for the request
+    and caching contract. *)
 
 type result = {
   reports : Vulns.report list;
@@ -29,10 +32,10 @@ let expected_failure = function
   | Invalid_argument _ | Failure _ | Not_found -> true
   | _ -> false
 
-(** Analyze runtime bytecode. [timeout_s] mimics the paper's cutoff:
-    we check elapsed wall-clock between phases (decompilation /
-    analysis) and give up, flagging a timeout, when exceeded. *)
-let analyze_runtime ?(cfg = Config.default) ?(timeout_s = 120.0)
+(* The uncached analysis. [timeout_s] mimics the paper's cutoff: we
+   check elapsed wall-clock between phases (decompilation / analysis)
+   and give up, flagging a timeout, when exceeded. *)
+let analyze_uncached ~(cfg : Config.t) ~(timeout_s : float)
     (runtime : string) : result =
   let t0 = Unix.gettimeofday () in
   let over () = Unix.gettimeofday () -. t0 > timeout_s in
@@ -54,10 +57,211 @@ let analyze_runtime ?(cfg = Config.default) ?(timeout_s = 120.0)
     { empty_result with elapsed_s = Unix.gettimeofday () -. t0;
       error = Some (Printexc.to_string e) }
 
-(** Convenience: analyze a contract given as hex-encoded runtime
-    bytecode (the format of blockchain dumps). *)
+(* ------------------------------------------------------------------ *)
+(* Result codec (disk-tier serialization)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A versioned, self-validating text format: a header line, the scalar
+   fields, then length-prefixed strings for the fields that may contain
+   arbitrary bytes (error messages, report notes). [decode_result] is
+   total — any deviation is [None], which the cache treats as a
+   miss. *)
+
+let codec_magic = "ethainter.result.v1"
+
+let encode_result (r : result) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_string b codec_magic;
+  Buffer.add_char b '\n';
+  Printf.bprintf b "meta %d %d %d %h %b\n" r.tac_loc r.blocks
+    r.analysis_rounds r.elapsed_s r.timed_out;
+  (match r.error with
+  | None -> Buffer.add_string b "error -1\n"
+  | Some e -> Printf.bprintf b "error %d\n%s\n" (String.length e) e);
+  Printf.bprintf b "reports %d\n" (List.length r.reports);
+  List.iter
+    (fun (rep : Vulns.report) ->
+      Printf.bprintf b "report %s %d %d %b %b %d\n%s\n"
+        (Vulns.kind_id rep.Vulns.r_kind)
+        rep.Vulns.r_pc rep.Vulns.r_block rep.Vulns.r_orphan
+        rep.Vulns.r_composite
+        (String.length rep.Vulns.r_note)
+        rep.Vulns.r_note)
+    r.reports;
+  Buffer.contents b
+
+let decode_result (s : string) : result option =
+  let pos = ref 0 in
+  let fail () = raise Exit in
+  let line () =
+    match String.index_from_opt s !pos '\n' with
+    | None -> fail ()
+    | Some i ->
+        let l = String.sub s !pos (i - !pos) in
+        pos := i + 1;
+        l
+  in
+  (* an [n]-byte string followed by its terminating newline *)
+  let sized n =
+    if n < 0 || !pos + n + 1 > String.length s then fail ();
+    let x = String.sub s !pos n in
+    if s.[!pos + n] <> '\n' then fail ();
+    pos := !pos + n + 1;
+    x
+  in
+  let words l = String.split_on_char ' ' l in
+  let int_of w = match int_of_string_opt w with Some n -> n | None -> fail () in
+  let float_of w =
+    match float_of_string_opt w with Some f -> f | None -> fail ()
+  in
+  let bool_of w = match bool_of_string_opt w with Some x -> x | None -> fail () in
+  try
+    if line () <> codec_magic then fail ();
+    let tac_loc, blocks, analysis_rounds, elapsed_s, timed_out =
+      match words (line ()) with
+      | [ "meta"; a; b; c; d; e ] ->
+          (int_of a, int_of b, int_of c, float_of d, bool_of e)
+      | _ -> fail ()
+    in
+    let error =
+      match words (line ()) with
+      | [ "error"; "-1" ] -> None
+      | [ "error"; n ] -> Some (sized (int_of n))
+      | _ -> fail ()
+    in
+    let nreports =
+      match words (line ()) with
+      | [ "reports"; n ] -> int_of n
+      | _ -> fail ()
+    in
+    if nreports < 0 then fail ();
+    let reports =
+      List.init nreports (fun _ ->
+          match words (line ()) with
+          | [ "report"; kid; pc; block; orphan; composite; notelen ] ->
+              let r_kind =
+                match Vulns.kind_of_id kid with
+                | Some k -> k
+                | None -> fail ()
+              in
+              { Vulns.r_kind; r_pc = int_of pc; r_block = int_of block;
+                r_orphan = bool_of orphan; r_composite = bool_of composite;
+                r_note = sized (int_of notelen) }
+          | _ -> fail ())
+    in
+    if !pos <> String.length s then fail ();
+    Some { reports; tac_loc; blocks; analysis_rounds; elapsed_s; timed_out;
+           error }
+  with _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The process-wide result cache                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Stamped into every cache key: bump on any change to decompilation,
+   facts, the fixpoint or the detectors. *)
+let analysis_version = "2"
+
+let cache_capacity_default = 8192
+
+(* Lazily created so [set_cache_dir] / env vars take effect before the
+   first analysis; the mutex makes first-use from concurrent scheduler
+   domains safe. *)
+let cache_mu = Mutex.create ()
+let cache_on = ref (Sys.getenv_opt "ETHAINTER_NO_CACHE" = None)
+let cache_dir_ref = ref (Sys.getenv_opt "ETHAINTER_CACHE_DIR")
+let cache_ref : result Cache.t option ref = ref None
+
+let with_cache_mu f =
+  Mutex.lock cache_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_mu) f
+
+let cache () =
+  with_cache_mu (fun () ->
+      match !cache_ref with
+      | Some c -> c
+      | None ->
+          let capacity =
+            match Sys.getenv_opt "ETHAINTER_CACHE_CAPACITY" with
+            | Some s -> (
+                match int_of_string_opt (String.trim s) with
+                | Some n when n >= 1 -> n
+                | _ -> cache_capacity_default)
+            | None -> cache_capacity_default
+          in
+          let c =
+            Cache.create ~capacity ?dir:!cache_dir_ref
+              ~encode:encode_result ~decode:decode_result ()
+          in
+          cache_ref := Some c;
+          c)
+
+let cache_enabled () = !cache_on
+let set_cache_enabled b = cache_on := b
+
+let set_cache_dir d =
+  with_cache_mu (fun () ->
+      cache_dir_ref := d;
+      cache_ref := None)
+
+let cache_stats () = Cache.stats (cache ())
+let cache_clear () = Cache.clear (cache ())
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type input = Runtime of string | Hex of string
+
+type request = {
+  code : input;
+  cfg : Config.t;
+  timeout_s : float;
+}
+
+let request ?(cfg = Config.default) ?(timeout_s = 120.0) code =
+  { code; cfg; timeout_s }
+
+let resolve_input = function
+  | Runtime code -> Ok code
+  | Hex hex -> (
+      match Ethainter_word.Hex.decode (String.trim hex) with
+      | code -> Ok code
+      | exception Invalid_argument msg -> Error msg)
+
+let run (req : request) : result =
+  match resolve_input req.code with
+  | Error msg -> { empty_result with error = Some msg }
+  | Ok runtime ->
+      if not (cache_enabled ()) then
+        analyze_uncached ~cfg:req.cfg ~timeout_s:req.timeout_s runtime
+      else
+        let key =
+          Cache.key ~version:analysis_version
+            ~fingerprint:(Config.fingerprint req.cfg) runtime
+        in
+        let c = cache () in
+        (* A hit is only valid if this request's budget exceeds the
+           time the cached computation actually took — a tighter budget
+           might have timed out, and the timeout tests rely on that. *)
+        match Cache.find c key with
+        | Some r when r.elapsed_s < req.timeout_s -> r
+        | _ ->
+            let r =
+              analyze_uncached ~cfg:req.cfg ~timeout_s:req.timeout_s runtime
+            in
+            (* Timed-out results depend on wall-clock and machine load,
+               not content — never cache them. *)
+            if not r.timed_out then Cache.add c key r;
+            r
+
+(* Deprecated thin wrappers, kept so existing call sites (and external
+   users) survive; all analysis flows through {!run}. *)
+let analyze_runtime ?cfg ?timeout_s (runtime : string) : result =
+  run (request ?cfg ?timeout_s (Runtime runtime))
+
 let analyze_hex ?cfg ?timeout_s (hex : string) : result =
-  analyze_runtime ?cfg ?timeout_s (Ethainter_word.Hex.decode hex)
+  run (request ?cfg ?timeout_s (Hex hex))
 
 let flagged_kinds (r : result) : Vulns.kind list =
   List.sort_uniq compare (List.map (fun x -> x.Vulns.r_kind) r.reports)

@@ -1,7 +1,13 @@
 (** End-to-end analysis pipeline: bytecode → decompile → facts →
     fixpoint → reports. The per-contract unit of work the paper runs
     over the whole blockchain (§6: combined 120 s cutoff for
-    decompilation plus the information-flow analysis). *)
+    decompilation plus the information-flow analysis).
+
+    {!run} on a {!request} is the {e single} entry point every caller
+    (scheduler, experiments, CLIs, bench) goes through; it is where the
+    content-addressed {!Cache} key — [(keccak bytecode,
+    Config.fingerprint, analysis version)] — is derived, so memoization
+    is transparent and uniform. *)
 
 type result = {
   reports : Vulns.report list;
@@ -15,21 +21,88 @@ type result = {
 
 val empty_result : result
 
+(** {1 Analysis requests} *)
+
+type input =
+  | Runtime of string  (** raw runtime bytecode *)
+  | Hex of string
+      (** hex-encoded runtime bytecode (the format of blockchain
+          dumps); [0x] prefix and whitespace tolerated. Malformed hex
+          (odd digit count, bad characters) is a clean per-contract
+          failure — {!run} returns a result with [error] set, it never
+          raises. *)
+
+type request = {
+  code : input;
+  cfg : Config.t;
+  timeout_s : float;
+}
+
+val request : ?cfg:Config.t -> ?timeout_s:float -> input -> request
+(** Smart constructor; [cfg] defaults to {!Config.default}, [timeout_s]
+    to the paper's 120 s cutoff. *)
+
+val resolve_input : input -> (string, string) Stdlib.result
+(** Runtime bytecode of an input, or a decode-error message. *)
+
+val run : request -> result
+(** Analyze one contract. On expiry of [timeout_s] the result carries
+    [timed_out = true] and no reports. Expected decompile/analysis
+    exceptions from malformed bytecode are contained and recorded in
+    [error]; asynchronous/fatal exceptions ([Out_of_memory],
+    [Stack_overflow], [Assert_failure], ...) propagate — the
+    {!Scheduler} isolates those per contract.
+
+    When caching is enabled (the default), the result is memoized in
+    the process-wide {!Cache} keyed by
+    [(keccak bytecode, Config.fingerprint cfg, analysis_version)].
+    A cached result is only served to a request whose [timeout_s]
+    exceeds the cached [elapsed_s] (a budget that tight might have
+    timed out), and timed-out results are never cached — so caching is
+    observationally transparent. *)
+
 val analyze_runtime :
   ?cfg:Config.t -> ?timeout_s:float -> string -> result
-(** Analyze runtime bytecode. [timeout_s] mimics the paper's cutoff
-    (default 120 s); on expiry the result carries [timed_out = true]
-    and no reports. Expected decompile/analysis exceptions from
-    malformed bytecode are contained and recorded in [error];
-    asynchronous/fatal exceptions ([Out_of_memory], [Stack_overflow],
-    [Assert_failure], ...) propagate — the {!Scheduler} isolates those
-    per contract. *)
+(** Deprecated: thin wrapper for [run (request (Runtime code))]. *)
 
 val analyze_hex : ?cfg:Config.t -> ?timeout_s:float -> string -> result
-(** Same, for hex-encoded bytecode (the format of blockchain dumps). *)
+(** Deprecated: thin wrapper for [run (request (Hex hex))]. *)
 
 val flagged_kinds : result -> Vulns.kind list
 (** Distinct vulnerability kinds present in the reports, sorted. *)
 
 val flags : result -> Vulns.kind -> bool
 (** Is any report of this kind present? *)
+
+(** {1 The process-wide result cache}
+
+    One cache instance per process, shared by every scheduler domain.
+    Configured from the environment at first use — [ETHAINTER_CACHE_DIR]
+    (disk tier), [ETHAINTER_CACHE_CAPACITY] (memory-tier LRU bound),
+    [ETHAINTER_NO_CACHE] (start disabled) — and overridable
+    programmatically (the CLIs' [--no-cache] / [--cache-dir]). *)
+
+val analysis_version : string
+(** Stamped into every cache key; bump on any change to decompilation,
+    fact generation, the fixpoint or the detectors, so stale disk
+    entries from older builds become misses. *)
+
+val cache_enabled : unit -> bool
+val set_cache_enabled : bool -> unit
+val set_cache_dir : string option -> unit
+(** Enable ([Some dir]) or disable ([None]) the disk tier; resets the
+    in-memory tier. *)
+
+val cache_stats : unit -> Cache.stats
+val cache_clear : unit -> unit
+(** Drop all in-memory entries and reset counters (disk entries are
+    kept). *)
+
+(** {1 Result codec}
+
+    The disk tier's versioned serialization. Total: [decode_result]
+    returns [None] on any corrupt, truncated or old-version payload
+    (exposed for the cache tests and the bench differential check). *)
+
+val encode_result : result -> string
+val decode_result : string -> result option

@@ -95,18 +95,30 @@ let map_result ?workers (f : 'a -> 'b) (xs : 'a list) :
 (* Corpus analysis                                                     *)
 (* ------------------------------------------------------------------ *)
 
-(** {!Pipeline.analyze_runtime} with total fault isolation: any
-    exception the pipeline lets escape (fatal or asynchronous) is
-    recorded in the result's [error] field. This is the per-contract
-    unit of work the pool runs. *)
-let analyze_runtime ?cfg ?timeout_s (runtime : string) : Pipeline.result =
-  match Pipeline.analyze_runtime ?cfg ?timeout_s runtime with
+(** {!Pipeline.run} with total fault isolation: any exception the
+    pipeline lets escape (fatal or asynchronous) is recorded in the
+    result's [error] field. This is the per-contract unit of work the
+    pool runs — every corpus sweep funnels through it, so every sweep
+    shares the {!Pipeline} result cache. *)
+let analyze_request (req : Pipeline.request) : Pipeline.result =
+  match Pipeline.run req with
   | r -> r
   | exception e ->
       { Pipeline.empty_result with error = Some (Printexc.to_string e) }
 
-(** Analyze a corpus of runtime bytecodes on the worker pool. Results
-    are in input order and identical to a sequential run. *)
+let analyze_runtime ?cfg ?timeout_s (runtime : string) : Pipeline.result =
+  analyze_request (Pipeline.request ?cfg ?timeout_s (Pipeline.Runtime runtime))
+
+(** Analyze a batch of requests on the worker pool. Results are in
+    input order and identical to a sequential run. *)
+let analyze_requests ?workers (reqs : Pipeline.request list) :
+    Pipeline.result list =
+  map ?workers analyze_request reqs
+
+(** Analyze a corpus of runtime bytecodes on the worker pool. *)
 let analyze_corpus ?cfg ?timeout_s ?workers (runtimes : string list) :
     Pipeline.result list =
-  map ?workers (analyze_runtime ?cfg ?timeout_s) runtimes
+  analyze_requests ?workers
+    (List.map
+       (fun code -> Pipeline.request ?cfg ?timeout_s (Pipeline.Runtime code))
+       runtimes)

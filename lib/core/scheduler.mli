@@ -19,15 +19,24 @@ val map_result :
 (** {!map} with per-item fault isolation: an exception in [f] yields
     [Error message] for that item instead of propagating. *)
 
+val analyze_request : Pipeline.request -> Pipeline.result
+(** {!Pipeline.run} with total fault isolation: any escaped exception
+    (including [Out_of_memory] / [Stack_overflow]) is recorded in the
+    result's [error] field instead of propagating. *)
+
 val analyze_runtime :
   ?cfg:Config.t -> ?timeout_s:float -> string -> Pipeline.result
-(** {!Pipeline.analyze_runtime} with total fault isolation: any escaped
-    exception (including [Out_of_memory] / [Stack_overflow]) is
-    recorded in the result's [error] field instead of propagating. *)
+(** [analyze_request] on [Pipeline.request (Runtime code)]. *)
+
+val analyze_requests :
+  ?workers:int -> Pipeline.request list -> Pipeline.result list
+(** Analyze a batch of requests on the worker pool; results are in
+    input order and identical to a sequential run (ordering determinism
+    + fault isolation make worker count unobservable in the output).
+    Cache hits are shared across the batch and across batches — the
+    {!Pipeline} cache is process-wide. *)
 
 val analyze_corpus :
   ?cfg:Config.t -> ?timeout_s:float -> ?workers:int ->
   string list -> Pipeline.result list
-(** Analyze a corpus on the worker pool; results are in input order and
-    identical to a sequential run (ordering determinism + fault
-    isolation make worker count unobservable in the output). *)
+(** [analyze_requests] over runtime bytecodes under one config. *)

@@ -36,6 +36,9 @@ let kind_id = function
   | TaintedDelegatecall -> "tainted-delegatecall"
   | UncheckedTaintedStaticcall -> "unchecked-tainted-staticcall"
 
+let kind_of_id s =
+  List.find_opt (fun k -> kind_id k = s) all_kinds
+
 type report = {
   r_kind : kind;
   r_pc : int;               (** bytecode offset of the flagged statement *)

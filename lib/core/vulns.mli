@@ -25,6 +25,9 @@ val kind_name : kind -> string
 val kind_id : kind -> string
 (** Stable kebab-case identifier, e.g. ["accessible-selfdestruct"]. *)
 
+val kind_of_id : string -> kind option
+(** Inverse of {!kind_id} — used by the on-disk result codec. *)
+
 type report = {
   r_kind : kind;
   r_pc : int;      (** bytecode offset of the flagged statement *)

@@ -38,10 +38,16 @@ type analyzed = {
   result : P.result;
 }
 
-(* Every corpus sweep goes through the scheduler's worker pool; result
-   order (and content) is identical to the old sequential List.map. *)
+(* Every corpus sweep goes through the scheduler's worker pool as a
+   batch of Pipeline.requests; result order (and content) is identical
+   to the old sequential List.map. Because requests are the single
+   keyable entry point, overlapping sweeps (t1/f6/f8 share generated
+   contracts) hit the process-wide result cache. *)
 let analyze_corpus ?(cfg = C.default) (corpus : G.instance list) : analyzed list =
-  S.analyze_corpus ~cfg (List.map (fun (i : G.instance) -> i.G.i_runtime) corpus)
+  S.analyze_requests
+    (List.map
+       (fun (i : G.instance) -> P.request ~cfg (P.Runtime i.G.i_runtime))
+       corpus)
   |> List.map2 (fun i result -> { inst = i; result }) corpus
 
 let flags_kind (a : analyzed) k = P.flags a.result k
