@@ -92,11 +92,11 @@ let cache_term =
         | None -> ())
     $ no_cache $ cache_dir)
 
+(* Two labeled lines: the front-end (decompile+facts artifact) and
+   back-end (per-config result) tiers hit independently. *)
 let print_cache_stats () =
   if Ethainter_core.Pipeline.cache_enabled () then
-    Format.eprintf "%a@."
-      Ethainter_core.Cache.pp_stats
-      (Ethainter_core.Pipeline.cache_stats ())
+    Format.eprintf "%a@." Ethainter_core.Pipeline.pp_cache_stats ()
 
 let analyze_cmd =
   let file =

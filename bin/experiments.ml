@@ -4,10 +4,12 @@
    usage: experiments [--no-cache] [--cache-dir DIR]
                       [all|e1|t1|f6|s1|f7|te|rq2|f8a|f8b|f8c] [scale]
 
-   The experiments share the process-wide analysis-result cache
-   (overlapping corpora across t1/f6/f8 are analyzed once); a cache
-   stats line is printed at the end. --no-cache disables it,
-   --cache-dir persists results across runs. *)
+   The experiments share the process-wide phase-split analysis cache:
+   overlapping corpora across t1/f6/f8 are analyzed once, and the f8
+   ablation sweeps reuse each contract's decompilation+facts artifact
+   across configs (only the fixpoint reruns). Front-end and back-end
+   cache stats lines are printed at the end. --no-cache disables
+   caching, --cache-dir persists entries across runs. *)
 
 module E = Ethainter_experiments.Experiments
 module P = Ethainter_core.Pipeline
@@ -55,5 +57,4 @@ let () =
         "unknown experiment %S (expected all|e1|t1|f6|s1|f7|te|rq2|f8a|f8b|f8c)\n"
         other;
       exit 1);
-  if P.cache_enabled () then
-    Format.printf "%a@." Ethainter_core.Cache.pp_stats (P.cache_stats ())
+  if P.cache_enabled () then Format.printf "%a@." P.pp_cache_stats ()

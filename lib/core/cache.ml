@@ -19,11 +19,13 @@ type 'v t = {
   mutable lru : 'v node option;
   capacity : int;
   dir : string option;
+  ext : string;
   encode : 'v -> string;
   decode : string -> 'v option;
   mutable hits : int;
   mutable disk_hits : int;
   mutable misses : int;
+  mutable rejected : int;
   mutable evictions : int;
   mutable disk_writes : int;
 }
@@ -32,19 +34,28 @@ type stats = {
   hits : int;
   disk_hits : int;
   misses : int;
+  rejected : int;
   evictions : int;
   disk_writes : int;
   size : int;
   capacity : int;
 }
 
-let create ?(capacity = 8192) ?dir ~encode ~decode () =
+let ext_safe e =
+  e <> ""
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'z' | 'A' .. 'Z' -> true | _ -> false)
+       e
+
+let create ?(capacity = 8192) ?dir ?(ext = "cache") ~encode ~decode () =
+  if not (ext_safe ext) then invalid_arg "Cache.create: ext";
   { mu = Mutex.create ();
     tbl = Hashtbl.create 256;
     mru = None; lru = None;
     capacity = max 1 capacity;
-    dir; encode; decode;
-    hits = 0; disk_hits = 0; misses = 0; evictions = 0; disk_writes = 0 }
+    dir; ext; encode; decode;
+    hits = 0; disk_hits = 0; misses = 0; rejected = 0; evictions = 0;
+    disk_writes = 0 }
 
 let key ~version ~fingerprint bytecode =
   let code_hash = Ethainter_crypto.Keccak.hash bytecode in
@@ -108,7 +119,7 @@ let filename_safe k =
        k
   && k.[0] <> '.'
 
-let entry_path dir k = Filename.concat dir (k ^ ".cache")
+let entry_path t dir k = Filename.concat dir (k ^ "." ^ t.ext)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -121,11 +132,20 @@ let read_file path =
    (atomic on POSIX). Any I/O failure degrades to "not persisted". *)
 let tmp_counter = Atomic.make 0
 
+(* Racing creators are expected (two processes warming one cache
+   directory): losing the mkdir race is success, not failure — the
+   blanket handler below must never see EEXIST, or the loser's write
+   would be silently dropped. *)
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
 let disk_write t k v =
   match t.dir with
   | Some dir when filename_safe k -> (
       try
-        if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+        ensure_dir dir;
         let tmp =
           Filename.concat dir
             (Printf.sprintf ".%s.tmp.%d.%d" k (Unix.getpid ())
@@ -135,7 +155,7 @@ let disk_write t k v =
         (try output_string oc (t.encode v)
          with e -> close_out_noerr oc; raise e);
         close_out oc;
-        Sys.rename tmp (entry_path dir k);
+        Sys.rename tmp (entry_path t dir k);
         true
       with _ -> false)
   | _ -> false
@@ -143,7 +163,7 @@ let disk_write t k v =
 let disk_find t k =
   match t.dir with
   | Some dir when filename_safe k -> (
-      let path = entry_path dir k in
+      let path = entry_path t dir k in
       match (try Some (read_file path) with _ -> None) with
       | None -> None
       | Some raw -> (
@@ -157,30 +177,48 @@ let disk_find t k =
 
 (* ---------------- public operations ---------------- *)
 
-let find t k =
-  let mem_hit =
+(* [Found_invalid] distinguishes "the entry exists but the caller's
+   validity predicate refused it" from a plain miss: the caller will
+   recompute either way, but the stats must not claim a hit for a
+   lookup that caused a recomputation. *)
+let find_valid t k ~valid =
+  let mem =
     locked t (fun () ->
         match Hashtbl.find_opt t.tbl k with
         | Some n ->
-            touch t n;
-            t.hits <- t.hits + 1;
-            Some n.value
-        | None -> None)
+            if valid n.value then begin
+              touch t n;
+              t.hits <- t.hits + 1;
+              `Hit n.value
+            end
+            else begin
+              t.rejected <- t.rejected + 1;
+              `Rejected
+            end
+        | None -> `Absent)
   in
-  match mem_hit with
-  | Some _ as r -> r
-  | None -> (
+  match mem with
+  | `Hit v -> Some v
+  | `Rejected -> None
+  | `Absent -> (
       (* Disk I/O and decoding happen outside the lock; only the
-         promotion and the counter update re-take it. *)
+         promotion and the counter update re-take it. A rejected disk
+         entry is left in place — a later request with a laxer
+         predicate (e.g. a bigger time budget) may still accept it. *)
       match disk_find t k with
-      | Some v ->
+      | Some v when valid v ->
           locked t (fun () ->
               t.disk_hits <- t.disk_hits + 1;
               insert t k v);
           Some v
+      | Some _ ->
+          locked t (fun () -> t.rejected <- t.rejected + 1);
+          None
       | None ->
           locked t (fun () -> t.misses <- t.misses + 1);
           None)
+
+let find t k = find_valid t k ~valid:(fun _ -> true)
 
 let add t k v =
   locked t (fun () -> insert t k v);
@@ -198,7 +236,8 @@ let find_or_compute t ~key ?(cacheable = fun _ -> true) f =
 let stats t =
   locked t (fun () ->
       { hits = t.hits; disk_hits = t.disk_hits; misses = t.misses;
-        evictions = t.evictions; disk_writes = t.disk_writes;
+        rejected = t.rejected; evictions = t.evictions;
+        disk_writes = t.disk_writes;
         size = Hashtbl.length t.tbl; capacity = t.capacity })
 
 let reset_stats t =
@@ -206,6 +245,7 @@ let reset_stats t =
       t.hits <- 0;
       t.disk_hits <- 0;
       t.misses <- 0;
+      t.rejected <- 0;
       t.evictions <- 0;
       t.disk_writes <- 0)
 
@@ -217,17 +257,18 @@ let clear t =
       t.hits <- 0;
       t.disk_hits <- 0;
       t.misses <- 0;
+      t.rejected <- 0;
       t.evictions <- 0;
       t.disk_writes <- 0)
 
 let hit_rate (s : stats) =
-  let lookups = s.hits + s.disk_hits + s.misses in
+  let lookups = s.hits + s.disk_hits + s.misses + s.rejected in
   if lookups = 0 then 0.0
   else float_of_int (s.hits + s.disk_hits) /. float_of_int lookups
 
 let pp_stats fmt (s : stats) =
   Format.fprintf fmt
-    "cache: %d hits, %d disk hits, %d misses (%.1f%% hit rate), %d evictions, size %d/%d"
-    s.hits s.disk_hits s.misses
+    "cache: %d hits, %d disk hits, %d misses, %d rejected (%.1f%% hit rate), %d evictions, size %d/%d"
+    s.hits s.disk_hits s.misses s.rejected
     (100.0 *. hit_rate s)
     s.evictions s.size s.capacity

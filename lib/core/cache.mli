@@ -20,14 +20,23 @@
 
     The cache is generic in the value type; the caller supplies the
     codec, which must be self-validating (a version header, checked in
-    [decode]) since disk entries outlive processes. *)
+    [decode]) since disk entries outlive processes.
+
+    Several cache instances with {e heterogeneous} value types may
+    share one directory: each instance names its disk entries
+    [<key>.<ext>] with a per-instance [ext] (default ["cache"]), so
+    e.g. {!Pipeline}'s front-end artifacts ([*.fe]) and back-end
+    results ([*.cache]) coexist under one [ETHAINTER_CACHE_DIR]. *)
 
 type 'v t
 
 type stats = {
   hits : int;        (** memory-tier hits *)
   disk_hits : int;   (** memory misses answered by the disk tier *)
-  misses : int;      (** full misses (value had to be computed) *)
+  misses : int;      (** full misses (no entry; value had to be computed) *)
+  rejected : int;    (** entries found but refused by the caller's
+                         {!find_valid} predicate — the value was
+                         recomputed, so these are {e not} hits *)
   evictions : int;   (** LRU evictions from the memory tier *)
   disk_writes : int; (** entries persisted to the disk tier *)
   size : int;        (** current memory-tier entry count *)
@@ -37,14 +46,18 @@ type stats = {
 val create :
   ?capacity:int ->
   ?dir:string ->
+  ?ext:string ->
   encode:('v -> string) ->
   decode:(string -> 'v option) ->
   unit -> 'v t
 (** [capacity] bounds the memory tier (default 8192 entries; at least
     1). [dir] enables the disk tier; it is created on first write if
-    missing, and a directory that cannot be created or read simply
-    degrades to memory-only. [decode] may raise — any exception is a
-    miss. *)
+    missing (concurrent creators may race — both win), and a directory
+    that cannot be created or read simply degrades to memory-only.
+    [ext] is the disk-entry filename extension (default ["cache"];
+    alphanumeric) — give distinct extensions to instances sharing a
+    directory. [decode] may raise — any exception is a miss.
+    @raise Invalid_argument if [ext] is empty or not alphanumeric. *)
 
 val key : version:string -> fingerprint:string -> string -> string
 (** [key ~version ~fingerprint bytecode] is the content address
@@ -56,6 +69,16 @@ val key : version:string -> fingerprint:string -> string -> string
 
 val find : 'v t -> string -> 'v option
 (** Memory tier first, then disk. A disk hit is promoted to memory. *)
+
+val find_valid : 'v t -> string -> valid:('v -> bool) -> 'v option
+(** {!find} gated by a validity predicate: an entry for which [valid]
+    is false is {e not} returned and is counted under
+    [stats.rejected] rather than as a hit — the caller is about to
+    recompute, and the stats line must say so. A rejected disk entry
+    is left on disk (a later, laxer predicate may accept it); a
+    rejected memory entry likewise stays resident. {!Pipeline} uses
+    this to refuse results whose recorded cost exceeds the request's
+    time budget. *)
 
 val add : 'v t -> string -> 'v -> unit
 (** Insert into the memory tier (evicting the least-recently-used
@@ -79,8 +102,9 @@ val clear : 'v t -> unit
     counters. *)
 
 val hit_rate : stats -> float
-(** [(hits + disk_hits) / lookups], or [0.] before any lookup. *)
+(** [(hits + disk_hits) / lookups] where lookups include rejected
+    entries, or [0.] before any lookup. *)
 
 val pp_stats : Format.formatter -> stats -> unit
 (** One line, e.g.
-    ["cache: 120 hits, 3 disk hits, 30 misses (80.4% hit rate), 0 evictions, size 153/8192"]. *)
+    ["cache: 120 hits, 3 disk hits, 30 misses, 1 rejected (79.9% hit rate), 0 evictions, size 153/8192"]. *)

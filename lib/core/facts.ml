@@ -277,13 +277,15 @@ let classify_slot (t : t) (addr : var) : slot_class =
       | Some b -> SData b
       | None -> SUnknown)
 
+(* Guard conditions are all pre-sliced by {!compute}; the fallback
+   recomputes without memoizing because a [t] can be shared read-only
+   across scheduler domains (the pipeline's front-end cache hands the
+   same fact database to every ablation config), and a concurrent
+   [Hashtbl.replace] would be a data race. *)
 let slice_of (t : t) (cond : var) : VarSet.t =
   match Hashtbl.find_opt t.guard_slice cond with
   | Some s -> s
-  | None ->
-      let s = compute_slice t.program cond in
-      Hashtbl.replace t.guard_slice cond s;
-      s
+  | None -> compute_slice t.program cond
 
 (** Does the condition scrutinize the contract caller? (Uguard-NDS,
     negated: a guard that involves no sender-derived value — directly

@@ -32,30 +32,94 @@ let expected_failure = function
   | Invalid_argument _ | Failure _ | Not_found -> true
   | _ -> false
 
-(* The uncached analysis. [timeout_s] mimics the paper's cutoff: we
-   check elapsed wall-clock between phases (decompilation / analysis)
-   and give up, flagging a timeout, when exceeded. *)
+(* ------------------------------------------------------------------ *)
+(* The two analysis phases                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The pipeline is split where the config dependence begins. The
+   front end (decompile → Facts.compute) sees only the bytecode: its
+   artifact can be shared by every ablation config, which is what lets
+   the Fig. 8 four-config sweep decompile each contract exactly once.
+   The back end (fixpoint + detectors) is the only part that reruns
+   per config. *)
+
+type frontend = {
+  fe_facts : (Facts.t, string) Stdlib.result;
+      (* Error = deterministic decompile/facts failure for this
+         bytecode — cached like any other artifact *)
+  fe_tac_loc : int;
+  fe_blocks : int;
+  fe_elapsed_s : float;  (* front-end cost, charged against the budget
+                            of every request that reuses the artifact *)
+}
+
+(* Phase 1. [Error r] is a mid-phase timeout: [r] is the final
+   timed-out result, carrying the real elapsed time and whatever phase
+   stats were completed — it depends on wall clock, so it is never
+   cached. [timeout_s] mimics the paper's cutoff: elapsed wall-clock
+   is checked between phases. *)
+let compute_frontend ~(timeout_s : float) (runtime : string) :
+    (frontend, result) Stdlib.result =
+  let t0 = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. t0 in
+  let over () = elapsed () > timeout_s in
+  match Ethainter_tac.Decomp.decompile runtime with
+  | exception e when expected_failure e ->
+      Ok { fe_facts = Error (Printexc.to_string e); fe_tac_loc = 0;
+           fe_blocks = 0; fe_elapsed_s = elapsed () }
+  | p ->
+      let fe_tac_loc = Ethainter_tac.Tac.loc p in
+      let fe_blocks = List.length (Ethainter_tac.Tac.blocks p) in
+      let timed_out () =
+        Error { empty_result with tac_loc = fe_tac_loc; blocks = fe_blocks;
+                elapsed_s = elapsed (); timed_out = true }
+      in
+      if over () then timed_out ()
+      else
+        match Facts.compute p with
+        | exception e when expected_failure e ->
+            Ok { fe_facts = Error (Printexc.to_string e); fe_tac_loc;
+                 fe_blocks; fe_elapsed_s = elapsed () }
+        | facts ->
+            if over () then timed_out ()
+            else
+              Ok { fe_facts = Ok facts; fe_tac_loc; fe_blocks;
+                   fe_elapsed_s = elapsed () }
+
+(* Phase 2: fixpoint + detectors under [cfg]. The artifact may be
+   shared by concurrent domains (it comes out of the front-end cache),
+   so this phase must not mutate it — see Facts.slice_of. The
+   result's [elapsed_s] is the *sum* of the front end's recorded cost
+   and the back-end run, so budget accounting holds even when the
+   front end was a cache hit. *)
+let backend ~(cfg : Config.t) (fe : frontend) : result =
+  match fe.fe_facts with
+  | Error msg ->
+      { empty_result with tac_loc = fe.fe_tac_loc; blocks = fe.fe_blocks;
+        elapsed_s = fe.fe_elapsed_s; error = Some msg }
+  | Ok facts -> (
+      let t0 = Unix.gettimeofday () in
+      match
+        let a = Analysis.run ~cfg facts in
+        (a, Analysis.detect a)
+      with
+      | exception e when expected_failure e ->
+          { empty_result with tac_loc = fe.fe_tac_loc;
+            blocks = fe.fe_blocks;
+            elapsed_s = fe.fe_elapsed_s +. (Unix.gettimeofday () -. t0);
+            error = Some (Printexc.to_string e) }
+      | a, reports ->
+          { reports; tac_loc = fe.fe_tac_loc; blocks = fe.fe_blocks;
+            analysis_rounds = a.Analysis.rounds;
+            elapsed_s = fe.fe_elapsed_s +. (Unix.gettimeofday () -. t0);
+            timed_out = false; error = None })
+
+(* The uncached analysis is the two phases composed. *)
 let analyze_uncached ~(cfg : Config.t) ~(timeout_s : float)
     (runtime : string) : result =
-  let t0 = Unix.gettimeofday () in
-  let over () = Unix.gettimeofday () -. t0 > timeout_s in
-  try
-    let p = Ethainter_tac.Decomp.decompile runtime in
-    if over () then { empty_result with timed_out = true }
-    else
-      let facts = Facts.compute p in
-      if over () then { empty_result with timed_out = true }
-      else
-        let a = Analysis.run ~cfg facts in
-        let reports = Analysis.detect a in
-        { reports; tac_loc = Ethainter_tac.Tac.loc p;
-          blocks = List.length (Ethainter_tac.Tac.blocks p);
-          analysis_rounds = a.Analysis.rounds;
-          elapsed_s = Unix.gettimeofday () -. t0; timed_out = false;
-          error = None }
-  with e when expected_failure e ->
-    { empty_result with elapsed_s = Unix.gettimeofday () -. t0;
-      error = Some (Printexc.to_string e) }
+  match compute_frontend ~timeout_s runtime with
+  | Error timed_out -> timed_out
+  | Ok fe -> backend ~cfg fe
 
 (* ------------------------------------------------------------------ *)
 (* Result codec (disk-tier serialization)                              *)
@@ -155,30 +219,86 @@ let decode_result (s : string) : result option =
   with _ -> None
 
 (* ------------------------------------------------------------------ *)
-(* The process-wide result cache                                       *)
+(* Front-end artifact codec (disk-tier serialization)                  *)
 (* ------------------------------------------------------------------ *)
 
-(* Stamped into every cache key: bump on any change to decompilation,
-   facts, the fixpoint or the detectors. *)
-let analysis_version = "2"
+(* The artifact is a deep object graph (TAC program + fact tables,
+   with internal sharing) for which a hand-rolled field codec would be
+   both large and slow, so the payload is [Marshal] output — guarded,
+   because unmarshalling arbitrary bytes is unsafe, by a header that
+   must fully validate first: magic+version, the compiler version
+   (Marshal's format is build-dependent), the payload length and a
+   keccak digest of the payload. Any deviation is [None] (a cache
+   miss); [Marshal.from_string] only ever sees byte-identical payloads
+   of our own [encode_frontend]. *)
+
+let frontend_magic = "ethainter.frontend.v1"
+
+let encode_frontend (fe : frontend) : string =
+  let payload = Marshal.to_string fe [] in
+  Printf.sprintf "%s %s %d %s\n%s" frontend_magic Sys.ocaml_version
+    (String.length payload)
+    (Ethainter_word.Hex.encode (Ethainter_crypto.Keccak.hash payload))
+    payload
+
+let decode_frontend (s : string) : frontend option =
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i -> (
+      let header = String.sub s 0 i in
+      let payload = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.split_on_char ' ' header with
+      | [ magic; compiler; len; digest ]
+        when magic = frontend_magic
+             && compiler = Sys.ocaml_version
+             && int_of_string_opt len = Some (String.length payload)
+             && digest
+                = Ethainter_word.Hex.encode
+                    (Ethainter_crypto.Keccak.hash payload) -> (
+          try Some (Marshal.from_string payload 0 : frontend)
+          with _ -> None)
+      | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* The process-wide phase-split cache                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Stamped into every cache key (front- and back-end): bump on any
+   change to decompilation, facts, the fixpoint or the detectors.
+   "3" = the phase split (back-end entries now record the summed
+   front+back cost). *)
+let analysis_version = "3"
+
+(* The front-end key's stand-in for a config fingerprint: the front
+   end does not depend on any ablation switch, so its entries are
+   keyed by [keccak(bytecode) × analysis_version] only. The constant
+   is distinct from every [Config.fingerprint] (those are
+   "cfg:..."-prefixed), so the two key spaces cannot collide even
+   though both tiers share one directory. *)
+let frontend_fingerprint = "frontend"
 
 let cache_capacity_default = 8192
 
 (* Lazily created so [set_cache_dir] / env vars take effect before the
    first analysis; the mutex makes first-use from concurrent scheduler
-   domains safe. *)
+   domains safe. [cache_on] is read on every request from every
+   scheduler domain without the mutex, hence Atomic; [cache_dir_ref]
+   by contrast is only ever touched with [cache_mu] held. *)
 let cache_mu = Mutex.create ()
-let cache_on = ref (Sys.getenv_opt "ETHAINTER_NO_CACHE" = None)
+let cache_on = Atomic.make (Sys.getenv_opt "ETHAINTER_NO_CACHE" = None)
 let cache_dir_ref = ref (Sys.getenv_opt "ETHAINTER_CACHE_DIR")
-let cache_ref : result Cache.t option ref = ref None
+let caches_ref : (frontend Cache.t * result Cache.t) option ref = ref None
 
 let with_cache_mu f =
   Mutex.lock cache_mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock cache_mu) f
 
-let cache () =
+(* Two cache instances — config-independent front-end artifacts
+   ([*.fe] disk entries) and per-config back-end results ([*.cache]) —
+   sharing one directory and one capacity knob. *)
+let caches () =
   with_cache_mu (fun () ->
-      match !cache_ref with
+      match !caches_ref with
       | Some c -> c
       | None ->
           let capacity =
@@ -189,23 +309,38 @@ let cache () =
                 | _ -> cache_capacity_default)
             | None -> cache_capacity_default
           in
+          let dir = !cache_dir_ref in
           let c =
-            Cache.create ~capacity ?dir:!cache_dir_ref
-              ~encode:encode_result ~decode:decode_result ()
+            ( Cache.create ~capacity ?dir ~ext:"fe"
+                ~encode:encode_frontend ~decode:decode_frontend (),
+              Cache.create ~capacity ?dir
+                ~encode:encode_result ~decode:decode_result () )
           in
-          cache_ref := Some c;
+          caches_ref := Some c;
           c)
 
-let cache_enabled () = !cache_on
-let set_cache_enabled b = cache_on := b
+let frontend_cache () = fst (caches ())
+let result_cache () = snd (caches ())
+
+let cache_enabled () = Atomic.get cache_on
+let set_cache_enabled b = Atomic.set cache_on b
 
 let set_cache_dir d =
   with_cache_mu (fun () ->
       cache_dir_ref := d;
-      cache_ref := None)
+      caches_ref := None)
 
-let cache_stats () = Cache.stats (cache ())
-let cache_clear () = Cache.clear (cache ())
+let cache_stats () = Cache.stats (result_cache ())
+let frontend_cache_stats () = Cache.stats (frontend_cache ())
+
+let cache_clear () =
+  Cache.clear (frontend_cache ());
+  Cache.clear (result_cache ())
+
+let pp_cache_stats fmt () =
+  Format.fprintf fmt "front-end %a@\nback-end %a"
+    Cache.pp_stats (frontend_cache_stats ())
+    Cache.pp_stats (cache_stats ())
 
 (* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
@@ -236,24 +371,56 @@ let run (req : request) : result =
       if not (cache_enabled ()) then
         analyze_uncached ~cfg:req.cfg ~timeout_s:req.timeout_s runtime
       else
-        let key =
+        let fe_cache, res_cache = caches () in
+        let res_key =
           Cache.key ~version:analysis_version
             ~fingerprint:(Config.fingerprint req.cfg) runtime
         in
-        let c = cache () in
-        (* A hit is only valid if this request's budget exceeds the
-           time the cached computation actually took — a tighter budget
-           might have timed out, and the timeout tests rely on that. *)
-        match Cache.find c key with
-        | Some r when r.elapsed_s < req.timeout_s -> r
-        | _ ->
-            let r =
-              analyze_uncached ~cfg:req.cfg ~timeout_s:req.timeout_s runtime
+        (* A back-end hit is only valid if this request's budget
+           exceeds the recorded total (front-end + back-end) cost — a
+           tighter budget might have timed out, and the timeout tests
+           rely on that. An entry refused here counts as [rejected],
+           not a hit: we are about to recompute. *)
+        match
+          Cache.find_valid res_cache res_key
+            ~valid:(fun r -> r.elapsed_s < req.timeout_s)
+        with
+        | Some r -> r
+        | None -> (
+            let fe_key =
+              Cache.key ~version:analysis_version
+                ~fingerprint:frontend_fingerprint runtime
             in
-            (* Timed-out results depend on wall-clock and machine load,
-               not content — never cache them. *)
-            if not r.timed_out then Cache.add c key r;
-            r
+            (* A front-end hit stands in for actually running the
+               front end, so its recorded cost must itself fit the
+               budget (an uncached run would have timed out right
+               after this phase otherwise). *)
+            let fe =
+              match
+                Cache.find_valid fe_cache fe_key
+                  ~valid:(fun fe -> fe.fe_elapsed_s <= req.timeout_s)
+              with
+              | Some fe -> Ok fe
+              | None -> (
+                  match
+                    compute_frontend ~timeout_s:req.timeout_s runtime
+                  with
+                  | Ok fe ->
+                      Cache.add fe_cache fe_key fe;
+                      Ok fe
+                  | Error _ as timed_out ->
+                      (* mid-front-end timeout: wall-clock dependent,
+                         never cached *)
+                      timed_out)
+            in
+            match fe with
+            | Error timed_out -> timed_out
+            | Ok fe ->
+                let r = backend ~cfg:req.cfg fe in
+                (* Timed-out results depend on wall-clock and machine
+                   load, not content — never cache them. *)
+                if not r.timed_out then Cache.add res_cache res_key r;
+                r)
 
 (* Deprecated thin wrappers, kept so existing call sites (and external
    users) survive; all analysis flows through {!run}. *)

@@ -5,9 +5,22 @@
 
     {!run} on a {!request} is the {e single} entry point every caller
     (scheduler, experiments, CLIs, bench) goes through; it is where the
-    content-addressed {!Cache} key — [(keccak bytecode,
-    Config.fingerprint, analysis version)] — is derived, so memoization
-    is transparent and uniform. *)
+    content-addressed {!Cache} keys are derived, so memoization is
+    transparent and uniform.
+
+    The pipeline is {b phase-split} where config dependence begins:
+
+    - the {b front end} — decompile → {!Facts.compute} — depends only
+      on the bytecode, and its artifact is cached under
+      [(keccak bytecode, "frontend", analysis_version)];
+    - the {b back end} — fixpoint + detectors — depends on the
+      {!Config}, and its result is cached under
+      [(keccak bytecode, Config.fingerprint, analysis_version)].
+
+    An ablation sweep that analyzes one corpus under several configs
+    (the Fig. 8 experiments) therefore decompiles and extracts facts
+    for each contract exactly once, rerunning only the fixpoint per
+    config. *)
 
 type result = {
   reports : Vulns.report list;
@@ -47,19 +60,23 @@ val resolve_input : input -> (string, string) Stdlib.result
 
 val run : request -> result
 (** Analyze one contract. On expiry of [timeout_s] the result carries
-    [timed_out = true] and no reports. Expected decompile/analysis
-    exceptions from malformed bytecode are contained and recorded in
-    [error]; asynchronous/fatal exceptions ([Out_of_memory],
-    [Stack_overflow], [Assert_failure], ...) propagate — the
-    {!Scheduler} isolates those per contract.
+    [timed_out = true], no reports, the {e real} elapsed time, and the
+    stats of every phase that completed (e.g. [tac_loc]/[blocks] when
+    decompilation finished before the cutoff). Expected
+    decompile/analysis exceptions from malformed bytecode are
+    contained and recorded in [error]; asynchronous/fatal exceptions
+    ([Out_of_memory], [Stack_overflow], [Assert_failure], ...)
+    propagate — the {!Scheduler} isolates those per contract.
 
-    When caching is enabled (the default), the result is memoized in
-    the process-wide {!Cache} keyed by
-    [(keccak bytecode, Config.fingerprint cfg, analysis_version)].
-    A cached result is only served to a request whose [timeout_s]
-    exceeds the cached [elapsed_s] (a budget that tight might have
-    timed out), and timed-out results are never cached — so caching is
-    observationally transparent. *)
+    When caching is enabled (the default), both phases are memoized in
+    the process-wide phase-split {!Cache} (see the module preamble for
+    the key scheme). Budget accounting covers the {e sum} of phases: a
+    back-end entry records front-end + back-end cost in [elapsed_s]
+    and is only served to a request whose [timeout_s] exceeds it; a
+    front-end artifact likewise only stands in for the front end when
+    its recorded cost fits the budget (an entry refused on those
+    grounds is counted as [rejected], not as a hit). Timed-out results
+    are never cached — so caching is observationally transparent. *)
 
 val analyze_runtime :
   ?cfg:Config.t -> ?timeout_s:float -> string -> result
@@ -74,35 +91,89 @@ val flagged_kinds : result -> Vulns.kind list
 val flags : result -> Vulns.kind -> bool
 (** Is any report of this kind present? *)
 
-(** {1 The process-wide result cache}
+(** {1 The analysis phases}
 
-    One cache instance per process, shared by every scheduler domain.
-    Configured from the environment at first use — [ETHAINTER_CACHE_DIR]
-    (disk tier), [ETHAINTER_CACHE_CAPACITY] (memory-tier LRU bound),
-    [ETHAINTER_NO_CACHE] (start disabled) — and overridable
-    programmatically (the CLIs' [--no-cache] / [--cache-dir]). *)
+    Exposed for the phase-split tests and the bench harness; ordinary
+    callers go through {!run}, which composes them (and caches each). *)
+
+type frontend = {
+  fe_facts : (Facts.t, string) Stdlib.result;
+      (** [Error msg] = deterministic decompile/facts failure for this
+          bytecode (cached like any other artifact) *)
+  fe_tac_loc : int;
+  fe_blocks : int;
+  fe_elapsed_s : float;
+      (** front-end cost, charged against the budget of every request
+          that reuses the artifact *)
+}
+(** The config-independent front-end artifact: TAC program stats plus
+    the fact database ({!Facts.t}, which carries the program). *)
+
+val compute_frontend :
+  timeout_s:float -> string -> (frontend, result) Stdlib.result
+(** Decompile and extract facts. [Error r] is a mid-phase timeout;
+    [r] is the final (never cached) timed-out result with real
+    elapsed time and completed phase stats. *)
+
+val backend : cfg:Config.t -> frontend -> result
+(** Fixpoint + detectors on an artifact. Never mutates the artifact —
+    it may be shared by concurrent scheduler domains. The result's
+    [elapsed_s] is [fe_elapsed_s] {e plus} the back-end run time. *)
+
+(** {1 The process-wide phase-split cache}
+
+    Two cache instances per process — front-end artifacts and back-end
+    results — shared by every scheduler domain and, when the disk tier
+    is enabled, sharing one directory ([*.fe] / [*.cache] entries).
+    Configured from the environment at first use —
+    [ETHAINTER_CACHE_DIR] (disk tier), [ETHAINTER_CACHE_CAPACITY]
+    (memory-tier LRU bound per instance), [ETHAINTER_NO_CACHE] (start
+    disabled) — and overridable programmatically (the CLIs'
+    [--no-cache] / [--cache-dir]). *)
 
 val analysis_version : string
-(** Stamped into every cache key; bump on any change to decompilation,
-    fact generation, the fixpoint or the detectors, so stale disk
-    entries from older builds become misses. *)
+(** Stamped into every cache key (both phases); bump on any change to
+    decompilation, fact generation, the fixpoint or the detectors, so
+    stale disk entries from older builds become misses. *)
 
 val cache_enabled : unit -> bool
 val set_cache_enabled : bool -> unit
 val set_cache_dir : string option -> unit
 (** Enable ([Some dir]) or disable ([None]) the disk tier; resets the
-    in-memory tier. *)
+    in-memory tiers. *)
 
 val cache_stats : unit -> Cache.stats
+(** Back-end (result) cache counters. *)
+
+val frontend_cache_stats : unit -> Cache.stats
+(** Front-end (artifact) cache counters — in a multi-config sweep the
+    miss count here is the number of decompilation+facts passes
+    actually performed. *)
+
 val cache_clear : unit -> unit
-(** Drop all in-memory entries and reset counters (disk entries are
-    kept). *)
+(** Drop all in-memory entries of both tiers and reset counters (disk
+    entries are kept). *)
 
-(** {1 Result codec}
+val pp_cache_stats : Format.formatter -> unit -> unit
+(** Two labeled lines, front-end then back-end stats (the CLIs' stats
+    output). *)
 
-    The disk tier's versioned serialization. Total: [decode_result]
-    returns [None] on any corrupt, truncated or old-version payload
-    (exposed for the cache tests and the bench differential check). *)
+(** {1 Codecs}
+
+    The disk tier's versioned serializations; both are total —
+    [decode_*] returns [None] on any corrupt, truncated or
+    wrong-version payload (exposed for the cache tests and the bench
+    differential check).
+
+    The result codec is a self-describing text format
+    (["ethainter.result.v1"] header). The front-end codec wraps a
+    [Marshal] payload in a header carrying the codec version, the
+    compiler version (Marshal's format is build-dependent) and a
+    keccak digest; the payload is only unmarshalled after the header
+    fully validates. *)
 
 val encode_result : result -> string
 val decode_result : string -> result option
+
+val encode_frontend : frontend -> string
+val decode_frontend : string -> frontend option

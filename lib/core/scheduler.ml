@@ -68,16 +68,22 @@ let map ?workers (f : 'a -> 'b) (xs : 'a list) : 'b list =
   let workers = match workers with Some w -> w | None -> default_workers () in
   let input = Array.of_list xs in
   let n = Array.length input in
-  let out : ('b, exn) result option array = Array.make n None in
+  let out : ('b, exn * Printexc.raw_backtrace) result option array =
+    Array.make n None
+  in
   run_pool ~workers n (fun i ->
       out.(i) <-
         Some (match f input.(i) with
              | y -> Ok y
-             | exception e -> Error e));
+             | exception e ->
+                 (* capture the worker-domain backtrace here, at the
+                    catch site — re-raising on the caller's domain
+                    would otherwise lose it *)
+                 Error (e, Printexc.get_raw_backtrace ())));
   Array.to_list out
   |> List.map (function
        | Some (Ok y) -> y
-       | Some (Error e) -> raise e
+       | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
        | None -> assert false)
 
 (** Like {!map}, but with per-item fault isolation: an exception in [f]

@@ -11,7 +11,8 @@ val map : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Parallel map with results in input order, independent of worker
     count and completion order. [f] must be safe to run concurrently
     with itself. A per-item exception is re-raised (in input order)
-    only after the pool has drained. [workers] defaults to
+    only after the pool has drained, with the worker-domain backtrace
+    preserved ([Printexc.raise_with_backtrace]). [workers] defaults to
     {!default_workers}; [~workers:1] runs on the calling domain. *)
 
 val map_result :

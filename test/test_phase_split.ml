@@ -1,0 +1,416 @@
+(* Tests for the phase-split cache (PR 3): the config-independent
+   front end (decompile + facts) cached separately from the
+   config-dependent back end (fixpoint + detectors), plus the
+   correctness fixes riding along — timed-out results keeping their
+   measurements, the disk-tier mkdir race, budget-rejected entries not
+   counted as hits, and the scheduler preserving worker backtraces. *)
+
+module P = Ethainter_core.Pipeline
+module S = Ethainter_core.Scheduler
+module C = Ethainter_core.Config
+module Cache = Ethainter_core.Cache
+module G = Ethainter_corpus.Generator
+
+(* identical up to wall-clock: everything but elapsed_s *)
+let normalize (r : P.result) = { r with P.elapsed_s = 0.0 }
+
+let compile = Ethainter_minisol.Codegen.compile_source_runtime
+
+let src_victim = {|
+contract Victim {
+  mapping(address => bool) admins;
+  address owner;
+  constructor() { owner = msg.sender; }
+  function refer(address a) public { admins[a] = true; }
+  function claim(address who) public { require(admins[msg.sender]); owner = who; }
+  function kill() public {
+    require(msg.sender == owner);
+    selfdestruct(owner);
+  }
+}|}
+
+(* A fresh private temp directory path per call; [mk] controls whether
+   the directory itself is created (the mkdir-race test wants it
+   absent). *)
+let temp_dir =
+  let counter = ref 0 in
+  fun ?(mk = true) () ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ethainter_phase_test_%d_%d" (Unix.getpid ())
+           !counter)
+    in
+    if mk then
+      (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+let with_pipeline_cache ?dir f =
+  let was_enabled = P.cache_enabled () in
+  P.set_cache_enabled true;
+  P.set_cache_dir dir;  (* also resets both memory tiers *)
+  P.cache_clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      P.set_cache_enabled was_enabled;
+      P.set_cache_dir None)
+    f
+
+let all_configs =
+  [ ("default", C.default);
+    ("no-storage", C.no_storage_model);
+    ("no-guards", C.no_guard_model);
+    ("conservative", C.conservative) ]
+
+(* ---------- front-end phase + codec ---------- *)
+
+let test_frontend_codec_roundtrip () =
+  let runtime = compile src_victim in
+  match P.compute_frontend ~timeout_s:120.0 runtime with
+  | Error _ -> Alcotest.fail "front end unexpectedly timed out"
+  | Ok fe ->
+      Alcotest.(check bool) "facts computed" true (Result.is_ok fe.P.fe_facts);
+      Alcotest.(check bool) "has statements" true (fe.P.fe_tac_loc > 0);
+      (match P.decode_frontend (P.encode_frontend fe) with
+      | None -> Alcotest.fail "decode of encode failed"
+      | Some fe' ->
+          Alcotest.(check int) "tac_loc survives" fe.P.fe_tac_loc
+            fe'.P.fe_tac_loc;
+          Alcotest.(check int) "blocks survive" fe.P.fe_blocks fe'.P.fe_blocks;
+          (* the decoded artifact must drive the back end to the same
+             answer as the original, under every ablation config *)
+          List.iter
+            (fun (name, cfg) ->
+              Alcotest.(check bool)
+                ("backend agrees on decoded artifact: " ^ name) true
+                (normalize (P.backend ~cfg fe)
+                = normalize (P.backend ~cfg fe')))
+            all_configs)
+
+let test_frontend_codec_rejects_garbage () =
+  let runtime = compile src_victim in
+  let fe =
+    match P.compute_frontend ~timeout_s:120.0 runtime with
+    | Ok fe -> fe
+    | Error _ -> Alcotest.fail "front end timed out"
+  in
+  let good = P.encode_frontend fe in
+  Alcotest.(check bool) "sanity: good decodes" true
+    (P.decode_frontend good <> None);
+  let flip s i =
+    let b = Bytes.of_string s in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+    Bytes.to_string b
+  in
+  let bad =
+    [ ""; "garbage"; "ethainter.frontend.v999 x 0 0\n";
+      (* truncated payload: header length/digest no longer match *)
+      String.sub good 0 (String.length good - 7);
+      (* trailing junk *)
+      good ^ "extra";
+      (* a flipped payload byte must fail the digest check before any
+         unmarshalling is attempted *)
+      flip good (String.length good - 1) ]
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "corrupt artifact rejected" true
+        (P.decode_frontend s = None))
+    bad
+
+let test_frontend_error_artifact () =
+  (* a deterministic front-end failure is an artifact like any other:
+     it caches, and the back end surfaces it with the phase stats that
+     were completed *)
+  with_pipeline_cache (fun () ->
+      let garbage = "\xfe\x01\x02garbage" in
+      let r1 = P.run (P.request (P.Runtime garbage)) in
+      Alcotest.(check int) "front-end miss on first sight" 1
+        (P.frontend_cache_stats ()).Cache.misses;
+      (* a different config misses the back-end result cache but must
+         reuse the front-end artifact *)
+      let r2 = P.run (P.request ~cfg:C.no_guard_model (P.Runtime garbage)) in
+      Alcotest.(check int) "front-end hit under another config" 1
+        (P.frontend_cache_stats ()).Cache.hits;
+      Alcotest.(check bool) "identical outcome" true
+        (normalize r1 = normalize r2));
+  (* the Error-carrying artifact shape itself, via the exposed phase *)
+  let fe =
+    { P.fe_facts = Error "Decomp.Asm_error";
+      fe_tac_loc = 7; fe_blocks = 2; fe_elapsed_s = 0.25 }
+  in
+  let r = P.backend ~cfg:C.default fe in
+  Alcotest.(check (option string)) "error surfaced"
+    (Some "Decomp.Asm_error") r.P.error;
+  Alcotest.(check int) "completed stats kept" 7 r.P.tac_loc;
+  Alcotest.(check bool) "front-end cost charged" true
+    (abs_float (r.P.elapsed_s -. 0.25) < 1e-9);
+  (* and it round-trips through the codec *)
+  match P.decode_frontend (P.encode_frontend fe) with
+  | Some fe' -> Alcotest.(check bool) "error artifact roundtrips" true
+                  (fe = fe')
+  | None -> Alcotest.fail "error artifact failed to decode"
+
+(* ---------- cross-config reuse ---------- *)
+
+let test_four_config_sweep_decompiles_once () =
+  (* the acceptance criterion: the 4-config ablation sweep performs
+     exactly one decompilation+facts pass per contract *)
+  let corpus = G.mainnet ~seed:11 ~size:40 () in
+  let runtimes =
+    List.sort_uniq compare
+      (List.map (fun (i : G.instance) -> i.G.i_runtime) corpus)
+  in
+  let n = List.length runtimes in
+  with_pipeline_cache (fun () ->
+      List.iter
+        (fun (_, cfg) -> ignore (S.analyze_corpus ~cfg ~workers:4 runtimes))
+        all_configs;
+      let fe = P.frontend_cache_stats () in
+      let be = P.cache_stats () in
+      Alcotest.(check int) "one front-end pass per distinct contract" n
+        fe.Cache.misses;
+      Alcotest.(check int) "three front-end reuses per contract" (3 * n)
+        fe.Cache.hits;
+      Alcotest.(check int) "one back-end pass per contract x config" (4 * n)
+        be.Cache.misses)
+
+let test_differential_all_configs () =
+  (* phase-split results must be byte-identical to uncached runs for
+     all four ablation configs, cold and warm *)
+  let corpus = G.mainnet ~seed:21 ~size:30 () in
+  let runtimes =
+    List.map (fun (i : G.instance) -> i.G.i_runtime) corpus
+    @ [ ""; "\xfe\x01\x02garbage" ]
+  in
+  let uncached =
+    P.set_cache_enabled false;
+    Fun.protect
+      ~finally:(fun () -> P.set_cache_enabled true)
+      (fun () ->
+        List.map
+          (fun (_, cfg) -> S.analyze_corpus ~cfg ~workers:4 runtimes)
+          all_configs)
+  in
+  with_pipeline_cache (fun () ->
+      let sweep () =
+        List.map
+          (fun (_, cfg) -> S.analyze_corpus ~cfg ~workers:4 runtimes)
+          all_configs
+      in
+      let cold = sweep () in
+      let warm = sweep () in
+      List.iteri
+        (fun ci (cfg_cold, (cfg_warm, cfg_unc)) ->
+          let name = fst (List.nth all_configs ci) in
+          List.iter2
+            (fun a b ->
+              Alcotest.(check bool) ("cold == uncached: " ^ name) true
+                (normalize a = normalize b))
+            cfg_cold cfg_unc;
+          List.iter2
+            (fun a b ->
+              Alcotest.(check bool) ("warm == uncached: " ^ name) true
+                (normalize a = normalize b))
+            cfg_warm cfg_unc)
+        (List.combine cold (List.combine warm uncached)))
+
+let test_disk_tier_cold_warm_matrix () =
+  (* cold/warm disk-tier matrix: a fresh process (simulated by
+     resetting the memory tiers) must answer from disk, for both
+     phases, under every config — and still match an uncached run *)
+  let runtimes =
+    [ compile src_victim;
+      compile {|
+contract Token {
+  mapping(address => uint) balances;
+  function transfer(address to, uint amount) public {
+    require(balances[msg.sender] >= amount);
+    balances[msg.sender] = balances[msg.sender] - amount;
+    balances[to] = balances[to] + amount;
+  }
+}|} ]
+  in
+  let uncached =
+    P.set_cache_enabled false;
+    Fun.protect
+      ~finally:(fun () -> P.set_cache_enabled true)
+      (fun () ->
+        List.map
+          (fun (_, cfg) -> S.analyze_corpus ~cfg runtimes)
+          all_configs)
+  in
+  let dir = temp_dir () in
+  with_pipeline_cache ~dir (fun () ->
+      let sweep () =
+        List.map
+          (fun (_, cfg) -> S.analyze_corpus ~cfg runtimes)
+          all_configs
+      in
+      ignore (sweep ());
+      Alcotest.(check bool) "front-end artifacts persisted" true
+        ((P.frontend_cache_stats ()).Cache.disk_writes >= List.length runtimes);
+      Alcotest.(check bool) "results persisted" true
+        ((P.cache_stats ()).Cache.disk_writes
+        >= List.length runtimes * List.length all_configs);
+      (* "new process": memory tiers emptied, disk entries remain *)
+      P.cache_clear ();
+      let warm_disk = sweep () in
+      let fe = P.frontend_cache_stats () in
+      let be = P.cache_stats () in
+      Alcotest.(check int) "no front-end recomputation from disk" 0
+        fe.Cache.misses;
+      Alcotest.(check int) "no back-end recomputation from disk" 0
+        be.Cache.misses;
+      Alcotest.(check bool) "back end answered from disk" true
+        (be.Cache.disk_hits >= List.length runtimes);
+      List.iter2
+        (fun cfg_res cfg_unc ->
+          List.iter2
+            (fun a b ->
+              Alcotest.(check bool) "disk-warm == uncached" true
+                (normalize a = normalize b))
+            cfg_res cfg_unc)
+        warm_disk uncached)
+
+(* ---------- satellite regressions ---------- *)
+
+let test_timeout_keeps_measurement () =
+  (* a timed-out result used to come back as empty_result: zero
+     elapsed_s and no phase stats even when decompilation succeeded *)
+  P.set_cache_enabled false;
+  Fun.protect
+    ~finally:(fun () -> P.set_cache_enabled true)
+    (fun () ->
+      let runtime = compile src_victim in
+      let r = P.analyze_runtime ~timeout_s:0.0 runtime in
+      Alcotest.(check bool) "times out" true r.P.timed_out;
+      Alcotest.(check bool) "elapsed time reported" true (r.P.elapsed_s > 0.0);
+      Alcotest.(check bool) "decompiled stats kept: tac_loc" true
+        (r.P.tac_loc > 0);
+      Alcotest.(check bool) "decompiled stats kept: blocks" true
+        (r.P.blocks > 0))
+
+let test_mkdir_race_both_writers_persist () =
+  (* two caches racing to create the same missing directory: the
+     mkdir loser's EEXIST must not abort its write *)
+  for _ = 1 to 10 do
+    let dir = temp_dir ~mk:false () in
+    Alcotest.(check bool) "dir starts absent" false (Sys.file_exists dir);
+    let mk_cache () =
+      Cache.create ~dir
+        ~encode:(fun v -> "S1\n" ^ v)
+        ~decode:(fun s ->
+          if String.length s >= 3 && String.sub s 0 3 = "S1\n" then
+            Some (String.sub s 3 (String.length s - 3))
+          else None)
+        ()
+    in
+    let gate = Atomic.make 0 in
+    let writer key =
+      Domain.spawn (fun () ->
+          let c = mk_cache () in
+          Atomic.incr gate;
+          while Atomic.get gate < 2 do Domain.cpu_relax () done;
+          Cache.add c key ("v-" ^ key);
+          (Cache.stats c).Cache.disk_writes)
+    in
+    let d1 = writer "aaaa" and d2 = writer "bbbb" in
+    let w1 = Domain.join d1 and w2 = Domain.join d2 in
+    Alcotest.(check int) "first writer persisted" 1 w1;
+    Alcotest.(check int) "second writer persisted" 1 w2;
+    Alcotest.(check bool) "first entry on disk" true
+      (Sys.file_exists (Filename.concat dir "aaaa.cache"));
+    Alcotest.(check bool) "second entry on disk" true
+      (Sys.file_exists (Filename.concat dir "bbbb.cache"))
+  done
+
+let test_budget_rejection_not_a_hit () =
+  with_pipeline_cache (fun () ->
+      let runtime = compile src_victim in
+      let full = P.analyze_runtime runtime in
+      Alcotest.(check bool) "full run cached" true (not full.P.timed_out);
+      let hits_before = (P.cache_stats ()).Cache.hits in
+      (* entry exists, but a zero budget must refuse it and recompute *)
+      let tight = P.analyze_runtime ~timeout_s:0.0 runtime in
+      Alcotest.(check bool) "tight budget times out" true tight.P.timed_out;
+      let s = P.cache_stats () in
+      Alcotest.(check int) "not counted as a hit" hits_before s.Cache.hits;
+      Alcotest.(check bool) "counted as rejected" true (s.Cache.rejected >= 1);
+      (* the generic find_valid contract, on a plain string cache *)
+      let c =
+        Cache.create
+          ~encode:(fun v -> v)
+          ~decode:(fun s -> Some s)
+          ()
+      in
+      Cache.add c "k" "value";
+      Alcotest.(check (option string)) "valid entry served" (Some "value")
+        (Cache.find_valid c "k" ~valid:(fun _ -> true));
+      Alcotest.(check (option string)) "invalid entry refused" None
+        (Cache.find_valid c "k" ~valid:(fun _ -> false));
+      let s = Cache.stats c in
+      Alcotest.(check int) "one hit" 1 s.Cache.hits;
+      Alcotest.(check int) "one rejection" 1 s.Cache.rejected;
+      Alcotest.(check int) "no misses" 0 s.Cache.misses;
+      (* the entry survives a rejection for laxer callers *)
+      Alcotest.(check (option string)) "entry still present" (Some "value")
+        (Cache.find c "k"))
+
+exception Boom of int
+
+let test_scheduler_preserves_backtrace () =
+  Printexc.record_backtrace true;
+  (* the worker's exception must come back as-is... *)
+  (match S.map ~workers:2 (fun i -> if i = 3 then raise (Boom i) else i)
+           [ 1; 2; 3; 4 ]
+   with
+  | _ -> Alcotest.fail "expected Boom to propagate"
+  | exception Boom 3 -> ());
+  (* ...and the re-raise must carry the backtrace captured in the
+     worker domain, not a fresh one from the caller's raise site:
+     raise_with_backtrace leaves the recorded trace pointing into the
+     worker's frames (run_pool/worker loop), which a bare [raise e]
+     from the drain loop cannot *)
+  (match S.map ~workers:1 (fun () -> raise (Boom 0)) [ () ] with
+  | _ -> Alcotest.fail "expected Boom to propagate"
+  | exception Boom 0 ->
+      let bt = Printexc.get_backtrace () in
+      Alcotest.(check bool) "backtrace mentions the scheduler pool" true
+        (let mentions sub =
+           let n = String.length bt and m = String.length sub in
+           let rec go i =
+             i + m <= n && (String.sub bt i m = sub || go (i + 1))
+           in
+           go 0
+         in
+         (* dev builds record frames; accept either the scheduler file
+            or an empty trace on builds without debug info *)
+         bt = "" || mentions "scheduler.ml"))
+
+let () =
+  Alcotest.run "phase-split"
+    [ ( "frontend",
+        [ Alcotest.test_case "codec roundtrip" `Quick
+            test_frontend_codec_roundtrip;
+          Alcotest.test_case "codec rejects garbage" `Quick
+            test_frontend_codec_rejects_garbage;
+          Alcotest.test_case "error artifacts" `Quick
+            test_frontend_error_artifact ] );
+      ( "cross-config",
+        [ Alcotest.test_case "4-config sweep decompiles once" `Quick
+            test_four_config_sweep_decompiles_once;
+          Alcotest.test_case "differential: all configs" `Quick
+            test_differential_all_configs;
+          Alcotest.test_case "disk-tier cold/warm matrix" `Quick
+            test_disk_tier_cold_warm_matrix ] );
+      ( "regressions",
+        [ Alcotest.test_case "timeout keeps measurement" `Quick
+            test_timeout_keeps_measurement;
+          Alcotest.test_case "mkdir race: both writers persist" `Quick
+            test_mkdir_race_both_writers_persist;
+          Alcotest.test_case "budget rejection is not a hit" `Quick
+            test_budget_rejection_not_a_hit;
+          Alcotest.test_case "worker backtrace preserved" `Quick
+            test_scheduler_preserves_backtrace ] ) ]
