@@ -15,7 +15,10 @@
    Phase-split cache only (4-config Fig. 8 ablation sweep, cross-config
    front-end reuse vs the PR 2 single-tier behavior, writes
    BENCH_pr3.json):
-     dune exec bench/main.exe -- --pr3-only *)
+     dune exec bench/main.exe -- --pr3-only
+   Robustness only (deadline-poll overhead on vs off, adversarial
+   timeout tail, writes BENCH_pr4.json):
+     dune exec bench/main.exe -- --pr4-only *)
 
 open Bechamel
 open Toolkit
@@ -369,15 +372,153 @@ let bench_pr3 () =
   close_out oc;
   print_endline "  wrote BENCH_pr3.json"
 
+(* ------------------------------------------------------------------ *)
+(* PR4: robustness. (a) The cost of preemptive cancellation: a clean   *)
+(* uncached corpus sweep with the amortized deadline polls disabled    *)
+(* vs enabled (target: < 2% overhead). (b) The timeout tail:           *)
+(* adversarial bytecode under a tight budget must return within 1.25x  *)
+(* of it. Emitted as BENCH_pr4.json.                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A long jump chain: [n] blocks of JUMPDEST; PUSH2 next; JUMP — the
+   worklist decompiler walks every block, pass after pass, so a tight
+   budget exercises the mid-decompile deadline, not the phase-boundary
+   checks. *)
+let jump_chain_bytecode n =
+  let b = Buffer.create (5 * n) in
+  for k = 0 to n - 1 do
+    let target = if k = n - 1 then 0 else 5 * (k + 1) in
+    Buffer.add_char b '\x5b';
+    Buffer.add_char b '\x61';
+    Buffer.add_char b (Char.chr ((target lsr 8) land 0xff));
+    Buffer.add_char b (Char.chr (target land 0xff));
+    Buffer.add_char b '\x56'
+  done;
+  Buffer.contents b
+
+let bench_pr4 () =
+  let module DL = Ethainter_core.Deadline in
+  print_endline "";
+  print_endline "PR4 robustness (deadline-poll overhead + timeout tail):";
+  (* the cost of the poll hook itself, isolated: a counted loop with
+     and without the call. This is the per-iteration price every hot
+     loop pays for being cancellable (~a domain-local load, a
+     decrement and a branch). *)
+  let poll_ns =
+    let n = 50_000_000 in
+    let sink = ref 0 in
+    let base =
+      time_best (fun () -> for i = 1 to n do sink := !sink + i done)
+    in
+    let polled =
+      time_best (fun () ->
+          for i = 1 to n do
+            sink := !sink + i;
+            DL.poll ()
+          done)
+    in
+    (polled -. base) /. float_of_int n *. 1e9
+  in
+  Printf.printf "  poll hook: %.2f ns/call (interval %d)\n" poll_ns
+    DL.poll_interval;
+  let corpus_size = 300 and corpus_seed = 42 in
+  let corpus = G.mainnet ~seed:corpus_seed ~size:corpus_size () in
+  let runtimes = List.map (fun (i : G.instance) -> i.G.i_runtime) corpus in
+  let workers = S.default_workers () in
+  let cores = Domain.recommended_domain_count () in
+  (* uncached, so every sweep pays the full analysis the polls sit in *)
+  P.set_cache_enabled false;
+  let sweep () = ignore (S.analyze_corpus ~workers runtimes) in
+  (* warm up the allocator and page cache, then alternate off/on pairs
+     so slow drift (GC, the machine) hits both sides of each pair
+     equally; the median per-pair ratio is robust to the odd
+     perturbed run *)
+  sweep ();
+  let pairs = 16 in
+  let timed enabled =
+    DL.set_enabled enabled;
+    let t0 = Unix.gettimeofday () in
+    sweep ();
+    Unix.gettimeofday () -. t0
+  in
+  let ratios =
+    (* alternate which side runs first, so within-pair warmth/frequency
+       drift doesn't systematically favor one side *)
+    List.init pairs (fun i ->
+        let off, on =
+          if i mod 2 = 0 then
+            let off = timed false in (off, timed true)
+          else
+            let on = timed true in (timed false, on)
+        in
+        (on /. off, off, on))
+  in
+  DL.set_enabled true;
+  let sorted = List.sort compare ratios in
+  let ratio_med, off_s, on_s = List.nth sorted (pairs / 2) in
+  let overhead_pct = (ratio_med -. 1.0) *. 100.0 in
+  Printf.printf
+    "  corpus (n=%d, %d workers, %d cores): enforcement off %.3f s, on \
+     %.3f s -> %+.2f%% overhead (median of %d pairs)\n"
+    corpus_size workers cores off_s on_s overhead_pct pairs;
+  (* the timeout tail: how long past its budget does a hostile input
+     actually run? *)
+  let adversarial_blocks = 20000 in
+  let code = jump_chain_bytecode adversarial_blocks in
+  let budget_s = 0.05 in
+  let t0 = Unix.gettimeofday () in
+  let r = P.analyze_runtime ~timeout_s:budget_s code in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let ratio = wall_s /. budget_s in
+  P.set_cache_enabled true;
+  Printf.printf
+    "  adversarial decompile (%d blocks, %.0f ms budget): timed_out %b, \
+     returned in %.1f ms (%.2fx budget, bound 1.25x)\n"
+    adversarial_blocks (budget_s *. 1000.0) r.P.timed_out (wall_s *. 1000.0)
+    ratio;
+  let oc = open_out "BENCH_pr4.json" in
+  Printf.fprintf oc
+    {|{
+  "pr": 4,
+  "machine_cores": %d,
+  "workers": %d,
+  "deadline_poll_overhead": {
+    "corpus_size": %d,
+    "corpus_seed": %d,
+    "poll_interval": %d,
+    "poll_ns_per_call": %.4f,
+    "enforcement_disabled_s": %.6f,
+    "enforcement_enabled_s": %.6f,
+    "overhead_pct": %.4f
+  },
+  "timeout_tail": {
+    "adversarial_blocks": %d,
+    "budget_s": %.6f,
+    "wall_s": %.6f,
+    "ratio": %.4f,
+    "timed_out": %b,
+    "within_1_25x": %b
+  }
+}
+|}
+    cores workers corpus_size corpus_seed DL.poll_interval poll_ns off_s
+    on_s overhead_pct adversarial_blocks budget_s wall_s ratio
+    r.P.timed_out
+    (r.P.timed_out && ratio <= 1.25);
+  close_out oc;
+  print_endline "  wrote BENCH_pr4.json"
+
 let () =
   let has f = Array.exists (fun a -> a = f) Sys.argv in
   let tables_only = has "--tables-only" in
   let pr1_only = has "--pr1-only" in
   let pr2_only = has "--pr2-only" in
   let pr3_only = has "--pr3-only" in
+  let pr4_only = has "--pr4-only" in
   if pr1_only then bench_pr1 ()
   else if pr2_only then bench_pr2 ()
   else if pr3_only then bench_pr3 ()
+  else if pr4_only then bench_pr4 ()
   else begin
     if not tables_only then begin
       print_endline "Bechamel benchmarks (one per reproduced table/figure):";
@@ -386,6 +527,7 @@ let () =
     bench_pr1 ();
     bench_pr2 ();
     bench_pr3 ();
+    bench_pr4 ();
     print_endline "";
     print_endline "Reproduced tables and figures (full scale):";
     (* run_all keeps the cache warm across its overlapping sweeps —

@@ -92,6 +92,23 @@ let cache_term =
         | None -> ())
     $ no_cache $ cache_dir)
 
+(* --faults: arm the deterministic fault-injection layer (chaos
+   testing) before the analysis runs. *)
+let faults_term =
+  let spec =
+    Arg.(value & opt (some string) None
+         & info [ "faults" ] ~docv:"SPEC"
+             ~doc:"Arm deterministic fault injection: \
+                   $(i,site=rate,...:seed) with sites poll, oom, \
+                   disk_read, disk_write, corrupt (overrides \
+                   ETHAINTER_FAULTS). For robustness testing only.")
+  in
+  Term.(
+    const (function
+      | Some s -> Ethainter_core.Fault.configure (Some s)
+      | None -> ())
+    $ spec)
+
 (* Two labeled lines: the front-end (decompile+facts artifact) and
    back-end (per-config result) tiers hit independently. *)
 let print_cache_stats () =
@@ -110,16 +127,25 @@ let analyze_cmd =
          & info [ "explain" ]
              ~doc:"Print a taint-derivation witness for every report.")
   in
-  let run cfg () explain file =
+  let run cfg () () explain file =
     let input = load_input file in
+    (* through the scheduler's isolation wrapper, so a fatal exception
+       (or an injected fault) becomes a classified per-contract error
+       with one bounded retry, same as in a corpus sweep *)
     let r =
-      Ethainter_core.Pipeline.run
+      Ethainter_core.Scheduler.analyze_request
         (Ethainter_core.Pipeline.request ~cfg input)
     in
     Printf.printf "decompiled: %d blocks, %d 3-address statements\n"
       r.Ethainter_core.Pipeline.blocks r.Ethainter_core.Pipeline.tac_loc;
     (match r.Ethainter_core.Pipeline.error with
-    | Some msg -> Printf.printf "ANALYSIS ERROR: %s\n" msg
+    | Some msg ->
+        let kind =
+          match r.Ethainter_core.Pipeline.error_kind with
+          | Some k -> Ethainter_core.Pipeline.error_kind_id k
+          | None -> "error"
+        in
+        Printf.printf "ANALYSIS ERROR [%s]: %s\n" kind msg
     | None -> ());
     (if r.Ethainter_core.Pipeline.timed_out then print_endline "TIMEOUT"
      else if r.Ethainter_core.Pipeline.reports = [] then
@@ -142,7 +168,7 @@ let analyze_cmd =
     print_cache_stats ()
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Run the Ethainter analysis on a contract")
-    Term.(const run $ config_term $ cache_term $ explain $ file)
+    Term.(const run $ config_term $ cache_term $ faults_term $ explain $ file)
 
 let decompile_cmd =
   let file =

@@ -1,7 +1,7 @@
 (* Reproduce the paper's tables and figures. See DESIGN.md for the
    experiment index.
 
-   usage: experiments [--no-cache] [--cache-dir DIR]
+   usage: experiments [--no-cache] [--cache-dir DIR] [--faults SPEC]
                       [all|e1|t1|f6|s1|f7|te|rq2|f8a|f8b|f8c] [scale]
 
    The experiments share the process-wide phase-split analysis cache:
@@ -9,7 +9,9 @@
    ablation sweeps reuse each contract's decompilation+facts artifact
    across configs (only the fixpoint reruns). Front-end and back-end
    cache stats lines are printed at the end. --no-cache disables
-   caching, --cache-dir persists entries across runs. *)
+   caching, --cache-dir persists entries across runs. --faults arms
+   the deterministic fault-injection layer (site=rate,...:seed, see
+   Ethainter_runtime.Fault) for robustness testing. *)
 
 module E = Ethainter_experiments.Experiments
 module P = Ethainter_core.Pipeline
@@ -29,6 +31,14 @@ let () =
                        && String.sub arg 0 12 = "--cache-dir=" ->
         P.set_cache_dir
           (Some (String.sub arg 12 (String.length arg - 12)));
+        parse rest positional
+    | "--faults" :: spec :: rest ->
+        Ethainter_core.Fault.configure (Some spec);
+        parse rest positional
+    | arg :: rest when String.length arg > 9
+                       && String.sub arg 0 9 = "--faults=" ->
+        Ethainter_core.Fault.configure
+          (Some (String.sub arg 9 (String.length arg - 9)));
         parse rest positional
     | arg :: rest -> parse rest (arg :: positional)
   in

@@ -245,6 +245,7 @@ let run ?(cfg = Config.default) (facts : Facts.t) : t =
     t.rounds <- t.rounds + 1;
     List.iter
       (fun s ->
+        Deadline.poll ();
         let reach = stmt_reachable t s in
         if reach && not (Hashtbl.mem t.reachable s.s_pc) then begin
           Hashtbl.replace t.reachable s.s_pc ();
@@ -396,6 +397,7 @@ let has_returndatasize_check (t : t) (s : stmt) : bool =
   let doms = t.facts.Facts.doms in
   List.exists
     (fun s' ->
+      Deadline.poll ();
       match s'.s_op with
       | TOp Op.RETURNDATASIZE ->
           (s'.s_block = s.s_block && s'.s_pc > s.s_pc)
@@ -444,6 +446,7 @@ let detect (t : t) : Vulns.report list =
   in
   List.iter
     (fun s ->
+      Deadline.poll ();
       match s.s_op with
       | TOp Op.SELFDESTRUCT ->
           if reach s then

@@ -20,14 +20,26 @@ type 'v t = {
   capacity : int;
   dir : string option;
   ext : string;
+  max_bytes : int option;  (* disk-tier size bound *)
   encode : 'v -> string;
   decode : string -> 'v option;
+  (* The disk tier degrades to memory-only after repeated I/O
+     failures rather than paying (and logging) a failure per entry for
+     the rest of a sweep. Atomic: read on every disk access without
+     the mutex. *)
+  disk_ok : bool Atomic.t;
+  (* Estimated bytes written since the last directory scan; when it
+     crosses [max_bytes] the bound is enforced (scan + evict) and the
+     estimate is re-based — so enforcement cost is amortized over the
+     bytes written, not paid per write. Guarded by [mu]. *)
+  mutable disk_bytes_est : int;
   mutable hits : int;
   mutable disk_hits : int;
   mutable misses : int;
   mutable rejected : int;
   mutable evictions : int;
   mutable disk_writes : int;
+  mutable io_errors : int;
 }
 
 type stats = {
@@ -37,6 +49,7 @@ type stats = {
   rejected : int;
   evictions : int;
   disk_writes : int;
+  io_errors : int;
   size : int;
   capacity : int;
 }
@@ -47,15 +60,65 @@ let ext_safe e =
        (function '0' .. '9' | 'a' .. 'z' | 'A' .. 'Z' -> true | _ -> false)
        e
 
-let create ?(capacity = 8192) ?dir ?(ext = "cache") ~encode ~decode () =
+(* Temp files left behind by a crashed writer (the atomic-rename
+   protocol never leaves torn *entries*, but it can leave *.tmp.*
+   litter): anything older than this at [create] time is swept. The
+   TTL protects live writers in other processes. *)
+let tmp_ttl_s = 600.0
+
+let is_tmp_file name =
+  String.length name > 0
+  && name.[0] = '.'
+  &&
+  let pat = ".tmp." in
+  let n = String.length name and m = String.length pat in
+  let rec at i = i + m <= n && (String.sub name i m = pat || at (i + 1)) in
+  at 0
+
+let sweep_stale_tmps dir =
+  match Sys.readdir dir with
+  | exception _ -> ()
+  | files ->
+      let now = Unix.gettimeofday () in
+      Array.iter
+        (fun f ->
+          if is_tmp_file f then
+            let path = Filename.concat dir f in
+            match Unix.stat path with
+            | exception _ -> ()
+            | st ->
+                if now -. st.Unix.st_mtime > tmp_ttl_s then
+                  try Sys.remove path with _ -> ())
+        files
+
+let max_bytes_env () =
+  match Sys.getenv_opt "ETHAINTER_CACHE_MAX_BYTES" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 0 -> Some n
+      | _ -> None)
+
+let create ?(capacity = 8192) ?dir ?(ext = "cache") ?max_bytes ~encode
+    ~decode () =
   if not (ext_safe ext) then invalid_arg "Cache.create: ext";
+  let max_bytes =
+    match max_bytes with Some _ as m -> m | None -> max_bytes_env ()
+  in
+  (match dir with
+  | Some d when Sys.file_exists d -> sweep_stale_tmps d
+  | _ -> ());
   { mu = Mutex.create ();
     tbl = Hashtbl.create 256;
     mru = None; lru = None;
     capacity = max 1 capacity;
-    dir; ext; encode; decode;
+    dir; ext; max_bytes; encode; decode;
+    disk_ok = Atomic.make true;
+    (* force a real scan on the first bound check: the directory may
+       already hold entries from previous processes *)
+    disk_bytes_est = (match max_bytes with Some b -> b | None -> 0);
     hits = 0; disk_hits = 0; misses = 0; rejected = 0; evictions = 0;
-    disk_writes = 0 }
+    disk_writes = 0; io_errors = 0 }
 
 let key ~version ~fingerprint bytecode =
   let code_hash = Ethainter_crypto.Keccak.hash bytecode in
@@ -141,38 +204,128 @@ let ensure_dir dir =
     try Unix.mkdir dir 0o755
     with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
 
+(* After this many I/O failures the disk tier is switched off for the
+   rest of the process: a sweep on a broken disk should pay a bounded
+   number of failed syscalls, then run memory-only. *)
+let io_error_limit = 8
+
+let io_failure t =
+  locked t (fun () ->
+      t.io_errors <- t.io_errors + 1;
+      if t.io_errors >= io_error_limit then Atomic.set t.disk_ok false)
+
+(* Oldest-mtime eviction down to [bound]. Entries of every extension
+   count — instances sharing a directory share the bound. Called
+   outside [t.mu]; the directory scan races benignly with concurrent
+   writers (a file vanishing mid-scan is skipped). Returns the bytes
+   remaining, for re-basing the estimate. *)
+let enforce_disk_bound t dir bound =
+  match Sys.readdir dir with
+  | exception _ -> 0
+  | files ->
+      let entries =
+        Array.to_list files
+        |> List.filter_map (fun f ->
+               if is_tmp_file f || (String.length f > 0 && f.[0] = '.') then
+                 None
+               else
+                 let path = Filename.concat dir f in
+                 match Unix.stat path with
+                 | exception _ -> None
+                 | st when st.Unix.st_kind = Unix.S_REG ->
+                     Some (path, st.Unix.st_mtime, st.Unix.st_size)
+                 | _ -> None)
+      in
+      let total = List.fold_left (fun a (_, _, sz) -> a + sz) 0 entries in
+      if total <= bound then total
+      else begin
+        let oldest_first =
+          List.sort
+            (fun (p1, m1, _) (p2, m2, _) -> compare (m1, p1) (m2, p2))
+            entries
+        in
+        let remaining = ref total in
+        List.iter
+          (fun (path, _, sz) ->
+            if !remaining > bound then
+              match Sys.remove path with
+              | () ->
+                  remaining := !remaining - sz;
+                  locked t (fun () -> t.evictions <- t.evictions + 1)
+              | exception _ -> ())
+          oldest_first;
+        !remaining
+      end
+
+(* Credit [bytes] against the bound; scan + evict when the estimate
+   crosses it. *)
+let note_disk_write t dir bytes =
+  match t.max_bytes with
+  | None -> ()
+  | Some bound ->
+      let due =
+        locked t (fun () ->
+            t.disk_bytes_est <- t.disk_bytes_est + bytes;
+            t.disk_bytes_est > bound)
+      in
+      if due then begin
+        let remaining = enforce_disk_bound t dir bound in
+        locked t (fun () -> t.disk_bytes_est <- remaining)
+      end
+
 let disk_write t k v =
   match t.dir with
-  | Some dir when filename_safe k -> (
+  | Some dir when filename_safe k && Atomic.get t.disk_ok -> (
       try
+        Fault.io_site Fault.Disk_write;
         ensure_dir dir;
         let tmp =
           Filename.concat dir
             (Printf.sprintf ".%s.tmp.%d.%d" k (Unix.getpid ())
                (Atomic.fetch_and_add tmp_counter 1))
         in
+        (* the corruption injection point sits between encode and
+           write: what lands on disk differs from what the codec
+           produced, exactly like a bad disk — the digest check in
+           decode must turn it into a miss, never a poisoned hit *)
+        let payload = Fault.corrupt (t.encode v) in
         let oc = open_out_bin tmp in
-        (try output_string oc (t.encode v)
+        (try output_string oc payload
          with e -> close_out_noerr oc; raise e);
         close_out oc;
         Sys.rename tmp (entry_path t dir k);
+        note_disk_write t dir (String.length payload);
         true
-      with _ -> false)
+      with _ ->
+        io_failure t;
+        false)
   | _ -> false
 
 let disk_find t k =
   match t.dir with
-  | Some dir when filename_safe k -> (
+  | Some dir when filename_safe k && Atomic.get t.disk_ok -> (
       let path = entry_path t dir k in
-      match (try Some (read_file path) with _ -> None) with
-      | None -> None
-      | Some raw -> (
-          match (try t.decode raw with _ -> None) with
-          | Some v -> Some v
-          | None ->
-              (* corrupt / truncated / stale codec: drop it and miss *)
-              (try Sys.remove path with _ -> ());
-              None))
+      (* distinguish "no entry" (an ordinary miss) from "entry exists
+         but could not be read" (an I/O failure that must count
+         towards degradation) *)
+      if not (Sys.file_exists path) then None
+      else
+        match
+          (try
+             Fault.io_site Fault.Disk_read;
+             Some (read_file path)
+           with _ ->
+             io_failure t;
+             None)
+        with
+        | None -> None
+        | Some raw -> (
+            match (try t.decode raw with _ -> None) with
+            | Some v -> Some v
+            | None ->
+                (* corrupt / truncated / stale codec: drop it and miss *)
+                (try Sys.remove path with _ -> ());
+                None))
   | _ -> None
 
 (* ---------------- public operations ---------------- *)
@@ -237,7 +390,7 @@ let stats t =
   locked t (fun () ->
       { hits = t.hits; disk_hits = t.disk_hits; misses = t.misses;
         rejected = t.rejected; evictions = t.evictions;
-        disk_writes = t.disk_writes;
+        disk_writes = t.disk_writes; io_errors = t.io_errors;
         size = Hashtbl.length t.tbl; capacity = t.capacity })
 
 let reset_stats t =
@@ -247,7 +400,8 @@ let reset_stats t =
       t.misses <- 0;
       t.rejected <- 0;
       t.evictions <- 0;
-      t.disk_writes <- 0)
+      t.disk_writes <- 0;
+      t.io_errors <- 0)
 
 let clear t =
   locked t (fun () ->
@@ -259,7 +413,8 @@ let clear t =
       t.misses <- 0;
       t.rejected <- 0;
       t.evictions <- 0;
-      t.disk_writes <- 0)
+      t.disk_writes <- 0;
+      t.io_errors <- 0)
 
 let hit_rate (s : stats) =
   let lookups = s.hits + s.disk_hits + s.misses + s.rejected in
@@ -268,7 +423,7 @@ let hit_rate (s : stats) =
 
 let pp_stats fmt (s : stats) =
   Format.fprintf fmt
-    "cache: %d hits, %d disk hits, %d misses, %d rejected (%.1f%% hit rate), %d evictions, size %d/%d"
+    "cache: %d hits, %d disk hits, %d misses, %d rejected (%.1f%% hit rate), %d evictions, %d io errors, size %d/%d"
     s.hits s.disk_hits s.misses s.rejected
     (100.0 *. hit_rate s)
-    s.evictions s.size s.capacity
+    s.evictions s.io_errors s.size s.capacity

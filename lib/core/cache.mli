@@ -37,8 +37,13 @@ type stats = {
   rejected : int;    (** entries found but refused by the caller's
                          {!find_valid} predicate — the value was
                          recomputed, so these are {e not} hits *)
-  evictions : int;   (** LRU evictions from the memory tier *)
+  evictions : int;   (** LRU evictions from the memory tier, plus
+                         disk-tier entries evicted by the size bound *)
   disk_writes : int; (** entries persisted to the disk tier *)
+  io_errors : int;   (** disk-tier read/write failures (the entry was
+                         skipped, never the request); past a small
+                         bound the tier degrades to memory-only for
+                         the rest of the process *)
   size : int;        (** current memory-tier entry count *)
   capacity : int;    (** memory-tier LRU bound *)
 }
@@ -47,6 +52,7 @@ val create :
   ?capacity:int ->
   ?dir:string ->
   ?ext:string ->
+  ?max_bytes:int ->
   encode:('v -> string) ->
   decode:(string -> 'v option) ->
   unit -> 'v t
@@ -56,7 +62,14 @@ val create :
     that cannot be created or read simply degrades to memory-only.
     [ext] is the disk-entry filename extension (default ["cache"];
     alphanumeric) — give distinct extensions to instances sharing a
-    directory. [decode] may raise — any exception is a miss.
+    directory. [max_bytes] bounds the disk tier (default: the
+    [ETHAINTER_CACHE_MAX_BYTES] environment variable, else unbounded):
+    when the bytes written cross the bound, oldest-mtime entries are
+    evicted down to it (entries of {e every} extension — instances
+    sharing a directory share the bound); enforcement is amortized
+    over bytes written, not paid per write. Stale [*.tmp] files left
+    by crashed writers (older than ~10 minutes) are swept from [dir]
+    at creation. [decode] may raise — any exception is a miss.
     @raise Invalid_argument if [ext] is empty or not alphanumeric. *)
 
 val key : version:string -> fingerprint:string -> string -> string

@@ -1,0 +1,6 @@
+(** Re-export of {!Ethainter_runtime.Deadline} so the cancellation
+    layer is addressable as [Ethainter_core.Deadline] (the runtime
+    library sits below [lib/tac] and [lib/datalog] only so their hot
+    loops can poll it). *)
+
+include Ethainter_runtime.Deadline

@@ -9,6 +9,7 @@
 
 module U = Ethainter_word.Uint256
 module Op = Ethainter_evm.Opcode
+module Deadline = Ethainter_runtime.Deadline
 open Ethainter_tac
 open Tac
 
@@ -64,6 +65,7 @@ let program t = t.program
 let compute_slice (p : program) (root : var) : VarSet.t =
   let seen = ref VarSet.empty in
   let rec go v =
+    Deadline.poll ();
     if not (VarSet.mem v !seen) then begin
       seen := VarSet.add v !seen;
       match def p v with
@@ -115,6 +117,10 @@ let compute_ds (p : program) =
     changed := false;
     List.iter
       (fun s ->
+        (* the DS/DSA fixpoint re-scans every statement until quiescent
+           — on large programs this is a front-end hot loop the
+           deadline must be able to cut *)
+        Deadline.poll ();
         match (s.s_op, s.s_res) with
         (* DS-SenderKey: CALLER is sender data. ORIGIN identifies the
            transaction originator and is treated the same way (tx.origin
@@ -210,6 +216,7 @@ let compute_guards (p : program) (doms : Dominators.t) :
   in
   Hashtbl.iter
     (fun entry (b : block) ->
+      Deadline.poll ();
       match List.rev b.b_stmts with
       | ({ s_op = TOp Op.JUMPI; s_args = [ tgt; cond ]; _ } as j) :: _ ->
           let fall_pc =

@@ -1,0 +1,5 @@
+(** Re-export of {!Ethainter_runtime.Fault} as
+    [Ethainter_core.Fault]; see deadline.ml for why the
+    implementation lives in the runtime library. *)
+
+include Ethainter_runtime.Fault

@@ -6,6 +6,28 @@
     {!run} is the single entry point; see pipeline.mli for the request
     and caching contract. *)
 
+(* Coarse failure taxonomy, stable across codec versions: corpus
+   reports need to distinguish "ran out of budget" from "hostile
+   bytecode" from "the machine failed us". *)
+type error_kind = Timeout | Decode | Decompile | Analysis | Io | Fatal
+
+let error_kind_id = function
+  | Timeout -> "timeout"
+  | Decode -> "decode"
+  | Decompile -> "decompile"
+  | Analysis -> "analysis"
+  | Io -> "io"
+  | Fatal -> "fatal"
+
+let error_kind_of_id = function
+  | "timeout" -> Some Timeout
+  | "decode" -> Some Decode
+  | "decompile" -> Some Decompile
+  | "analysis" -> Some Analysis
+  | "io" -> Some Io
+  | "fatal" -> Some Fatal
+  | _ -> None
+
 type result = {
   reports : Vulns.report list;
   tac_loc : int;          (** 3-address statements (paper's corpus unit) *)
@@ -14,11 +36,14 @@ type result = {
   elapsed_s : float;
   timed_out : bool;
   error : string option;  (** per-contract failure, if any *)
+  error_kind : error_kind option;
+      (** classification of the failure; [Some Timeout] iff
+          [timed_out] *)
 }
 
 let empty_result =
   { reports = []; tac_loc = 0; blocks = 0; analysis_rounds = 0;
-    elapsed_s = 0.0; timed_out = false; error = None }
+    elapsed_s = 0.0; timed_out = false; error = None; error_kind = None }
 
 (* The exceptions a malformed contract is expected to produce while
    being decompiled and analyzed. Anything else — Out_of_memory,
@@ -44,7 +69,7 @@ let expected_failure = function
    per config. *)
 
 type frontend = {
-  fe_facts : (Facts.t, string) Stdlib.result;
+  fe_facts : (Facts.t, error_kind * string) Stdlib.result;
       (* Error = deterministic decompile/facts failure for this
          bytecode — cached like any other artifact *)
   fe_tac_loc : int;
@@ -56,30 +81,39 @@ type frontend = {
 (* Phase 1. [Error r] is a mid-phase timeout: [r] is the final
    timed-out result, carrying the real elapsed time and whatever phase
    stats were completed — it depends on wall clock, so it is never
-   cached. [timeout_s] mimics the paper's cutoff: elapsed wall-clock
-   is checked between phases. *)
+   cached. [timeout_s] is the paper's cutoff, enforced two ways: a
+   {!Deadline} installed for the whole phase cuts the decompiler
+   worklist (and any Datalog evaluation inside fact extraction)
+   mid-loop, and the cheap [over] checks at phase boundaries catch the
+   degenerate budgets (e.g. 0) that expire before the first poll. *)
 let compute_frontend ~(timeout_s : float) (runtime : string) :
     (frontend, result) Stdlib.result =
   let t0 = Unix.gettimeofday () in
   let elapsed () = Unix.gettimeofday () -. t0 in
   let over () = elapsed () > timeout_s in
+  Deadline.with_deadline (t0 +. timeout_s) @@ fun () ->
   match Ethainter_tac.Decomp.decompile runtime with
+  | exception Deadline.Expired ->
+      Error { empty_result with elapsed_s = elapsed (); timed_out = true;
+              error_kind = Some Timeout }
   | exception e when expected_failure e ->
-      Ok { fe_facts = Error (Printexc.to_string e); fe_tac_loc = 0;
-           fe_blocks = 0; fe_elapsed_s = elapsed () }
+      Ok { fe_facts = Error (Decompile, Printexc.to_string e);
+           fe_tac_loc = 0; fe_blocks = 0; fe_elapsed_s = elapsed () }
   | p ->
       let fe_tac_loc = Ethainter_tac.Tac.loc p in
       let fe_blocks = List.length (Ethainter_tac.Tac.blocks p) in
       let timed_out () =
         Error { empty_result with tac_loc = fe_tac_loc; blocks = fe_blocks;
-                elapsed_s = elapsed (); timed_out = true }
+                elapsed_s = elapsed (); timed_out = true;
+                error_kind = Some Timeout }
       in
       if over () then timed_out ()
       else
         match Facts.compute p with
+        | exception Deadline.Expired -> timed_out ()
         | exception e when expected_failure e ->
-            Ok { fe_facts = Error (Printexc.to_string e); fe_tac_loc;
-                 fe_blocks; fe_elapsed_s = elapsed () }
+            Ok { fe_facts = Error (Analysis, Printexc.to_string e);
+                 fe_tac_loc; fe_blocks; fe_elapsed_s = elapsed () }
         | facts ->
             if over () then timed_out ()
             else
@@ -92,53 +126,88 @@ let compute_frontend ~(timeout_s : float) (runtime : string) :
    result's [elapsed_s] is the *sum* of the front end's recorded cost
    and the back-end run, so budget accounting holds even when the
    front end was a cache hit. *)
-let backend ~(cfg : Config.t) (fe : frontend) : result =
+(* [timeout_s] is the request's whole-pipeline budget: the back end
+   gets what the front end left of it ([timeout_s - fe_elapsed_s]),
+   enforced by a {!Deadline} inside the fixpoint/detector loops — so a
+   pathological fixpoint on a cached artifact still returns within the
+   budget. [None] (the bench harness measuring raw phase cost) runs
+   unbounded, as before. *)
+let backend ~(cfg : Config.t) ?(timeout_s : float option) (fe : frontend) :
+    result =
   match fe.fe_facts with
-  | Error msg ->
+  | Error (kind, msg) ->
       { empty_result with tac_loc = fe.fe_tac_loc; blocks = fe.fe_blocks;
-        elapsed_s = fe.fe_elapsed_s; error = Some msg }
+        elapsed_s = fe.fe_elapsed_s; error = Some msg;
+        error_kind = Some kind }
   | Ok facts -> (
       let t0 = Unix.gettimeofday () in
-      match
-        let a = Analysis.run ~cfg facts in
-        (a, Analysis.detect a)
-      with
-      | exception e when expected_failure e ->
-          { empty_result with tac_loc = fe.fe_tac_loc;
-            blocks = fe.fe_blocks;
-            elapsed_s = fe.fe_elapsed_s +. (Unix.gettimeofday () -. t0);
-            error = Some (Printexc.to_string e) }
-      | a, reports ->
-          { reports; tac_loc = fe.fe_tac_loc; blocks = fe.fe_blocks;
-            analysis_rounds = a.Analysis.rounds;
-            elapsed_s = fe.fe_elapsed_s +. (Unix.gettimeofday () -. t0);
-            timed_out = false; error = None })
+      let run_phase () =
+        match
+          let a = Analysis.run ~cfg facts in
+          (a, Analysis.detect a)
+        with
+        | exception Deadline.Expired ->
+            (* mid-fixpoint (or mid-detector) expiry: a final result
+               with real elapsed time and the completed front-end
+               stats; wall-clock dependent, so never cached *)
+            { empty_result with tac_loc = fe.fe_tac_loc;
+              blocks = fe.fe_blocks;
+              elapsed_s = fe.fe_elapsed_s +. (Unix.gettimeofday () -. t0);
+              timed_out = true; error_kind = Some Timeout }
+        | exception e when expected_failure e ->
+            { empty_result with tac_loc = fe.fe_tac_loc;
+              blocks = fe.fe_blocks;
+              elapsed_s = fe.fe_elapsed_s +. (Unix.gettimeofday () -. t0);
+              error = Some (Printexc.to_string e);
+              error_kind = Some Analysis }
+        | a, reports ->
+            { reports; tac_loc = fe.fe_tac_loc; blocks = fe.fe_blocks;
+              analysis_rounds = a.Analysis.rounds;
+              elapsed_s = fe.fe_elapsed_s +. (Unix.gettimeofday () -. t0);
+              timed_out = false; error = None; error_kind = None }
+      in
+      match timeout_s with
+      | None -> run_phase ()
+      | Some budget ->
+          Deadline.with_deadline (t0 +. (budget -. fe.fe_elapsed_s))
+            run_phase)
 
-(* The uncached analysis is the two phases composed. *)
+(* The uncached analysis is the two phases composed under one
+   budget. *)
 let analyze_uncached ~(cfg : Config.t) ~(timeout_s : float)
     (runtime : string) : result =
   match compute_frontend ~timeout_s runtime with
   | Error timed_out -> timed_out
-  | Ok fe -> backend ~cfg fe
+  | Ok fe -> backend ~cfg ~timeout_s fe
 
 (* ------------------------------------------------------------------ *)
 (* Result codec (disk-tier serialization)                              *)
 (* ------------------------------------------------------------------ *)
 
-(* A versioned, self-validating text format: a header line, the scalar
-   fields, then length-prefixed strings for the fields that may contain
-   arbitrary bytes (error messages, report notes). [decode_result] is
-   total — any deviation is [None], which the cache treats as a
-   miss. *)
+(* A versioned, self-validating text format: a keccak digest line over
+   the whole body, a header line, the scalar fields, then
+   length-prefixed strings for the fields that may contain arbitrary
+   bytes (error messages, report notes). [decode_result] is total —
+   any deviation is [None], which the cache treats as a miss.
 
-let codec_magic = "ethainter.result.v1"
+   v2 adds the digest (and the error-kind token). The digest is what
+   makes silent disk corruption — a flipped bit that still parses —
+   impossible to serve: without it, a damaged numeric field could
+   decode into a plausible but wrong result. The chaos suite's
+   [corrupt] injection drives exactly that path. *)
+
+let codec_magic = "ethainter.result.v2"
+
+let digest_hex body =
+  Ethainter_word.Hex.encode (Ethainter_crypto.Keccak.hash body)
 
 let encode_result (r : result) : string =
   let b = Buffer.create 256 in
   Buffer.add_string b codec_magic;
   Buffer.add_char b '\n';
-  Printf.bprintf b "meta %d %d %d %h %b\n" r.tac_loc r.blocks
-    r.analysis_rounds r.elapsed_s r.timed_out;
+  Printf.bprintf b "meta %d %d %d %h %b %s\n" r.tac_loc r.blocks
+    r.analysis_rounds r.elapsed_s r.timed_out
+    (match r.error_kind with None -> "-" | Some k -> error_kind_id k);
   (match r.error with
   | None -> Buffer.add_string b "error -1\n"
   | Some e -> Printf.bprintf b "error %d\n%s\n" (String.length e) e);
@@ -152,7 +221,8 @@ let encode_result (r : result) : string =
         (String.length rep.Vulns.r_note)
         rep.Vulns.r_note)
     r.reports;
-  Buffer.contents b
+  let body = Buffer.contents b in
+  digest_hex body ^ "\n" ^ body
 
 let decode_result (s : string) : result option =
   let pos = ref 0 in
@@ -180,11 +250,23 @@ let decode_result (s : string) : result option =
   in
   let bool_of w = match bool_of_string_opt w with Some x -> x | None -> fail () in
   try
+    (* digest first: everything after the first newline must hash to
+       the first line, or the entry is corrupt *)
+    let digest = line () in
+    let body = String.sub s !pos (String.length s - !pos) in
+    if digest <> digest_hex body then fail ();
     if line () <> codec_magic then fail ();
-    let tac_loc, blocks, analysis_rounds, elapsed_s, timed_out =
+    let tac_loc, blocks, analysis_rounds, elapsed_s, timed_out, error_kind =
       match words (line ()) with
-      | [ "meta"; a; b; c; d; e ] ->
-          (int_of a, int_of b, int_of c, float_of d, bool_of e)
+      | [ "meta"; a; b; c; d; e; k ] ->
+          let kind =
+            if k = "-" then None
+            else
+              match error_kind_of_id k with
+              | Some _ as ek -> ek
+              | None -> fail ()
+          in
+          (int_of a, int_of b, int_of c, float_of d, bool_of e, kind)
       | _ -> fail ()
     in
     let error =
@@ -215,7 +297,7 @@ let decode_result (s : string) : result option =
     in
     if !pos <> String.length s then fail ();
     Some { reports; tac_loc; blocks; analysis_rounds; elapsed_s; timed_out;
-           error }
+           error; error_kind }
   with _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -232,7 +314,7 @@ let decode_result (s : string) : result option =
    miss); [Marshal.from_string] only ever sees byte-identical payloads
    of our own [encode_frontend]. *)
 
-let frontend_magic = "ethainter.frontend.v1"
+let frontend_magic = "ethainter.frontend.v2"
 
 let encode_frontend (fe : frontend) : string =
   let payload = Marshal.to_string fe [] in
@@ -265,9 +347,10 @@ let decode_frontend (s : string) : frontend option =
 
 (* Stamped into every cache key (front- and back-end): bump on any
    change to decompilation, facts, the fixpoint or the detectors.
-   "3" = the phase split (back-end entries now record the summed
-   front+back cost). *)
-let analysis_version = "3"
+   "4" = deadline-enforced phases + the error-kind field (both codecs
+   changed shape, and pre-deadline entries could carry over-budget
+   results). *)
+let analysis_version = "4"
 
 (* The front-end key's stand-in for a config fingerprint: the front
    end does not depend on any ablation switch, so its entries are
@@ -366,8 +449,13 @@ let resolve_input = function
 
 let run (req : request) : result =
   match resolve_input req.code with
-  | Error msg -> { empty_result with error = Some msg }
+  | Error msg ->
+      { empty_result with error = Some msg; error_kind = Some Decode }
   | Ok runtime ->
+      (* Bind this domain's fault-injection context to the request so
+         any injected faults fire at per-contract-deterministic
+         points (a no-op unless ETHAINTER_FAULTS is armed). *)
+      Fault.set_context ~key:runtime;
       if not (cache_enabled ()) then
         analyze_uncached ~cfg:req.cfg ~timeout_s:req.timeout_s runtime
       else
@@ -416,7 +504,7 @@ let run (req : request) : result =
             match fe with
             | Error timed_out -> timed_out
             | Ok fe ->
-                let r = backend ~cfg:req.cfg fe in
+                let r = backend ~cfg:req.cfg ~timeout_s:req.timeout_s fe in
                 (* Timed-out results depend on wall-clock and machine
                    load, not content — never cache them. *)
                 if not r.timed_out then Cache.add res_cache res_key r;

@@ -22,6 +22,27 @@
     for each contract exactly once, rerunning only the fixpoint per
     config. *)
 
+(** Coarse classification of a per-contract failure, for corpus
+    reports that must distinguish budget exhaustion from hostile
+    bytecode from machine trouble:
+    - [Timeout] — the {!Deadline} (or a phase-boundary check) cut the
+      analysis; always paired with [timed_out = true];
+    - [Decode] — the input was not valid hex;
+    - [Decompile] — the decompiler rejected the bytecode;
+    - [Analysis] — fact extraction / fixpoint / detectors failed
+      deterministically on this contract;
+    - [Io] — a transient environment failure (disk, injected fault);
+      the {!Scheduler} retries these once;
+    - [Fatal] — a resource or logic failure ([Out_of_memory],
+      [Stack_overflow], unexpected exceptions). *)
+type error_kind = Timeout | Decode | Decompile | Analysis | Io | Fatal
+
+val error_kind_id : error_kind -> string
+(** Stable lower-case token (["timeout"], ["io"], ...) used by the
+    codec and the CLIs. *)
+
+val error_kind_of_id : string -> error_kind option
+
 type result = {
   reports : Vulns.report list;
   tac_loc : int;          (** 3-address statements (the paper's corpus unit) *)
@@ -30,6 +51,9 @@ type result = {
   elapsed_s : float;
   timed_out : bool;
   error : string option;  (** per-contract failure, if any *)
+  error_kind : error_kind option;
+      (** classification of the failure; [Some Timeout] iff
+          [timed_out] *)
 }
 
 val empty_result : result
@@ -97,9 +121,9 @@ val flags : result -> Vulns.kind -> bool
     callers go through {!run}, which composes them (and caches each). *)
 
 type frontend = {
-  fe_facts : (Facts.t, string) Stdlib.result;
-      (** [Error msg] = deterministic decompile/facts failure for this
-          bytecode (cached like any other artifact) *)
+  fe_facts : (Facts.t, error_kind * string) Stdlib.result;
+      (** [Error (kind, msg)] = deterministic decompile/facts failure
+          for this bytecode (cached like any other artifact) *)
   fe_tac_loc : int;
   fe_blocks : int;
   fe_elapsed_s : float;
@@ -111,14 +135,21 @@ type frontend = {
 
 val compute_frontend :
   timeout_s:float -> string -> (frontend, result) Stdlib.result
-(** Decompile and extract facts. [Error r] is a mid-phase timeout;
-    [r] is the final (never cached) timed-out result with real
-    elapsed time and completed phase stats. *)
+(** Decompile and extract facts under a {!Deadline} of [timeout_s]:
+    the cutoff is enforced {e inside} the decompiler worklist, not
+    just at phase boundaries. [Error r] is a mid-phase timeout; [r] is
+    the final (never cached) timed-out result with real elapsed time
+    and completed phase stats. *)
 
-val backend : cfg:Config.t -> frontend -> result
+val backend : cfg:Config.t -> ?timeout_s:float -> frontend -> result
 (** Fixpoint + detectors on an artifact. Never mutates the artifact —
     it may be shared by concurrent scheduler domains. The result's
-    [elapsed_s] is [fe_elapsed_s] {e plus} the back-end run time. *)
+    [elapsed_s] is [fe_elapsed_s] {e plus} the back-end run time.
+    [timeout_s] is the request's whole-pipeline budget: the phase runs
+    under a {!Deadline} of what the front end left of it, so a
+    pathological fixpoint returns a [timed_out] result (with the
+    front-end stats intact) instead of running unbounded. Omitting it
+    runs unbounded (the bench harness measuring raw phase cost). *)
 
 (** {1 The process-wide phase-split cache}
 
@@ -165,12 +196,16 @@ val pp_cache_stats : Format.formatter -> unit -> unit
     wrong-version payload (exposed for the cache tests and the bench
     differential check).
 
-    The result codec is a self-describing text format
-    (["ethainter.result.v1"] header). The front-end codec wraps a
+    Both codecs are {b self-validating}: a keccak digest over the
+    payload is checked before anything is parsed, so a corrupted disk
+    entry (bit rot, injected faults) decodes to [None] — a miss —
+    rather than to a plausible-but-wrong value. The result codec is a
+    self-describing text format (digest line, then an
+    ["ethainter.result.v2"] header). The front-end codec wraps a
     [Marshal] payload in a header carrying the codec version, the
-    compiler version (Marshal's format is build-dependent) and a
-    keccak digest; the payload is only unmarshalled after the header
-    fully validates. *)
+    compiler version (Marshal's format is build-dependent) and the
+    digest; the payload is only unmarshalled after the header fully
+    validates. *)
 
 val encode_result : result -> string
 val decode_result : string -> result option

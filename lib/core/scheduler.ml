@@ -86,31 +86,98 @@ let map ?workers (f : 'a -> 'b) (xs : 'a list) : 'b list =
        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
        | None -> assert false)
 
+(* ------------------------------------------------------------------ *)
+(* Failure classification                                              *)
+(* ------------------------------------------------------------------ *)
+
+type failure = {
+  f_exn : string;
+  f_kind : Pipeline.error_kind;
+  f_backtrace : string;
+}
+
+(** Map an escaped exception onto the {!Pipeline.error_kind} taxonomy.
+    [Io] is the transient class — an injected fault or a flaky
+    filesystem, worth one retry; everything else that escapes the
+    pipeline is a resource or logic failure. *)
+let classify_exn : exn -> Pipeline.error_kind = function
+  | Ethainter_runtime.Deadline.Expired -> Pipeline.Timeout
+  | Ethainter_runtime.Fault.Injected _ -> Pipeline.Io
+  | Sys_error _ | Unix.Unix_error _ -> Pipeline.Io
+  | Out_of_memory | Stack_overflow -> Pipeline.Fatal
+  | _ -> Pipeline.Fatal
+
+(* The first backtrace slot names where the exception was raised —
+   the part of a backtrace worth carrying into a one-line corpus
+   report. *)
+let backtrace_summary (bt : Printexc.raw_backtrace) : string =
+  let s = Printexc.raw_backtrace_to_string bt in
+  match String.index_opt s '\n' with
+  | Some i -> String.trim (String.sub s 0 i)
+  | None -> String.trim s
+
+let failure_of (e : exn) (bt : Printexc.raw_backtrace) : failure =
+  { f_exn = Printexc.to_string e;
+    f_kind = classify_exn e;
+    f_backtrace = backtrace_summary bt }
+
 (** Like {!map}, but with per-item fault isolation: an exception in [f]
-    becomes [Error message] for that item instead of propagating. *)
+    becomes [Error failure] — message, {!Pipeline.error_kind} and a
+    backtrace summary — for that item instead of propagating. *)
 let map_result ?workers (f : 'a -> 'b) (xs : 'a list) :
-    ('b, string) result list =
+    ('b, failure) result list =
   map ?workers
     (fun x ->
       match f x with
       | y -> Ok y
-      | exception e -> Error (Printexc.to_string e))
+      | exception e ->
+          (* capture at the catch site, on the worker domain *)
+          Error (failure_of e (Printexc.get_raw_backtrace ())))
     xs
 
 (* ------------------------------------------------------------------ *)
 (* Corpus analysis                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* Process-wide retry counter, observable by the chaos tests. *)
+let retries = Atomic.make 0
+let retries_performed () = Atomic.get retries
+let reset_retries () = Atomic.set retries 0
+
 (** {!Pipeline.run} with total fault isolation: any exception the
     pipeline lets escape (fatal or asynchronous) is recorded in the
-    result's [error] field. This is the per-contract unit of work the
-    pool runs — every corpus sweep funnels through it, so every sweep
-    shares the {!Pipeline} result cache. *)
+    result's [error] field, classified under [error_kind], with a
+    backtrace summary appended to the message. Failures classified
+    transient ({!Pipeline.Io}: injected faults, filesystem trouble)
+    get one bounded retry — re-run under attempt number 1, which
+    re-seeds the fault-injection draws so a deterministic injection
+    does not deterministically re-fire. This is the per-contract unit
+    of work the pool runs — every corpus sweep funnels through it, so
+    every sweep shares the {!Pipeline} result cache. *)
 let analyze_request (req : Pipeline.request) : Pipeline.result =
-  match Pipeline.run req with
+  let attempt n =
+    Ethainter_runtime.Fault.with_attempt n (fun () -> Pipeline.run req)
+  in
+  let fail e bt =
+    let f = failure_of e bt in
+    let msg =
+      if f.f_backtrace = "" then f.f_exn
+      else Printf.sprintf "%s [%s]" f.f_exn f.f_backtrace
+    in
+    { Pipeline.empty_result with error = Some msg;
+      error_kind = Some f.f_kind }
+  in
+  match attempt 0 with
   | r -> r
-  | exception e ->
-      { Pipeline.empty_result with error = Some (Printexc.to_string e) }
+  | exception e -> (
+      let bt = Printexc.get_raw_backtrace () in
+      match classify_exn e with
+      | Pipeline.Io -> (
+          Atomic.incr retries;
+          match attempt 1 with
+          | r -> r
+          | exception e2 -> fail e2 (Printexc.get_raw_backtrace ()))
+      | _ -> fail e bt)
 
 let analyze_runtime ?cfg ?timeout_s (runtime : string) : Pipeline.result =
   analyze_request (Pipeline.request ?cfg ?timeout_s (Pipeline.Runtime runtime))

@@ -15,15 +15,39 @@ val map : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
     preserved ([Printexc.raise_with_backtrace]). [workers] defaults to
     {!default_workers}; [~workers:1] runs on the calling domain. *)
 
+type failure = {
+  f_exn : string;        (** [Printexc.to_string] of the exception *)
+  f_kind : Pipeline.error_kind;
+  f_backtrace : string;  (** raise site (first backtrace slot), or [""]
+                             when backtrace recording is off *)
+}
+(** A captured per-item failure: what a corpus report needs to
+    distinguish a timeout from a crash from a flaky disk. *)
+
+val classify_exn : exn -> Pipeline.error_kind
+(** {!Deadline.Expired} → [Timeout]; {!Fault.Injected}, [Sys_error],
+    [Unix_error] → [Io] (the transient class, retried once by
+    {!analyze_request}); [Out_of_memory], [Stack_overflow] and
+    anything else → [Fatal]. *)
+
 val map_result :
-  ?workers:int -> ('a -> 'b) -> 'a list -> ('b, string) result list
+  ?workers:int -> ('a -> 'b) -> 'a list -> ('b, failure) result list
 (** {!map} with per-item fault isolation: an exception in [f] yields
-    [Error message] for that item instead of propagating. *)
+    [Error failure] for that item instead of propagating, with the
+    backtrace captured on the worker domain at the catch site. *)
 
 val analyze_request : Pipeline.request -> Pipeline.result
 (** {!Pipeline.run} with total fault isolation: any escaped exception
     (including [Out_of_memory] / [Stack_overflow]) is recorded in the
-    result's [error] field instead of propagating. *)
+    result's [error] field — classified under [error_kind], backtrace
+    summary appended — instead of propagating. Transient failures
+    ([Io]) are retried once, under fault-injection attempt number 1. *)
+
+val retries_performed : unit -> int
+(** Process-wide count of transient-failure retries since the last
+    {!reset_retries} (the chaos tests' observability hook). *)
+
+val reset_retries : unit -> unit
 
 val analyze_runtime :
   ?cfg:Config.t -> ?timeout_s:float -> string -> Pipeline.result

@@ -240,6 +240,9 @@ let bound_positions (env : env) (terms : term list) : (int * const) list =
 let rec eval_body ~(indexed : bool) (db : db)
     (delta : (string * TupleSet.t) option) (delta_at : int option)
     (lits : literal list) (idx : int) (env : env) (k : env -> unit) : unit =
+  (* one poll per body-literal step bounds a runaway join; the
+     countdown in [Deadline.poll] amortizes the clock read *)
+  Ethainter_runtime.Deadline.poll ();
   match lits with
   | [] -> k env
   | Filter (vars, f) :: rest ->
@@ -368,6 +371,7 @@ let solve ?(indexed = true) (p : program) (facts : (string * tuple list) list)
       (* semi-naive iterations *)
       let continue = ref (Hashtbl.length deltas > 0) in
       while !continue do
+        Ethainter_runtime.Deadline.poll ();
         let current = Hashtbl.fold (fun n d acc -> (n, d) :: acc) deltas [] in
         Hashtbl.reset deltas;
         List.iter

@@ -1,0 +1,52 @@
+(* Per-domain polled deadlines. See deadline.mli. *)
+
+exception Expired
+
+let poll_interval = 1024
+
+type state = {
+  mutable deadline : float; (* absolute; infinity = none installed *)
+  mutable countdown : int;
+}
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      { deadline = infinity; countdown = poll_interval })
+
+let enabled = Atomic.make true
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled
+
+let with_deadline abs f =
+  let st = Domain.DLS.get key in
+  let saved_deadline = st.deadline and saved_countdown = st.countdown in
+  (* Narrow only: a nested scope must not outlive its enclosing
+     budget. The countdown reset makes the iteration count before the
+     first check per-request deterministic. *)
+  st.deadline <- Float.min saved_deadline abs;
+  st.countdown <- poll_interval;
+  Fun.protect
+    ~finally:(fun () ->
+      st.deadline <- saved_deadline;
+      st.countdown <- saved_countdown)
+    f
+
+let check () =
+  let st = Domain.DLS.get key in
+  if st.deadline < infinity && Unix.gettimeofday () > st.deadline then
+    raise Expired
+
+(* The fast path is one domain-local load, a decrement and a branch —
+   the [enabled] atomic is only consulted at the amortized boundary,
+   keeping the per-iteration cost of the hot loops flat. *)
+let poll () =
+  let st = Domain.DLS.get key in
+  st.countdown <- st.countdown - 1;
+  if st.countdown <= 0 then begin
+    st.countdown <- poll_interval;
+    if Atomic.get enabled then begin
+      Fault.poll_site ();
+      if st.deadline < infinity && Unix.gettimeofday () > st.deadline then
+        raise Expired
+    end
+  end

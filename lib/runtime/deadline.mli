@@ -1,0 +1,50 @@
+(** Per-domain polled deadlines: preemptive (well, cooperative at
+    instruction granularity) cancellation for the analysis hot loops.
+
+    The paper enforces a hard 120 s per-contract cutoff (§6); checking
+    it only between pipeline phases leaves the decompiler worklist,
+    the Datalog semi-naive loop and the taint fixpoint unbounded on
+    adversarial bytecode. This module gives every analysis loop a
+    cheap poll: a domain-local countdown is decremented per iteration
+    and, every {!poll_interval} iterations, the wall clock is compared
+    against the installed deadline — so a stuck loop is cut within
+    ~1024 iterations of the cutoff, at a cost too small to measure on
+    clean runs (the PR 4 bench bounds it under 2%).
+
+    {!poll} is also the {!Fault} module's [poll]/[oom] injection
+    point, which is what lets the chaos suite kill an analysis
+    mid-loop at a deterministic iteration. *)
+
+exception Expired
+(** Raised by {!poll}/{!check} once the wall clock passes the
+    installed deadline. {!Pipeline.run} converts it into the ordinary
+    [timed_out = true] result. *)
+
+val poll_interval : int
+(** Iterations between wall-clock reads (1024). *)
+
+val with_deadline : float -> (unit -> 'a) -> 'a
+(** [with_deadline abs f] runs [f] with the calling domain's deadline
+    set to [abs] (an absolute [Unix.gettimeofday] instant; narrowed,
+    never widened, if a deadline is already installed) and the poll
+    countdown reset — the reset makes the number of iterations before
+    the first check a pure function of the request, not of what ran
+    on the domain before, which the determinism tests rely on. The
+    previous deadline and countdown are restored on exit. *)
+
+val poll : unit -> unit
+(** The amortized check: decrement the countdown; every
+    {!poll_interval}-th call, fire {!Fault.poll_site} and compare the
+    clock against the deadline, raising {!Expired} when past it.
+    Safe (and nearly free) to call with no deadline installed. *)
+
+val check : unit -> unit
+(** Immediate, non-amortized deadline comparison (no fault hook). *)
+
+val set_enabled : bool -> unit
+(** Process-wide kill switch, for measuring poll overhead: with
+    [false], {!poll} still runs its (single-load) countdown fast path
+    but skips the boundary work — no clock read, no fault hook, no
+    enforcement. Enabled by default. *)
+
+val is_enabled : unit -> bool

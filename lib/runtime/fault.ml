@@ -1,0 +1,245 @@
+(* Deterministic seeded fault injection. See fault.mli for the
+   contract; the key property is that every draw is a pure function of
+   (seed, request key, site, attempt, per-site firing index), so a
+   chaos sweep injects identically across runs and worker counts. *)
+
+type site = Poll | Oom | Disk_read | Disk_write | Corrupt
+
+exception Injected of string
+
+let nsites = 5
+
+let site_index = function
+  | Poll -> 0
+  | Oom -> 1
+  | Disk_read -> 2
+  | Disk_write -> 3
+  | Corrupt -> 4
+
+let site_name = function
+  | Poll -> "poll"
+  | Oom -> "oom"
+  | Disk_read -> "disk_read"
+  | Disk_write -> "disk_write"
+  | Corrupt -> "corrupt"
+
+let site_of_name = function
+  | "poll" -> Some Poll
+  | "oom" -> Some Oom
+  | "disk_read" -> Some Disk_read
+  | "disk_write" -> Some Disk_write
+  | "corrupt" -> Some Corrupt
+  | _ -> None
+
+let all_sites = [ Poll; Oom; Disk_read; Disk_write; Corrupt ]
+
+type config = { rates : float array; (* indexed by site_index *)
+                seed : int64 }
+
+(* Immutable snapshot behind one atomic: [configure] is called from
+   test/CLI setup, the hooks from every worker domain. *)
+let config : config option Atomic.t = Atomic.make None
+
+(* Per-domain draw context. The counters make consecutive draws at one
+   site distinct; they are reset per request by [set_context] so a
+   contract's schedule does not depend on its position in the sweep. *)
+type ctx = {
+  mutable chash : int64;        (* hash of the request key *)
+  mutable attempt : int;        (* scheduler retry attempt *)
+  counters : int array;         (* per-site firing index *)
+}
+
+let ctx_key =
+  Domain.DLS.new_key (fun () ->
+      { chash = 0L; attempt = 0; counters = Array.make nsites 0 })
+
+let fired = Atomic.make 0
+let injected_count () = Atomic.get fired
+let reset_injected_count () = Atomic.set fired 0
+
+(* ---------------- hashing ---------------- *)
+
+(* FNV-1a 64: cheap, good-enough dispersion for a context key. *)
+let fnv64 (s : string) : int64 =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c)))
+                     0x100000001B3L)
+    s;
+  !h
+
+(* splitmix64 finalizer: turns the mixed identifiers into 64
+   well-distributed bits. *)
+let splitmix64 (x : int64) : int64 =
+  let open Int64 in
+  let z = add x 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let two_53 = 9007199254740992.0
+
+(* One deterministic draw at [site]; advances that site's counter. *)
+let draw cfg ctx ste =
+  let i = site_index ste in
+  let n = ctx.counters.(i) in
+  ctx.counters.(i) <- n + 1;
+  let mix =
+    Int64.logxor
+      (Int64.logxor cfg.seed ctx.chash)
+      (Int64.add
+         (Int64.mul (Int64.of_int ((i * 0x3FF) + ctx.attempt + 1))
+            0x9E3779B97F4A7C15L)
+         (Int64.of_int n))
+  in
+  let h = splitmix64 mix in
+  let u = Int64.to_float (Int64.shift_right_logical h 11) /. two_53 in
+  u < cfg.rates.(i)
+
+(* Same draw, but also returning the hash so [corrupt] can derive a
+   bit position from it. *)
+let draw_bits cfg ctx ste =
+  let i = site_index ste in
+  let n = ctx.counters.(i) in
+  ctx.counters.(i) <- n + 1;
+  let mix =
+    Int64.logxor
+      (Int64.logxor cfg.seed ctx.chash)
+      (Int64.add
+         (Int64.mul (Int64.of_int ((i * 0x3FF) + ctx.attempt + 1))
+            0x9E3779B97F4A7C15L)
+         (Int64.of_int n))
+  in
+  let h = splitmix64 mix in
+  let u = Int64.to_float (Int64.shift_right_logical h 11) /. two_53 in
+  (u < cfg.rates.(i), h)
+
+(* ---------------- spec parsing ---------------- *)
+
+let parse_spec (s : string) : config =
+  let bad fmt = Printf.ksprintf invalid_arg ("Fault.configure: " ^^ fmt) in
+  let s = String.trim s in
+  let rates_part, seed_part =
+    match String.rindex_opt s ':' with
+    | None -> bad "missing ':seed' in %S" s
+    | Some i ->
+        (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  in
+  let seed =
+    match Int64.of_string_opt (String.trim seed_part) with
+    | Some v -> v
+    | None -> bad "seed %S is not an integer" seed_part
+  in
+  let rates = Array.make nsites 0.0 in
+  if String.trim rates_part <> "" then
+    List.iter
+      (fun item ->
+        let item = String.trim item in
+        match String.index_opt item '=' with
+        | None -> bad "expected site=rate, got %S" item
+        | Some i -> (
+            let name = String.sub item 0 i in
+            let v = String.sub item (i + 1) (String.length item - i - 1) in
+            match (site_of_name (String.trim name), float_of_string_opt v) with
+            | None, _ -> bad "unknown site %S" name
+            | _, None -> bad "rate %S is not a float" v
+            | Some stx, Some r ->
+                if r < 0.0 || r > 1.0 then bad "rate %g out of [0,1]" r;
+                rates.(site_index stx) <- r))
+      (String.split_on_char ',' rates_part);
+  { rates; seed }
+
+let configure = function
+  | None -> Atomic.set config None
+  | Some s -> Atomic.set config (Some (parse_spec s))
+
+let spec () =
+  match Atomic.get config with
+  | None -> None
+  | Some cfg ->
+      let items =
+        List.filter_map
+          (fun stx ->
+            let r = cfg.rates.(site_index stx) in
+            if r > 0.0 then Some (Printf.sprintf "%s=%g" (site_name stx) r)
+            else None)
+          all_sites
+      in
+      Some (Printf.sprintf "%s:%Ld" (String.concat "," items) cfg.seed)
+
+let enabled () = Atomic.get config <> None
+
+(* Armed from the environment at module init; a malformed value warns
+   rather than killing the process (analysis must not depend on env
+   hygiene). *)
+let () =
+  match Sys.getenv_opt "ETHAINTER_FAULTS" with
+  | None | Some "" -> ()
+  | Some s -> (
+      try configure (Some s)
+      with Invalid_argument msg ->
+        Printf.eprintf "ethainter: ignoring ETHAINTER_FAULTS: %s\n%!" msg)
+
+(* ---------------- per-request context ---------------- *)
+
+let set_context ~key =
+  match Atomic.get config with
+  | None -> ()
+  | Some _ ->
+      let ctx = Domain.DLS.get ctx_key in
+      ctx.chash <- fnv64 key;
+      Array.fill ctx.counters 0 nsites 0
+
+let with_attempt n f =
+  let ctx = Domain.DLS.get ctx_key in
+  let saved = ctx.attempt in
+  ctx.attempt <- n;
+  Fun.protect ~finally:(fun () -> ctx.attempt <- saved) f
+
+(* ---------------- injection hooks ---------------- *)
+
+let poll_site () =
+  match Atomic.get config with
+  | None -> ()
+  | Some cfg ->
+      let ctx = Domain.DLS.get ctx_key in
+      if cfg.rates.(site_index Oom) > 0.0 && draw cfg ctx Oom then begin
+        Atomic.incr fired;
+        raise Out_of_memory
+      end;
+      if cfg.rates.(site_index Poll) > 0.0 && draw cfg ctx Poll then begin
+        Atomic.incr fired;
+        raise (Injected "injected poll fault")
+      end
+
+let io_site stx =
+  match Atomic.get config with
+  | None -> ()
+  | Some cfg ->
+      let ctx = Domain.DLS.get ctx_key in
+      if cfg.rates.(site_index stx) > 0.0 && draw cfg ctx stx then begin
+        Atomic.incr fired;
+        raise (Injected ("injected " ^ site_name stx ^ " fault"))
+      end
+
+let corrupt (payload : string) : string =
+  match Atomic.get config with
+  | None -> payload
+  | Some cfg ->
+      if cfg.rates.(site_index Corrupt) <= 0.0 || payload = "" then payload
+      else
+        let ctx = Domain.DLS.get ctx_key in
+        let hit, h = draw_bits cfg ctx Corrupt in
+        if not hit then payload
+        else begin
+          Atomic.incr fired;
+          let b = Bytes.of_string payload in
+          let pos =
+            Int64.to_int (Int64.rem (Int64.shift_right_logical h 8)
+                            (Int64.of_int (Bytes.length b)))
+          in
+          let bit = Int64.to_int (Int64.logand h 7L) in
+          Bytes.set b pos
+            (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+          Bytes.to_string b
+        end

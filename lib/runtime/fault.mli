@@ -1,0 +1,86 @@
+(** Deterministic seeded fault injection.
+
+    The paper's whole-blockchain sweep (§6) only works if one hostile
+    contract — or one flaky disk — can never take down the fleet. The
+    isolation paths that guarantee that (scheduler fault capture, cache
+    degradation, retry) are exactly the paths a clean test run never
+    exercises, so this module lets a chaos suite {e drive} them:
+    injection points placed at the deadline poll sites and around every
+    disk-tier I/O fire exceptions (or corrupt payloads) according to a
+    seeded, fully deterministic schedule.
+
+    Configuration comes from [ETHAINTER_FAULTS] (or {!configure}):
+
+    {v site=rate,site=rate,...:seed v}
+
+    e.g. [poll=0.02,oom=0.001,disk_read=0.3,corrupt=0.5:1234]. Sites:
+
+    - [poll] — raise {!Injected} at a deadline poll site (an analysis
+      loop dies mid-flight; classified transient by the scheduler);
+    - [oom] — raise [Out_of_memory] at a poll site (a fatal resource
+      failure; never retried);
+    - [disk_read] / [disk_write] — fail the cache disk tier's I/O
+      ({!Injected}; the tier must degrade to memory-only);
+    - [corrupt] — flip one bit of a cache payload as it is written
+      (the self-validating codecs must turn this into a miss, never a
+      poisoned hit).
+
+    {b Determinism.} Whether an injection point fires is a pure
+    function of (seed, per-request context key, site, attempt number,
+    per-site firing index) — no global RNG state, no wall clock — so
+    two sweeps over the same corpus with the same spec inject the same
+    faults at the same points, regardless of worker count or
+    interleaving. The per-site counters live in domain-local state and
+    are reset by {!set_context} at the start of every request.
+
+    When unconfigured (the default), every hook is a no-op costing one
+    atomic load. *)
+
+type site = Poll | Oom | Disk_read | Disk_write | Corrupt
+
+exception Injected of string
+(** The exception injected faults raise (except [oom], which raises
+    the real [Out_of_memory]). The scheduler classifies it as a
+    transient I/O-class failure. *)
+
+val configure : string option -> unit
+(** [configure (Some "spec:seed")] arms injection; [configure None]
+    disarms it. Raises [Invalid_argument] on a malformed spec. Rates
+    must be in [[0, 1]]. *)
+
+val spec : unit -> string option
+(** The armed spec in canonical [site=rate,...:seed] form, if any. *)
+
+val enabled : unit -> bool
+
+val set_context : key:string -> unit
+(** Bind the calling domain's injection context to a request (the key
+    is the contract's runtime bytecode): resets the per-site firing
+    counters and mixes a hash of [key] into every draw, so a
+    contract's fault schedule is independent of where in the sweep it
+    runs. No-op when unconfigured. *)
+
+val with_attempt : int -> (unit -> 'a) -> 'a
+(** Run [f] with the calling domain's attempt number set to [n] (and
+    restored after). The scheduler's bounded retry re-runs a request
+    under attempt 1, which re-seeds every draw — so a transient fault
+    does not deterministically re-fire on the retry. *)
+
+val poll_site : unit -> unit
+(** Injection hook wired into {!Deadline.poll}: may raise
+    [Out_of_memory] ([oom] site) or {!Injected} ([poll] site). *)
+
+val io_site : site -> unit
+(** Injection hook for the cache disk tier ([Disk_read] /
+    [Disk_write]): may raise {!Injected}. *)
+
+val corrupt : string -> string
+(** Payload-corruption hook for cache writes: returns the input
+    unchanged, or — when the [corrupt] site fires — with one
+    deterministically-chosen bit flipped. *)
+
+val injected_count : unit -> int
+(** Total faults fired process-wide since the last reset (all sites,
+    all domains). *)
+
+val reset_injected_count : unit -> unit

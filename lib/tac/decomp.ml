@@ -25,6 +25,7 @@
 module U = Ethainter_word.Uint256
 module Op = Ethainter_evm.Opcode
 module B = Ethainter_evm.Bytecode
+module Deadline = Ethainter_runtime.Deadline
 open Tac
 
 (* Maximum size of a constant set before it degrades to "unknown". *)
@@ -194,6 +195,9 @@ let decompile (code : string) : program =
     let falls = ref true in
     List.iter
       (fun (i : B.instr) ->
+        (* the worklist re-interprets blocks until fixpoint; this is
+           the unbounded inner loop the deadline must be able to cut *)
+        Deadline.poll ();
         let pc = i.B.pc in
         match i.B.op with
         | Op.PUSH _ ->
@@ -369,6 +373,7 @@ let decompile (code : string) : program =
   | None -> ());
   let pass = ref 0 in
   while !changed && !pass < max_passes do
+    Deadline.poll ();
     changed := false;
     incr pass;
     (* process blocks in entry order for determinism *)
@@ -415,6 +420,7 @@ let decompile (code : string) : program =
     changed := true;
     pass := 0;
     while !changed && !pass < max_passes do
+      Deadline.poll ();
       changed := false;
       incr pass;
       let entries =

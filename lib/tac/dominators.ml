@@ -51,6 +51,9 @@ let compute (p : program) : t =
     changed := false;
     Array.iter
       (fun e ->
+        (* iterative dataflow over every block, repeated to fixpoint —
+           unbounded on adversarial CFGs without the deadline *)
+        Ethainter_runtime.Deadline.poll ();
         if e <> p.p_entry then
           match block p e with
           | None -> ()
@@ -86,4 +89,8 @@ let dominates (t : t) (a : int) (b : int) : bool =
 (** All blocks dominated by [a] (including [a] itself), among blocks
     reachable from the entry. *)
 let dominated_by (t : t) (a : int) : int list =
-  Array.to_list t.rpo |> List.filter (fun b -> dominates t a b)
+  Array.to_list t.rpo
+  |> List.filter (fun b ->
+         (* a walk up the idom tree per block: quadratic in deep CFGs *)
+         Ethainter_runtime.Deadline.poll ();
+         dominates t a b)

@@ -426,12 +426,14 @@ let test_scheduler_fault_isolation () =
   List.iteri
     (fun i r ->
       match (i + 1, r) with
-      | 5, Error msg ->
+      | 5, Error (f : S.failure) ->
           Alcotest.(check bool) "error message kept" true
-            (String.length msg > 0)
+            (String.length f.S.f_exn > 0);
+          Alcotest.(check bool) "classified fatal" true
+            (f.S.f_kind = P.Fatal)
       | 5, Ok _ -> Alcotest.fail "poisoned item must error"
       | x, Ok y -> Alcotest.(check int) "value in order" (x * 10) y
-      | _, Error m -> Alcotest.failf "unexpected error: %s" m)
+      | _, Error f -> Alcotest.failf "unexpected error: %s" f.S.f_exn)
     rs
 
 (* ---------- report metadata ---------- *)

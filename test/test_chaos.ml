@@ -1,0 +1,604 @@
+(* Chaos suite (PR 4): seeded fault injection driven through the
+   corpus sweep, plus the deadline-enforcement acceptance tests.
+
+   What must hold under injected faults (poll-site exceptions,
+   simulated OOM, failing disk I/O, corrupted cache payloads):
+   - the worker pool never dies — every contract comes back with a
+     result;
+   - results are deterministic per fault seed;
+   - caching stays observationally transparent (cached == uncached);
+   - a corrupted cache entry is never served (the self-validating
+     codecs turn silent corruption into recomputation);
+   - the disk tier degrades to memory-only instead of failing the
+     sweep (io_errors counted, entries skipped, requests unharmed);
+   - transient faults get one bounded retry.
+
+   And with no faults at all, the preemptive deadline must cut
+   adversarial bytecode mid-loop within 1.25x the budget. *)
+
+module P = Ethainter_core.Pipeline
+module S = Ethainter_core.Scheduler
+module C = Ethainter_core.Config
+module Cache = Ethainter_core.Cache
+module F = Ethainter_core.Fault
+module G = Ethainter_corpus.Generator
+
+let normalize (r : P.result) = { r with P.elapsed_s = 0.0 }
+
+let temp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ethainter_chaos_%d_%d" (Unix.getpid ()) !counter)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+let with_pipeline_cache ?dir f =
+  let was_enabled = P.cache_enabled () in
+  P.set_cache_enabled true;
+  P.set_cache_dir dir;  (* also resets both memory tiers *)
+  P.cache_clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      P.set_cache_enabled was_enabled;
+      P.set_cache_dir None)
+    f
+
+let with_faults spec f =
+  F.configure (Some spec);
+  F.reset_injected_count ();
+  S.reset_retries ();
+  Fun.protect ~finally:(fun () -> F.configure None) f
+
+let all_configs =
+  [ ("default", C.default);
+    ("no-storage", C.no_storage_model);
+    ("no-guards", C.no_guard_model);
+    ("conservative", C.conservative) ]
+
+(* >= 100 distinct runtimes: fault determinism is keyed per contract,
+   so duplicate bytecodes (which race on the shared cache) would make
+   per-run draw counts depend on scheduling *)
+let corpus_runtimes ~seed ~size =
+  let corpus = G.mainnet ~seed ~size () in
+  List.sort_uniq compare
+    (List.map (fun (i : G.instance) -> i.G.i_runtime) corpus)
+
+(* ------------------------------------------------------------------ *)
+(* Fault module basics                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_spec_parsing () =
+  F.configure (Some "poll=0.5,disk_read=0.25:42");
+  Alcotest.(check bool) "armed" true (F.enabled ());
+  Alcotest.(check (option string)) "canonical spec"
+    (Some "poll=0.5,disk_read=0.25:42") (F.spec ());
+  F.configure None;
+  Alcotest.(check bool) "disarmed" false (F.enabled ());
+  Alcotest.(check (option string)) "no spec" None (F.spec ());
+  List.iter
+    (fun bad ->
+      match F.configure (Some bad) with
+      | () -> Alcotest.failf "bad spec %S accepted" bad
+      | exception Invalid_argument _ -> ())
+    [ "poll=0.5"; "nope=1:3"; "poll=x:3"; "poll=1.5:3"; "poll=0.5:x"; "" ]
+
+let test_corrupt_deterministic () =
+  with_faults "corrupt=1.0:7" (fun () ->
+      F.set_context ~key:"contract-a";
+      let payload = String.make 64 'A' in
+      let c1 = F.corrupt payload in
+      F.set_context ~key:"contract-a";
+      let c2 = F.corrupt payload in
+      Alcotest.(check bool) "corruption changes the payload" true
+        (c1 <> payload);
+      Alcotest.(check int) "same length" (String.length payload)
+        (String.length c1);
+      Alcotest.(check string) "deterministic per (seed, key)" c1 c2;
+      (* one flipped bit *)
+      let diff = ref 0 in
+      String.iteri
+        (fun i ch ->
+          let x = Char.code ch lxor Char.code payload.[i] in
+          let rec bits v = if v = 0 then 0 else (v land 1) + bits (v lsr 1) in
+          diff := !diff + bits x)
+        c1;
+      Alcotest.(check int) "exactly one bit flipped" 1 !diff)
+
+let test_unconfigured_hooks_are_noops () =
+  F.configure None;
+  F.reset_injected_count ();
+  F.set_context ~key:"x";
+  F.poll_site ();
+  F.io_site F.Disk_read;
+  Alcotest.(check string) "corrupt is identity" "abc" (F.corrupt "abc");
+  Alcotest.(check int) "nothing fired" 0 (F.injected_count ())
+
+(* ------------------------------------------------------------------ *)
+(* The chaos sweep                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Rates tuned so per-contract failure stays a minority even for
+   contracts with many poll sites, while every site still fires often
+   enough across a 100+-contract sweep to exercise its path. *)
+let chaos_spec =
+  "poll=0.005,oom=0.002,disk_read=0.3,disk_write=0.3,corrupt=0.5:1234"
+
+let chaos_sweep runtimes =
+  List.map
+    (fun (_, cfg) ->
+      S.analyze_requests ~workers:4
+        (List.map (fun code -> P.request ~cfg (P.Runtime code)) runtimes))
+    all_configs
+
+let test_pool_survives_chaos () =
+  (* >= 100 contracts x 4 configs under every fault site at once: the
+     pool must return a result for every contract, faults surfacing
+     only as classified per-contract errors *)
+  let runtimes = corpus_runtimes ~seed:31 ~size:110 in
+  Alcotest.(check bool) ">= 100 distinct contracts" true
+    (List.length runtimes >= 100);
+  let dir = temp_dir () in
+  with_faults chaos_spec (fun () ->
+      with_pipeline_cache ~dir (fun () ->
+          let sweeps = chaos_sweep runtimes in
+          List.iter
+            (fun results ->
+              Alcotest.(check int) "every contract accounted for"
+                (List.length runtimes) (List.length results);
+              List.iter
+                (fun (r : P.result) ->
+                  Alcotest.(check bool) "no budget blown under faults" false
+                    r.P.timed_out;
+                  match r.P.error with
+                  | None -> ()
+                  | Some _ ->
+                      Alcotest.(check bool) "failures are classified" true
+                        (r.P.error_kind <> None))
+                results)
+            sweeps;
+          (* some faults must actually have fired for this to test
+             anything *)
+          Alcotest.(check bool) "faults fired" true (F.injected_count () > 0);
+          let io_errors =
+            (P.frontend_cache_stats ()).Cache.io_errors
+            + (P.cache_stats ()).Cache.io_errors
+          in
+          Alcotest.(check bool) "disk tier degraded, not the sweep" true
+            (io_errors > 0);
+          (* the sweep substantially succeeded: faults are per-contract
+             noise, not systemic failure *)
+          let total = 4 * List.length runtimes in
+          let failed =
+            List.fold_left
+              (fun acc results ->
+                acc
+                + List.length
+                    (List.filter (fun r -> r.P.error <> None) results))
+              0 sweeps
+          in
+          Alcotest.(check bool) "majority of contracts analyzed" true
+            (failed * 2 < total)))
+
+let test_chaos_deterministic_per_seed () =
+  (* two cold runs under the same fault seed: byte-identical results
+     (modulo wall clock), independent of disk-tier timing *)
+  let runtimes = corpus_runtimes ~seed:32 ~size:40 in
+  let run () =
+    let dir = temp_dir () in
+    with_faults chaos_spec (fun () ->
+        with_pipeline_cache ~dir (fun () -> chaos_sweep runtimes))
+  in
+  let a = run () in
+  let b = run () in
+  List.iteri
+    (fun ci (ra, rb) ->
+      let name = fst (List.nth all_configs ci) in
+      List.iter2
+        (fun x y ->
+          Alcotest.(check bool)
+            ("deterministic per seed: " ^ name) true
+            (normalize x = normalize y))
+        ra rb)
+    (List.combine a b)
+
+let test_cached_uncached_under_disk_faults () =
+  (* disk-tier faults (failed reads/writes, corrupted payloads) must
+     be invisible in the results: cold and disk-warm sweeps under
+     injection match a clean uncached run *)
+  let runtimes = corpus_runtimes ~seed:33 ~size:40 in
+  let clean =
+    P.set_cache_enabled false;
+    Fun.protect
+      ~finally:(fun () -> P.set_cache_enabled true)
+      (fun () ->
+        List.map
+          (fun (_, cfg) -> S.analyze_corpus ~cfg ~workers:4 runtimes)
+          all_configs)
+  in
+  let dir = temp_dir () in
+  with_faults "disk_read=0.35,disk_write=0.35,corrupt=0.6:99" (fun () ->
+      with_pipeline_cache ~dir (fun () ->
+          let sweep () = chaos_sweep runtimes in
+          let cold = sweep () in
+          (* "new process": memory tiers dropped, disk survivors only *)
+          P.cache_clear ();
+          let warm = sweep () in
+          List.iteri
+            (fun ci ((cfg_cold, cfg_warm), cfg_clean) ->
+              let name = fst (List.nth all_configs ci) in
+              List.iter2
+                (fun x y ->
+                  Alcotest.(check bool) ("cold == uncached: " ^ name) true
+                    (normalize x = normalize y))
+                cfg_cold cfg_clean;
+              List.iter2
+                (fun x y ->
+                  Alcotest.(check bool) ("disk-warm == uncached: " ^ name)
+                    true
+                    (normalize x = normalize y))
+                cfg_warm cfg_clean)
+            (List.combine (List.combine cold warm) clean)))
+
+let test_no_poisoned_entry_served () =
+  (* every disk write corrupted: after a memory-tier flush, every disk
+     entry must fail its digest and be recomputed — zero disk hits,
+     results identical to a clean run *)
+  let runtimes = corpus_runtimes ~seed:34 ~size:25 in
+  let clean =
+    P.set_cache_enabled false;
+    Fun.protect
+      ~finally:(fun () -> P.set_cache_enabled true)
+      (fun () -> S.analyze_corpus ~workers:4 runtimes)
+  in
+  let dir = temp_dir () in
+  with_faults "corrupt=1.0:5" (fun () ->
+      with_pipeline_cache ~dir (fun () ->
+          ignore (S.analyze_corpus ~workers:4 runtimes);
+          Alcotest.(check bool) "corruptions fired" true
+            (F.injected_count () > 0);
+          P.cache_clear ();
+          let warm = S.analyze_corpus ~workers:4 runtimes in
+          let fe = P.frontend_cache_stats () in
+          let be = P.cache_stats () in
+          Alcotest.(check int) "no corrupt front-end artifact served" 0
+            fe.Cache.disk_hits;
+          Alcotest.(check int) "no corrupt result served" 0
+            be.Cache.disk_hits;
+          List.iter2
+            (fun x y ->
+              Alcotest.(check bool) "recomputed results correct" true
+                (normalize x = normalize y))
+            warm clean))
+
+(* ------------------------------------------------------------------ *)
+(* Degradation and retry                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_disk_tier_degrades_to_memory_only () =
+  (* every disk read fails: lookups fall back to recomputation, the
+     io_error counter climbs to the degradation bound, and the tier
+     switches off — all without failing a single request *)
+  let dir = temp_dir () in
+  let mk () =
+    Cache.create ~dir
+      ~encode:(fun v -> "S1\n" ^ v)
+      ~decode:(fun s ->
+        if String.length s >= 3 && String.sub s 0 3 = "S1\n" then
+          Some (String.sub s 3 (String.length s - 3))
+        else None)
+      ()
+  in
+  (* populate with faults off *)
+  let w = mk () in
+  for i = 1 to 20 do
+    Cache.add w (Printf.sprintf "key%04d" i) "value"
+  done;
+  Alcotest.(check int) "all persisted" 20 (Cache.stats w).Cache.disk_writes;
+  with_faults "disk_read=1.0:11" (fun () ->
+      let c = mk () in  (* cold memory tier: every find goes to disk *)
+      for i = 1 to 20 do
+        Alcotest.(check (option string))
+          "read failure degrades to miss, request unharmed" None
+          (Cache.find c (Printf.sprintf "key%04d" i))
+      done;
+      let s = Cache.stats c in
+      Alcotest.(check bool) "io errors counted" true (s.Cache.io_errors > 0);
+      Alcotest.(check bool) "tier switched off at the bound" true
+        (s.Cache.io_errors < 20);
+      (* memory tier still fully functional *)
+      Cache.add c "memkey" "memvalue";
+      Alcotest.(check (option string)) "memory tier unaffected"
+        (Some "memvalue") (Cache.find c "memkey"))
+
+(* Bytecode big enough that analysis polls the deadline many times:
+   a long chain of mapping-guarded escalation levels keeps the
+   fixpoint busy for one round per level. *)
+let chain_escalation_src n =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "contract Chain {\n";
+  for k = 0 to n do
+    Printf.bprintf b "  mapping(address => bool) l%d;\n" k
+  done;
+  Buffer.add_string b "  address owner;\n";
+  Buffer.add_string b
+    "  function enter(address a) public { l0[a] = true; }\n";
+  for k = 1 to n do
+    Printf.bprintf b
+      "  function step%d(address a) public { require(l%d[msg.sender]); l%d[a] = true; }\n"
+      k (k - 1) k
+  done;
+  Printf.bprintf b
+    "  function kill() public { require(l%d[msg.sender]); selfdestruct(owner); }\n"
+    n;
+  Buffer.add_string b "}";
+  Buffer.contents b
+
+let chain_runtime =
+  lazy (Ethainter_minisol.Codegen.compile_source_runtime
+          (chain_escalation_src 60))
+
+let test_transient_faults_retried () =
+  P.set_cache_enabled false;
+  Fun.protect
+    ~finally:(fun () -> P.set_cache_enabled true)
+    (fun () ->
+      (* a certain poll fault: attempt 0 dies, the retry (attempt 1)
+         dies too — the result must carry the transient classification *)
+      with_faults "poll=1.0:21" (fun () ->
+          S.reset_retries ();
+          let r =
+            S.analyze_request (P.request (P.Runtime (Lazy.force chain_runtime)))
+          in
+          Alcotest.(check int) "exactly one retry" 1 (S.retries_performed ());
+          Alcotest.(check bool) "still failed after retry" true
+            (r.P.error <> None);
+          Alcotest.(check bool) "classified transient (Io)" true
+            (r.P.error_kind = Some P.Io);
+          (match r.P.error with
+          | Some msg ->
+              let mentions sub =
+                let n = String.length msg and m = String.length sub in
+                let rec go i =
+                  i + m <= n && (String.sub msg i m = sub || go (i + 1))
+                in
+                go 0
+              in
+              Alcotest.(check bool) "message names the injected fault" true
+                (mentions "injected")
+          | None -> ()));
+      (* a certain OOM: fatal, not retried *)
+      with_faults "oom=1.0:22" (fun () ->
+          S.reset_retries ();
+          let r =
+            S.analyze_request (P.request (P.Runtime (Lazy.force chain_runtime)))
+          in
+          Alcotest.(check int) "fatal faults are not retried" 0
+            (S.retries_performed ());
+          Alcotest.(check bool) "classified Fatal" true
+            (r.P.error_kind = Some P.Fatal));
+      (* at a realistic rate over a corpus, some attempt-0 failures
+         must be rescued by the retry *)
+      with_faults "poll=0.5:23" (fun () ->
+          S.reset_retries ();
+          let runtimes = corpus_runtimes ~seed:35 ~size:40 in
+          let rs = S.analyze_corpus ~workers:4 runtimes in
+          Alcotest.(check bool) "some retries happened" true
+            (S.retries_performed () > 0);
+          Alcotest.(check bool) "pool survived the storm" true
+            (List.length rs = List.length runtimes)))
+
+(* ------------------------------------------------------------------ *)
+(* Deadline enforcement (no faults)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Adversarial runtime: [n] basic blocks, block k = JUMPDEST; PUSH2
+   addr(k+1); JUMP — a long jump chain the decompiler's abstract
+   interpretation must walk block by block, pass after pass. Before
+   the polled deadline, a tight budget only took effect after the
+   whole decompilation finished. *)
+let jump_chain_bytecode n =
+  let b = Buffer.create (5 * (n + 1)) in
+  (* block k sits at 5k: JUMPDEST(1) PUSH2(3) JUMP(1) *)
+  for k = 0 to n - 1 do
+    let target = if k = n - 1 then 0 else 5 * (k + 1) in
+    Buffer.add_char b '\x5b';                         (* JUMPDEST *)
+    Buffer.add_char b '\x61';                         (* PUSH2 *)
+    Buffer.add_char b (Char.chr ((target lsr 8) land 0xff));
+    Buffer.add_char b (Char.chr (target land 0xff));
+    Buffer.add_char b '\x56'                          (* JUMP *)
+  done;
+  Buffer.contents b
+
+let check_bounded ~budget ~wall label =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.4fs within 1.25x of %.4fs budget" label wall
+       budget)
+    true
+    (wall <= (1.25 *. budget) +. 0.05)
+
+let test_adversarial_decompile_bounded () =
+  P.set_cache_enabled false;
+  Fun.protect
+    ~finally:(fun () -> P.set_cache_enabled true)
+    (fun () ->
+      let code = jump_chain_bytecode 20000 in
+      (* calibrate: how long does it run unbounded? *)
+      let t0 = Unix.gettimeofday () in
+      let full = P.analyze_runtime ~timeout_s:3600.0 code in
+      let clean_s = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool) "clean run completes" false full.P.timed_out;
+      Alcotest.(check bool) "adversarial input is actually slow" true
+        (clean_s > 0.05);
+      let budget = Float.max 0.02 (clean_s /. 5.0) in
+      let t0 = Unix.gettimeofday () in
+      let r = P.analyze_runtime ~timeout_s:budget code in
+      let wall = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool) "cut mid-decompilation" true r.P.timed_out;
+      Alcotest.(check bool) "classified Timeout" true
+        (r.P.error_kind = Some P.Timeout);
+      Alcotest.(check bool) "real elapsed time reported" true
+        (r.P.elapsed_s > 0.0);
+      check_bounded ~budget ~wall "decompiler deadline");
+  (* and a timed-out result must never be cached *)
+  with_pipeline_cache (fun () ->
+      let code = jump_chain_bytecode 20000 in
+      let r = P.analyze_runtime ~timeout_s:0.02 code in
+      Alcotest.(check bool) "times out under cache too" true r.P.timed_out;
+      let before = (P.cache_stats ()).Cache.size in
+      ignore (P.analyze_runtime ~timeout_s:0.02 code);
+      Alcotest.(check int) "timed-out result not cached"
+        before (P.cache_stats ()).Cache.size)
+
+let test_mid_fixpoint_timeout_bounded () =
+  (* the satellite regression: a contract whose *fixpoint* (not
+     decompilation) exceeds a tiny budget must return within 1.25x of
+     it, carrying the completed front-end stats *)
+  let fe =
+    match
+      P.compute_frontend ~timeout_s:3600.0 (Lazy.force chain_runtime)
+    with
+    | Ok fe -> { fe with P.fe_elapsed_s = 0.0 }
+    | Error _ -> Alcotest.fail "front end unexpectedly timed out"
+  in
+  (* calibrate the clean back-end cost *)
+  let t0 = Unix.gettimeofday () in
+  let full = P.backend ~cfg:C.default fe in
+  let clean_s = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "clean fixpoint completes" false full.P.timed_out;
+  Alcotest.(check bool) "escalation chain runs many rounds" true
+    (full.P.analysis_rounds > 10);
+  let budget = Float.max 0.005 (clean_s /. 5.0) in
+  let t0 = Unix.gettimeofday () in
+  let r = P.backend ~cfg:C.default ~timeout_s:budget fe in
+  let wall = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "cut mid-fixpoint" true r.P.timed_out;
+  Alcotest.(check bool) "classified Timeout" true
+    (r.P.error_kind = Some P.Timeout);
+  Alcotest.(check int) "front-end stats kept: tac_loc" fe.P.fe_tac_loc
+    r.P.tac_loc;
+  Alcotest.(check int) "front-end stats kept: blocks" fe.P.fe_blocks
+    r.P.blocks;
+  check_bounded ~budget ~wall "fixpoint deadline"
+
+(* ------------------------------------------------------------------ *)
+(* Disk-tier housekeeping satellites                                   *)
+(* ------------------------------------------------------------------ *)
+
+let str_cache ?max_bytes ~dir () =
+  Cache.create ~dir ?max_bytes
+    ~encode:(fun v -> "S1\n" ^ v)
+    ~decode:(fun s ->
+      if String.length s >= 3 && String.sub s 0 3 = "S1\n" then
+        Some (String.sub s 3 (String.length s - 3))
+      else None)
+    ()
+
+let entry_file dir k = Filename.concat dir (k ^ ".cache")
+
+let age_file path seconds =
+  let old = Unix.gettimeofday () -. seconds in
+  Unix.utimes path old old
+
+let test_disk_bound_evicts_oldest () =
+  let dir = temp_dir () in
+  (* each entry is 103 bytes on disk; bound holds two *)
+  let c = str_cache ~max_bytes:210 ~dir () in
+  let v = String.make 100 'x' in
+  Cache.add c "aaaa" v;
+  Alcotest.(check bool) "first entry on disk" true
+    (Sys.file_exists (entry_file dir "aaaa"));
+  (* make the first entry unambiguously the oldest *)
+  age_file (entry_file dir "aaaa") 1000.0;
+  Cache.add c "bbbb" v;
+  age_file (entry_file dir "bbbb") 500.0;
+  Cache.add c "cccc" v;
+  Alcotest.(check bool) "oldest entry evicted" false
+    (Sys.file_exists (entry_file dir "aaaa"));
+  Alcotest.(check bool) "second entry survives" true
+    (Sys.file_exists (entry_file dir "bbbb"));
+  Alcotest.(check bool) "newest entry survives" true
+    (Sys.file_exists (entry_file dir "cccc"));
+  Alcotest.(check bool) "eviction counted" true
+    ((Cache.stats c).Cache.evictions > 0);
+  (* the evicted entry is a clean miss, not an error *)
+  let fresh = str_cache ~max_bytes:210 ~dir () in
+  Alcotest.(check (option string)) "evicted entry misses" None
+    (Cache.find fresh "aaaa");
+  Alcotest.(check (option string)) "survivor still served" (Some v)
+    (Cache.find fresh "cccc")
+
+let test_unbounded_tier_never_evicts () =
+  let dir = temp_dir () in
+  let c = str_cache ~dir () in
+  let v = String.make 100 'x' in
+  for i = 1 to 50 do
+    Cache.add c (Printf.sprintf "key%04d" i) v
+  done;
+  Alcotest.(check int) "no disk evictions without a bound" 0
+    (Cache.stats c).Cache.evictions;
+  Alcotest.(check bool) "all entries on disk" true
+    (Sys.file_exists (entry_file dir "key0001"))
+
+let test_stale_tmp_sweep () =
+  let dir = temp_dir () in
+  (* a real entry, which the sweep must never touch, even when old... *)
+  let seed = str_cache ~dir () in
+  Cache.add seed "aaaa" "value";
+  age_file (entry_file dir "aaaa") 3600.0;
+  let write name =
+    let oc = open_out_bin (Filename.concat dir name) in
+    output_string oc "partial write";
+    close_out oc
+  in
+  (* ...a crashed writer's leftover... *)
+  write ".dead.tmp.999.0";
+  age_file (Filename.concat dir ".dead.tmp.999.0") 3600.0;
+  (* ...and a live writer's in-flight temp file *)
+  write ".live.tmp.1000.0";
+  let _c = str_cache ~dir () in
+  Alcotest.(check bool) "stale tmp swept" false
+    (Sys.file_exists (Filename.concat dir ".dead.tmp.999.0"));
+  Alcotest.(check bool) "fresh tmp kept (live writer protected)" true
+    (Sys.file_exists (Filename.concat dir ".live.tmp.1000.0"));
+  Alcotest.(check bool) "old real entries kept" true
+    (Sys.file_exists (entry_file dir "aaaa"))
+
+let () =
+  Alcotest.run "chaos"
+    [ ( "fault-module",
+        [ Alcotest.test_case "spec parsing" `Quick test_spec_parsing;
+          Alcotest.test_case "corruption deterministic" `Quick
+            test_corrupt_deterministic;
+          Alcotest.test_case "unconfigured hooks are no-ops" `Quick
+            test_unconfigured_hooks_are_noops ] );
+      ( "chaos-sweep",
+        [ Alcotest.test_case "pool survives full chaos" `Quick
+            test_pool_survives_chaos;
+          Alcotest.test_case "deterministic per seed" `Quick
+            test_chaos_deterministic_per_seed;
+          Alcotest.test_case "cached == uncached under disk faults" `Quick
+            test_cached_uncached_under_disk_faults;
+          Alcotest.test_case "no poisoned entry served" `Quick
+            test_no_poisoned_entry_served ] );
+      ( "degradation",
+        [ Alcotest.test_case "disk tier degrades to memory-only" `Quick
+            test_disk_tier_degrades_to_memory_only;
+          Alcotest.test_case "transient faults retried once" `Quick
+            test_transient_faults_retried ] );
+      ( "deadline",
+        [ Alcotest.test_case "adversarial decompile bounded" `Quick
+            test_adversarial_decompile_bounded;
+          Alcotest.test_case "mid-fixpoint timeout bounded" `Quick
+            test_mid_fixpoint_timeout_bounded ] );
+      ( "disk-housekeeping",
+        [ Alcotest.test_case "size bound evicts oldest" `Quick
+            test_disk_bound_evicts_oldest;
+          Alcotest.test_case "unbounded tier never evicts" `Quick
+            test_unbounded_tier_never_evicts;
+          Alcotest.test_case "stale tmp sweep" `Quick test_stale_tmp_sweep ] )
+    ]

@@ -137,12 +137,14 @@ let test_frontend_error_artifact () =
         (normalize r1 = normalize r2));
   (* the Error-carrying artifact shape itself, via the exposed phase *)
   let fe =
-    { P.fe_facts = Error "Decomp.Asm_error";
+    { P.fe_facts = Error (P.Decompile, "Decomp.Asm_error");
       fe_tac_loc = 7; fe_blocks = 2; fe_elapsed_s = 0.25 }
   in
   let r = P.backend ~cfg:C.default fe in
   Alcotest.(check (option string)) "error surfaced"
     (Some "Decomp.Asm_error") r.P.error;
+  Alcotest.(check bool) "error kind surfaced" true
+    (r.P.error_kind = Some P.Decompile);
   Alcotest.(check int) "completed stats kept" 7 r.P.tac_loc;
   Alcotest.(check bool) "front-end cost charged" true
     (abs_float (r.P.elapsed_s -. 0.25) < 1e-9);
@@ -276,9 +278,37 @@ contract Token {
 
 (* ---------- satellite regressions ---------- *)
 
+(* A contract whose fixpoint needs ~one round per escalation level:
+   level k's guard trusts the mapping written by level k-1, so the
+   chain-escalation loop (the paper's §2 user → admin → owner pattern)
+   propagates one level per round — long enough for a deadline to
+   expire mid-fixpoint. *)
+let chain_escalation_src n =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "contract Chain {\n";
+  for k = 0 to n do
+    Printf.bprintf b "  mapping(address => bool) l%d;\n" k
+  done;
+  Buffer.add_string b "  address owner;\n";
+  Buffer.add_string b
+    "  function enter(address a) public { l0[a] = true; }\n";
+  for k = 1 to n do
+    Printf.bprintf b
+      "  function step%d(address a) public { require(l%d[msg.sender]); l%d[a] = true; }\n"
+      k (k - 1) k
+  done;
+  Printf.bprintf b
+    "  function kill() public { require(l%d[msg.sender]); selfdestruct(owner); }\n"
+    n;
+  Buffer.add_string b "}";
+  Buffer.contents b
+
 let test_timeout_keeps_measurement () =
   (* a timed-out result used to come back as empty_result: zero
-     elapsed_s and no phase stats even when decompilation succeeded *)
+     elapsed_s and no phase stats. With the preemptive deadline a zero
+     budget may now cut decompilation itself mid-loop, so what every
+     timed-out result must still carry is the *real* elapsed time and
+     the Timeout classification ... *)
   P.set_cache_enabled false;
   Fun.protect
     ~finally:(fun () -> P.set_cache_enabled true)
@@ -287,10 +317,26 @@ let test_timeout_keeps_measurement () =
       let r = P.analyze_runtime ~timeout_s:0.0 runtime in
       Alcotest.(check bool) "times out" true r.P.timed_out;
       Alcotest.(check bool) "elapsed time reported" true (r.P.elapsed_s > 0.0);
-      Alcotest.(check bool) "decompiled stats kept: tac_loc" true
-        (r.P.tac_loc > 0);
-      Alcotest.(check bool) "decompiled stats kept: blocks" true
-        (r.P.blocks > 0))
+      Alcotest.(check bool) "classified Timeout" true
+        (r.P.error_kind = Some P.Timeout);
+      (* ... and a back-end expiry on a completed front end must keep
+         the front end's phase stats *)
+      let fe =
+        match
+          P.compute_frontend ~timeout_s:120.0
+            (compile (chain_escalation_src 40))
+        with
+        | Ok fe -> { fe with P.fe_elapsed_s = 0.0 }
+        | Error _ -> Alcotest.fail "front end unexpectedly timed out"
+      in
+      let r = P.backend ~cfg:C.default ~timeout_s:1e-6 fe in
+      Alcotest.(check bool) "backend times out mid-fixpoint" true
+        r.P.timed_out;
+      Alcotest.(check bool) "elapsed time reported" true (r.P.elapsed_s > 0.0);
+      Alcotest.(check int) "decompiled stats kept: tac_loc" fe.P.fe_tac_loc
+        r.P.tac_loc;
+      Alcotest.(check int) "decompiled stats kept: blocks" fe.P.fe_blocks
+        r.P.blocks)
 
 let test_mkdir_race_both_writers_persist () =
   (* two caches racing to create the same missing directory: the
