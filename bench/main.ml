@@ -18,7 +18,11 @@
      dune exec bench/main.exe -- --pr3-only
    Robustness only (deadline-poll overhead on vs off, adversarial
    timeout tail, writes BENCH_pr4.json):
-     dune exec bench/main.exe -- --pr4-only *)
+     dune exec bench/main.exe -- --pr4-only
+   Query-planner comparison only (planned vs per-probe-indexed vs
+   naive Datalog, declarative ifspec sweep per strategy, cold
+   end-to-end sweep, intern-table stats, writes BENCH_pr5.json):
+     dune exec bench/main.exe -- --pr5-only *)
 
 open Bechamel
 open Toolkit
@@ -508,6 +512,147 @@ let bench_pr4 () =
   close_out oc;
   print_endline "  wrote BENCH_pr4.json"
 
+(* ------------------------------------------------------------------ *)
+(* PR5: compile-once query planner. (a) The PR 1 TC workload under all  *)
+(* three strategies — compile-once planned (slot envs, static          *)
+(* adornments, interned constants, delta indexes) vs the PR 1          *)
+(* per-probe indexed evaluator vs naive scans. (b) The declarative     *)
+(* ifspec pass re-run per strategy over pre-decompiled corpus facts,   *)
+(* isolating the Datalog engine inside the real analysis. (c) A cold   *)
+(* uncached end-to-end sweep at the PR 4 scale — directly comparable   *)
+(* to BENCH_pr4.json's enforcement_enabled_s. Plus planner and         *)
+(* intern-table counters. Emitted as BENCH_pr5.json.                   *)
+(* ------------------------------------------------------------------ *)
+
+let bench_pr5 () =
+  let module DF = Ethainter_core.Datalog_frontend in
+  let module F = Ethainter_core.Facts in
+  let module I = Ethainter_runtime.Intern in
+  print_endline "";
+  print_endline "PR5 query planner (compile-once plans + interned constants):";
+  (* (a) the PR 1 microbenchmark, for trajectory comparability *)
+  let nodes = 250 and edges = 900 in
+  let p, facts = tc_workload ~nodes ~edges in
+  let naive_s =
+    time_best (fun () -> ignore (D.solve ~strategy:D.Naive p facts))
+  in
+  let indexed_s =
+    time_best (fun () -> ignore (D.solve ~strategy:D.Indexed p facts))
+  in
+  let planned_s =
+    time_best (fun () -> ignore (D.solve ~strategy:D.Planned p facts))
+  in
+  let tc_vs_naive = naive_s /. planned_s in
+  let tc_vs_indexed = indexed_s /. planned_s in
+  Printf.printf
+    "  datalog TC (%d nodes, %d edges): naive %.3f s, indexed %.3f s, \
+     planned %.3f s -> %.2fx vs naive, %.2fx vs indexed\n"
+    nodes edges naive_s indexed_s planned_s tc_vs_naive tc_vs_indexed;
+  (* (b) the declarative pass of the real analysis, engine isolated:
+     decompile + fact extraction happen once, outside the timers *)
+  let corpus_size = 150 and corpus_seed = 42 in
+  let corpus = G.mainnet ~seed:corpus_seed ~size:corpus_size () in
+  let all_facts =
+    List.map
+      (fun (i : G.instance) ->
+        F.compute (Ethainter_tac.Decomp.decompile i.G.i_runtime))
+      corpus
+  in
+  let ifspec strategy =
+    time_best (fun () ->
+        List.iter (fun f -> ignore (DF.run ~strategy f)) all_facts)
+  in
+  let if_naive_s = ifspec D.Naive in
+  let if_indexed_s = ifspec D.Indexed in
+  let if_planned_s = ifspec D.Planned in
+  let if_vs_indexed = if_indexed_s /. if_planned_s in
+  Printf.printf
+    "  ifspec pass (n=%d contracts, facts precomputed): naive %.3f s, \
+     indexed %.3f s, planned %.3f s -> %.2fx vs indexed\n"
+    corpus_size if_naive_s if_indexed_s if_planned_s if_vs_indexed;
+  (* (c) cold uncached end-to-end sweep at the PR 4 scale; compare
+     against enforcement_enabled_s in BENCH_pr4.json *)
+  let e2e_size = 300 in
+  let e2e = G.mainnet ~seed:corpus_seed ~size:e2e_size () in
+  let runtimes = List.map (fun (i : G.instance) -> i.G.i_runtime) e2e in
+  let workers = S.default_workers () in
+  P.set_cache_enabled false;
+  ignore (S.analyze_corpus ~workers runtimes);
+  let cold_s = time_best (fun () -> ignore (S.analyze_corpus ~workers runtimes)) in
+  P.set_cache_enabled true;
+  let cps = float_of_int e2e_size /. cold_s in
+  Printf.printf
+    "  end-to-end cold sweep (n=%d, %d workers, uncached): %.3f s \
+     (%.1f contracts/s; PR4-comparable)\n"
+    e2e_size workers cold_s cps;
+  let ds = D.stats () in
+  let it = I.stats () in
+  let total_lookups = it.I.local_hits + it.I.shared_hits + it.I.inserts in
+  let local_rate =
+    if total_lookups > 0 then
+      float_of_int it.I.local_hits /. float_of_int total_lookups
+    else 0.0
+  in
+  Printf.printf
+    "  planner: %d plans built, %d cache reuses\n"
+    ds.D.plans_built ds.D.plan_reuses;
+  Printf.printf
+    "  intern table: %d distinct symbols, %d lookups, %.1f%% served \
+     lock-free from domain-local caches\n"
+    it.I.interned total_lookups (100.0 *. local_rate);
+  let oc = open_out "BENCH_pr5.json" in
+  Printf.fprintf oc
+    {|{
+  "pr": 5,
+  "machine_cores": %d,
+  "datalog_tc": {
+    "workload": "transitive_closure",
+    "nodes": %d,
+    "edges": %d,
+    "naive_s": %.6f,
+    "indexed_s": %.6f,
+    "planned_s": %.6f,
+    "planned_vs_naive": %.4f,
+    "planned_vs_indexed": %.4f
+  },
+  "ifspec_sweep": {
+    "corpus_size": %d,
+    "corpus_seed": %d,
+    "naive_s": %.6f,
+    "indexed_s": %.6f,
+    "planned_s": %.6f,
+    "planned_vs_indexed": %.4f
+  },
+  "end_to_end": {
+    "corpus_size": %d,
+    "corpus_seed": %d,
+    "workers": %d,
+    "cold_sweep_s": %.6f,
+    "contracts_per_s": %.4f,
+    "comparable_to": "BENCH_pr4.json enforcement_enabled_s"
+  },
+  "planner": {
+    "plans_built": %d,
+    "plan_reuses": %d
+  },
+  "intern": {
+    "interned": %d,
+    "local_hits": %d,
+    "shared_hits": %d,
+    "inserts": %d,
+    "local_hit_rate": %.4f
+  }
+}
+|}
+    (Domain.recommended_domain_count ())
+    nodes edges naive_s indexed_s planned_s tc_vs_naive tc_vs_indexed
+    corpus_size corpus_seed if_naive_s if_indexed_s if_planned_s if_vs_indexed
+    e2e_size corpus_seed workers cold_s cps
+    ds.D.plans_built ds.D.plan_reuses
+    it.I.interned it.I.local_hits it.I.shared_hits it.I.inserts local_rate;
+  close_out oc;
+  print_endline "  wrote BENCH_pr5.json"
+
 let () =
   let has f = Array.exists (fun a -> a = f) Sys.argv in
   let tables_only = has "--tables-only" in
@@ -515,10 +660,12 @@ let () =
   let pr2_only = has "--pr2-only" in
   let pr3_only = has "--pr3-only" in
   let pr4_only = has "--pr4-only" in
+  let pr5_only = has "--pr5-only" in
   if pr1_only then bench_pr1 ()
   else if pr2_only then bench_pr2 ()
   else if pr3_only then bench_pr3 ()
   else if pr4_only then bench_pr4 ()
+  else if pr5_only then bench_pr5 ()
   else begin
     if not tables_only then begin
       print_endline "Bechamel benchmarks (one per reproduced table/figure):";
@@ -528,6 +675,7 @@ let () =
     bench_pr2 ();
     bench_pr3 ();
     bench_pr4 ();
+    bench_pr5 ();
     print_endline "";
     print_endline "Reproduced tables and figures (full scale):";
     (* run_all keeps the cache warm across its overlapping sweeps —

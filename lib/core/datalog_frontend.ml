@@ -247,8 +247,10 @@ let export_guard_reads (facts : Facts.t) : D.tuple list =
     facts.Facts.known_true;
   !acc
 
-(** Run the declarative analysis to the outer fixpoint. *)
-let run (facts : Facts.t) : verdicts =
+(** Run the declarative analysis to the outer fixpoint. [?strategy]
+    picks the engine evaluator (default planned; the benchmarks use it
+    to compare against the reference evaluators). *)
+let run ?(strategy = D.Planned) (facts : Facts.t) : verdicts =
   let base_facts = export_facts facts in
   let base_facts =
     List.map
@@ -256,15 +258,19 @@ let run (facts : Facts.t) : verdicts =
         if n = "guard_reads" then (n, export_guard_reads facts) else (n, t))
       base_facts
   in
+  (* one program for every outer round: the rule set never changes
+     between rounds (only the nonsan_in EDB does), so the planner
+     compiles the rules exactly once and every re-solve reuses the
+     cached plan *)
+  let prog = build_round () in
   let nonsan = ref [] in
   let result = ref None in
   let stable = ref false in
   let rounds = ref 0 in
   while (not !stable) && !rounds < 20 do
     incr rounds;
-    let prog = build_round () in
     let db =
-      D.solve prog (("nonsan_in", !nonsan) :: base_facts)
+      D.solve ~strategy prog (("nonsan_in", !nonsan) :: base_facts)
     in
     let out = D.relation db "nonsan_out" in
     if List.length out = List.length !nonsan then begin
@@ -276,9 +282,7 @@ let run (facts : Facts.t) : verdicts =
   let db =
     match !result with
     | Some db -> db
-    | None ->
-        let prog = build_round () in
-        D.solve prog (("nonsan_in", !nonsan) :: base_facts)
+    | None -> D.solve ~strategy prog (("nonsan_in", !nonsan) :: base_facts)
   in
   let pcs rel =
     D.relation db rel
@@ -291,5 +295,5 @@ let run (facts : Facts.t) : verdicts =
     d_tainted_delegatecall = pcs "violation_dc" }
 
 (** Convenience: analyze runtime bytecode declaratively. *)
-let analyze_runtime (runtime : string) : verdicts =
-  run (Facts.compute (Ethainter_tac.Decomp.decompile runtime))
+let analyze_runtime ?strategy (runtime : string) : verdicts =
+  run ?strategy (Facts.compute (Ethainter_tac.Decomp.decompile runtime))

@@ -55,6 +55,12 @@ type t = {
   guard_slice : (var, VarSet.t) Hashtbl.t;
       (** condition var -> backward value slice (through arithmetic,
           comparisons, phis; not through loads) *)
+  sender_scrutiny : (var, bool) Hashtbl.t;
+      (** condition var -> does its slice scrutinize the sender?
+          Precomputed for every sliced guard: the question is asked
+          per guard per protected statement by the taint fixpoint,
+          the detectors and the fact exporter, so answering it from
+          the slice each time was a hot-path scan *)
 }
 
 let program t = t.program
@@ -259,6 +265,20 @@ let compute_guards (p : program) (doms : Dominators.t) :
 (* Assembly                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* Does a condition's slice involve a sender-derived value — directly,
+   or via a load through a sender-keyed address? (Uguard-NDS, negated.) *)
+let slice_scrutinizes_sender (p : program) sender_derived ds_addr
+    (slice : VarSet.t) : bool =
+  VarSet.exists
+    (fun v ->
+      Hashtbl.mem sender_derived v
+      ||
+      match def p v with
+      | Some { s_op = TOp Op.SLOAD; s_args = [ a ]; _ } ->
+          Hashtbl.mem ds_addr a
+      | _ -> false)
+    slice
+
 let compute (p : program) : t =
   let doms = Dominators.compute p in
   let sender_derived, ds_addr, data_addr = compute_ds p in
@@ -272,8 +292,14 @@ let compute (p : program) : t =
             Hashtbl.replace guard_slice g.g_cond (compute_slice p g.g_cond))
         gs)
     known_true;
+  let sender_scrutiny = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun cond slice ->
+      Hashtbl.replace sender_scrutiny cond
+        (slice_scrutinizes_sender p sender_derived ds_addr slice))
+    guard_slice;
   { program = p; doms; sender_derived; ds_addr; data_addr; known_true;
-    guard_slice }
+    guard_slice; sender_scrutiny }
 
 (** Slot class of a storage address operand. *)
 let classify_slot (t : t) (addr : var) : slot_class =
@@ -296,18 +322,16 @@ let slice_of (t : t) (cond : var) : VarSet.t =
 
 (** Does the condition scrutinize the contract caller? (Uguard-NDS,
     negated: a guard that involves no sender-derived value — directly
-    or via data-structure lookup — fails to sanitize.) *)
+    or via data-structure lookup — fails to sanitize.) Answered from
+    the table precomputed by {!compute}; the fallback re-derives from
+    the slice without memoizing (a [t] is shared read-only across
+    scheduler domains). *)
 let scrutinizes_sender (t : t) (cond : var) : bool =
-  VarSet.exists
-    (fun v ->
-      Hashtbl.mem t.sender_derived v
-      ||
-      (* a load through a sender-keyed address *)
-      match def t.program v with
-      | Some { s_op = TOp Op.SLOAD; s_args = [ a ]; _ } ->
-          Hashtbl.mem t.ds_addr a
-      | _ -> false)
-    (slice_of t cond)
+  match Hashtbl.find_opt t.sender_scrutiny cond with
+  | Some b -> b
+  | None ->
+      slice_scrutinizes_sender t.program t.sender_derived t.ds_addr
+        (slice_of t cond)
 
 (** Storage reads appearing in a guard's slice, with their classes.
     These are the candidate "owner variables": slots whose content the

@@ -347,10 +347,9 @@ let decode_frontend (s : string) : frontend option =
 
 (* Stamped into every cache key (front- and back-end): bump on any
    change to decompilation, facts, the fixpoint or the detectors.
-   "4" = deadline-enforced phases + the error-kind field (both codecs
-   changed shape, and pre-deadline entries could carry over-budget
-   results). *)
-let analysis_version = "4"
+   "5" = Facts.t gained the precomputed sender-scrutiny table (the
+   marshalled front-end artifact changed shape). *)
+let analysis_version = "5"
 
 (* The front-end key's stand-in for a config fingerprint: the front
    end does not depend on any ablation switch, so its entries are

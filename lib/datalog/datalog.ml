@@ -1,23 +1,45 @@
-(** A stratified Datalog engine with semi-naive evaluation.
+(** A stratified Datalog engine with semi-naive evaluation and a
+    compile-once query planner.
 
     Stand-in for the Soufflé engine the paper's implementation targets
     (§5: "several hundred declarative rules ... translated into highly
-    optimized C++"). Ours is an in-memory interpreter:
+    optimized C++"). Soufflé compiles each rule ahead of time; ours
+    plans each rule ahead of time and then interprets the plan:
 
-    - relations over tuples of interned constants;
-    - rules with positive and negated body atoms plus OCaml-side
-      filter/compute atoms;
+    - constants are interned into integer {e codes} through the shared
+      {!Ethainter_runtime.Intern} table, so tuples are [int array]s
+      compared and hashed as native ints (never through polymorphic
+      [compare] on [const array]), and symbol ids are shared across
+      scheduler domains;
+    - before evaluation every rule is compiled once per program:
+      variables are numbered into {e slots} so the runtime environment
+      is a preallocated [int array] of codes (a negative sentinel marks
+      unbound — no assoc list, no option boxing), and each positive
+      literal's {e adornment} — the positions ground at the time the
+      literal is reached — is computed statically from which slots
+      earlier literals bind, fixing its index shape at plan time
+      instead of re-deriving it from the environment on every probe;
+    - positive literals probe lazily-built, incrementally-maintained
+      hash indexes keyed on their adorned positions; semi-naive deltas
+      get the same treatment when they grow past
+      {!delta_index_threshold}, so the inner loop probes a delta index
+      instead of scanning a large delta;
     - stratification with a negation-safety check (a relation may only
       be negated if it is fully computed in an earlier stratum);
-    - semi-naive (delta-driven) fixpoint within each stratum;
-    - hash-indexed joins: positive literals probe lazily-built,
-      incrementally-maintained indexes keyed on their bound positions
-      (the naive full-scan matcher remains available via
-      [solve ~indexed:false] as the reference evaluator).
+    - plans are cached on the program and reused across [solve] calls
+      (an outer-fixpoint driver that re-solves the same program with
+      new facts compiles exactly once).
+
+    The PR 1 evaluators are kept intact as references:
+    [solve ~indexed:false] is the naive full-scan matcher and
+    [solve ~indexed:true] the per-probe-adorned indexed matcher; the
+    differential suite checks planned == indexed == naive.
 
     The Section-4 formal model ({!Ethainter_ifspec}) runs literally on
     this engine; tests validate the engine against textbook programs
     (transitive closure, same-generation, negation). *)
+
+module Intern = Ethainter_runtime.Intern
 
 type const =
   | Sym of string
@@ -27,12 +49,9 @@ let const_to_string = function
   | Sym s -> s
   | Int i -> string_of_int i
 
+(** A ground tuple at the API boundary. Internally tuples are arrays
+    of interned codes; see {!encode_const}. *)
 type tuple = const array
-
-module TupleSet = Set.Make (struct
-  type t = tuple
-  let compare = compare
-end)
 
 type term =
   | Var of string
@@ -61,19 +80,225 @@ exception Datalog_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Datalog_error s)) fmt
 
+(* ------------------------------------------------------------------ *)
+(* Interned constant codes                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A [const] is encoded into one native int:
+   - [Int i] in direct range: [i lsl 1] (tag bit 0 clear);
+   - everything else: [(Intern.id key lsl 1) lor 1] (tag bit set),
+     where [key] is "s" ^ sym for symbols and "i" ^ decimal for the
+     (rare) out-of-range ints.
+   Direct codes are even, interned codes are positive odd, so [-1] is
+   never a valid code and serves as the unbound-slot sentinel. The
+   intern table is process-wide ({!Ethainter_runtime.Intern}): the
+   same symbol gets the same code in every scheduler domain, and the
+   per-domain codec caches below keep the hot path lock-free. *)
+
+let unbound = -1
+
+let direct_ok i = (i lsl 1) asr 1 = i
+
+type codec_cache = {
+  enc : (const, int) Hashtbl.t;
+  dec : (int, const) Hashtbl.t;
+}
+
+let codec_key =
+  Domain.DLS.new_key (fun () ->
+      { enc = Hashtbl.create 256; dec = Hashtbl.create 256 })
+
+let encode_const (c : const) : int =
+  match c with
+  | Int i when direct_ok i -> i lsl 1
+  | _ -> (
+      let cc = Domain.DLS.get codec_key in
+      match Hashtbl.find_opt cc.enc c with
+      | Some k -> k
+      | None ->
+          let s =
+            match c with
+            | Sym s -> "s" ^ s
+            | Int i -> "i" ^ string_of_int i
+          in
+          let k = (Intern.id s lsl 1) lor 1 in
+          Hashtbl.replace cc.enc c k;
+          Hashtbl.replace cc.dec k c;
+          k)
+
+let decode_code (k : int) : const =
+  if k land 1 = 0 then Int (k asr 1)
+  else
+    let cc = Domain.DLS.get codec_key in
+    match Hashtbl.find_opt cc.dec k with
+    | Some c -> c
+    | None ->
+        let s = Intern.to_string (k lsr 1) in
+        let body = String.sub s 1 (String.length s - 1) in
+        let c = if s.[0] = 's' then Sym body else Int (int_of_string body) in
+        Hashtbl.replace cc.dec k c;
+        Hashtbl.replace cc.enc c k;
+        c
+
+type ituple = int array
+
+let encode_tuple (t : tuple) : ituple = Array.map encode_const t
+let decode_tuple (t : ituple) : tuple = Array.map decode_code t
+
+module ITuple = struct
+  type t = ituple
+
+  (* monomorphic: int compares, no polymorphic dispatch *)
+  let compare (a : ituple) (b : ituple) =
+    let la = Array.length a and lb = Array.length b in
+    if la <> lb then Stdlib.compare la lb
+    else begin
+      let r = ref 0 and i = ref 0 in
+      while !r = 0 && !i < la do
+        let d = Stdlib.compare (a.(!i) : int) b.(!i) in
+        r := d;
+        incr i
+      done;
+      !r
+    end
+end
+
+module TupleSet = Set.Make (ITuple)
+
+(* ------------------------------------------------------------------ *)
+(* Stored relations and indexes                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* An index on a subset of column positions, identified by the bitmask
+   of those positions (cheaper registry key than a position list: one
+   int hash per probe). *)
+type index = {
+  ipos : int array; (* positions, ascending *)
+  itbl : (ituple, ituple list ref) Hashtbl.t;
+      (* key values at [ipos] -> tuples *)
+}
+
+(* A stored relation: the tuple set, its cardinality (so [size] and
+   the delta-index threshold are O(1)), plus hash indexes keyed on
+   position masks. Indexes are built lazily the first time a plan
+   needs one and maintained incrementally as the fixpoint derives new
+   tuples, so a join probes a bucket instead of scanning. *)
+type stored = {
+  mutable tuples : TupleSet.t;
+  mutable count : int;
+  indexes : (int, index) Hashtbl.t;
+}
+
+type db = (string, stored) Hashtbl.t
+
+let new_stored () =
+  { tuples = TupleSet.empty; count = 0; indexes = Hashtbl.create 4 }
+
+let get_rel (db : db) name : stored =
+  match Hashtbl.find_opt db name with
+  | Some s -> s
+  | None ->
+      let s = new_stored () in
+      Hashtbl.replace db name s;
+      s
+
+let index_insert (ix : index) (tup : ituple) =
+  let key = Array.map (fun p -> tup.(p)) ix.ipos in
+  match Hashtbl.find_opt ix.itbl key with
+  | Some bucket -> bucket := tup :: !bucket
+  | None -> Hashtbl.replace ix.itbl key (ref [ tup ])
+
+(* Add a tuple the caller knows to be fresh, keeping every registered
+   index in sync. *)
+let stored_add (s : stored) (tup : ituple) : unit =
+  s.tuples <- TupleSet.add tup s.tuples;
+  s.count <- s.count + 1;
+  Hashtbl.iter (fun _ ix -> index_insert ix tup) s.indexes
+
+(* The index on [positions] (with bitmask [mask]), building it from
+   the current tuples on first use. *)
+let ensure_index (s : stored) ~(mask : int) ~(positions : int array) : index =
+  match Hashtbl.find_opt s.indexes mask with
+  | Some ix -> ix
+  | None ->
+      let ix = { ipos = positions; itbl = Hashtbl.create 64 } in
+      TupleSet.iter (fun tup -> index_insert ix tup) s.tuples;
+      Hashtbl.replace s.indexes mask ix;
+      ix
+
+(* ------------------------------------------------------------------ *)
+(* Compiled plans                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* How to produce a ground code at evaluation time: a plan-time
+   constant, or the current value of a slot an earlier literal bound. *)
+type key_src = Kconst of int | Kslot of int
+
+(* Per-position matcher for a positive literal:
+   - [Mconst k]: position must equal the constant code [k];
+   - [Mbind s]: first occurrence of a variable unbound at this
+     literal — write the tuple's code into slot [s];
+   - [Mcheck s]: slot [s] is already bound (by an earlier literal, or
+     by an earlier position of this same literal) — compare. *)
+type pm = Mconst of int | Mbind of int | Mcheck of int
+
+type cpos = {
+  prel : string;
+  pindex : int array;
+      (* the adornment: positions ground before this literal, ascending *)
+  pmask : int; (* bitmask of [pindex] *)
+  pkey : key_src array; (* probe-key source per adorned position *)
+  pscan : pm array; (* full per-position matchers, for scans *)
+  prest : (int * pm) array;
+      (* non-adorned positions only, for index probes (the adorned
+         ones match by construction of the bucket — no re-check) *)
+  pbinds : int array; (* slots this literal binds (reset set) *)
+}
+
+type cstep =
+  | CPos of cpos
+  | CNeg of { nrel : string; nkey : key_src array }
+  | CFilter of { fslots : int array; ffn : const list -> bool }
+  | CBind of {
+      bslots : int array;
+      bfn : const list -> const option;
+      bdst : int;
+      bfresh : bool; (* dst unbound before this literal: bind, else check *)
+    }
+
+type crule = {
+  cname : string; (* head relation *)
+  chead : key_src array;
+  csteps : cstep array; (* one step per body literal, in order *)
+  cnslots : int;
+  cvars : string array; (* slot -> variable name (diagnostics) *)
+}
+
+type compiled = { cstrata : (string list * crule array) list }
+
+(* Adornment introspection for tests/diagnostics. *)
+type adornment = { ad_rel : string; ad_bound : int list }
+
+(* ------------------------------------------------------------------ *)
+(* Programs                                                            *)
+(* ------------------------------------------------------------------ *)
+
 type program = {
   mutable rules : rule list;
   relations : (string, int) Hashtbl.t; (* name -> arity *)
+  mutable plan : compiled option;
+      (* cached plan; invalidated when the program changes *)
 }
 
-let create () = { rules = []; relations = Hashtbl.create 32 }
+let create () = { rules = []; relations = Hashtbl.create 32; plan = None }
 
 let declare p name arity =
   (match Hashtbl.find_opt p.relations name with
   | Some a when a <> arity ->
       fail "relation %s redeclared with arity %d (was %d)" name arity a
   | _ -> ());
-  Hashtbl.replace p.relations name arity
+  Hashtbl.replace p.relations name arity;
+  p.plan <- None
 
 let add_rule p head body =
   let check_atom (name, terms) =
@@ -90,7 +315,8 @@ let add_rule p head body =
       | Pos (n, ts) | Neg (n, ts) -> check_atom (n, ts)
       | Filter _ | Bind _ -> ())
     body;
-  p.rules <- { head; body } :: p.rules
+  p.rules <- { head; body } :: p.rules;
+  p.plan <- None
 
 (* ------------------------------------------------------------------ *)
 (* Stratification                                                      *)
@@ -140,194 +366,646 @@ let stratify (p : program) : string list list =
       List.filter (fun r -> Hashtbl.find stratum r = i) rels)
 
 (* ------------------------------------------------------------------ *)
-(* Evaluation                                                          *)
+(* Rule compilation                                                    *)
 (* ------------------------------------------------------------------ *)
 
-(* A stored relation: the tuple set plus hash indexes keyed on subsets
-   of column positions. Indexes are built lazily the first time a rule
-   evaluation needs one (the bound positions of a [Pos] literal under
-   the current environment) and are maintained incrementally as the
-   fixpoint derives new tuples, so a join probes a bucket instead of
-   scanning the full relation. *)
-type stored = {
-  mutable tuples : TupleSet.t;
-  indexes : (int list, (const array, tuple list ref) Hashtbl.t) Hashtbl.t;
-      (* positions (ascending) -> key values at those positions -> tuples *)
-}
+(* Plans built so far (cold path — bumped once per rule per program
+   compilation, never per probe; the tier-1 smoke test pins this). *)
+let plan_builds = Atomic.make 0
+let plan_cache_hits = Atomic.make 0
 
-type db = (string, stored) Hashtbl.t
+type stats = { plans_built : int; plan_reuses : int }
 
-let get_rel (db : db) name : stored =
-  match Hashtbl.find_opt db name with
-  | Some s -> s
+let stats () =
+  { plans_built = Atomic.get plan_builds;
+    plan_reuses = Atomic.get plan_cache_hits }
+
+(* Compile one rule: number variables into slots and walk the body
+   left-to-right tracking which slots are statically bound, fixing
+   each literal's adornment (and therefore its index shape) at plan
+   time. *)
+let compile_rule (r : rule) : crule =
+  let slots : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let names = ref [] in
+  let nslots = ref 0 in
+  let slot_of x =
+    match Hashtbl.find_opt slots x with
+    | Some s -> s
+    | None ->
+        let s = !nslots in
+        incr nslots;
+        Hashtbl.replace slots x s;
+        names := x :: !names;
+        s
+  in
+  let bound : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let bound_slot_of x =
+    match Hashtbl.find_opt slots x with
+    | Some s when Hashtbl.mem bound s -> s
+    | _ -> raise Not_found
+  in
+  let steps =
+    List.map
+      (fun lit ->
+        match lit with
+        | Pos (name, terms) ->
+            let arity = List.length terms in
+            let pms = Array.make arity (Mconst 0) in
+            let binds_here : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+            List.iteri
+              (fun i t ->
+                match t with
+                | Const c -> pms.(i) <- Mconst (encode_const c)
+                | Var x ->
+                    let s = slot_of x in
+                    if Hashtbl.mem bound s || Hashtbl.mem binds_here s then
+                      pms.(i) <- Mcheck s
+                    else begin
+                      pms.(i) <- Mbind s;
+                      Hashtbl.replace binds_here s ()
+                    end)
+              terms;
+            (* adornment: positions whose value is known before this
+               literal (constants, and slots bound by earlier
+               literals; a repeat of a variable first bound by this
+               same literal is a within-tuple check, not adorned) *)
+            let idx = ref [] and key = ref [] and rest = ref [] in
+            Array.iteri
+              (fun i pmv ->
+                match pmv with
+                | Mconst k ->
+                    idx := i :: !idx;
+                    key := Kconst k :: !key
+                | Mcheck s when Hashtbl.mem bound s ->
+                    idx := i :: !idx;
+                    key := Kslot s :: !key
+                | (Mcheck _ | Mbind _) as m -> rest := (i, m) :: !rest)
+              pms;
+            let pindex = Array.of_list (List.rev !idx) in
+            let pmask =
+              Array.fold_left (fun m i -> m lor (1 lsl i)) 0 pindex
+            in
+            let step =
+              CPos
+                { prel = name;
+                  pindex;
+                  pmask;
+                  pkey = Array.of_list (List.rev !key);
+                  pscan = pms;
+                  prest = Array.of_list (List.rev !rest);
+                  pbinds =
+                    Array.of_list
+                      (Hashtbl.fold (fun s () acc -> s :: acc) binds_here []);
+                }
+            in
+            Hashtbl.iter (fun s () -> Hashtbl.replace bound s ()) binds_here;
+            step
+        | Neg (name, terms) ->
+            let nkey =
+              Array.of_list
+                (List.map
+                   (fun t ->
+                     match t with
+                     | Const c -> Kconst (encode_const c)
+                     | Var x -> (
+                         try Kslot (bound_slot_of x)
+                         with Not_found ->
+                           fail "unbound variable %s under negation of %s" x
+                             name))
+                   terms)
+            in
+            CNeg { nrel = name; nkey }
+        | Filter (vars, f) ->
+            let fslots =
+              Array.of_list
+                (List.map
+                   (fun x ->
+                     try bound_slot_of x
+                     with Not_found ->
+                       fail "filter over unbound variable %s" x)
+                   vars)
+            in
+            CFilter { fslots; ffn = f }
+        | Bind (x, vars, f) ->
+            let bslots =
+              Array.of_list
+                (List.map
+                   (fun y ->
+                     try bound_slot_of y
+                     with Not_found -> fail "bind over unbound variable %s" y)
+                   vars)
+            in
+            let bdst = slot_of x in
+            let bfresh = not (Hashtbl.mem bound bdst) in
+            if bfresh then Hashtbl.replace bound bdst ();
+            CBind { bslots; bfn = f; bdst; bfresh })
+      r.body
+  in
+  let chead =
+    Array.of_list
+      (List.map
+         (fun t ->
+           match t with
+           | Const c -> Kconst (encode_const c)
+           | Var x -> (
+               try Kslot (bound_slot_of x)
+               with Not_found -> fail "unbound variable %s in rule head" x))
+         (snd r.head))
+  in
+  { cname = fst r.head;
+    chead;
+    csteps = Array.of_list steps;
+    cnslots = !nslots;
+    cvars = Array.of_list (List.rev !names) }
+
+(* The program's plan: strata with their compiled rules, built once
+   and cached on the program until it changes. *)
+let compile (p : program) : compiled =
+  match p.plan with
+  | Some c ->
+      Atomic.incr plan_cache_hits;
+      c
   | None ->
-      let s = { tuples = TupleSet.empty; indexes = Hashtbl.create 4 } in
-      Hashtbl.replace db name s;
-      s
+      let strata = stratify p in
+      let in_order = List.rev p.rules in
+      let cstrata =
+        List.map
+          (fun rels ->
+            let rs = List.filter (fun r -> List.mem (fst r.head) rels) in_order in
+            let crs =
+              Array.of_list
+                (List.map
+                   (fun r ->
+                     Atomic.incr plan_builds;
+                     compile_rule r)
+                   rs)
+            in
+            (rels, crs))
+          strata
+      in
+      let c = { cstrata } in
+      p.plan <- Some c;
+      c
 
-let key_at (positions : int list) (tup : tuple) : const array =
-  Array.of_list (List.map (fun p -> tup.(p)) positions)
+(** Per-rule adornments, in rule-addition order: for each rule, its
+    head relation and — for every positive body literal — the literal's
+    relation and the positions that are ground when it is reached
+    (i.e. the columns its index is keyed on). Pure introspection: does
+    not touch the cached plan or the plan counters. *)
+let adornments (p : program) : (string * adornment list) list =
+  List.rev_map
+    (fun r ->
+      let cr = compile_rule r in
+      let ads =
+        Array.to_list cr.csteps
+        |> List.filter_map (function
+             | CPos cp ->
+                 Some { ad_rel = cp.prel; ad_bound = Array.to_list cp.pindex }
+             | _ -> None)
+      in
+      (fst r.head, ads))
+    p.rules
 
-let index_insert (idx : (const array, tuple list ref) Hashtbl.t) positions tup =
-  let key = key_at positions tup in
-  match Hashtbl.find_opt idx key with
-  | Some bucket -> bucket := tup :: !bucket
-  | None -> Hashtbl.replace idx key (ref [ tup ])
+(* ------------------------------------------------------------------ *)
+(* Planned evaluation                                                  *)
+(* ------------------------------------------------------------------ *)
 
-(* Add a tuple, keeping every registered index in sync. *)
-let stored_add (s : stored) (tup : tuple) : unit =
-  s.tuples <- TupleSet.add tup s.tuples;
-  Hashtbl.iter (fun positions idx -> index_insert idx positions tup) s.indexes
+(** Semi-naive deltas larger than this probe a delta index on the
+    literal's adorned positions instead of being scanned. Mutable so
+    the test suite can force both paths. *)
+let delta_index_threshold = ref 64
 
-(* The index on [positions], building it from the current tuples on
-   first use. *)
-let ensure_index (s : stored) (positions : int list) :
-    (const array, tuple list ref) Hashtbl.t =
-  match Hashtbl.find_opt s.indexes positions with
-  | Some idx -> idx
-  | None ->
-      let idx = Hashtbl.create 64 in
-      TupleSet.iter (fun tup -> index_insert idx positions tup) s.tuples;
-      Hashtbl.replace s.indexes positions idx;
-      idx
+let ground_key (env : int array) (srcs : key_src array) : ituple =
+  Array.map (function Kconst k -> k | Kslot s -> env.(s)) srcs
 
-type env = (string * const) list
+(* Match the non-adorned positions of an index bucket tuple (the
+   adorned ones are equal by construction of the bucket — and tuple
+   arity is static per relation, so there is no per-tuple arity
+   check). Writes [Mbind] slots; the caller resets them via [pbinds]
+   after each candidate. *)
+let match_rest (rest : (int * pm) array) (tup : ituple) (env : int array) :
+    bool =
+  let n = Array.length rest in
+  let rec go i =
+    i = n
+    ||
+    let pos, m = rest.(i) in
+    match m with
+    | Mbind s ->
+        env.(s) <- tup.(pos);
+        go (i + 1)
+    | Mcheck s -> env.(s) = tup.(pos) && go (i + 1)
+    | Mconst k -> tup.(pos) = k && go (i + 1)
+  in
+  go 0
 
-let lookup env x = List.assoc_opt x env
+(* Match every position (scan path). *)
+let match_scan (pms : pm array) (tup : ituple) (env : int array) : bool =
+  let n = Array.length pms in
+  let rec go i =
+    i = n
+    ||
+    match pms.(i) with
+    | Mconst k -> tup.(i) = k && go (i + 1)
+    | Mbind s ->
+        env.(s) <- tup.(i);
+        go (i + 1)
+    | Mcheck s -> env.(s) = tup.(i) && go (i + 1)
+  in
+  go 0
 
-let match_term (env : env) (t : term) (c : const) : env option =
+let decode_slots (env : int array) (slots : int array) : const list =
+  Array.fold_right (fun s acc -> decode_code env.(s) :: acc) slots []
+
+(* Evaluate one compiled rule; call [add] on each derived head tuple.
+   [delta_at >= 0] forces step [delta_at] (a [CPos]) to range over its
+   relation's entry in [deltas] instead of the full relation
+   (semi-naive). *)
+let run_crule (db : db) (cr : crule)
+    ~(deltas : (string, stored) Hashtbl.t option) ~(delta_at : int)
+    (add : string -> ituple -> unit) : unit =
+  let env = Array.make cr.cnslots unbound in
+  let steps = cr.csteps in
+  let nsteps = Array.length steps in
+  let rec exec si =
+    (* one poll per body-literal step bounds a runaway join; the
+       countdown in [Deadline.poll] amortizes the clock read *)
+    Ethainter_runtime.Deadline.poll ();
+    if si = nsteps then add cr.cname (ground_key env cr.chead)
+    else
+      match steps.(si) with
+      | CFilter { fslots; ffn } ->
+          if ffn (decode_slots env fslots) then exec (si + 1)
+      | CBind { bslots; bfn; bdst; bfresh } -> (
+          match bfn (decode_slots env bslots) with
+          | None -> ()
+          | Some c ->
+              let k = encode_const c in
+              if bfresh then begin
+                env.(bdst) <- k;
+                exec (si + 1);
+                env.(bdst) <- unbound
+              end
+              else if env.(bdst) = k then exec (si + 1))
+      | CNeg { nrel; nkey } ->
+          let tup = ground_key env nkey in
+          if not (TupleSet.mem tup (get_rel db nrel).tuples) then exec (si + 1)
+      | CPos cp -> (
+          let source =
+            if si = delta_at then
+              match deltas with
+              | Some ds -> Hashtbl.find_opt ds cp.prel
+              | None -> None
+            else Some (get_rel db cp.prel)
+          in
+          match source with
+          | None -> () (* empty delta: nothing new through this literal *)
+          | Some st ->
+              let probe_index =
+                cp.pmask <> 0
+                && (si <> delta_at || st.count >= !delta_index_threshold)
+              in
+              if probe_index then begin
+                let ix =
+                  ensure_index st ~mask:cp.pmask ~positions:cp.pindex
+                in
+                match Hashtbl.find_opt ix.itbl (ground_key env cp.pkey) with
+                | None -> ()
+                | Some bucket ->
+                    (* snapshot semantics: new derivations cons onto
+                       the ref without affecting this iteration *)
+                    List.iter
+                      (fun tup ->
+                        if match_rest cp.prest tup env then exec (si + 1);
+                        Array.iter (fun s -> env.(s) <- unbound) cp.pbinds)
+                      !bucket
+              end
+              else
+                TupleSet.iter
+                  (fun tup ->
+                    if match_scan cp.pscan tup env then exec (si + 1);
+                    Array.iter (fun s -> env.(s) <- unbound) cp.pbinds)
+                  st.tuples)
+  in
+  exec 0
+
+(* Stratified semi-naive fixpoint over compiled rules. Deltas live in
+   hashtables probed directly by relation name (no assoc-list walk in
+   the inner loop) and are themselves [stored] relations, so large
+   deltas get indexes. *)
+let solve_planned (p : program) (db : db) : unit =
+  let c = compile p in
+  List.iter
+    (fun (_rels, rules) ->
+      let deltas = ref (Hashtbl.create 8) in
+      let add_fact name tup =
+        let r = get_rel db name in
+        if not (TupleSet.mem tup r.tuples) then begin
+          stored_add r tup;
+          let d =
+            match Hashtbl.find_opt !deltas name with
+            | Some d -> d
+            | None ->
+                let d = new_stored () in
+                Hashtbl.replace !deltas name d;
+                d
+          in
+          stored_add d tup
+        end
+      in
+      (* naive first round to seed *)
+      Array.iter
+        (fun cr -> run_crule db cr ~deltas:None ~delta_at:(-1) add_fact)
+        rules;
+      (* semi-naive iterations *)
+      let continue = ref (Hashtbl.length !deltas > 0) in
+      while !continue do
+        Ethainter_runtime.Deadline.poll ();
+        let current = !deltas in
+        deltas := Hashtbl.create 8;
+        Array.iter
+          (fun cr ->
+            Array.iteri
+              (fun i step ->
+                match step with
+                | CPos cp -> (
+                    match Hashtbl.find_opt current cp.prel with
+                    | Some d when d.count > 0 ->
+                        run_crule db cr ~deltas:(Some current) ~delta_at:i
+                          add_fact
+                    | _ -> ())
+                | _ -> ())
+              cr.csteps)
+          rules;
+        continue := Hashtbl.length !deltas > 0
+      done)
+    c.cstrata
+
+(* ------------------------------------------------------------------ *)
+(* Reference evaluators (PR 1): naive scans and per-probe adornments   *)
+(* ------------------------------------------------------------------ *)
+
+(* These interpret each rule directly — an assoc-list environment,
+   bound positions re-derived from the environment at every probe —
+   and exist as the differential baseline for the planner and as the
+   PR 1 comparison point for the benchmarks. Terms are pre-encoded
+   once per solve so both reference evaluators run over the same
+   interned tuple stores as the planned path. *)
+
+type lterm = LVar of string | LConst of int
+
+type lliteral =
+  | LPos of string * lterm list * int (* arity hoisted out of the probe *)
+  | LNeg of string * lterm list
+  | LFilter of string list * (const list -> bool)
+  | LBind of string * string list * (const list -> const option)
+
+type lrule = { lhead : string * lterm list; lbody : lliteral list }
+
+let lterms ts =
+  List.map
+    (function Var x -> LVar x | Const c -> LConst (encode_const c))
+    ts
+
+let lower_rule (r : rule) : lrule =
+  { lhead = (fst r.head, lterms (snd r.head));
+    lbody =
+      List.map
+        (function
+          | Pos (n, ts) -> LPos (n, lterms ts, List.length ts)
+          | Neg (n, ts) -> LNeg (n, lterms ts)
+          | Filter (vs, f) -> LFilter (vs, f)
+          | Bind (x, vs, f) -> LBind (x, vs, f))
+        r.body }
+
+type env = (string * int) list
+
+let lookup (env : env) x = List.assoc_opt x env
+
+let match_lterm (env : env) (t : lterm) (c : int) : env option =
   match t with
-  | Const k -> if k = c then Some env else None
-  | Var x -> (
+  | LConst k -> if k = c then Some env else None
+  | LVar x -> (
       match lookup env x with
       | Some k -> if k = c then Some env else None
       | None -> Some ((x, c) :: env))
 
-let match_tuple env (terms : term list) (tup : tuple) : env option =
+(* [arity] is hoisted to the literal (computed once per rule lowering,
+   not per candidate tuple). *)
+let match_ltuple env (terms : lterm list) (arity : int) (tup : ituple) :
+    env option =
   let rec go env ts i =
     match ts with
     | [] -> Some env
     | t :: rest -> (
-        match match_term env t tup.(i) with
+        match match_lterm env t tup.(i) with
         | Some env' -> go env' rest (i + 1)
         | None -> None)
   in
-  if List.length terms <> Array.length tup then None else go env terms 0
+  if Array.length tup <> arity then None else go env terms 0
 
-let eval_term env = function
-  | Const k -> k
-  | Var x -> (
+let eval_lterm env = function
+  | LConst k -> k
+  | LVar x -> (
       match lookup env x with
       | Some k -> k
       | None -> fail "unbound variable %s in rule head" x)
 
 (* Positions of a literal's terms that are ground under [env] (a
-   constant, or a variable already bound), with their values. *)
-let bound_positions (env : env) (terms : term list) : (int * const) list =
+   constant, or a variable already bound), with their values — the
+   per-probe adornment of the PR 1 indexed evaluator. *)
+let bound_positions (env : env) (terms : lterm list) : (int * int) list =
   List.mapi (fun i t -> (i, t)) terms
   |> List.filter_map (fun (i, t) ->
          match t with
-         | Const c -> Some (i, c)
-         | Var x -> (
+         | LConst c -> Some (i, c)
+         | LVar x -> (
              match lookup env x with Some c -> Some (i, c) | None -> None))
 
 (* Evaluate the body literals left-to-right; call k on each complete
-   environment. [delta_at] optionally forces literal #i to range over a
-   delta set instead of the full relation (semi-naive). When [indexed]
-   is set, a [Pos] literal over the full relation probes a hash index
-   on its bound positions instead of scanning every tuple; with it
+   environment. [delta] optionally forces literal #[delta_at] to range
+   over a delta set instead of the full relation (semi-naive). When
+   [indexed] is set, a [Pos] literal over the full relation probes a
+   hash index on its bound-under-the-current-env positions; with it
    unset this is the naive reference evaluator. *)
 let rec eval_body ~(indexed : bool) (db : db)
     (delta : (string * TupleSet.t) option) (delta_at : int option)
-    (lits : literal list) (idx : int) (env : env) (k : env -> unit) : unit =
-  (* one poll per body-literal step bounds a runaway join; the
-     countdown in [Deadline.poll] amortizes the clock read *)
+    (lits : lliteral list) (idx : int) (env : env) (k : env -> unit) : unit =
   Ethainter_runtime.Deadline.poll ();
   match lits with
   | [] -> k env
-  | Filter (vars, f) :: rest ->
+  | LFilter (vars, f) :: rest ->
       let vals =
         List.map
           (fun x ->
             match lookup env x with
-            | Some c -> c
+            | Some c -> decode_code c
             | None -> fail "filter over unbound variable %s" x)
           vars
       in
       if f vals then eval_body ~indexed db delta delta_at rest (idx + 1) env k
-  | Bind (x, vars, f) :: rest -> (
+  | LBind (x, vars, f) :: rest -> (
       let vals =
         List.map
           (fun y ->
             match lookup env y with
-            | Some c -> c
+            | Some c -> decode_code c
             | None -> fail "bind over unbound variable %s" y)
           vars
       in
       match f vals with
       | Some c -> (
+          let code = encode_const c in
           match lookup env x with
           | Some c' ->
-              if c = c' then
+              if code = c' then
                 eval_body ~indexed db delta delta_at rest (idx + 1) env k
           | None ->
-              eval_body ~indexed db delta delta_at rest (idx + 1) ((x, c) :: env)
-                k)
+              eval_body ~indexed db delta delta_at rest (idx + 1)
+                ((x, code) :: env) k)
       | None -> ())
-  | Neg (name, terms) :: rest ->
+  | LNeg (name, terms) :: rest ->
       let rel = (get_rel db name).tuples in
       let ground =
-        List.map (fun t -> eval_term env t) terms |> Array.of_list
+        List.map (fun t -> eval_lterm env t) terms |> Array.of_list
       in
       if not (TupleSet.mem ground rel) then
         eval_body ~indexed db delta delta_at rest (idx + 1) env k
-  | Pos (name, terms) :: rest -> (
+  | LPos (name, terms, arity) :: rest -> (
       let continue env' =
         eval_body ~indexed db delta delta_at rest (idx + 1) env' k
       in
       let scan source =
         TupleSet.iter
           (fun tup ->
-            match match_tuple env terms tup with
+            match match_ltuple env terms arity tup with
             | Some env' -> continue env'
             | None -> ())
           source
       in
       match (delta, delta_at) with
       | Some (dname, dset), Some di when di = idx && dname = name ->
-          (* deltas are small and short-lived; a scan is fine *)
+          (* reference evaluators keep the simple delta scan *)
           scan dset
       | _ ->
           let s = get_rel db name in
           let bound = if indexed then bound_positions env terms else [] in
           if bound = [] then scan s.tuples
           else begin
-            let positions = List.map fst bound in
+            let positions = Array.of_list (List.map fst bound) in
+            let mask =
+              Array.fold_left (fun m i -> m lor (1 lsl i)) 0 positions
+            in
             let key = Array.of_list (List.map snd bound) in
-            let idx_tbl = ensure_index s positions in
-            match Hashtbl.find_opt idx_tbl key with
+            let ix = ensure_index s ~mask ~positions in
+            match Hashtbl.find_opt ix.itbl key with
             | None -> ()
             | Some bucket ->
                 (* snapshot: new derivations cons onto the ref without
-                   affecting this iteration *)
+                   affecting this iteration. Bucket tuples carry the
+                   declared arity, so the per-tuple arity check is
+                   skipped on the indexed probe. *)
                 List.iter
                   (fun tup ->
-                    match match_tuple env terms tup with
-                    | Some env' -> continue env'
-                    | None -> ())
+                    let rec go env ts i =
+                      match ts with
+                      | [] -> continue env
+                      | t :: rest' -> (
+                          match match_lterm env t tup.(i) with
+                          | Some env' -> go env' rest' (i + 1)
+                          | None -> ())
+                    in
+                    go env terms 0)
                   !bucket
           end)
 
-let head_tuple env (terms : term list) : tuple =
-  List.map (eval_term env) terms |> Array.of_list
+let head_ituple env (terms : lterm list) : ituple =
+  List.map (eval_lterm env) terms |> Array.of_list
 
-(** Run the program over the initial facts; returns the database of all
-    derived relations. [indexed] (default) joins through per-relation
-    hash indexes on the bound positions of each positive literal;
-    [~indexed:false] is the naive full-scan reference evaluator the
-    differential tests compare against. *)
-let solve ?(indexed = true) (p : program) (facts : (string * tuple list) list)
-    : db =
+(* Stratified semi-naive driver for the reference evaluators. Deltas
+   are kept in hashtables and probed directly by relation name. *)
+let solve_reference ~(indexed : bool) (p : program) (db : db) : unit =
+  let strata = stratify p in
+  let in_order = List.rev p.rules in
+  List.iter
+    (fun stratum_rels ->
+      let rules =
+        List.filter (fun r -> List.mem (fst r.head) stratum_rels) in_order
+        |> List.map lower_rule
+      in
+      let deltas : (string, TupleSet.t) Hashtbl.t ref =
+        ref (Hashtbl.create 8)
+      in
+      let add_fact name tup =
+        let r = get_rel db name in
+        if not (TupleSet.mem tup r.tuples) then begin
+          stored_add r tup;
+          let d =
+            match Hashtbl.find_opt !deltas name with
+            | Some d -> d
+            | None -> TupleSet.empty
+          in
+          Hashtbl.replace !deltas name (TupleSet.add tup d)
+        end
+      in
+      (* naive first round to seed *)
+      List.iter
+        (fun rule ->
+          eval_body ~indexed db None None rule.lbody 0 [] (fun env ->
+              add_fact (fst rule.lhead) (head_ituple env (snd rule.lhead))))
+        rules;
+      (* semi-naive iterations *)
+      let continue = ref (Hashtbl.length !deltas > 0) in
+      while !continue do
+        Ethainter_runtime.Deadline.poll ();
+        let current = !deltas in
+        deltas := Hashtbl.create 8;
+        List.iter
+          (fun rule ->
+            List.iteri
+              (fun i lit ->
+                match lit with
+                | LPos (name, _, _) -> (
+                    match Hashtbl.find_opt current name with
+                    | Some dset when not (TupleSet.is_empty dset) ->
+                        eval_body ~indexed db (Some (name, dset)) (Some i)
+                          rule.lbody 0 []
+                          (fun env ->
+                            add_fact (fst rule.lhead)
+                              (head_ituple env (snd rule.lhead)))
+                    | _ -> ())
+                | _ -> ())
+              rule.lbody)
+          rules;
+        continue := Hashtbl.length !deltas > 0
+      done)
+    strata
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Evaluation strategy. [Planned] (the default) compiles each rule
+    once per program — slot environments, static adornments, delta
+    indexes — and caches the plan on the program across [solve] calls.
+    [Indexed] is the PR 1 evaluator (per-probe adornments over an
+    assoc-list environment); [Naive] the full-scan reference. *)
+type strategy = Naive | Indexed | Planned
+
+(** Run the program over the initial facts; returns the database of
+    all derived relations. [~strategy] picks the evaluator (default
+    {!Planned}); the legacy [~indexed] flag is kept for the PR 1
+    callers: [~indexed:false] is {!Naive} and [~indexed:true]
+    {!Indexed}. *)
+let solve ?(strategy : strategy option) ?(indexed : bool option)
+    (p : program) (facts : (string * tuple list) list) : db =
+  let strat =
+    match (strategy, indexed) with
+    | Some s, _ -> s
+    | None, Some true -> Indexed
+    | None, Some false -> Naive
+    | None, None -> Planned
+  in
   let db : db = Hashtbl.create 32 in
   List.iter
     (fun (name, tuples) ->
@@ -340,71 +1018,30 @@ let solve ?(indexed = true) (p : program) (facts : (string * tuple list) list)
                 fail "fact arity mismatch for %s" name)
             tuples);
       let r = get_rel db name in
-      List.iter (fun t -> if not (TupleSet.mem t r.tuples) then stored_add r t)
+      List.iter
+        (fun t ->
+          let it = encode_tuple t in
+          if not (TupleSet.mem it r.tuples) then stored_add r it)
         tuples)
     facts;
-  let strata = stratify p in
-  List.iter
-    (fun stratum_rels ->
-      let rules =
-        List.filter (fun r -> List.mem (fst r.head) stratum_rels) p.rules
-      in
-      (* naive first round to seed *)
-      let deltas : (string, TupleSet.t) Hashtbl.t = Hashtbl.create 8 in
-      let add_fact name tup =
-        let r = get_rel db name in
-        if not (TupleSet.mem tup r.tuples) then begin
-          stored_add r tup;
-          let d =
-            match Hashtbl.find_opt deltas name with
-            | Some d -> d
-            | None -> TupleSet.empty
-          in
-          Hashtbl.replace deltas name (TupleSet.add tup d)
-        end
-      in
-      List.iter
-        (fun rule ->
-          eval_body ~indexed db None None rule.body 0 []
-            (fun env -> add_fact (fst rule.head) (head_tuple env (snd rule.head))))
-        rules;
-      (* semi-naive iterations *)
-      let continue = ref (Hashtbl.length deltas > 0) in
-      while !continue do
-        Ethainter_runtime.Deadline.poll ();
-        let current = Hashtbl.fold (fun n d acc -> (n, d) :: acc) deltas [] in
-        Hashtbl.reset deltas;
-        List.iter
-          (fun rule ->
-            List.iteri
-              (fun i lit ->
-                match lit with
-                | Pos (name, _) -> (
-                    match List.assoc_opt name current with
-                    | Some dset when not (TupleSet.is_empty dset) ->
-                        eval_body ~indexed db (Some (name, dset)) (Some i)
-                          rule.body 0 []
-                          (fun env ->
-                            add_fact (fst rule.head)
-                              (head_tuple env (snd rule.head)))
-                    | _ -> ())
-                | _ -> ())
-              rule.body)
-          rules;
-        continue := Hashtbl.length deltas > 0
-      done)
-    strata;
+  (match strat with
+  | Planned -> solve_planned p db
+  | Indexed -> solve_reference ~indexed:true p db
+  | Naive -> solve_reference ~indexed:false p db);
   db
 
 (** All tuples of a relation in the solved database. *)
 let relation (db : db) name : tuple list =
   match Hashtbl.find_opt db name with
-  | Some s -> TupleSet.elements s.tuples
+  | Some s -> List.map decode_tuple (TupleSet.elements s.tuples)
   | None -> []
 
 let mem (db : db) name (tup : tuple) : bool =
   match Hashtbl.find_opt db name with
-  | Some s -> TupleSet.mem tup s.tuples
+  | Some s -> TupleSet.mem (encode_tuple tup) s.tuples
   | None -> false
 
-let size (db : db) name = List.length (relation db name)
+(** Cardinality of a relation — O(1), maintained on insert (not
+    materialized through {!relation}). *)
+let size (db : db) name =
+  match Hashtbl.find_opt db name with Some s -> s.count | None -> 0

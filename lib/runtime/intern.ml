@@ -1,0 +1,90 @@
+(* Shared string intern table. See intern.mli. *)
+
+type stats = {
+  interned : int;
+  local_hits : int;
+  shared_hits : int;
+  inserts : int;
+}
+
+(* Shared state, all guarded by [mutex]. *)
+let mutex = Mutex.create ()
+let tbl : (string, int) Hashtbl.t = Hashtbl.create 4096
+let rev : (int, string) Hashtbl.t = Hashtbl.create 4096
+let next_id = ref 0
+let shared_hits = ref 0
+let inserts = ref 0
+
+(* Domain-local read-through caches. Each domain registers its cache
+   record on first use so [stats] can aggregate the hit counters. *)
+type local = {
+  fwd : (string, int) Hashtbl.t;
+  bwd : (int, string) Hashtbl.t;
+  mutable hits : int;
+}
+
+let locals : local list ref = ref [] (* guarded by [mutex] *)
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let l = { fwd = Hashtbl.create 512; bwd = Hashtbl.create 512; hits = 0 } in
+      Mutex.protect mutex (fun () -> locals := l :: !locals);
+      l)
+
+let id (s : string) : int =
+  let l = Domain.DLS.get key in
+  match Hashtbl.find_opt l.fwd s with
+  | Some i ->
+      l.hits <- l.hits + 1;
+      i
+  | None ->
+      let i =
+        Mutex.protect mutex (fun () ->
+            match Hashtbl.find_opt tbl s with
+            | Some i ->
+                incr shared_hits;
+                i
+            | None ->
+                let i = !next_id in
+                incr next_id;
+                incr inserts;
+                Hashtbl.replace tbl s i;
+                Hashtbl.replace rev i s;
+                i)
+      in
+      Hashtbl.replace l.fwd s i;
+      Hashtbl.replace l.bwd i s;
+      i
+
+let to_string (i : int) : string =
+  let l = Domain.DLS.get key in
+  match Hashtbl.find_opt l.bwd i with
+  | Some s ->
+      l.hits <- l.hits + 1;
+      s
+  | None ->
+      let s =
+        Mutex.protect mutex (fun () ->
+            match Hashtbl.find_opt rev i with
+            | Some s ->
+                incr shared_hits;
+                s
+            | None ->
+                invalid_arg
+                  (Printf.sprintf "Intern.to_string: unknown id %d" i))
+      in
+      Hashtbl.replace l.bwd i s;
+      Hashtbl.replace l.fwd s i;
+      s
+
+let size () = Mutex.protect mutex (fun () -> !next_id)
+
+let stats () =
+  Mutex.protect mutex (fun () ->
+      (* reading another domain's plain [hits] field is a benign race:
+         the snapshot may lag a few lookups, which is fine for stats *)
+      let lh = List.fold_left (fun a l -> a + l.hits) 0 !locals in
+      { interned = !next_id;
+        local_hits = lh;
+        shared_hits = !shared_hits;
+        inserts = !inserts })

@@ -1,0 +1,41 @@
+(** Process-wide shared string interning.
+
+    Scheduler domains analyzing different contracts keep meeting the
+    same symbols — variable names, slot-class labels, relation
+    constants — and before this table each worker re-interned them per
+    contract. The table maps every distinct string to a small dense
+    integer id, stable for the life of the process and {e shared
+    across domains}, so downstream consumers (the Datalog engine's
+    tuple codes, most prominently) can compare and hash constants as
+    native ints instead of walking strings through polymorphic
+    [compare].
+
+    Concurrency: one shared table behind a mutex, plus a domain-local
+    read-through cache in both directions. The hot path — a symbol the
+    calling domain has already seen — is a single local [Hashtbl]
+    lookup with no locking; the mutex is only taken on a local miss.
+    Ids are assigned once and never change, so local caches can never
+    go stale. *)
+
+type stats = {
+  interned : int;     (** distinct strings in the shared table *)
+  local_hits : int;   (** lookups served by a domain-local cache *)
+  shared_hits : int;  (** local misses found in the shared table *)
+  inserts : int;      (** lookups that created a fresh id *)
+}
+
+val id : string -> int
+(** [id s] is the unique id of [s], allocating one if [s] has never
+    been interned. Equal strings get equal ids in every domain. *)
+
+val to_string : int -> string
+(** Inverse of {!id}. Raises [Invalid_argument] on an id never
+    returned by {!id}. *)
+
+val size : unit -> int
+(** Distinct strings interned so far, process-wide. *)
+
+val stats : unit -> stats
+(** Counters across all domains. [local_hits] is aggregated from
+    domain-local counters without synchronization, so a snapshot taken
+    while other domains are interning may lag by a few lookups. *)

@@ -140,6 +140,212 @@ let test_constants_in_rules () =
   let db = D.solve p [ edge_facts [ ("a", "b"); ("b", "c"); ("z", "w") ] ] in
   Alcotest.(check int) "only a's targets" 2 (D.size db "from_a")
 
+(* ---- planner ---- *)
+
+(* Adornments are computed statically, per rule, from which slots
+   earlier literals bind. *)
+let test_adornment_join () =
+  let p = tc_program () in
+  match D.adornments p with
+  | [ ("path", [ edge_only ]); ("path", [ path_ad; edge_ad ]) ] ->
+      (* path(x,y) :- edge(x,y): nothing bound before the only literal *)
+      Alcotest.(check (list int)) "base rule: edge free" [] edge_only.D.ad_bound;
+      (* path(x,z) :- path(x,y), edge(y,z): the recursive literal is
+         reached with nothing bound; edge is probed with y (pos 0)
+         ground *)
+      Alcotest.(check string) "first literal" "path" path_ad.D.ad_rel;
+      Alcotest.(check (list int)) "path free" [] path_ad.D.ad_bound;
+      Alcotest.(check string) "second literal" "edge" edge_ad.D.ad_rel;
+      Alcotest.(check (list int)) "edge bound on 0" [ 0 ] edge_ad.D.ad_bound
+  | _ -> Alcotest.fail "unexpected rule shapes for TC program"
+
+let test_adornment_constant () =
+  let p = tc_program () in
+  D.declare p "from_a" 1;
+  D.add_rule p ("from_a", [ v "y" ]) [ D.Pos ("path", [ sym "a"; v "y" ]) ];
+  match D.adornments p with
+  | [ _; _; ("from_a", [ ad ]) ] ->
+      (* the constant position is part of the index key *)
+      Alcotest.(check (list int)) "constant adorned" [ 0 ] ad.D.ad_bound
+  | _ -> Alcotest.fail "unexpected adornments"
+
+let test_adornment_repeated_var () =
+  let p = D.create () in
+  D.declare p "e" 2;
+  D.declare p "f" 1;
+  D.declare p "loops" 1;
+  D.declare p "loops2" 1;
+  (* loops(x) :- e(x,x): the repeat is a within-tuple check, not an
+     index key — nothing is ground before the literal *)
+  D.add_rule p ("loops", [ v "x" ]) [ D.Pos ("e", [ v "x"; v "x" ]) ];
+  (* loops2(x) :- f(x), e(x,x): x is ground by f, so both positions
+     of e are adorned *)
+  D.add_rule p ("loops2", [ v "x" ])
+    [ D.Pos ("f", [ v "x" ]); D.Pos ("e", [ v "x"; v "x" ]) ];
+  (match D.adornments p with
+  | [ ("loops", [ ad1 ]); ("loops2", [ _; ad2 ]) ] ->
+      Alcotest.(check (list int)) "repeat alone: free" [] ad1.D.ad_bound;
+      Alcotest.(check (list int)) "repeat after bind: both" [ 0; 1 ]
+        ad2.D.ad_bound
+  | _ -> Alcotest.fail "unexpected adornments");
+  (* and the within-tuple check is actually enforced *)
+  let db =
+    D.solve p
+      [ ("e", [ [| D.Sym "a"; D.Sym "a" |]; [| D.Sym "a"; D.Sym "b" |] ]);
+        ("f", [ [| D.Sym "a" |]; [| D.Sym "b" |] ]) ]
+  in
+  Alcotest.(check int) "one self-loop" 1 (D.size db "loops");
+  Alcotest.(check bool) "a loops" true (D.mem db "loops" [| D.Sym "a" |]);
+  Alcotest.(check int) "loops2 = loops ∩ f" 1 (D.size db "loops2")
+
+let test_adornment_bind_bound () =
+  let p = D.create () in
+  D.declare p "n" 1;
+  D.declare p "m" 2;
+  D.declare p "r" 2;
+  (* r(x,z) :- n(x), y := x+1, m(y,z): the Bind-bound slot y adorns
+     m's first position *)
+  D.add_rule p
+    ("r", [ v "x"; v "z" ])
+    [ D.Pos ("n", [ v "x" ]);
+      D.Bind
+        ( "y", [ "x" ],
+          function [ D.Int i ] -> Some (D.Int (i + 1)) | _ -> None );
+      D.Pos ("m", [ v "y"; v "z" ]) ];
+  (match D.adornments p with
+  | [ ("r", [ n_ad; m_ad ]) ] ->
+      Alcotest.(check (list int)) "n free" [] n_ad.D.ad_bound;
+      Alcotest.(check (list int)) "m bound on bind output" [ 0 ]
+        m_ad.D.ad_bound
+  | _ -> Alcotest.fail "unexpected adornments");
+  let db =
+    D.solve p
+      [ ("n", [ [| D.Int 1 |]; [| D.Int 5 |] ]);
+        ("m", [ [| D.Int 2; D.Sym "two" |]; [| D.Int 7; D.Sym "seven" |] ]) ]
+  in
+  Alcotest.(check bool) "1 -> two" true
+    (D.mem db "r" [| D.Int 1; D.Sym "two" |]);
+  Alcotest.(check int) "only the +1 match" 1 (D.size db "r")
+
+(* The tier-1 planner smoke test: plans are built once per rule per
+   program — NOT once per probe, and not even once per solve when the
+   program is re-solved — so a regression to per-call planning fails
+   here. *)
+let test_plan_built_once () =
+  let p = tc_program () in
+  let edges n =
+    ("edge", List.init n (fun i ->
+         [| D.Sym ("n" ^ string_of_int i);
+            D.Sym ("n" ^ string_of_int ((i + 1) mod n)) |]))
+  in
+  let before = D.stats () in
+  ignore (D.solve p [ edges 30 ]);
+  let after_first = D.stats () in
+  Alcotest.(check int) "one plan per rule"
+    2
+    (after_first.D.plans_built - before.D.plans_built);
+  (* a second solve over different (larger) facts reuses the cached
+     plan: rule count, not probe count, drives compilation *)
+  ignore (D.solve p [ edges 120 ]);
+  let after_second = D.stats () in
+  Alcotest.(check int) "no recompilation on re-solve" 0
+    (after_second.D.plans_built - after_first.D.plans_built);
+  Alcotest.(check bool) "plan cache hit recorded" true
+    (after_second.D.plan_reuses > after_first.D.plan_reuses);
+  (* adding a rule invalidates the cache — exactly the whole program
+     is replanned once *)
+  D.declare p "from_a" 1;
+  D.add_rule p ("from_a", [ v "y" ]) [ D.Pos ("path", [ sym "a"; v "y" ]) ];
+  ignore (D.solve p [ edges 30 ]);
+  let after_third = D.stats () in
+  Alcotest.(check int) "replan after program change" 3
+    (after_third.D.plans_built - after_second.D.plans_built)
+
+(* Delta indexes: forcing every delta through the index path (and
+   none) changes nothing observable. *)
+let test_delta_index_equivalence () =
+  let p = tc_program () in
+  let r = ref 77 in
+  let rand n =
+    r := ((!r * 1103515245) + 12345) land 0x3FFFFFFF;
+    !r mod n
+  in
+  let edges =
+    List.init 400 (fun _ ->
+        [| D.Sym ("n" ^ string_of_int (rand 40));
+           D.Sym ("n" ^ string_of_int (rand 40)) |])
+  in
+  let solve_with threshold =
+    let saved = !D.delta_index_threshold in
+    D.delta_index_threshold := threshold;
+    Fun.protect
+      ~finally:(fun () -> D.delta_index_threshold := saved)
+      (fun () -> D.solve p [ ("edge", edges) ])
+  in
+  let always = solve_with 0 in
+  let never = solve_with max_int in
+  let naive = D.solve ~indexed:false p [ ("edge", edges) ] in
+  let paths db = List.sort compare (D.relation db "path") in
+  Alcotest.(check bool) "delta-indexed == delta-scanned" true
+    (paths always = paths never);
+  Alcotest.(check bool) "delta-indexed == naive" true
+    (paths always = paths naive)
+
+(* ---- shared intern table ---- *)
+
+module Intern = Ethainter_runtime.Intern
+
+let test_intern_roundtrip_domains () =
+  let names = List.init 64 (fun i -> Printf.sprintf "sym-%d" (i mod 48)) in
+  let ids_of () = List.map (fun s -> (s, Intern.id s)) names in
+  let domains = List.init 4 (fun _ -> Domain.spawn ids_of) in
+  let here = ids_of () in
+  let remote = List.map Domain.join domains in
+  (* same string -> same id in every domain *)
+  List.iter
+    (fun ids -> Alcotest.(check bool) "ids agree across domains" true
+        (ids = here))
+    remote;
+  (* roundtrip, including from a domain that never interned *)
+  List.iter
+    (fun (s, i) ->
+      Alcotest.(check string) "to_string roundtrip" s (Intern.to_string i))
+    here;
+  let back =
+    Domain.join
+      (Domain.spawn (fun () ->
+           List.map (fun (_, i) -> Intern.to_string i) here))
+  in
+  Alcotest.(check (list string)) "fresh-domain roundtrip"
+    (List.map fst here) back;
+  (* distinct strings get distinct ids *)
+  let distinct = List.sort_uniq compare (List.map snd here) in
+  Alcotest.(check int) "distinct ids" 48 (List.length distinct);
+  match Intern.to_string max_int with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown id must be rejected"
+
+(* Concurrent solves in separate domains share the intern table and
+   agree tuple-for-tuple. *)
+let test_solve_across_domains () =
+  let facts =
+    [ edge_facts
+        (List.init 50 (fun i ->
+             ( "d" ^ string_of_int (i mod 13),
+               "d" ^ string_of_int ((i * 7) mod 13) ))) ]
+  in
+  let run () =
+    let p = tc_program () in
+    List.sort compare (D.relation (D.solve p facts) "path")
+  in
+  let expected = run () in
+  let domains = List.init 4 (fun _ -> Domain.spawn run) in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "domain solve agrees" true
+        (Domain.join d = expected))
+    domains
+
 (* differential property: Datalog TC = reference DFS reachability on
    random graphs *)
 let prop_tc_matches_dfs =
@@ -212,4 +418,21 @@ let () =
           Alcotest.test_case "filter and bind" `Quick test_filter_and_bind;
           Alcotest.test_case "constants in rules" `Quick
             test_constants_in_rules ] );
+      ( "planner",
+        [ Alcotest.test_case "adornment: join" `Quick test_adornment_join;
+          Alcotest.test_case "adornment: constant" `Quick
+            test_adornment_constant;
+          Alcotest.test_case "adornment: repeated variable" `Quick
+            test_adornment_repeated_var;
+          Alcotest.test_case "adornment: bind-bound slot" `Quick
+            test_adornment_bind_bound;
+          Alcotest.test_case "plan built once per rule" `Quick
+            test_plan_built_once;
+          Alcotest.test_case "delta-index equivalence" `Quick
+            test_delta_index_equivalence ] );
+      ( "intern",
+        [ Alcotest.test_case "roundtrip across domains" `Quick
+            test_intern_roundtrip_domains;
+          Alcotest.test_case "solve across domains" `Quick
+            test_solve_across_domains ] );
       ("properties", [ prop_tc_matches_dfs ]) ]

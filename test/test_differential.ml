@@ -1,13 +1,18 @@
-(* Differential testing of the Datalog engine's indexed-join path
-   against the naive reference evaluator.
+(* Differential testing of the Datalog engine's evaluators against
+   each other.
 
    A seeded generator produces random stratified programs — random
    arities, joins through shared variables, recursion (including
    self-recursion within a stratum), stratified negation, filters and
-   binds over a closed constant universe — and we assert that
-   [solve ~indexed:true] and [solve ~indexed:false] derive exactly the
-   same tuples, relation by relation. The constant universe is closed
-   under every Bind function, so all generated programs terminate. *)
+   binds over a closed constant universe — and we assert three-way
+   agreement, relation by relation: the compile-once planner
+   ([~strategy:Planned], the default), the PR 1 per-probe indexed
+   evaluator ([~indexed:true]) and the naive full-scan reference
+   ([~indexed:false]) derive exactly the same tuples. One batch
+   re-runs with [delta_index_threshold] forced to 1 so every
+   semi-naive delta takes the delta-index path. The constant universe
+   is closed under every Bind function, so all generated programs
+   terminate. *)
 
 module D = Ethainter_datalog.Datalog
 
@@ -150,32 +155,49 @@ let show_tuple (t : D.tuple) =
   ^ String.concat "," (Array.to_list (Array.map D.const_to_string t))
   ^ ")"
 
-(* indexed and naive evaluation agree, relation by relation *)
+(* planned, indexed and naive evaluation agree, relation by relation *)
 let check_equivalent seed =
   let p, facts = gen_program seed in
   let db_naive = D.solve ~indexed:false p facts in
   let db_indexed = D.solve ~indexed:true p facts in
-  Hashtbl.iter
-    (fun name _arity ->
-      let tn = List.sort compare (D.relation db_naive name) in
-      let ti = List.sort compare (D.relation db_indexed name) in
-      if tn <> ti then
-        Alcotest.failf
-          "seed %d, relation %s: naive has %d tuples, indexed %d\n\
-           naive-only: %s\nindexed-only: %s"
-          seed name (List.length tn) (List.length ti)
-          (String.concat " "
-             (List.map show_tuple
-                (List.filter (fun t -> not (List.mem t ti)) tn)))
-          (String.concat " "
-             (List.map show_tuple
-                (List.filter (fun t -> not (List.mem t tn)) ti))))
-    p.D.relations
+  let db_planned = D.solve ~strategy:D.Planned p facts in
+  let check other_name db_other =
+    Hashtbl.iter
+      (fun name _arity ->
+        let tn = List.sort compare (D.relation db_naive name) in
+        let to_ = List.sort compare (D.relation db_other name) in
+        if tn <> to_ then
+          Alcotest.failf
+            "seed %d, relation %s: naive has %d tuples, %s %d\n\
+             naive-only: %s\n%s-only: %s"
+            seed name (List.length tn) other_name (List.length to_)
+            (String.concat " "
+               (List.map show_tuple
+                  (List.filter (fun t -> not (List.mem t to_)) tn)))
+            other_name
+            (String.concat " "
+               (List.map show_tuple
+                  (List.filter (fun t -> not (List.mem t tn)) to_))))
+      p.D.relations
+  in
+  check "indexed" db_indexed;
+  check "planned" db_planned
 
 let test_differential_batch lo hi () =
   for seed = lo to hi - 1 do
     check_equivalent seed
   done
+
+(* same seeds with every delta forced through the delta-index path *)
+let test_differential_delta_index lo hi () =
+  let saved = !D.delta_index_threshold in
+  D.delta_index_threshold := 1;
+  Fun.protect
+    ~finally:(fun () -> D.delta_index_threshold := saved)
+    (fun () ->
+      for seed = lo to hi - 1 do
+        check_equivalent seed
+      done)
 
 (* Worst case for a scan, best case for an index: a long join chain
    over a larger graph. Also asserts agreement, as a focused complement
@@ -197,15 +219,20 @@ let test_chain_join () =
   in
   let dbn = D.solve ~indexed:false p [ ("edge", edges) ] in
   let dbi = D.solve ~indexed:true p [ ("edge", edges) ] in
-  Alcotest.(check int) "path sizes agree" (D.size dbn "path")
+  let dbp = D.solve ~strategy:D.Planned p [ ("edge", edges) ] in
+  Alcotest.(check int) "path sizes agree (indexed)" (D.size dbn "path")
     (D.size dbi "path");
-  Alcotest.(check bool) "tuplewise agreement" true
-    (List.sort compare (D.relation dbn "path")
-    = List.sort compare (D.relation dbi "path"))
+  Alcotest.(check int) "path sizes agree (planned)" (D.size dbn "path")
+    (D.size dbp "path");
+  let sorted db = List.sort compare (D.relation db "path") in
+  Alcotest.(check bool) "tuplewise agreement (indexed)" true
+    (sorted dbn = sorted dbi);
+  Alcotest.(check bool) "tuplewise agreement (planned)" true
+    (sorted dbn = sorted dbp)
 
 let () =
   Alcotest.run "differential"
-    [ ( "indexed-vs-naive",
+    [ ( "planned-vs-indexed-vs-naive",
         [ Alcotest.test_case "random programs 0-49" `Quick
             (test_differential_batch 0 50);
           Alcotest.test_case "random programs 50-99" `Quick
@@ -214,4 +241,6 @@ let () =
             (test_differential_batch 100 150);
           Alcotest.test_case "random programs 150-199" `Quick
             (test_differential_batch 150 200);
+          Alcotest.test_case "delta-indexed 0-49" `Quick
+            (test_differential_delta_index 0 50);
           Alcotest.test_case "chain join" `Quick test_chain_join ] ) ]
