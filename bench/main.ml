@@ -22,7 +22,11 @@
    Query-planner comparison only (planned vs per-probe-indexed vs
    naive Datalog, declarative ifspec sweep per strategy, cold
    end-to-end sweep, intern-table stats, writes BENCH_pr5.json):
-     dune exec bench/main.exe -- --pr5-only *)
+     dune exec bench/main.exe -- --pr5-only
+   Serving daemon only (closed-loop capacity, open-loop contracts/s +
+   p50/p99 at three offered loads, shed rate at overload, writes
+   BENCH_pr6.json):
+     dune exec bench/main.exe -- --pr6-only *)
 
 open Bechamel
 open Toolkit
@@ -653,6 +657,258 @@ let bench_pr5 () =
   close_out oc;
   print_endline "  wrote BENCH_pr5.json"
 
+(* ------------------------------------------------------------------ *)
+(* PR6: the serving daemon. Closed-loop capacity through the full      *)
+(* protocol stack (frames, admission queue, domain pool) first, then   *)
+(* open-loop points at ~0.5x / ~0.9x / 2x of that capacity — sustained *)
+(* contracts/s, p50/p99 latency at each offered load, and the shed     *)
+(* rate once offered load exceeds capacity (admission control working  *)
+(* instead of latency collapsing). Emitted as BENCH_pr6.json.          *)
+(* ------------------------------------------------------------------ *)
+
+let bench_pr6 () =
+  let module Server = Ethainter_serve.Server in
+  let module Client = Ethainter_serve.Client in
+  let module Proto = Ethainter_serve.Proto in
+  let module Hex = Ethainter_word.Hex in
+  print_endline "";
+  print_endline "PR6 serving daemon (protocol stack + admission control):";
+  let corpus_size = 120 and corpus_seed = 42 in
+  let corpus = G.mainnet ~seed:corpus_seed ~size:corpus_size () in
+  let hexes =
+    Array.of_list
+      (List.map (fun (i : G.instance) -> Hex.encode i.G.i_runtime) corpus)
+  in
+  let n_hexes = Array.length hexes in
+  let workers = S.default_workers () in
+  let queue_depth = 64 in
+  (* every request must be real work: with the content-addressed cache
+     on, a fixed-corpus load loop would collapse into cache hits and
+     measure the codec, not the service *)
+  let cache_was = P.cache_enabled () in
+  P.set_cache_enabled false;
+  let server = Server.create ~workers ~queue_depth () in
+  let sock_path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ethainterd_bench_%d.sock" (Unix.getpid ()))
+  in
+  let acceptor =
+    Thread.create
+      (fun () -> Server.serve_unix_socket server ~path:sock_path)
+      ()
+  in
+  let rec connect tries =
+    try Client.connect_unix sock_path
+    with _ when tries > 0 ->
+      Thread.delay 0.05;
+      connect (tries - 1)
+  in
+  let quantiles samples =
+    let a = Array.of_list samples in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n = 0 then (0.0, 0.0)
+    else
+      let at q =
+        a.(min (n - 1) (int_of_float ((float_of_int (n - 1) *. q) +. 0.5)))
+      in
+      (at 0.5, at 0.99)
+  in
+  (* warm the protocol path and the per-domain state (intern caches,
+     compiled plans) before measuring *)
+  let probe = connect 100 in
+  for k = 0 to min 29 (n_hexes - 1) do
+    ignore (Client.analyze probe ~hex:hexes.(k) ())
+  done;
+  Client.close probe;
+  (* ---- closed loop: capacity. As many always-busy clients as
+     workers, each a sequential request loop — the sustained
+     contracts/s the service can complete through the full stack. *)
+  let closed_clients = workers and per_client = 25 in
+  let closed_lat_mu = Mutex.create () in
+  let closed_lat = ref [] in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init closed_clients (fun ci ->
+        Thread.create
+          (fun () ->
+            let client = connect 10 in
+            for k = 0 to per_client - 1 do
+              let hex = hexes.(((ci * per_client) + k) mod n_hexes) in
+              let t = Unix.gettimeofday () in
+              (match Client.analyze client ~hex () with
+              | Client.Result _ ->
+                  let d = Unix.gettimeofday () -. t in
+                  Mutex.lock closed_lat_mu;
+                  closed_lat := d :: !closed_lat;
+                  Mutex.unlock closed_lat_mu
+              | _ -> ())
+            done;
+            Client.close client)
+          ())
+  in
+  List.iter Thread.join threads;
+  let closed_wall = Unix.gettimeofday () -. t0 in
+  let closed_n = closed_clients * per_client in
+  let closed_cps = float_of_int closed_n /. closed_wall in
+  let closed_p50, closed_p99 = quantiles !closed_lat in
+  Printf.printf
+    "  closed loop: %d clients x %d reqs -> %.1f contracts/s (p50 %.1f ms, \
+     p99 %.1f ms)\n%!"
+    closed_clients per_client closed_cps (1000.0 *. closed_p50)
+    (1000.0 *. closed_p99);
+  (* ---- open loop: clients offer load at a fixed rate regardless of
+     completions (the arrival process of a real deployment). Senders
+     pace on an absolute schedule; a receiver thread per client stamps
+     latency at true arrival. *)
+  let open_loop_point ~offered_per_s ~duration_s =
+    let n_clients = 4 in
+    let interval = float_of_int n_clients /. offered_per_s in
+    let lat_mu = Mutex.create () in
+    let latencies = ref [] in
+    let sent_total = Atomic.make 0 in
+    let completed = Atomic.make 0 in
+    let shed = Atomic.make 0 in
+    let run_client ci =
+      let client = connect 10 in
+      let pending = Hashtbl.create 256 in
+      let pmu = Mutex.create () in
+      let received = Atomic.make 0 in
+      let target = Atomic.make max_int in
+      let receiver =
+        Thread.create
+          (fun () ->
+            try
+              while Atomic.get received < Atomic.get target do
+                let id, resp = Client.recv client in
+                let t1 = Unix.gettimeofday () in
+                (match resp with
+                | Client.Result _ ->
+                    Mutex.lock pmu;
+                    let t_sent = Hashtbl.find_opt pending id in
+                    Hashtbl.remove pending id;
+                    Mutex.unlock pmu;
+                    (match t_sent with
+                    | Some t ->
+                        Mutex.lock lat_mu;
+                        latencies := (t1 -. t) :: !latencies;
+                        Mutex.unlock lat_mu;
+                        Atomic.incr completed
+                    | None -> ())
+                | Client.Error Proto.Overloaded -> Atomic.incr shed
+                | _ -> ());
+                Atomic.incr received
+              done
+            with _ -> ())
+          ()
+      in
+      let start = Unix.gettimeofday () in
+      let k = ref 0 in
+      while Unix.gettimeofday () -. start < duration_s do
+        let next = start +. (float_of_int !k *. interval) in
+        let now = Unix.gettimeofday () in
+        if next > now then Thread.delay (next -. now);
+        let hex = hexes.((ci + (!k * 13)) mod n_hexes) in
+        (* this thread is the client's only sender and ids are
+           assigned sequentially from 1, so the id is known before the
+           send — record the send time first, or a fast response could
+           overtake the bookkeeping and be dropped from the stats *)
+        let t = Unix.gettimeofday () in
+        Mutex.lock pmu;
+        Hashtbl.replace pending (!k + 1) t;
+        Mutex.unlock pmu;
+        let id = Client.send_analyze client ~hex () in
+        assert (id = !k + 1);
+        incr k
+      done;
+      Atomic.set target !k;
+      ignore (Atomic.fetch_and_add sent_total !k);
+      (* drain: every offered request gets an answer (result or shed);
+         the bound is a safety net, not an expectation *)
+      let drain_deadline = Unix.gettimeofday () +. 30.0 in
+      while
+        Atomic.get received < !k && Unix.gettimeofday () < drain_deadline
+      do
+        Thread.delay 0.005
+      done;
+      Client.close client;
+      (try Thread.join receiver with _ -> ())
+    in
+    let t0 = Unix.gettimeofday () in
+    let threads = List.init n_clients (fun ci -> Thread.create run_client ci) in
+    List.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. t0 in
+    let sent = Atomic.get sent_total in
+    let comp = Atomic.get completed in
+    let shed_n = Atomic.get shed in
+    let p50, p99 = quantiles !latencies in
+    let completed_per_s = float_of_int comp /. wall in
+    let shed_rate =
+      if sent = 0 then 0.0 else float_of_int shed_n /. float_of_int sent
+    in
+    Printf.printf
+      "  open loop @ %7.1f/s offered: %7.1f/s completed, shed %d/%d \
+       (%.1f%%), p50 %.1f ms, p99 %.1f ms\n%!"
+      offered_per_s completed_per_s shed_n sent (100.0 *. shed_rate)
+      (1000.0 *. p50) (1000.0 *. p99);
+    (offered_per_s, completed_per_s, sent, comp, shed_n, shed_rate, p50, p99)
+  in
+  let duration_s = 6.0 in
+  let points =
+    List.map
+      (fun factor ->
+        open_loop_point ~offered_per_s:(factor *. closed_cps) ~duration_s)
+      [ 0.5; 0.9; 2.0 ]
+  in
+  Server.stop server;
+  (try Thread.join acceptor with _ -> ());
+  P.set_cache_enabled cache_was;
+  let cores = Domain.recommended_domain_count () in
+  let point_json (offered, cps, sent, comp, shed_n, shed_rate, p50, p99) =
+    Printf.sprintf
+      {|    {
+      "offered_per_s": %.2f,
+      "completed_per_s": %.2f,
+      "sent": %d,
+      "completed": %d,
+      "shed": %d,
+      "shed_rate": %.4f,
+      "p50_ms": %.3f,
+      "p99_ms": %.3f
+    }|}
+      offered cps sent comp shed_n shed_rate (1000.0 *. p50) (1000.0 *. p99)
+  in
+  let oc = open_out "BENCH_pr6.json" in
+  Printf.fprintf oc
+    {|{
+  "pr": 6,
+  "machine_cores": %d,
+  "workers": %d,
+  "queue_depth": %d,
+  "corpus_size": %d,
+  "corpus_seed": %d,
+  "closed_loop": {
+    "clients": %d,
+    "requests": %d,
+    "wall_s": %.6f,
+    "contracts_per_s": %.2f,
+    "p50_ms": %.3f,
+    "p99_ms": %.3f
+  },
+  "open_loop_duration_s": %.1f,
+  "open_loop": [
+%s
+  ]
+}
+|}
+    cores workers queue_depth corpus_size corpus_seed closed_clients
+    closed_n closed_wall closed_cps (1000.0 *. closed_p50)
+    (1000.0 *. closed_p99) duration_s
+    (String.concat ",\n" (List.map point_json points));
+  close_out oc;
+  print_endline "  wrote BENCH_pr6.json"
+
 let () =
   let has f = Array.exists (fun a -> a = f) Sys.argv in
   let tables_only = has "--tables-only" in
@@ -661,11 +917,13 @@ let () =
   let pr3_only = has "--pr3-only" in
   let pr4_only = has "--pr4-only" in
   let pr5_only = has "--pr5-only" in
+  let pr6_only = has "--pr6-only" in
   if pr1_only then bench_pr1 ()
   else if pr2_only then bench_pr2 ()
   else if pr3_only then bench_pr3 ()
   else if pr4_only then bench_pr4 ()
   else if pr5_only then bench_pr5 ()
+  else if pr6_only then bench_pr6 ()
   else begin
     if not tables_only then begin
       print_endline "Bechamel benchmarks (one per reproduced table/figure):";
@@ -676,6 +934,7 @@ let () =
     bench_pr3 ();
     bench_pr4 ();
     bench_pr5 ();
+    bench_pr6 ();
     print_endline "";
     print_endline "Reproduced tables and figures (full scale):";
     (* run_all keeps the cache warm across its overlapping sweeps —

@@ -1,0 +1,185 @@
+(* ethainterd — the analysis-as-a-service daemon.
+
+   Serves Pipeline analysis requests over the length-prefixed binary
+   protocol (lib/serve) from a Unix-domain socket (--socket PATH) or
+   stdin/stdout (--stdio), multiplexing them onto a persistent domain
+   pool with a bounded admission queue. The intern table, compiled
+   Datalog plans and both phase-split cache tiers stay warm across
+   requests for the life of the process.
+
+   --selftest runs a one-request smoke cycle against an in-process
+   server (no socket, no network) and exits nonzero on any failure —
+   usable as a container healthcheck. *)
+
+open Cmdliner
+module P = Ethainter_core.Pipeline
+module Serve = Ethainter_serve.Server
+module Client = Ethainter_serve.Client
+module Proto = Ethainter_serve.Proto
+
+(* ------------------------------------------------------------------ *)
+(* Selftest                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* PUSH1 0; PUSH1 0; RETURN — the smallest runtime bytecode the whole
+   pipeline (decompile, facts, fixpoint, detectors) accepts cleanly. *)
+let selftest_hex = "60006000f3"
+
+let fail_selftest fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("ethainterd selftest: FAIL: " ^ msg);
+      exit 1)
+    fmt
+
+let selftest ~workers ~queue_depth ~timeout_s () =
+  let server = Serve.create ?workers ~queue_depth ~default_timeout_s:timeout_s () in
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let reader = Thread.create (fun () -> Serve.serve_connection server a) () in
+  let client = Client.of_fd b in
+  (if not (Client.ping client) then fail_selftest "no pong");
+  (match Client.analyze client ~hex:selftest_hex () with
+  | Client.Result r ->
+      if r.P.error <> None then
+        fail_selftest "analysis error: %s"
+          (match r.P.error with Some e -> e | None -> "")
+  | Client.Error e -> fail_selftest "protocol error: %s" (Proto.error_code e)
+  | _ -> fail_selftest "unexpected response to analyze");
+  (* the warm-state claim, one request deep: an identical request must
+     be answered from the back-end cache *)
+  (match Client.analyze client ~hex:selftest_hex () with
+  | Client.Result r when r.P.error = None -> ()
+  | _ -> fail_selftest "repeat analyze failed");
+  let st = Client.stats client in
+  let get k =
+    match List.assoc_opt k st with
+    | Some v -> v
+    | None -> fail_selftest "stats missing %s" k
+  in
+  if get "cache_be_hits" < 1.0 then
+    fail_selftest "repeat request missed the back-end cache";
+  if get "served_ok" < 2.0 then fail_selftest "served_ok < 2";
+  Client.close client;
+  (try Unix.close a with _ -> ());
+  (try Thread.join reader with _ -> ());
+  Serve.stop server;
+  print_endline "ethainterd selftest: OK";
+  exit 0
+
+(* ------------------------------------------------------------------ *)
+(* CLI                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let cache_term =
+  let no_cache =
+    Arg.(value & flag
+         & info [ "no-cache" ]
+             ~doc:"Disable the content-addressed analysis cache (every \
+                   request recomputes).")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Persist analysis results under $(docv) (overrides \
+                   ETHAINTER_CACHE_DIR), so a restarted daemon starts \
+                   disk-warm.")
+  in
+  Term.(
+    const (fun nc dir ->
+        if nc then P.set_cache_enabled false;
+        match dir with
+        | Some d -> P.set_cache_dir (Some d)
+        | None -> ())
+    $ no_cache $ cache_dir)
+
+let faults_term =
+  let spec =
+    Arg.(value & opt (some string) None
+         & info [ "faults" ] ~docv:"SPEC"
+             ~doc:"Arm deterministic fault injection \
+                   ($(i,site=rate,...:seed), overrides ETHAINTER_FAULTS). \
+                   For robustness testing only.")
+  in
+  Term.(
+    const (function
+      | Some s -> Ethainter_core.Fault.configure (Some s)
+      | None -> ())
+    $ spec)
+
+let run socket stdio workers queue_depth timeout_s selftest_flag () () =
+  if selftest_flag then selftest ~workers ~queue_depth ~timeout_s ();
+  match (socket, stdio) with
+  | None, false ->
+      prerr_endline
+        "ethainterd: one of --socket PATH, --stdio or --selftest is required";
+      exit 2
+  | Some _, true ->
+      prerr_endline "ethainterd: --socket and --stdio are exclusive";
+      exit 2
+  | Some path, false ->
+      let server =
+        Serve.create ?workers ~queue_depth ~default_timeout_s:timeout_s ()
+      in
+      (* a client hanging up mid-response must not kill the daemon *)
+      (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+      let stop _ = Serve.stop server in
+      (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop) with _ -> ());
+      (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop) with _ -> ());
+      Printf.eprintf "ethainterd: listening on %s (queue depth %d)\n%!" path
+        queue_depth;
+      Serve.serve_unix_socket server ~path
+  | None, true ->
+      let server =
+        Serve.create ?workers ~queue_depth ~default_timeout_s:timeout_s ()
+      in
+      (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+      Serve.serve_stdio server;
+      Serve.stop server
+
+let main =
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Listen on a Unix-domain socket at $(docv) (an existing \
+                   socket file is replaced).")
+  in
+  let stdio =
+    Arg.(value & flag
+         & info [ "stdio" ]
+             ~doc:"Serve a single connection over stdin/stdout (one frame \
+                   stream; exits at EOF).")
+  in
+  let workers =
+    Arg.(value & opt (some int) None
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Analysis worker domains (default: ETHAINTER_WORKERS or \
+                   the machine's recommended domain count).")
+  in
+  let queue_depth =
+    Arg.(value & opt int 64
+         & info [ "queue-depth" ] ~docv:"N"
+             ~doc:"Admission-control bound: requests arriving while $(docv) \
+                   jobs are queued are refused immediately with the \
+                   $(i,overloaded) protocol error instead of queueing \
+                   unboundedly.")
+  in
+  let timeout_s =
+    Arg.(value & opt float 120.0
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-request deadline cap (requests asking for more are \
+                   clamped). The paper's combined cutoff is 120 s.")
+  in
+  let selftest =
+    Arg.(value & flag
+         & info [ "selftest" ]
+             ~doc:"Run a one-request smoke cycle against an in-process \
+                   server and exit (0 on success) — a healthcheck.")
+  in
+  let doc = "Ethainter analysis-as-a-service daemon" in
+  Cmd.v
+    (Cmd.info "ethainterd" ~version:"1.0.0" ~doc)
+    Term.(
+      const run $ socket $ stdio $ workers $ queue_depth $ timeout_s
+      $ selftest $ cache_term $ faults_term)
+
+let () = exit (Cmd.eval main)

@@ -55,3 +55,38 @@ let fingerprint
     (Bool.to_int storage_taint)
     (Bool.to_int conservative_storage)
     max_fixpoint_rounds
+
+(* The exact inverse of [fingerprint], so a config can travel over the
+   serving protocol as its fingerprint string. Strict: only the
+   canonical form parses ("g2", a sign, or trailing junk is [None]),
+   which keeps [of_fingerprint (fingerprint t) = Some t] the *only*
+   strings accepted. *)
+let of_fingerprint (s : string) : t option =
+  let bool_of = function "0" -> Some false | "1" -> Some true | _ -> None in
+  let strip_tag tag w =
+    let n = String.length tag in
+    if String.length w > n && String.sub w 0 n = tag then
+      Some (String.sub w n (String.length w - n))
+    else None
+  in
+  match strip_tag "cfg:" s with
+  | None -> None
+  | Some rest -> (
+      match String.split_on_char '.' rest with
+      | [ g; st; c; r ] -> (
+          match
+            ( Option.bind (strip_tag "g" g) bool_of,
+              Option.bind (strip_tag "s" st) bool_of,
+              Option.bind (strip_tag "c" c) bool_of,
+              Option.bind (strip_tag "r" r) int_of_string_opt )
+          with
+          | Some model_guards, Some storage_taint, Some conservative_storage,
+            Some max_fixpoint_rounds
+            when max_fixpoint_rounds >= 0
+                 && string_of_int max_fixpoint_rounds
+                    = Option.get (strip_tag "r" r) ->
+              Some
+                { model_guards; storage_taint; conservative_storage;
+                  max_fixpoint_rounds }
+          | _ -> None)
+      | _ -> None)

@@ -38,6 +38,12 @@ val fingerprint : t -> string
     result computed under one ablation is never served under
     another. *)
 
+val of_fingerprint : string -> t option
+(** Exact inverse of {!fingerprint} — [of_fingerprint (fingerprint t) =
+    Some t], and only canonical fingerprint strings are accepted. The
+    serving protocol uses it to carry a config over the wire without a
+    second encoding. *)
+
 val no_storage_model : t
 (** Fig. 8a ablation. *)
 

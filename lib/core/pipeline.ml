@@ -419,6 +419,11 @@ let cache_clear () =
   Cache.clear (frontend_cache ());
   Cache.clear (result_cache ())
 
+(* Daemon-start hook: force both cache instances (and the disk tier's
+   stale-tmp sweep) to exist now, on the caller's schedule, instead of
+   lazily under the first request's latency. *)
+let prewarm () = ignore (caches ())
+
 let pp_cache_stats fmt () =
   Format.fprintf fmt "front-end %a@\nback-end %a"
     Cache.pp_stats (frontend_cache_stats ())

@@ -185,6 +185,12 @@ val cache_clear : unit -> unit
 (** Drop all in-memory entries of both tiers and reset counters (disk
     entries are kept). *)
 
+val prewarm : unit -> unit
+(** Force both cache instances to be created now (reading the
+    environment knobs, sweeping stale disk-tier temp files) rather
+    than lazily under the first request — the daemon calls this before
+    accepting traffic so request one pays analysis cost only. *)
+
 val pp_cache_stats : Format.formatter -> unit -> unit
 (** Two labeled lines, front-end then back-end stats (the CLIs' stats
     output). *)

@@ -182,6 +182,145 @@ let analyze_request (req : Pipeline.request) : Pipeline.result =
 let analyze_runtime ?cfg ?timeout_s (runtime : string) : Pipeline.result =
   analyze_request (Pipeline.request ?cfg ?timeout_s (Pipeline.Runtime runtime))
 
+(* ------------------------------------------------------------------ *)
+(* Persistent worker pool (the serving path)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The batch pool above spawns domains per call — fine for a sweep,
+   wrong for a daemon, where domain spawn cost and cold domain-local
+   caches (intern read-through, ifspec plans) would be paid per
+   request batch. [Pool] keeps a fixed set of worker domains alive
+   behind a bounded job queue: jobs past the bound are refused
+   immediately (admission control — the daemon turns that refusal into
+   a classified [overloaded] response instead of queueing unboundedly),
+   and the workers' domain-local state stays warm for the life of the
+   pool. *)
+module Pool = struct
+  type pool_stats = {
+    p_workers : int;
+    p_capacity : int;
+    p_depth : int;      (* jobs queued, not yet picked up *)
+    p_running : int;    (* jobs currently executing *)
+    p_submitted : int;
+    p_completed : int;
+    p_shed : int;       (* submissions refused at the bound *)
+  }
+
+  type t = {
+    mu : Mutex.t;
+    nonempty : Condition.t;
+    jobs : (unit -> unit) Queue.t;
+    capacity : int;
+    mutable stopping : bool;
+    domains : unit Domain.t list ref;
+    n_workers : int;
+    (* counters the daemon's stats endpoint reads while workers write:
+       Atomic, never plain mutable ints (depth lives under [mu]) *)
+    running : int Atomic.t;
+    submitted : int Atomic.t;
+    completed : int Atomic.t;
+    shed : int Atomic.t;
+  }
+
+  (* A job that raises must never kill its worker domain — the pool
+     outlives any one request. Jobs are expected to contain their own
+     failures (the daemon wraps analysis in [analyze_request], which is
+     total); anything that still escapes is swallowed here. *)
+  let run_job t job =
+    Atomic.incr t.running;
+    (try job () with _ -> ());
+    Atomic.decr t.running;
+    Atomic.incr t.completed
+
+  let worker t () =
+    let rec loop () =
+      let job =
+        Mutex.lock t.mu;
+        let rec take () =
+          if not (Queue.is_empty t.jobs) then Some (Queue.pop t.jobs)
+          else if t.stopping then None
+          else begin
+            Condition.wait t.nonempty t.mu;
+            take ()
+          end
+        in
+        let j = take () in
+        Mutex.unlock t.mu;
+        j
+      in
+      match job with
+      | Some job ->
+          run_job t job;
+          loop ()
+      | None -> ()
+    in
+    loop ()
+
+  let create ?workers ?(queue_depth = 64) () =
+    let n_workers =
+      max 1 (match workers with Some w -> w | None -> default_workers ())
+    in
+    let t =
+      { mu = Mutex.create ();
+        nonempty = Condition.create ();
+        jobs = Queue.create ();
+        capacity = max 1 queue_depth;
+        stopping = false;
+        domains = ref [];
+        n_workers;
+        running = Atomic.make 0;
+        submitted = Atomic.make 0;
+        completed = Atomic.make 0;
+        shed = Atomic.make 0 }
+    in
+    t.domains := List.init n_workers (fun _ -> Domain.spawn (worker t));
+    t
+
+  (* Admission control: accept iff the queue is below its bound.
+     Refusal is immediate — the caller gets [false] without blocking,
+     which is what lets the daemon's reader thread answer [overloaded]
+     with constant latency even under total overload. *)
+  let submit t job =
+    let accepted =
+      Mutex.lock t.mu;
+      let ok = (not t.stopping) && Queue.length t.jobs < t.capacity in
+      if ok then begin
+        Queue.push job t.jobs;
+        Condition.signal t.nonempty
+      end;
+      Mutex.unlock t.mu;
+      ok
+    in
+    if accepted then Atomic.incr t.submitted else Atomic.incr t.shed;
+    accepted
+
+  let stats t =
+    let depth =
+      Mutex.lock t.mu;
+      let d = Queue.length t.jobs in
+      Mutex.unlock t.mu;
+      d
+    in
+    { p_workers = t.n_workers;
+      p_capacity = t.capacity;
+      p_depth = depth;
+      p_running = Atomic.get t.running;
+      p_submitted = Atomic.get t.submitted;
+      p_completed = Atomic.get t.completed;
+      p_shed = Atomic.get t.shed }
+
+  (* Drain-and-join: queued jobs still run; new submissions are
+     refused. Idempotent. *)
+  let shutdown t =
+    Mutex.lock t.mu;
+    t.stopping <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mu;
+    let ds = !(t.domains) in
+    t.domains := [];
+    List.iter Domain.join ds
+end
+
 (** Analyze a batch of requests on the worker pool. Results are in
     input order and identical to a sequential run. *)
 let analyze_requests ?workers (reqs : Pipeline.request list) :

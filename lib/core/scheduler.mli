@@ -53,6 +53,49 @@ val analyze_runtime :
   ?cfg:Config.t -> ?timeout_s:float -> string -> Pipeline.result
 (** [analyze_request] on [Pipeline.request (Runtime code)]. *)
 
+(** A persistent worker pool behind a bounded job queue — the serving
+    path. Unlike {!map} (which spawns domains per batch), a [Pool]'s
+    worker domains stay alive across requests, keeping their
+    domain-local state (intern read-through caches, per-domain ifspec
+    plans) warm, and its queue applies admission control: a submission
+    past the bound is refused immediately rather than queued, so a
+    daemon under overload sheds with constant latency instead of
+    collapsing. *)
+module Pool : sig
+  type t
+
+  type pool_stats = {
+    p_workers : int;
+    p_capacity : int;   (** queue bound *)
+    p_depth : int;      (** jobs queued, not yet picked up *)
+    p_running : int;    (** jobs currently executing on workers *)
+    p_submitted : int;  (** accepted submissions since {!create} *)
+    p_completed : int;
+    p_shed : int;       (** submissions refused at the bound *)
+  }
+
+  val create : ?workers:int -> ?queue_depth:int -> unit -> t
+  (** Spawn [workers] (default {!default_workers}) domains behind a
+      queue bounded at [queue_depth] (default 64, min 1). *)
+
+  val submit : t -> (unit -> unit) -> bool
+  (** Enqueue a job, or refuse: [false] means the queue is at its
+      bound (or the pool is shutting down) and the job was {e not}
+      enqueued — the call never blocks. A job must contain its own
+      failures; an exception that escapes it is swallowed (the pool
+      survives), so wrap analysis in {!analyze_request}, which is
+      total. *)
+
+  val stats : t -> pool_stats
+  (** Coherent snapshot: counters are [Atomic], depth is read under
+      the queue mutex — safe to call from any thread/domain while
+      workers run (the daemon's stats endpoint does). *)
+
+  val shutdown : t -> unit
+  (** Refuse new submissions, let queued jobs drain, join the worker
+      domains. Idempotent. *)
+end
+
 val analyze_requests :
   ?workers:int -> Pipeline.request list -> Pipeline.result list
 (** Analyze a batch of requests on the worker pool; results are in

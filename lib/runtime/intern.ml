@@ -16,18 +16,25 @@ let shared_hits = ref 0
 let inserts = ref 0
 
 (* Domain-local read-through caches. Each domain registers its cache
-   record on first use so [stats] can aggregate the hit counters. *)
+   record on first use so [stats] can aggregate the hit counters.
+   [hits] is written only by the owning domain but read by whatever
+   domain serves a stats snapshot (the daemon's stats endpoint), so it
+   must be Atomic — an uncontended fetch-and-add on the owning domain,
+   a coherent read everywhere else. *)
 type local = {
   fwd : (string, int) Hashtbl.t;
   bwd : (int, string) Hashtbl.t;
-  mutable hits : int;
+  hits : int Atomic.t;
 }
 
 let locals : local list ref = ref [] (* guarded by [mutex] *)
 
 let key =
   Domain.DLS.new_key (fun () ->
-      let l = { fwd = Hashtbl.create 512; bwd = Hashtbl.create 512; hits = 0 } in
+      let l =
+        { fwd = Hashtbl.create 512; bwd = Hashtbl.create 512;
+          hits = Atomic.make 0 }
+      in
       Mutex.protect mutex (fun () -> locals := l :: !locals);
       l)
 
@@ -35,7 +42,7 @@ let id (s : string) : int =
   let l = Domain.DLS.get key in
   match Hashtbl.find_opt l.fwd s with
   | Some i ->
-      l.hits <- l.hits + 1;
+      Atomic.incr l.hits;
       i
   | None ->
       let i =
@@ -60,7 +67,7 @@ let to_string (i : int) : string =
   let l = Domain.DLS.get key in
   match Hashtbl.find_opt l.bwd i with
   | Some s ->
-      l.hits <- l.hits + 1;
+      Atomic.incr l.hits;
       s
   | None ->
       let s =
@@ -81,9 +88,9 @@ let size () = Mutex.protect mutex (fun () -> !next_id)
 
 let stats () =
   Mutex.protect mutex (fun () ->
-      (* reading another domain's plain [hits] field is a benign race:
-         the snapshot may lag a few lookups, which is fine for stats *)
-      let lh = List.fold_left (fun a l -> a + l.hits) 0 !locals in
+      (* each [hits] is Atomic: the cross-domain read is coherent (no
+         data race), though the aggregate is still a moving snapshot *)
+      let lh = List.fold_left (fun a l -> a + Atomic.get l.hits) 0 !locals in
       { interned = !next_id;
         local_hits = lh;
         shared_hits = !shared_hits;

@@ -37,5 +37,7 @@ val size : unit -> int
 
 val stats : unit -> stats
 (** Counters across all domains. [local_hits] is aggregated from
-    domain-local counters without synchronization, so a snapshot taken
-    while other domains are interning may lag by a few lookups. *)
+    per-domain [Atomic] counters, so a snapshot taken while other
+    domains are interning is coherent (no torn or racy reads), though
+    it is still a moving total — the daemon's stats endpoint reads it
+    concurrently with serving domains. *)

@@ -1,0 +1,104 @@
+(* Protocol client. See client.mli. *)
+
+module P = Ethainter_core.Pipeline
+
+type response =
+  | Result of P.result
+  | Error of Proto.server_error
+  | Stats of Proto.stats
+  | Pong
+
+exception Protocol of string
+
+type t = {
+  fd : Unix.file_descr;
+  send_mu : Mutex.t;
+  next_id : int Atomic.t;
+  (* responses read while waiting for a different id (pipelining) *)
+  stash : (int, response) Hashtbl.t;
+}
+
+let of_fd fd =
+  { fd;
+    send_mu = Mutex.create ();
+    next_id = Atomic.make 1;
+    stash = Hashtbl.create 16 }
+
+let connect_unix path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e -> (try Unix.close fd with _ -> ()); raise e);
+  of_fd fd
+
+let send t ~kind payload =
+  let id = Atomic.fetch_and_add t.next_id 1 in
+  Mutex.lock t.send_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.send_mu)
+    (fun () -> Frame.write t.fd ~kind ~id payload);
+  id
+
+let send_analyze t ?(cfg = Ethainter_core.Config.default)
+    ?(timeout_s = 120.0) ~hex () =
+  send t ~kind:Proto.req_analyze
+    (Proto.encode_analyze
+       { Proto.a_hex = hex; a_cfg = cfg; a_timeout_s = timeout_s })
+
+let send_stats t = send t ~kind:Proto.req_stats ""
+let send_ping t = send t ~kind:Proto.req_ping ""
+
+(* Decode one response frame. Every payload is re-validated by its own
+   codec on top of the frame digest; an undecodable payload on a valid
+   frame is a protocol violation, not a per-request error. *)
+let decode_response ~kind payload : response =
+  if kind = Proto.resp_result then
+    match P.decode_result payload with
+    | Some r -> Result r
+    | None -> raise (Protocol "undecodable result payload")
+  else if kind = Proto.resp_error then
+    match Proto.decode_error payload with
+    | Some e -> Error e
+    | None -> raise (Protocol "undecodable error payload")
+  else if kind = Proto.resp_stats then
+    match Proto.decode_stats payload with
+    | Some s -> Stats s
+    | None -> raise (Protocol "undecodable stats payload")
+  else if kind = Proto.resp_pong then Pong
+  else raise (Protocol (Printf.sprintf "unknown response kind %C" kind))
+
+let recv t : int * response =
+  match Frame.read t.fd with
+  | Error `Eof -> raise (Protocol "connection closed by server")
+  | Error (`Frame e) -> raise (Protocol (Frame.error_to_string e))
+  | Ok (kind, id, payload) -> (id, decode_response ~kind payload)
+
+let rec recv_for t want =
+  match Hashtbl.find_opt t.stash want with
+  | Some r ->
+      Hashtbl.remove t.stash want;
+      r
+  | None ->
+      let id, r = recv t in
+      if id = want then r
+      else begin
+        Hashtbl.replace t.stash id r;
+        recv_for t want
+      end
+
+let analyze t ?cfg ?timeout_s ~hex () =
+  recv_for t (send_analyze t ?cfg ?timeout_s ~hex ())
+
+let stats t =
+  match recv_for t (send_stats t) with
+  | Stats s -> s
+  | _ -> raise (Protocol "expected stats response")
+
+let ping t = match recv_for t (send_ping t) with Pong -> true | _ -> false
+
+(* Shutdown before close: close alone does not wake a thread blocked
+   in read on the same fd (the receiver-thread pattern), shutdown
+   delivers it EOF. Not a socket (stdio pipe)? The shutdown just
+   fails, harmlessly. *)
+let close t =
+  (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with _ -> ());
+  try Unix.close t.fd with _ -> ()

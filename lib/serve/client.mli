@@ -1,0 +1,73 @@
+(** In-process client for the {!Server} protocol — what the tests, the
+    bench harness's open-loop load generators and [--selftest] drive
+    the daemon with.
+
+    A client owns one connection. Requests may be pipelined: [send_*]
+    assigns a fresh id and returns immediately; responses are matched
+    to ids by {!recv_for} (out-of-order arrivals are stashed). The
+    [send_*] side is mutex-guarded, so one sender thread and one
+    receiver thread may share a client (the open-loop bench pattern);
+    multiple concurrent receivers are not supported — give each its
+    own client. *)
+
+type t
+
+type response =
+  | Result of Ethainter_core.Pipeline.result
+      (** a completed analysis; per-contract failures (timeout,
+          malformed hex, ...) arrive {e inside} the result with the
+          PR 4 [error_kind] taxonomy intact *)
+  | Error of Proto.server_error  (** protocol-level refusal *)
+  | Stats of Proto.stats
+  | Pong
+
+exception Protocol of string
+(** The byte stream broke: EOF mid-conversation, a frame that fails
+    validation, or an undecodable response payload. *)
+
+val connect_unix : string -> t
+(** Connect to a daemon's Unix-domain socket. *)
+
+val of_fd : Unix.file_descr -> t
+(** Wrap an established stream (e.g. one end of a socketpair). The
+    caller retains ownership of [fd] unless {!close} is called. *)
+
+(** {1 Pipelined interface} *)
+
+val send_analyze :
+  t -> ?cfg:Ethainter_core.Config.t -> ?timeout_s:float -> hex:string ->
+  unit -> int
+(** Enqueue an analysis of hex-encoded runtime bytecode; returns the
+    request id. [cfg] defaults to [Config.default], [timeout_s] to the
+    paper's 120 s (the server may clamp it further). *)
+
+val send_stats : t -> int
+val send_ping : t -> int
+
+val recv_for : t -> int -> response
+(** The response with this id, reading (and stashing responses to
+    other ids) as needed. @raise Protocol on a broken stream. *)
+
+val recv : t -> int * response
+(** The next response off the wire in arrival order, whatever its id —
+    the open-loop load-generator pattern, where latency is measured at
+    true arrival time. Don't mix with {!recv_for} on the same client
+    unless the stash is empty. @raise Protocol on a broken stream. *)
+
+(** {1 Synchronous conveniences} *)
+
+val analyze :
+  t -> ?cfg:Ethainter_core.Config.t -> ?timeout_s:float -> hex:string ->
+  unit -> response
+(** [send_analyze] + [recv_for]. *)
+
+val stats : t -> Proto.stats
+(** @raise Protocol if the server answers anything but stats. *)
+
+val ping : t -> bool
+(** True iff the server answered pong. *)
+
+val close : t -> unit
+(** Shut down and close the connection. The shutdown also wakes a
+    receiver thread blocked in {!recv}/{!recv_for} (it sees EOF and
+    raises {!Protocol}) — a plain close would leave it blocked. *)

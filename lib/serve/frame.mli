@@ -1,0 +1,70 @@
+(** The daemon's wire framing: versioned, self-validating,
+    length-prefixed binary frames, shared by the Unix-socket and stdio
+    transports (one codec, two byte streams — the same discipline as
+    the cache's disk codecs).
+
+    Layout (header {!header_size} = 22 bytes, big-endian integers):
+
+    {v
+    offset  size  field
+    0       4     magic "ETSF"
+    4       1     protocol version (1)
+    5       1     kind (request/response discriminator, see Proto)
+    6       4     request id (echoed verbatim in the response)
+    10      4     payload length (bounded by max_payload)
+    14      8     digest: 64-bit FNV-style rolling checksum over
+                  version ‖ kind ‖ id ‖ length ‖ payload
+    22      n     payload
+    v}
+
+    The digest covers the header fields {e and} the payload, so a
+    corrupted length, kind or id — not just a corrupted body — fails
+    validation instead of desynchronizing the stream or dispatching a
+    wrong message. Each checksum step is a bijection on the
+    accumulator, so {e any} single-bit flip is detected with
+    certainty (and longer corruptions escape with probability
+    ~2{^-63}). It is an integrity check against accident, not an
+    authenticator — a cryptographic digest here would serialize the
+    reader thread behind hashing on multi-megabyte frames (the result
+    payloads carry their own codec digest anyway). {!decode} is
+    total: any deviation is a classified {!error}, never an
+    exception. *)
+
+val header_size : int
+val max_payload : int
+(** Frames above this payload size (16 MiB) are rejected as
+    [Oversized] {e from the header alone} — a hostile length field
+    never causes an allocation. *)
+
+val protocol_version : int
+
+type error =
+  | Truncated       (** fewer bytes than the header/payload announce *)
+  | Bad_magic
+  | Bad_version of int
+  | Oversized of int
+  | Bad_digest      (** header or payload corrupt *)
+
+val error_to_string : error -> string
+
+val encode : kind:char -> id:int -> string -> string
+(** A complete frame. @raise Invalid_argument if the payload exceeds
+    {!max_payload} or [id] is outside [[0, 2^31)]. *)
+
+val decode : string -> pos:int -> (char * int * string * int, error) result
+(** [decode buf ~pos] parses one complete frame starting at [pos]:
+    [Ok (kind, id, payload, consumed)]. [Error Truncated] means the
+    buffer ends mid-frame (a streaming caller should read more);
+    every other error means the bytes at [pos] are not a valid frame. *)
+
+(** {1 Blocking transport} *)
+
+val write : Unix.file_descr -> kind:char -> id:int -> string -> unit
+(** Write one frame, handling short writes. Unix errors propagate
+    (the connection is dead; the caller drops it). *)
+
+val read : Unix.file_descr -> (char * int * string, [ `Eof | `Frame of error ]) result
+(** Read exactly one frame. [`Eof] = the peer closed cleanly between
+    frames; EOF mid-frame is [`Frame Truncated]. The payload is only
+    read after the header fully validates, so a hostile length never
+    allocates. *)

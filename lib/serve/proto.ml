@@ -1,0 +1,148 @@
+(* Message payloads. See proto.mli. *)
+
+module Config = Ethainter_core.Config
+
+let req_analyze = 'A'
+let req_stats = 'S'
+let req_ping = 'P'
+let resp_result = 'R'
+let resp_stats = 'T'
+let resp_error = 'E'
+let resp_pong = 'O'
+
+(* ---------------- analyze request ---------------- *)
+
+type analyze = {
+  a_hex : string;
+  a_cfg : Config.t;
+  a_timeout_s : float;
+}
+
+let analyze_magic = "ethainter.serve.req.v1"
+
+(* The config travels as its fingerprint (Config.of_fingerprint is the
+   exact inverse); the hex is length-prefixed since dumps may embed
+   whitespace. %h floats roundtrip bit-exactly. *)
+let encode_analyze (a : analyze) : string =
+  Printf.sprintf "%s\ncfg %s\ntimeout %h\nhex %d\n%s\n" analyze_magic
+    (Config.fingerprint a.a_cfg)
+    a.a_timeout_s
+    (String.length a.a_hex)
+    a.a_hex
+
+let decode_analyze (s : string) : analyze option =
+  let pos = ref 0 in
+  let fail () = raise Exit in
+  let line () =
+    match String.index_from_opt s !pos '\n' with
+    | None -> fail ()
+    | Some i ->
+        let l = String.sub s !pos (i - !pos) in
+        pos := i + 1;
+        l
+  in
+  let sized n =
+    if n < 0 || !pos + n + 1 > String.length s then fail ();
+    let x = String.sub s !pos n in
+    if s.[!pos + n] <> '\n' then fail ();
+    pos := !pos + n + 1;
+    x
+  in
+  try
+    if line () <> analyze_magic then fail ();
+    let a_cfg =
+      match String.split_on_char ' ' (line ()) with
+      | [ "cfg"; fp ] -> (
+          match Config.of_fingerprint fp with
+          | Some c -> c
+          | None -> fail ())
+      | _ -> fail ()
+    in
+    let a_timeout_s =
+      match String.split_on_char ' ' (line ()) with
+      | [ "timeout"; t ] -> (
+          match float_of_string_opt t with
+          | Some f when Float.is_finite f && f > 0.0 -> f
+          | _ -> fail ())
+      | _ -> fail ()
+    in
+    let a_hex =
+      match String.split_on_char ' ' (line ()) with
+      | [ "hex"; n ] -> (
+          match int_of_string_opt n with
+          | Some n -> sized n
+          | None -> fail ())
+      | _ -> fail ()
+    in
+    if !pos <> String.length s then fail ();
+    Some { a_hex; a_cfg; a_timeout_s }
+  with _ -> None
+
+(* ---------------- protocol errors ---------------- *)
+
+type server_error = Overloaded | Malformed of string
+
+let error_code = function
+  | Overloaded -> "overloaded"
+  | Malformed _ -> "malformed"
+
+let error_magic = "ethainter.serve.err.v1"
+
+let encode_error (e : server_error) : string =
+  let msg = match e with Overloaded -> "" | Malformed m -> m in
+  Printf.sprintf "%s\n%s %d\n%s\n" error_magic (error_code e)
+    (String.length msg) msg
+
+let decode_error (s : string) : server_error option =
+  match String.split_on_char '\n' s with
+  | magic :: meta :: rest when magic = error_magic -> (
+      let msg = String.concat "\n" rest in
+      match String.split_on_char ' ' meta with
+      | [ code; n ] -> (
+          match int_of_string_opt n with
+          | Some n
+            when n >= 0 && String.length msg >= n + 1
+                 && String.sub msg n (String.length msg - n) = "\n" -> (
+              let msg = String.sub msg 0 n in
+              match code with
+              | "overloaded" when msg = "" -> Some Overloaded
+              | "malformed" -> Some (Malformed msg)
+              | _ -> None)
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* ---------------- stats ---------------- *)
+
+type stats = (string * float) list
+
+let stats_magic = "ethainter.serve.stats.v1"
+
+let encode_stats (st : stats) : string =
+  let b = Buffer.create 512 in
+  Buffer.add_string b stats_magic;
+  Buffer.add_char b '\n';
+  List.iter (fun (k, v) -> Printf.bprintf b "%s %h\n" k v) st;
+  Buffer.contents b
+
+let decode_stats (s : string) : stats option =
+  match String.split_on_char '\n' s with
+  | magic :: lines when magic = stats_magic -> (
+      try
+        Some
+          (List.filter_map
+             (fun l ->
+               if l = "" then None
+               else
+                 match String.index_opt l ' ' with
+                 | None -> raise Exit
+                 | Some i -> (
+                     let k = String.sub l 0 i in
+                     let v = String.sub l (i + 1) (String.length l - i - 1) in
+                     if k = "" then raise Exit;
+                     match float_of_string_opt v with
+                     | Some f -> Some (k, f)
+                     | None -> raise Exit))
+             lines)
+      with Exit -> None)
+  | _ -> None

@@ -1,0 +1,65 @@
+(** The daemon's message layer: what travels inside {!Frame} payloads.
+
+    Frame kinds discriminate message types; payloads are versioned
+    self-describing text (the result codec's discipline). Analysis
+    results reuse {!Ethainter_core.Pipeline.encode_result} verbatim —
+    the wire format {e is} the disk format, so the PR 4 [error_kind]
+    taxonomy survives the protocol boundary untouched, and the frame
+    digest plus the result codec's own digest double-validate the hot
+    response path.
+
+    Protocol-level failures (as opposed to per-contract analysis
+    failures, which arrive inside a well-formed result) are the
+    {!server_error} class: [Overloaded] is the admission-control
+    load-shed response — the queue is at its bound and the request was
+    {e refused}, not delayed — and [Malformed] covers undecodable
+    requests. *)
+
+(** {1 Frame kinds} *)
+
+val req_analyze : char
+val req_stats : char
+val req_ping : char
+val resp_result : char
+val resp_stats : char
+val resp_error : char
+val resp_pong : char
+
+(** {1 Requests} *)
+
+type analyze = {
+  a_hex : string;
+      (** hex-encoded runtime bytecode (the dump format); malformed
+          hex is a clean per-contract [Decode] failure in the result *)
+  a_cfg : Ethainter_core.Config.t;
+  a_timeout_s : float;  (** per-request deadline (PR 4 budget) *)
+}
+
+val encode_analyze : analyze -> string
+val decode_analyze : string -> analyze option
+(** Total: [None] on any corrupt, truncated or wrong-version payload. *)
+
+(** {1 Protocol errors} *)
+
+type server_error =
+  | Overloaded
+      (** admission control refused the request: the bounded queue is
+          full — retry later; the request was never enqueued *)
+  | Malformed of string
+      (** the request payload did not decode *)
+
+val error_code : server_error -> string
+(** Stable token: ["overloaded"] / ["malformed"]. *)
+
+val encode_error : server_error -> string
+val decode_error : string -> server_error option
+
+(** {1 Stats} *)
+
+type stats = (string * float) list
+(** Ordered counter snapshot (queue depth, cache hits, latency
+    quantiles, ...); keys are stable identifiers, values numeric. *)
+
+val encode_stats : stats -> string
+val decode_stats : string -> stats option
+(** Values roundtrip exactly ([%h] encoding). *)

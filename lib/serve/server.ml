@@ -1,0 +1,246 @@
+(* Daemon core. See server.mli for the contract. *)
+
+module P = Ethainter_core.Pipeline
+module S = Ethainter_core.Scheduler
+module Cache = Ethainter_core.Cache
+module D = Ethainter_datalog.Datalog
+module I = Ethainter_runtime.Intern
+
+(* Ring buffer of recent request latencies (seconds), mutex-guarded;
+   quantiles are computed on demand from a snapshot. 8192 samples is
+   minutes of history at serving rates while keeping the sort cheap. *)
+module Latency = struct
+  type t = {
+    mu : Mutex.t;
+    samples : float array;
+    mutable n : int;       (* total recorded (ring index = n mod size) *)
+  }
+
+  let size = 8192
+
+  let create () =
+    { mu = Mutex.create (); samples = Array.make size 0.0; n = 0 }
+
+  let record t s =
+    Mutex.lock t.mu;
+    t.samples.(t.n mod size) <- s;
+    t.n <- t.n + 1;
+    Mutex.unlock t.mu
+
+  (* (count, p50, p99) over the retained window; zeros before any
+     sample. *)
+  let quantiles t =
+    Mutex.lock t.mu;
+    let k = min t.n size in
+    let snap = Array.sub t.samples 0 k in
+    let n = t.n in
+    Mutex.unlock t.mu;
+    if k = 0 then (n, 0.0, 0.0)
+    else begin
+      Array.sort compare snap;
+      let at q =
+        snap.(min (k - 1) (int_of_float (Float.of_int (k - 1) *. q +. 0.5)))
+      in
+      (n, at 0.5, at 0.99)
+    end
+end
+
+type t = {
+  pool : S.Pool.t;
+  default_timeout_s : float;
+  started_at : float;
+  latency : Latency.t;
+  (* request counters, read by the stats endpoint while reader threads
+     and worker domains write them: Atomic, per the PR 6 counter
+     audit *)
+  served_ok : int Atomic.t;       (* results with no error field *)
+  served_failed : int Atomic.t;   (* results carrying a classified error *)
+  served_shed : int Atomic.t;     (* overloaded responses *)
+  served_malformed : int Atomic.t;
+  served_stats : int Atomic.t;
+  served_ping : int Atomic.t;
+  stop_flag : bool Atomic.t;
+  (* the listening socket, when serve_unix_socket is active: stop
+     closes it to break the accept loop *)
+  listener : Unix.file_descr option Atomic.t;
+}
+
+let create ?workers ?(queue_depth = 64) ?(default_timeout_s = 120.0) () =
+  P.prewarm ();
+  { pool = S.Pool.create ?workers ~queue_depth ();
+    default_timeout_s;
+    started_at = Unix.gettimeofday ();
+    latency = Latency.create ();
+    served_ok = Atomic.make 0;
+    served_failed = Atomic.make 0;
+    served_shed = Atomic.make 0;
+    served_malformed = Atomic.make 0;
+    served_stats = Atomic.make 0;
+    served_ping = Atomic.make 0;
+    stop_flag = Atomic.make false;
+    listener = Atomic.make None }
+
+let stopped t = Atomic.get t.stop_flag
+
+(* ---------------- stats ---------------- *)
+
+let cache_entries prefix (s : Cache.stats) =
+  [ (prefix ^ "_hits", float_of_int s.Cache.hits);
+    (prefix ^ "_disk_hits", float_of_int s.Cache.disk_hits);
+    (prefix ^ "_misses", float_of_int s.Cache.misses);
+    (prefix ^ "_rejected", float_of_int s.Cache.rejected);
+    (prefix ^ "_evictions", float_of_int s.Cache.evictions);
+    (prefix ^ "_io_errors", float_of_int s.Cache.io_errors);
+    (prefix ^ "_size", float_of_int s.Cache.size) ]
+
+let stats_snapshot t : Proto.stats =
+  let ps = S.Pool.stats t.pool in
+  let n, p50, p99 = Latency.quantiles t.latency in
+  let ds = D.stats () in
+  let it = I.stats () in
+  [ ("uptime_s", Unix.gettimeofday () -. t.started_at);
+    ("queue_capacity", float_of_int ps.S.Pool.p_capacity);
+    ("queue_depth", float_of_int ps.S.Pool.p_depth);
+    ("queue_running", float_of_int ps.S.Pool.p_running);
+    ("queue_submitted", float_of_int ps.S.Pool.p_submitted);
+    ("queue_completed", float_of_int ps.S.Pool.p_completed);
+    ("queue_shed", float_of_int ps.S.Pool.p_shed);
+    ("workers", float_of_int ps.S.Pool.p_workers);
+    ("served_ok", float_of_int (Atomic.get t.served_ok));
+    ("served_failed", float_of_int (Atomic.get t.served_failed));
+    ("served_shed", float_of_int (Atomic.get t.served_shed));
+    ("served_malformed", float_of_int (Atomic.get t.served_malformed));
+    ("served_stats", float_of_int (Atomic.get t.served_stats));
+    ("served_ping", float_of_int (Atomic.get t.served_ping));
+    ("latency_count", float_of_int n);
+    ("latency_p50_ms", 1000.0 *. p50);
+    ("latency_p99_ms", 1000.0 *. p99) ]
+  @ cache_entries "cache_fe" (P.frontend_cache_stats ())
+  @ cache_entries "cache_be" (P.cache_stats ())
+  @ [ ("intern_interned", float_of_int it.I.interned);
+      ("intern_local_hits", float_of_int it.I.local_hits);
+      ("intern_shared_hits", float_of_int it.I.shared_hits);
+      ("intern_inserts", float_of_int it.I.inserts);
+      ("datalog_plans_built", float_of_int ds.D.plans_built);
+      ("datalog_plan_reuses", float_of_int ds.D.plan_reuses) ]
+
+(* ---------------- connection serving ---------------- *)
+
+(* Worker domains and the reader thread interleave responses on one
+   fd; the write mutex keeps frames whole. A peer that vanished
+   mid-response (EPIPE, reset) is not an error worth propagating: the
+   analysis result is already in the cache for its next attempt. *)
+let respond wmu fd ~kind ~id payload =
+  Mutex.lock wmu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock wmu)
+    (fun () -> try Frame.write fd ~kind ~id payload with _ -> ())
+
+let handle_analyze t wmu fd ~id (a : Proto.analyze) =
+  let req =
+    P.request ~cfg:a.Proto.a_cfg
+      ~timeout_s:(Float.min a.Proto.a_timeout_s t.default_timeout_s)
+      (P.Hex a.Proto.a_hex)
+  in
+  let t_enq = Unix.gettimeofday () in
+  let job () =
+    (* total: classified errors come back inside the result *)
+    let r = S.analyze_request req in
+    Latency.record t.latency (Unix.gettimeofday () -. t_enq);
+    Atomic.incr
+      (if r.P.error = None then t.served_ok else t.served_failed);
+    respond wmu fd ~kind:Proto.resp_result ~id (P.encode_result r)
+  in
+  if not (S.Pool.submit t.pool job) then begin
+    (* load shed: answered by the reader thread itself, at constant
+       cost — the queue is full and this request was never in it *)
+    Atomic.incr t.served_shed;
+    respond wmu fd ~kind:Proto.resp_error ~id
+      (Proto.encode_error Proto.Overloaded)
+  end
+
+let handle_frame t wmu fd ~kind ~id payload =
+  if kind = Proto.req_analyze then
+    match Proto.decode_analyze payload with
+    | Some a -> handle_analyze t wmu fd ~id a
+    | None ->
+        Atomic.incr t.served_malformed;
+        respond wmu fd ~kind:Proto.resp_error ~id
+          (Proto.encode_error (Proto.Malformed "undecodable analyze request"))
+  else if kind = Proto.req_stats then begin
+    Atomic.incr t.served_stats;
+    respond wmu fd ~kind:Proto.resp_stats ~id
+      (Proto.encode_stats (stats_snapshot t))
+  end
+  else if kind = Proto.req_ping then begin
+    Atomic.incr t.served_ping;
+    respond wmu fd ~kind:Proto.resp_pong ~id ""
+  end
+  else begin
+    Atomic.incr t.served_malformed;
+    respond wmu fd ~kind:Proto.resp_error ~id
+      (Proto.encode_error
+         (Proto.Malformed (Printf.sprintf "unknown request kind %C" kind)))
+  end
+
+(* Reading and writing race on [fd] by design (pipelining); only reads
+   happen here. A framing error is unrecoverable — after a corrupt
+   length prefix there is no resync point — so the reader answers once
+   (id 0: the real id is untrustworthy) and stops reading. *)
+let serve_split t ~rfd ~wfd =
+  let wmu = Mutex.create () in
+  let rec loop () =
+    if not (stopped t) then
+      match Frame.read rfd with
+      | Ok (kind, id, payload) ->
+          handle_frame t wmu wfd ~kind ~id payload;
+          loop ()
+      | Error `Eof -> ()
+      | Error (`Frame e) ->
+          Atomic.incr t.served_malformed;
+          respond wmu wfd ~kind:Proto.resp_error ~id:0
+            (Proto.encode_error (Proto.Malformed (Frame.error_to_string e)))
+  in
+  try loop () with _ -> ()
+
+let serve_connection t fd = serve_split t ~rfd:fd ~wfd:fd
+
+let serve_stdio t = serve_split t ~rfd:Unix.stdin ~wfd:Unix.stdout
+
+let serve_unix_socket t ~path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 64;
+  Atomic.set t.listener (Some sock);
+  let rec accept_loop () =
+    match Unix.accept sock with
+    | exception Unix.Unix_error _ -> ()  (* stop closed the listener *)
+    | exception _ -> ()
+    | fd, _ ->
+        if stopped t then (try Unix.close fd with _ -> ())
+        else
+          ignore
+            (Thread.create
+               (fun () ->
+                 serve_connection t fd;
+                 try Unix.close fd with _ -> ())
+               ());
+        if not (stopped t) then accept_loop ()
+  in
+  accept_loop ();
+  (match Atomic.exchange t.listener None with
+  | Some fd -> ( try Unix.close fd with _ -> ())
+  | None -> ());
+  (try Unix.unlink path with Unix.Unix_error _ -> ())
+
+let stop t =
+  if not (Atomic.exchange t.stop_flag true) then begin
+    (match Atomic.exchange t.listener None with
+    | Some fd ->
+        (* shutdown wakes a thread blocked in accept; then close *)
+        (try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with _ -> ());
+        (try Unix.close fd with _ -> ())
+    | None -> ());
+    S.Pool.shutdown t.pool
+  end

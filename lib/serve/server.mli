@@ -1,0 +1,67 @@
+(** [ethainterd]'s core: a long-running analysis service over the
+    {!Frame}/{!Proto} protocol.
+
+    One server owns one persistent {!Ethainter_core.Scheduler.Pool}:
+    requests decoded from connections are submitted to its bounded
+    queue and analyzed on its worker domains via
+    [Scheduler.analyze_request] — so responses are byte-identical to a
+    direct call, every analysis shares the process-wide phase-split
+    cache, intern table and compiled Datalog plans (warm across
+    requests and connections), and failures arrive as classified
+    results, never as dead connections.
+
+    Admission control: a request arriving while the queue is at its
+    bound is answered immediately with the [overloaded] protocol error
+    — load past capacity is shed at constant latency instead of
+    queueing into latency collapse. [stats] and [ping] requests are
+    answered inline by the connection's reader thread, bypassing the
+    queue, so observability survives overload.
+
+    Concurrency: one reader thread per connection (blocking frame
+    reads), analysis on the pool's domains, responses interleaved on
+    the connection under a per-connection write lock. Responses to
+    pipelined requests may arrive out of order; clients match on the
+    echoed frame id. *)
+
+type t
+
+val create :
+  ?workers:int -> ?queue_depth:int -> ?default_timeout_s:float -> unit -> t
+(** [workers]/[queue_depth] size the pool (defaults:
+    {!Ethainter_core.Scheduler.default_workers}, 64).
+    [default_timeout_s] (default 120 s, the paper's cutoff) caps each
+    request's deadline: a request asking for more is clamped, so one
+    client cannot opt out of the serving budget. Also {!prewarms} the
+    pipeline caches. *)
+
+val serve_connection : t -> Unix.file_descr -> unit
+(** Serve one established connection (socketpair, accepted socket, or
+    any stream fd) until the peer closes or a framing error makes the
+    byte stream unrecoverable (a length-prefixed stream cannot resync
+    after corruption: an error response is attempted, then the
+    connection is dropped). Never raises; never closes [fd] (the
+    caller owns it). Blocks the calling thread. *)
+
+val serve_stdio : t -> unit
+(** {!serve_connection} reading stdin / writing stdout. *)
+
+val serve_unix_socket : t -> path:string -> unit
+(** Bind and listen on a Unix-domain socket at [path] (an existing
+    socket file is replaced), accepting until {!stop}; each accepted
+    connection gets a reader thread. Blocks the calling thread. *)
+
+val stats_snapshot : t -> Proto.stats
+(** The stats endpoint's payload: queue ([queue_*], from the pool),
+    request counters ([served_*]), latency quantiles over recent
+    requests ([latency_p50_ms]/[latency_p99_ms]/...), both cache tiers
+    ([cache_fe_*]/[cache_be_*]), intern table ([intern_*]) and Datalog
+    planner ([datalog_plans_*]) counters, and [uptime_s]. Every value
+    is read from an [Atomic] or under the owning mutex — a snapshot
+    during concurrent serving is coherent per counter. *)
+
+val stop : t -> unit
+(** Stop accepting, refuse new work, drain queued jobs, join the pool.
+    Connections already being read terminate on their next frame
+    (reader threads observe the stopped flag). Idempotent. *)
+
+val stopped : t -> bool

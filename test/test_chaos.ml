@@ -568,6 +568,83 @@ let test_stale_tmp_sweep () =
   Alcotest.(check bool) "old real entries kept" true
     (Sys.file_exists (entry_file dir "aaaa"))
 
+(* ------------------------------------------------------------------ *)
+(* PR 6: the daemon under chaos. Seeded disk and cache-corruption      *)
+(* faults while serving concurrent clients must degrade exactly as the *)
+(* PR 4 policy says — skip the disk tier, recompute corrupt entries —  *)
+(* never poison a response and never kill the daemon loop.             *)
+(* ------------------------------------------------------------------ *)
+
+let test_daemon_under_faults () =
+  let module Server = Ethainter_serve.Server in
+  let module Client = Ethainter_serve.Client in
+  let module Hex = Ethainter_word.Hex in
+  let runtimes = corpus_runtimes ~seed:36 ~size:40 in
+  (* clean ground truth first: no faults, no cache *)
+  let was_enabled = P.cache_enabled () in
+  P.set_cache_enabled false;
+  let paired =
+    List.map
+      (fun rt ->
+        ( Hex.encode rt,
+          normalize (S.analyze_request (P.request (P.Runtime rt))) ))
+      runtimes
+  in
+  P.set_cache_enabled was_enabled;
+  let dir = temp_dir () in
+  (* disk and corruption faults only: PR 4's degradation policy makes
+     these invisible in results (Io is retried/degraded, corrupt cache
+     entries are recomputed), so every served response must be
+     byte-identical to the clean run — while three clients race on the
+     shared, actively-faulting cache *)
+  with_faults "disk_read=0.35,disk_write=0.35,corrupt=0.6:41" (fun () ->
+      with_pipeline_cache ~dir (fun () ->
+          let server = Server.create ~workers:2 ~queue_depth:64 () in
+          let mismatches = Atomic.make 0 in
+          let run_client () =
+            let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            let reader =
+              Thread.create (fun () -> Server.serve_connection server a) ()
+            in
+            let client = Client.of_fd b in
+            (* two passes: the second is served against cache tiers
+               that the faults have been corrupting all along *)
+            for _pass = 1 to 2 do
+              List.iter
+                (fun (hex, expected) ->
+                  match Client.analyze client ~hex () with
+                  | Client.Result r ->
+                      if normalize r <> expected then Atomic.incr mismatches
+                  | _ -> Atomic.incr mismatches)
+                paired
+            done;
+            Client.close client;
+            (try Unix.close a with _ -> ());
+            Thread.join reader
+          in
+          let threads = List.init 3 (fun _ -> Thread.create run_client ()) in
+          List.iter Thread.join threads;
+          Alcotest.(check int) "no poisoned or failed responses" 0
+            (Atomic.get mismatches);
+          (* the daemon loop survived: a fresh connection still serves *)
+          let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          let reader =
+            Thread.create (fun () -> Server.serve_connection server a) ()
+          in
+          let client = Client.of_fd b in
+          Alcotest.(check bool) "daemon alive after chaos" true
+            (Client.ping client);
+          let st = Client.stats client in
+          (match List.assoc_opt "served_ok" st with
+          | Some v ->
+              Alcotest.(check bool) "all requests served ok" true
+                (v >= float_of_int (2 * 3 * List.length paired))
+          | None -> Alcotest.fail "stats missing served_ok");
+          Client.close client;
+          (try Unix.close a with _ -> ());
+          Thread.join reader;
+          Server.stop server))
+
 let () =
   Alcotest.run "chaos"
     [ ( "fault-module",
@@ -590,6 +667,9 @@ let () =
             test_disk_tier_degrades_to_memory_only;
           Alcotest.test_case "transient faults retried once" `Quick
             test_transient_faults_retried ] );
+      ( "daemon",
+        [ Alcotest.test_case "daemon serves correctly under faults" `Quick
+            test_daemon_under_faults ] );
       ( "deadline",
         [ Alcotest.test_case "adversarial decompile bounded" `Quick
             test_adversarial_decompile_bounded;

@@ -1,0 +1,545 @@
+(* Serving test battery (PR 6): the ethainterd protocol and daemon
+   core, in the tier-1 gate.
+
+   What must hold:
+   - the frame and message codecs roundtrip, and truncated / corrupt /
+     oversized / random frames are rejected with a classified error —
+     never a crash, never a bogus accept;
+   - request/response works end-to-end over a socketpair, and N
+     concurrent clients get responses byte-identical to calling
+     Scheduler.analyze_request directly;
+   - a full admission queue sheds load with the `overloaded` protocol
+     error immediately (no hang, no unbounded queueing);
+   - per-contract failures (malformed hex, deadline expiry) surface
+     through the protocol with the PR 4 error_kind taxonomy intact;
+   - caches stay warm across requests: a repeated request hits the
+     back-end cache, adds no front-end miss and builds no new Datalog
+     plan (asserted via the stats endpoint). *)
+
+module P = Ethainter_core.Pipeline
+module S = Ethainter_core.Scheduler
+module C = Ethainter_core.Config
+module Hex = Ethainter_word.Hex
+module Frame = Ethainter_serve.Frame
+module Proto = Ethainter_serve.Proto
+module Server = Ethainter_serve.Server
+module Client = Ethainter_serve.Client
+module G = Ethainter_corpus.Generator
+
+let normalize (r : P.result) = { r with P.elapsed_s = 0.0 }
+
+(* Deterministic PRNG for the codec fuzzing — the suite must not
+   depend on OCaml's Random across versions. *)
+let rng_state = ref 0x2545F4914F6CDD1D
+let rand_int bound =
+  let x = !rng_state in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  rng_state := x;
+  (x land max_int) mod bound
+
+let rand_bytes n = String.init n (fun _ -> Char.chr (rand_int 256))
+
+(* A chain of n [JUMPDEST; PUSH3 next; JUMP] blocks (6 bytes each —
+   PUSH3 so chains can address past 64 KiB). Decompiling it costs real
+   work per block, which makes "slow contract" constructible: a chain
+   whose unbounded runtime far exceeds a request's deadline occupies a
+   worker for ~the deadline, deterministically. *)
+let jump_chain n =
+  let b = Buffer.create (6 * n) in
+  for k = 0 to n - 1 do
+    let target = if k = n - 1 then 0 else 6 * (k + 1) in
+    Buffer.add_char b '\x5b';
+    Buffer.add_char b '\x62';
+    Buffer.add_char b (Char.chr ((target lsr 16) land 0xff));
+    Buffer.add_char b (Char.chr ((target lsr 8) land 0xff));
+    Buffer.add_char b (Char.chr (target land 0xff));
+    Buffer.add_char b '\x56'
+  done;
+  Buffer.contents b
+
+(* An in-process server wired to a socketpair client; tears everything
+   down even on test failure. *)
+let with_server ?workers ?(queue_depth = 64) ?default_timeout_s f =
+  let server = Server.create ?workers ~queue_depth ?default_timeout_s () in
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let reader = Thread.create (fun () -> Server.serve_connection server a) () in
+  let client = Client.of_fd b in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.close client;
+      (try Unix.close a with _ -> ());
+      (try Thread.join reader with _ -> ());
+      Server.stop server)
+    (fun () -> f server client)
+
+let connect_client server =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let reader = Thread.create (fun () -> Server.serve_connection server a) () in
+  (Client.of_fd b, a, reader)
+
+let corpus_hexes ~seed ~size =
+  let corpus = G.mainnet ~seed ~size () in
+  List.sort_uniq compare
+    (List.map (fun (i : G.instance) -> Hex.encode i.G.i_runtime) corpus)
+
+(* ------------------------------------------------------------------ *)
+(* Frame codec                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_frame_roundtrip () =
+  List.iter
+    (fun (kind, id, payload) ->
+      let s = Frame.encode ~kind ~id payload in
+      match Frame.decode s ~pos:0 with
+      | Ok (k, i, p, consumed) ->
+          Alcotest.(check char) "kind" kind k;
+          Alcotest.(check int) "id" id i;
+          Alcotest.(check string) "payload" payload p;
+          Alcotest.(check int) "consumed" (String.length s) consumed
+      | Error e -> Alcotest.failf "roundtrip failed: %s" (Frame.error_to_string e))
+    [ ('A', 0, "");
+      ('R', 1, "hello");
+      ('E', 0x7FFFFFFF, rand_bytes 1024);
+      ('T', 42, String.make 100000 '\xff');
+      ('P', 7, "\x00\x01\x02ETSF\x00") ];
+  (* frames decode at any offset, and back-to-back *)
+  let f1 = Frame.encode ~kind:'A' ~id:1 "one" in
+  let f2 = Frame.encode ~kind:'B' ~id:2 "two" in
+  (match Frame.decode ("junk" ^ f1 ^ f2) ~pos:4 with
+  | Ok (k, _, p, consumed) ->
+      Alcotest.(check char) "first kind" 'A' k;
+      Alcotest.(check string) "first payload" "one" p;
+      (match Frame.decode ("junk" ^ f1 ^ f2) ~pos:(4 + consumed) with
+      | Ok (k2, _, p2, _) ->
+          Alcotest.(check char) "second kind" 'B' k2;
+          Alcotest.(check string) "second payload" "two" p2
+      | Error e -> Alcotest.failf "second frame: %s" (Frame.error_to_string e))
+  | Error e -> Alcotest.failf "offset decode: %s" (Frame.error_to_string e))
+
+let test_frame_rejection () =
+  let frame = Frame.encode ~kind:'A' ~id:123 (rand_bytes 256) in
+  (* every strict prefix is Truncated *)
+  for cut = 0 to String.length frame - 1 do
+    match Frame.decode (String.sub frame 0 cut) ~pos:0 with
+    | Error Frame.Truncated -> ()
+    | Ok _ -> Alcotest.failf "prefix of %d bytes accepted" cut
+    | Error e ->
+        (* header-level corruption classifications only appear when the
+           header itself is complete *)
+        Alcotest.failf "prefix of %d bytes: %s (want truncated)" cut
+          (Frame.error_to_string e)
+  done;
+  (* any single flipped bit anywhere in the frame is rejected *)
+  let rejected = ref 0 in
+  for _ = 1 to 500 do
+    let i = rand_int (String.length frame) in
+    let bit = rand_int 8 in
+    let b = Bytes.of_string frame in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+    match Frame.decode (Bytes.to_string b) ~pos:0 with
+    | Ok (k, id, p, _) ->
+        (* the only acceptable accept is the identity (we flipped a
+           bit, so this cannot happen) *)
+        if not (k = 'A' && id = 123 && p = String.sub frame 22 256) then
+          Alcotest.failf "corrupt frame accepted (byte %d bit %d)" i bit
+    | Error _ -> incr rejected
+  done;
+  Alcotest.(check bool) "all corruptions rejected" true (!rejected = 500);
+  (* oversized length fields are rejected from the header alone *)
+  let b = Bytes.of_string (Frame.encode ~kind:'A' ~id:1 "xx") in
+  Bytes.set_int32_be b 10 (Int32.of_int (Frame.max_payload + 1));
+  (match Frame.decode (Bytes.to_string b) ~pos:0 with
+  | Error (Frame.Oversized _) -> ()
+  | _ -> Alcotest.fail "oversized length not rejected");
+  (* encode refuses an oversized payload outright *)
+  (match Frame.encode ~kind:'A' ~id:1 (String.make (Frame.max_payload + 1) 'x') with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "oversized encode accepted");
+  (* seeded random garbage never crashes and never accepts *)
+  for _ = 1 to 2000 do
+    let junk = rand_bytes (rand_int 64) in
+    match Frame.decode junk ~pos:0 with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "random bytes decoded as a frame"
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Message codecs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_proto_roundtrip () =
+  let reqs =
+    [ { Proto.a_hex = "60006000f3"; a_cfg = C.default; a_timeout_s = 120.0 };
+      { Proto.a_hex = ""; a_cfg = C.conservative; a_timeout_s = 0.25 };
+      { Proto.a_hex = "0x60 00\nzz not-hex"; a_cfg = C.no_guard_model;
+        a_timeout_s = 1e-3 } ]
+  in
+  List.iter
+    (fun r ->
+      match Proto.decode_analyze (Proto.encode_analyze r) with
+      | Some r' ->
+          Alcotest.(check string) "hex" r.Proto.a_hex r'.Proto.a_hex;
+          Alcotest.(check bool) "cfg" true (r.Proto.a_cfg = r'.Proto.a_cfg);
+          Alcotest.(check (float 0.0)) "timeout" r.Proto.a_timeout_s
+            r'.Proto.a_timeout_s
+      | None -> Alcotest.fail "analyze roundtrip failed")
+    reqs;
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "error roundtrip" true
+        (Proto.decode_error (Proto.encode_error e) = Some e))
+    [ Proto.Overloaded; Proto.Malformed ""; Proto.Malformed "multi\nline msg" ];
+  let st =
+    [ ("queue_depth", 3.0); ("latency_p99_ms", 12.345678901234);
+      ("served_ok", 1e9) ]
+  in
+  Alcotest.(check bool) "stats roundtrip exact" true
+    (Proto.decode_stats (Proto.encode_stats st) = Some st);
+  (* config fingerprints roundtrip, and only canonical ones parse *)
+  List.iter
+    (fun cfg ->
+      Alcotest.(check bool) "of_fingerprint inverse" true
+        (C.of_fingerprint (C.fingerprint cfg) = Some cfg))
+    [ C.default; C.no_storage_model; C.no_guard_model; C.conservative ];
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) ("rejects " ^ bad) true
+        (C.of_fingerprint bad = None))
+    [ ""; "cfg:"; "cfg:g1.s1.c0"; "cfg:g2.s1.c0.r100"; "cfg:g1.s1.c0.r-1";
+      "cfg:g1.s1.c0.r0100"; "cfg:g1.s1.c0.r100."; "g1.s1.c0.r100" ];
+  (* garbage payloads are None, not exceptions *)
+  for _ = 1 to 500 do
+    let junk = rand_bytes (rand_int 200) in
+    ignore (Proto.decode_analyze junk);
+    ignore (Proto.decode_error junk);
+    ignore (Proto.decode_stats junk)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end over a socketpair                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_end_to_end () =
+  P.cache_clear ();
+  with_server ~workers:2 (fun _server client ->
+      Alcotest.(check bool) "ping" true (Client.ping client);
+      let hexes = corpus_hexes ~seed:61 ~size:12 in
+      List.iter
+        (fun hex ->
+          let direct =
+            S.analyze_request (P.request (P.Hex hex))
+          in
+          match Client.analyze client ~hex () with
+          | Client.Result served ->
+              Alcotest.(check bool) "served == direct" true
+                (normalize served = normalize direct)
+          | _ -> Alcotest.fail "expected a result response")
+        hexes;
+      (* stats endpoint answers and carries the serving counters *)
+      let st = Client.stats client in
+      let get k =
+        match List.assoc_opt k st with
+        | Some v -> v
+        | None -> Alcotest.failf "stats missing %s" k
+      in
+      Alcotest.(check bool) "served_ok counted" true
+        (get "served_ok" >= float_of_int (List.length hexes));
+      Alcotest.(check bool) "latency recorded" true (get "latency_count" > 0.0);
+      Alcotest.(check bool) "queue capacity reported" true
+        (get "queue_capacity" = 64.0))
+
+let test_concurrent_clients () =
+  P.cache_clear ();
+  let hexes = Array.of_list (corpus_hexes ~seed:62 ~size:30) in
+  let n_hexes = Array.length hexes in
+  (* ground truth first, via the scheduler directly *)
+  let direct =
+    Array.map
+      (fun hex -> normalize (S.analyze_request (P.request (P.Hex hex))))
+      hexes
+  in
+  with_server ~workers:4 (fun server _client ->
+      let n_clients = 6 and per_client = 25 in
+      let errors = Atomic.make 0 and checked = Atomic.make 0 in
+      let run_client ci =
+        let client, sfd, reader = connect_client server in
+        (* interleave the corpus differently per client *)
+        for k = 0 to per_client - 1 do
+          let idx = (ci + (k * 7)) mod n_hexes in
+          match Client.analyze client ~hex:hexes.(idx) () with
+          | Client.Result served ->
+              if normalize served = direct.(idx) then Atomic.incr checked
+              else Atomic.incr errors
+          | _ -> Atomic.incr errors
+        done;
+        Client.close client;
+        (try Unix.close sfd with _ -> ());
+        try Thread.join reader with _ -> ()
+      in
+      let threads = List.init n_clients (fun ci -> Thread.create run_client ci) in
+      List.iter Thread.join threads;
+      Alcotest.(check int) "no mismatches or protocol errors" 0
+        (Atomic.get errors);
+      Alcotest.(check int) "every response checked"
+        (n_clients * per_client) (Atomic.get checked))
+
+(* Pipelined requests on one connection: ids match even when responses
+   complete out of order (two workers, first request much slower). *)
+let test_pipelining_out_of_order () =
+  P.cache_clear ();
+  P.set_cache_enabled false;
+  Fun.protect
+    ~finally:(fun () -> P.set_cache_enabled true)
+    (fun () ->
+      with_server ~workers:2 (fun _server client ->
+          (* a slow adversarial contract, then a trivial one *)
+          let slow = Hex.encode (jump_chain 4000) in
+          let quick = "60006000f3" in
+          let id_slow =
+            Client.send_analyze client ~timeout_s:10.0 ~hex:slow ()
+          in
+          let id_quick = Client.send_analyze client ~hex:quick () in
+          (* ask for the quick one first: recv_for must stash nothing
+             (quick finishes first) or stash the slow one — either way
+             both match their ids *)
+          (match Client.recv_for client id_quick with
+          | Client.Result r ->
+              Alcotest.(check bool) "quick ok" true (r.P.error = None)
+          | _ -> Alcotest.fail "quick: expected result");
+          match Client.recv_for client id_slow with
+          | Client.Result r ->
+              Alcotest.(check bool) "slow returned" true
+                (r.P.tac_loc > 100 || r.P.timed_out)
+          | _ -> Alcotest.fail "slow: expected result"))
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_queue_full_sheds () =
+  P.cache_clear ();
+  P.set_cache_enabled false;
+  Fun.protect
+    ~finally:(fun () -> P.set_cache_enabled true)
+    (fun () ->
+      (* one worker, queue of one: the third concurrent slow request —
+         and everything after it — must be refused immediately *)
+      with_server ~workers:1 ~queue_depth:1 (fun _server client ->
+          (* ~300k blocks: unbounded decompile time is an order of
+             magnitude over the budget, so the deadline — not the
+             contract — decides how long each accepted request holds
+             the single worker (~slow_budget each) *)
+          let slow_hex = Hex.encode (jump_chain 300_000) in
+          let slow_budget = 1.0 in
+          let slow_ids =
+            List.init 2 (fun _ ->
+                Client.send_analyze client ~timeout_s:slow_budget
+                  ~hex:slow_hex ())
+          in
+          (* give the reader thread a beat to enqueue both *)
+          Thread.delay 0.15;
+          let burst_ids =
+            List.init 6 (fun _ ->
+                Client.send_analyze client ~timeout_s:slow_budget
+                  ~hex:slow_hex ())
+          in
+          let t_burst_sent = Unix.gettimeofday () in
+          let shed = ref 0 in
+          List.iter
+            (fun id ->
+              match Client.recv_for client id with
+              | Client.Error Proto.Overloaded -> incr shed
+              | Client.Result _ -> ()  (* a queue slot freed in time *)
+              | _ -> Alcotest.fail "burst: unexpected response")
+            burst_ids;
+          let burst_wait_s = Unix.gettimeofday () -. t_burst_sent in
+          Alcotest.(check bool) "some requests shed" true (!shed >= 4);
+          (* with worker + queue slot held for ~slow_budget each, shed
+             replies come from the reader thread at admission-control
+             speed — if they queued instead, the wait would be several
+             budgets long *)
+          if !shed = 6 then
+            Alcotest.(check bool)
+              (Printf.sprintf "shed replies fast (%.2fs)" burst_wait_s)
+              true
+              (burst_wait_s < slow_budget);
+          (* the accepted requests complete (timed out or analyzed),
+             the connection never hangs *)
+          List.iter
+            (fun id ->
+              match Client.recv_for client id with
+              | Client.Result _ -> ()
+              | _ -> Alcotest.fail "slow request: expected a result")
+            slow_ids;
+          (* shed count is visible to observability *)
+          let st = Client.stats client in
+          match List.assoc_opt "served_shed" st with
+          | Some v -> Alcotest.(check bool) "shed counted" true (v >= 4.0)
+          | None -> Alcotest.fail "stats missing served_shed"))
+
+(* ------------------------------------------------------------------ *)
+(* Error taxonomy through the protocol                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_error_taxonomy_preserved () =
+  with_server ~workers:1 (fun _server client ->
+      (* malformed hex: a clean per-contract Decode failure inside a
+         well-formed result *)
+      (match Client.analyze client ~hex:"60zz" () with
+      | Client.Result r ->
+          Alcotest.(check bool) "decode error present" true (r.P.error <> None);
+          Alcotest.(check bool) "classified Decode" true
+            (r.P.error_kind = Some P.Decode)
+      | _ -> Alcotest.fail "malformed hex: expected a result response");
+      (* deadline expiry: timed_out with the Timeout classification *)
+      (match
+         Client.analyze client ~timeout_s:0.02
+           ~hex:(Hex.encode (jump_chain 20000)) ()
+       with
+      | Client.Result r ->
+          Alcotest.(check bool) "timed out" true r.P.timed_out;
+          Alcotest.(check bool) "classified Timeout" true
+            (r.P.error_kind = Some P.Timeout)
+      | _ -> Alcotest.fail "timeout: expected a result response");
+      (* both failures were per-contract results: the connection lives *)
+      Alcotest.(check bool) "connection alive after errors" true
+        (Client.ping client))
+
+let test_malformed_payload_answered () =
+  (* hand-roll a valid frame carrying a junk analyze payload *)
+  let server = Server.create ~workers:1 ~queue_depth:4 () in
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let reader = Thread.create (fun () -> Server.serve_connection server a) () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close b with _ -> ());
+      (try Unix.close a with _ -> ());
+      (try Thread.join reader with _ -> ());
+      Server.stop server)
+    (fun () ->
+      Frame.write b ~kind:Proto.req_analyze ~id:9 "not a request";
+      (match Frame.read b with
+      | Ok (kind, id, payload) ->
+          Alcotest.(check char) "error response" Proto.resp_error kind;
+          Alcotest.(check int) "id echoed" 9 id;
+          (match Proto.decode_error payload with
+          | Some (Proto.Malformed _) -> ()
+          | _ -> Alcotest.fail "expected malformed error")
+      | Error _ -> Alcotest.fail "no response to malformed payload");
+      (* the connection survives: a good request still works *)
+      Frame.write b ~kind:Proto.req_ping ~id:10 "";
+      match Frame.read b with
+      | Ok (kind, id, _) ->
+          Alcotest.(check char) "pong after malformed" Proto.resp_pong kind;
+          Alcotest.(check int) "pong id" 10 id
+      | Error _ -> Alcotest.fail "connection died after malformed payload")
+
+let test_corrupt_stream_rejected () =
+  (* byte garbage on the wire: the server answers one classified
+     malformed error and drops the connection — never crashes *)
+  let server = Server.create ~workers:1 ~queue_depth:4 () in
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let reader = Thread.create (fun () -> Server.serve_connection server a) () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close b with _ -> ());
+      (try Unix.close a with _ -> ());
+      (try Thread.join reader with _ -> ());
+      Server.stop server)
+    (fun () ->
+      let garbage = rand_bytes Frame.header_size in
+      let rec write_all off =
+        if off < String.length garbage then
+          write_all
+            (off + Unix.write_substring b garbage off (String.length garbage - off))
+      in
+      write_all 0;
+      (match Frame.read b with
+      | Ok (kind, _, payload) ->
+          Alcotest.(check char) "error response" Proto.resp_error kind;
+          (match Proto.decode_error payload with
+          | Some (Proto.Malformed _) -> ()
+          | _ -> Alcotest.fail "expected malformed error")
+      | Error _ -> Alcotest.fail "no error response to garbage");
+      (* the server stopped reading: its reader returns (the fd is
+         ours to close — serve_connection never closes it) *)
+      Thread.join reader;
+      (try Unix.close a with _ -> ());
+      match Frame.read b with
+      | Error `Eof -> ()
+      | Ok _ -> Alcotest.fail "server kept serving a corrupt stream"
+      | Error (`Frame _) -> Alcotest.fail "expected clean close")
+
+(* ------------------------------------------------------------------ *)
+(* Warm state across requests                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_warm_state_across_requests () =
+  P.cache_clear ();
+  with_server ~workers:1 (fun _server client ->
+      let hex = List.hd (corpus_hexes ~seed:63 ~size:3) in
+      let get st k =
+        match List.assoc_opt k st with
+        | Some v -> v
+        | None -> Alcotest.failf "stats missing %s" k
+      in
+      (* request 1: cold — pays the front end *)
+      (match Client.analyze client ~hex () with
+      | Client.Result r -> Alcotest.(check bool) "cold ok" true (r.P.error = None)
+      | _ -> Alcotest.fail "cold: expected result");
+      let st1 = Client.stats client in
+      (* request 2: identical — answered by the back-end cache *)
+      (match Client.analyze client ~hex () with
+      | Client.Result r -> Alcotest.(check bool) "warm ok" true (r.P.error = None)
+      | _ -> Alcotest.fail "warm: expected result");
+      let st2 = Client.stats client in
+      Alcotest.(check bool) "second request hit the back-end cache" true
+        (get st2 "cache_be_hits" >= get st1 "cache_be_hits" +. 1.0);
+      Alcotest.(check (float 0.0)) "second request: zero front-end misses"
+        (get st1 "cache_fe_misses") (get st2 "cache_fe_misses");
+      Alcotest.(check (float 0.0)) "second request: zero back-end misses"
+        (get st1 "cache_be_misses") (get st2 "cache_be_misses");
+      (* Datalog plans are compile-once: more requests on the same
+         warm worker build no new plans *)
+      (match Client.analyze client ~hex:"60006000f3" () with
+      | Client.Result _ -> ()
+      | _ -> Alcotest.fail "expected result");
+      let st3 = Client.stats client in
+      (match Client.analyze client ~hex:"60006000f3" () with
+      | Client.Result _ -> ()
+      | _ -> Alcotest.fail "expected result");
+      let st4 = Client.stats client in
+      Alcotest.(check (float 0.0)) "no per-request plan builds"
+        (get st3 "datalog_plans_built") (get st4 "datalog_plans_built"))
+
+let () =
+  Alcotest.run "serve"
+    [ ( "frame",
+        [ Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "rejection (truncated/corrupt/oversized/fuzz)"
+            `Quick test_frame_rejection ] );
+      ( "proto",
+        [ Alcotest.test_case "message codecs roundtrip + fuzz" `Quick
+            test_proto_roundtrip ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "request/response over socketpair" `Quick
+            test_end_to_end;
+          Alcotest.test_case "concurrent clients byte-identical" `Quick
+            test_concurrent_clients;
+          Alcotest.test_case "pipelining out of order" `Quick
+            test_pipelining_out_of_order ] );
+      ( "admission",
+        [ Alcotest.test_case "queue full sheds with overloaded" `Quick
+            test_queue_full_sheds ] );
+      ( "errors",
+        [ Alcotest.test_case "error_kind taxonomy preserved" `Quick
+            test_error_taxonomy_preserved;
+          Alcotest.test_case "malformed payload answered, connection lives"
+            `Quick test_malformed_payload_answered;
+          Alcotest.test_case "corrupt stream rejected cleanly" `Quick
+            test_corrupt_stream_rejected ] );
+      ( "warm-state",
+        [ Alcotest.test_case "caches and plans warm across requests" `Quick
+            test_warm_state_across_requests ] ) ]
