@@ -60,8 +60,10 @@ let selftest ~workers ~queue_depth ~timeout_s () =
     fail_selftest "repeat request missed the back-end cache";
   if get "served_ok" < 2.0 then fail_selftest "served_ok < 2";
   Client.close client;
-  (try Unix.close a with _ -> ());
+  (* join before closing [a]: the reader owns the fd until
+     serve_connection returns (having drained in-flight jobs) *)
   (try Thread.join reader with _ -> ());
+  (try Unix.close a with _ -> ());
   Serve.stop server;
   print_endline "ethainterd selftest: OK";
   exit 0
@@ -122,12 +124,19 @@ let run socket stdio workers queue_depth timeout_s selftest_flag () () =
       in
       (* a client hanging up mid-response must not kill the daemon *)
       (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
-      let stop _ = Serve.stop server in
-      (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop) with _ -> ());
-      (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop) with _ -> ());
+      (* the handler runs at a safe point on an arbitrary thread — one
+         that may hold the very mutex a full shutdown would take, so
+         it must only flag and wake (request_stop); the joins happen
+         below, on the main thread, after the serve loop returns *)
+      let on_signal _ = Serve.request_stop server in
+      (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
+       with _ -> ());
+      (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+       with _ -> ());
       Printf.eprintf "ethainterd: listening on %s (queue depth %d)\n%!" path
         queue_depth;
-      Serve.serve_unix_socket server ~path
+      Serve.serve_unix_socket server ~path;
+      Serve.stop server
   | None, true ->
       let server =
         Serve.create ?workers ~queue_depth ~default_timeout_s:timeout_s ()

@@ -99,11 +99,15 @@ let decode buf ~pos =
 
 (* ---------------- blocking fd transport ---------------- *)
 
+(* Both directions retry EINTR: the daemon installs real SIGINT/SIGTERM
+   handlers, so a signal during a blocked read/write must not surface
+   as a truncated frame or a dropped connection. *)
+
 let rec write_all fd b off len =
-  if len > 0 then begin
-    let n = Unix.write fd b off len in
-    write_all fd b (off + n) (len - n)
-  end
+  if len > 0 then
+    match Unix.write fd b off len with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd b off len
+    | n -> write_all fd b (off + n) (len - n)
 
 let write fd ~kind ~id payload =
   let s = encode ~kind ~id payload in
@@ -117,6 +121,7 @@ let read_exact fd len =
     if off = len then `Ok b
     else
       match Unix.read fd b off (len - off) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
       | 0 -> if off = 0 then `Eof else `Short
       | n -> go (off + n)
   in

@@ -60,13 +60,17 @@ type t = {
   served_stats : int Atomic.t;
   served_ping : int Atomic.t;
   stop_flag : bool Atomic.t;
-  (* the listening socket, when serve_unix_socket is active: stop
-     closes it to break the accept loop *)
-  listener : Unix.file_descr option Atomic.t;
+  (* self-pipe: [request_stop] writes one byte to [wake_w] to wake the
+     accept loop's select portably (closing or shutting down a
+     listening socket another thread is blocked in accept on only
+     works on Linux) *)
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
 }
 
 let create ?workers ?(queue_depth = 64) ?(default_timeout_s = 120.0) () =
   P.prewarm ();
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
   { pool = S.Pool.create ?workers ~queue_depth ();
     default_timeout_s;
     started_at = Unix.gettimeofday ();
@@ -78,7 +82,8 @@ let create ?workers ?(queue_depth = 64) ?(default_timeout_s = 120.0) () =
     served_stats = Atomic.make 0;
     served_ping = Atomic.make 0;
     stop_flag = Atomic.make false;
-    listener = Atomic.make None }
+    wake_r;
+    wake_w }
 
 let stopped t = Atomic.get t.stop_flag
 
@@ -126,17 +131,42 @@ let stats_snapshot t : Proto.stats =
 
 (* ---------------- connection serving ---------------- *)
 
+(* Per-connection state shared between the reader thread and the
+   worker domains carrying its analyze jobs. [wmu] keeps interleaved
+   frames whole and guards [inflight]; the reader waits for
+   [inflight] to drain before serve_split returns, so the fd cannot
+   be closed while a worker still holds it — a recycled descriptor
+   number would otherwise deliver this connection's response into an
+   unrelated client's stream. *)
+type conn = {
+  c_fd : Unix.file_descr;        (* write side *)
+  c_wmu : Mutex.t;
+  c_drained : Condition.t;       (* signalled when inflight hits 0 *)
+  mutable c_inflight : int;      (* analyze jobs queued or running *)
+}
+
 (* Worker domains and the reader thread interleave responses on one
    fd; the write mutex keeps frames whole. A peer that vanished
    mid-response (EPIPE, reset) is not an error worth propagating: the
    analysis result is already in the cache for its next attempt. *)
-let respond wmu fd ~kind ~id payload =
-  Mutex.lock wmu;
+let respond c ~kind ~id payload =
+  Mutex.lock c.c_wmu;
   Fun.protect
-    ~finally:(fun () -> Mutex.unlock wmu)
-    (fun () -> try Frame.write fd ~kind ~id payload with _ -> ())
+    ~finally:(fun () -> Mutex.unlock c.c_wmu)
+    (fun () -> try Frame.write c.c_fd ~kind ~id payload with _ -> ())
 
-let handle_analyze t wmu fd ~id (a : Proto.analyze) =
+let job_begin c =
+  Mutex.lock c.c_wmu;
+  c.c_inflight <- c.c_inflight + 1;
+  Mutex.unlock c.c_wmu
+
+let job_end c =
+  Mutex.lock c.c_wmu;
+  c.c_inflight <- c.c_inflight - 1;
+  if c.c_inflight = 0 then Condition.broadcast c.c_drained;
+  Mutex.unlock c.c_wmu
+
+let handle_analyze t c ~id (a : Proto.analyze) =
   let req =
     P.request ~cfg:a.Proto.a_cfg
       ~timeout_s:(Float.min a.Proto.a_timeout_s t.default_timeout_s)
@@ -144,41 +174,50 @@ let handle_analyze t wmu fd ~id (a : Proto.analyze) =
   in
   let t_enq = Unix.gettimeofday () in
   let job () =
-    (* total: classified errors come back inside the result *)
-    let r = S.analyze_request req in
-    Latency.record t.latency (Unix.gettimeofday () -. t_enq);
-    Atomic.incr
-      (if r.P.error = None then t.served_ok else t.served_failed);
-    respond wmu fd ~kind:Proto.resp_result ~id (P.encode_result r)
+    (* job_end only after the response is written: the fd stays open
+       until every job for this connection has finished with it *)
+    Fun.protect
+      ~finally:(fun () -> job_end c)
+      (fun () ->
+        (* total: classified errors come back inside the result *)
+        let r = S.analyze_request req in
+        Latency.record t.latency (Unix.gettimeofday () -. t_enq);
+        Atomic.incr
+          (if r.P.error = None then t.served_ok else t.served_failed);
+        respond c ~kind:Proto.resp_result ~id (P.encode_result r))
   in
+  (* count the job before submit: once accepted it may start (and
+     finish) on a worker immediately *)
+  job_begin c;
   if not (S.Pool.submit t.pool job) then begin
     (* load shed: answered by the reader thread itself, at constant
        cost — the queue is full and this request was never in it *)
+    job_end c;
     Atomic.incr t.served_shed;
-    respond wmu fd ~kind:Proto.resp_error ~id
+    respond c ~kind:Proto.resp_error ~id
       (Proto.encode_error Proto.Overloaded)
   end
 
-let handle_frame t wmu fd ~kind ~id payload =
+let handle_frame t c ~kind ~id payload =
   if kind = Proto.req_analyze then
     match Proto.decode_analyze payload with
-    | Some a -> handle_analyze t wmu fd ~id a
+    | Some a -> handle_analyze t c ~id a
     | None ->
         Atomic.incr t.served_malformed;
-        respond wmu fd ~kind:Proto.resp_error ~id
+        respond c ~kind:Proto.resp_error ~id
           (Proto.encode_error (Proto.Malformed "undecodable analyze request"))
   else if kind = Proto.req_stats then begin
     Atomic.incr t.served_stats;
-    respond wmu fd ~kind:Proto.resp_stats ~id
+    respond c ~kind:Proto.resp_stats ~id
       (Proto.encode_stats (stats_snapshot t))
   end
   else if kind = Proto.req_ping then begin
     Atomic.incr t.served_ping;
-    respond wmu fd ~kind:Proto.resp_pong ~id ""
+    respond c ~kind:Proto.resp_pong ~id ""
   end
   else begin
     Atomic.incr t.served_malformed;
-    respond wmu fd ~kind:Proto.resp_error ~id
+    respond c ~kind:Proto.resp_error ~id
       (Proto.encode_error
          (Proto.Malformed (Printf.sprintf "unknown request kind %C" kind)))
   end
@@ -186,61 +225,114 @@ let handle_frame t wmu fd ~kind ~id payload =
 (* Reading and writing race on [fd] by design (pipelining); only reads
    happen here. A framing error is unrecoverable — after a corrupt
    length prefix there is no resync point — so the reader answers once
-   (id 0: the real id is untrustworthy) and stops reading. *)
+   (id 0: the real id is untrustworthy) and stops reading. Returns
+   only once every in-flight job has written its response, so the
+   caller may close the fds immediately. *)
 let serve_split t ~rfd ~wfd =
-  let wmu = Mutex.create () in
+  let c =
+    { c_fd = wfd;
+      c_wmu = Mutex.create ();
+      c_drained = Condition.create ();
+      c_inflight = 0 }
+  in
   let rec loop () =
     if not (stopped t) then
       match Frame.read rfd with
       | Ok (kind, id, payload) ->
-          handle_frame t wmu wfd ~kind ~id payload;
+          handle_frame t c ~kind ~id payload;
           loop ()
       | Error `Eof -> ()
       | Error (`Frame e) ->
           Atomic.incr t.served_malformed;
-          respond wmu wfd ~kind:Proto.resp_error ~id:0
+          respond c ~kind:Proto.resp_error ~id:0
             (Proto.encode_error (Proto.Malformed (Frame.error_to_string e)))
   in
-  try loop () with _ -> ()
+  (try loop () with _ -> ());
+  (* drain: queued jobs run even during pool shutdown, and every job
+     is deadline-bounded, so this terminates *)
+  Mutex.lock c.c_wmu;
+  while c.c_inflight > 0 do
+    Condition.wait c.c_drained c.c_wmu
+  done;
+  Mutex.unlock c.c_wmu
 
 let serve_connection t fd = serve_split t ~rfd:fd ~wfd:fd
 
 let serve_stdio t = serve_split t ~rfd:Unix.stdin ~wfd:Unix.stdout
 
+(* One accept attempt on a nonblocking listener known readable.
+   Transient errors must not kill the loop: EINTR/ECONNABORTED (and
+   EAGAIN — the connection vanished between select and accept) mean
+   "nothing to accept after all"; EMFILE/ENFILE is fd exhaustion, i.e.
+   load, so back off briefly and let the listen backlog queue new
+   connections until descriptors free up. Anything else also gets a
+   brief pause so a persistent error cannot spin the loop — only
+   [stop] ends accepting. *)
+let accept_one t sock =
+  match Unix.accept ~cloexec:true sock with
+  | exception
+      Unix.Unix_error
+        ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
+    ->
+      ()
+  | exception Unix.Unix_error _ -> Unix.sleepf 0.05
+  | fd, _ ->
+      if stopped t then (try Unix.close fd with _ -> ())
+      else begin
+        (* accepted fds do not reliably inherit the listener's
+           nonblocking flag — the frame transport wants blocking *)
+        (try Unix.clear_nonblock fd with _ -> ());
+        ignore
+          (Thread.create
+             (fun () ->
+               serve_connection t fd;
+               (* serve_connection drains in-flight jobs before
+                  returning: no worker still holds this fd *)
+               try Unix.close fd with _ -> ())
+             ())
+      end
+
 let serve_unix_socket t ~path =
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let sock = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   Unix.bind sock (Unix.ADDR_UNIX path);
   Unix.listen sock 64;
-  Atomic.set t.listener (Some sock);
+  (* Nonblocking listener behind select, with the self-pipe in the
+     read set: [request_stop]'s wake byte interrupts the wait on any
+     platform (waking a thread blocked in plain accept by closing or
+     shutting down the socket is Linux-specific). The loop owns the
+     listener and closes it itself on exit — no cross-thread close. *)
+  Unix.set_nonblock sock;
   let rec accept_loop () =
-    match Unix.accept sock with
-    | exception Unix.Unix_error _ -> ()  (* stop closed the listener *)
-    | exception _ -> ()
-    | fd, _ ->
-        if stopped t then (try Unix.close fd with _ -> ())
-        else
-          ignore
-            (Thread.create
-               (fun () ->
-                 serve_connection t fd;
-                 try Unix.close fd with _ -> ())
-               ());
-        if not (stopped t) then accept_loop ()
+    if not (stopped t) then begin
+      (match Unix.select [ sock; t.wake_r ] [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | ready, _, _ ->
+          if List.memq sock ready && not (stopped t) then accept_one t sock);
+      accept_loop ()
+    end
   in
   accept_loop ();
-  (match Atomic.exchange t.listener None with
-  | Some fd -> ( try Unix.close fd with _ -> ())
-  | None -> ());
+  (try Unix.close sock with _ -> ());
   (try Unix.unlink path with Unix.Unix_error _ -> ())
 
-let stop t =
+(* Minimal by design: one Atomic.exchange and one pipe write, no
+   mutex, no join — safe to call from a signal handler (where locking
+   a mutex the interrupted thread already holds would self-deadlock)
+   while worker domains and reader threads run. *)
+let request_stop t =
   if not (Atomic.exchange t.stop_flag true) then begin
-    (match Atomic.exchange t.listener None with
-    | Some fd ->
-        (* shutdown wakes a thread blocked in accept; then close *)
-        (try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with _ -> ());
-        (try Unix.close fd with _ -> ())
-    | None -> ());
-    S.Pool.shutdown t.pool
+    let rec nudge () =
+      try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1) with
+      | Unix.Unix_error (Unix.EINTR, _, _) -> nudge ()
+      | _ -> ()
+    in
+    nudge ()
   end
+
+let stop t =
+  request_stop t;
+  (* drain-and-join; idempotent. Never call from a signal handler —
+     use [request_stop] there and [stop] on the main thread once the
+     serve loop returns. *)
+  S.Pool.shutdown t.pool

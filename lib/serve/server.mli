@@ -40,7 +40,10 @@ val serve_connection : t -> Unix.file_descr -> unit
     byte stream unrecoverable (a length-prefixed stream cannot resync
     after corruption: an error response is attempted, then the
     connection is dropped). Never raises; never closes [fd] (the
-    caller owns it). Blocks the calling thread. *)
+    caller owns it). Blocks the calling thread, and returns only once
+    every in-flight job for this connection has written its response
+    — the caller may close [fd] immediately on return without racing
+    a worker domain against a recycled descriptor number. *)
 
 val serve_stdio : t -> unit
 (** {!serve_connection} reading stdin / writing stdout. *)
@@ -59,9 +62,18 @@ val stats_snapshot : t -> Proto.stats
     is read from an [Atomic] or under the owning mutex — a snapshot
     during concurrent serving is coherent per counter. *)
 
+val request_stop : t -> unit
+(** Set the stop flag and wake the accept loop (via a self-pipe byte,
+    so the wake-up is portable, not Linux-specific). Takes no locks
+    and joins nothing — this is the only stop entry point safe to
+    call from a signal handler, where {!stop}'s mutex acquisition
+    could self-deadlock against the interrupted thread. Idempotent. *)
+
 val stop : t -> unit
-(** Stop accepting, refuse new work, drain queued jobs, join the pool.
+(** {!request_stop}, then drain queued jobs and join the pool.
     Connections already being read terminate on their next frame
-    (reader threads observe the stopped flag). Idempotent. *)
+    (reader threads observe the stopped flag). Call from a regular
+    thread — typically the main thread after the serve loop returns —
+    never from a signal handler. Idempotent. *)
 
 val stopped : t -> bool

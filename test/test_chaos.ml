@@ -619,8 +619,11 @@ let test_daemon_under_faults () =
                 paired
             done;
             Client.close client;
-            (try Unix.close a with _ -> ());
-            Thread.join reader
+            (* join before closing [a]: three clients race here, and a
+               recycled descriptor number must not receive another
+               connection's late response *)
+            Thread.join reader;
+            (try Unix.close a with _ -> ())
           in
           let threads = List.init 3 (fun _ -> Thread.create run_client ()) in
           List.iter Thread.join threads;
@@ -641,8 +644,8 @@ let test_daemon_under_faults () =
                 (v >= float_of_int (2 * 3 * List.length paired))
           | None -> Alcotest.fail "stats missing served_ok");
           Client.close client;
-          (try Unix.close a with _ -> ());
           Thread.join reader;
+          (try Unix.close a with _ -> ());
           Server.stop server))
 
 let () =

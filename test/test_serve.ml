@@ -69,8 +69,10 @@ let with_server ?workers ?(queue_depth = 64) ?default_timeout_s f =
   Fun.protect
     ~finally:(fun () ->
       Client.close client;
-      (try Unix.close a with _ -> ());
+      (* join before closing [a]: serve_connection drains in-flight
+         jobs and returns, and only then is the fd safe to close *)
       (try Thread.join reader with _ -> ());
+      (try Unix.close a with _ -> ());
       Server.stop server)
     (fun () -> f server client)
 
@@ -275,8 +277,8 @@ let test_concurrent_clients () =
           | _ -> Atomic.incr errors
         done;
         Client.close client;
-        (try Unix.close sfd with _ -> ());
-        try Thread.join reader with _ -> ()
+        (try Thread.join reader with _ -> ());
+        try Unix.close sfd with _ -> ()
       in
       let threads = List.init n_clients (fun ci -> Thread.create run_client ci) in
       List.iter Thread.join threads;
@@ -414,9 +416,10 @@ let test_malformed_payload_answered () =
   let reader = Thread.create (fun () -> Server.serve_connection server a) () in
   Fun.protect
     ~finally:(fun () ->
+      (try Unix.shutdown b Unix.SHUTDOWN_ALL with _ -> ());
       (try Unix.close b with _ -> ());
-      (try Unix.close a with _ -> ());
       (try Thread.join reader with _ -> ());
+      (try Unix.close a with _ -> ());
       Server.stop server)
     (fun () ->
       Frame.write b ~kind:Proto.req_analyze ~id:9 "not a request";
@@ -444,9 +447,10 @@ let test_corrupt_stream_rejected () =
   let reader = Thread.create (fun () -> Server.serve_connection server a) () in
   Fun.protect
     ~finally:(fun () ->
+      (try Unix.shutdown b Unix.SHUTDOWN_ALL with _ -> ());
       (try Unix.close b with _ -> ());
-      (try Unix.close a with _ -> ());
       (try Thread.join reader with _ -> ());
+      (try Unix.close a with _ -> ());
       Server.stop server)
     (fun () ->
       let garbage = rand_bytes Frame.header_size in
