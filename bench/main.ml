@@ -26,7 +26,11 @@
    Serving daemon only (closed-loop capacity, open-loop contracts/s +
    p50/p99 at three offered loads, shed rate at overload, writes
    BENCH_pr6.json):
-     dune exec bench/main.exe -- --pr6-only *)
+     dune exec bench/main.exe -- --pr6-only
+   Streaming index only (deploy/rotate/destroy scenario: blocks/s,
+   verdict lag, re-analyses per mutating block vs full-sweep baseline,
+   writes BENCH_pr7.json):
+     dune exec bench/main.exe -- --pr7-only *)
 
 open Bechamel
 open Toolkit
@@ -72,8 +76,7 @@ let victim_runtime =
 
 let decompile () = ignore (Ethainter_tac.Decomp.decompile victim_runtime)
 
-let analyze_one () =
-  ignore (Ethainter_core.Pipeline.analyze_runtime victim_runtime)
+let analyze_one () = ignore (P.run (P.request (P.Runtime victim_runtime)))
 
 let keccak () = ignore (Ethainter_crypto.Keccak.hash (String.make 1000 'x'))
 
@@ -168,7 +171,10 @@ let bench_pr1 () =
   let corpus = G.mainnet ~seed:corpus_seed ~size:corpus_size () in
   let runtimes = List.map (fun (i : G.instance) -> i.G.i_runtime) corpus in
   let workers = S.default_workers () in
-  let seq_s = time_best (fun () -> ignore (List.map P.analyze_runtime runtimes)) in
+  let seq_s =
+    time_best (fun () ->
+        ignore (List.map (fun c -> P.run (P.request (P.Runtime c))) runtimes))
+  in
   let par_s = time_best (fun () -> ignore (S.analyze_corpus ~workers runtimes)) in
   let par_speedup = seq_s /. par_s in
   Printf.printf
@@ -475,7 +481,7 @@ let bench_pr4 () =
   let code = jump_chain_bytecode adversarial_blocks in
   let budget_s = 0.05 in
   let t0 = Unix.gettimeofday () in
-  let r = P.analyze_runtime ~timeout_s:budget_s code in
+  let r = P.run (P.request ~timeout_s:budget_s (P.Runtime code)) in
   let wall_s = Unix.gettimeofday () -. t0 in
   let ratio = wall_s /. budget_s in
   P.set_cache_enabled true;
@@ -909,6 +915,72 @@ let bench_pr6 () =
   close_out oc;
   print_endline "  wrote BENCH_pr6.json"
 
+(* ------------------------------------------------------------------ *)
+(* PR7: the streaming index. The deploy/rotate/destroy scenario from   *)
+(* lib/experiments against a live Index: block throughput, verdict     *)
+(* lag, re-analyses per mutating block vs the full-sweep baseline      *)
+(* (every live contract, every mutating block), the zero-front-end     *)
+(* telemetry claim, and the incremental==batch differential. Emitted   *)
+(* as BENCH_pr7.json.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let bench_pr7 () =
+  print_endline "";
+  print_endline
+    "PR7 streaming index (dependency-aware incremental re-analysis):";
+  let contracts = 24 and rotations = 36 and noise = 18 and kills = 4 in
+  let r = E.stream ~contracts ~rotations ~noise ~kills () in
+  let saved =
+    r.E.st_full_sweep_per_mutating_block
+    /. (let per = r.E.st_reanalyses_per_mutating_block in
+        if per > 0.0 then per else 1.0)
+  in
+  Printf.printf
+    "  %d blocks (%d contracts, %d rotations, %d noise writes, %d kills): \
+     %.1f blocks/s\n"
+    r.E.st_blocks contracts rotations noise kills r.E.st_blocks_per_s;
+  Printf.printf
+    "  re-analyses per mutating block: %.2f incremental vs %.2f full sweep \
+     (%.1fx less work)\n"
+    r.E.st_reanalyses_per_mutating_block r.E.st_full_sweep_per_mutating_block
+    saved;
+  Printf.printf "  mean verdict lag: %.2f blocks\n" r.E.st_mean_lag_blocks;
+  Printf.printf
+    "  front-end recomputations: %d (claim: 0); incremental == batch: %b\n"
+    r.E.st_frontend_recomputes r.E.st_incremental_eq_batch;
+  let oc = open_out "BENCH_pr7.json" in
+  Printf.fprintf oc
+    {|{
+  "pr": 7,
+  "machine_cores": %d,
+  "stream": {
+    "contracts": %d,
+    "rotations": %d,
+    "noise_writes": %d,
+    "kills": %d,
+    "blocks": %d,
+    "elapsed_s": %.6f,
+    "blocks_per_s": %.4f,
+    "invalidations": %d,
+    "analyses": %d,
+    "reanalyses": %d,
+    "reanalyses_per_mutating_block": %.4f,
+    "full_sweep_per_mutating_block": %.4f,
+    "mean_lag_blocks": %.4f,
+    "frontend_recomputes": %d,
+    "incremental_eq_batch": %b
+  }
+}
+|}
+    (Domain.recommended_domain_count ())
+    contracts rotations noise kills r.E.st_blocks r.E.st_elapsed_s
+    r.E.st_blocks_per_s r.E.st_invalidations r.E.st_analyses
+    r.E.st_reanalyses r.E.st_reanalyses_per_mutating_block
+    r.E.st_full_sweep_per_mutating_block r.E.st_mean_lag_blocks
+    r.E.st_frontend_recomputes r.E.st_incremental_eq_batch;
+  close_out oc;
+  print_endline "  wrote BENCH_pr7.json"
+
 let () =
   let has f = Array.exists (fun a -> a = f) Sys.argv in
   let tables_only = has "--tables-only" in
@@ -918,12 +990,14 @@ let () =
   let pr4_only = has "--pr4-only" in
   let pr5_only = has "--pr5-only" in
   let pr6_only = has "--pr6-only" in
+  let pr7_only = has "--pr7-only" in
   if pr1_only then bench_pr1 ()
   else if pr2_only then bench_pr2 ()
   else if pr3_only then bench_pr3 ()
   else if pr4_only then bench_pr4 ()
   else if pr5_only then bench_pr5 ()
   else if pr6_only then bench_pr6 ()
+  else if pr7_only then bench_pr7 ()
   else begin
     if not tables_only then begin
       print_endline "Bechamel benchmarks (one per reproduced table/figure):";
@@ -935,6 +1009,7 @@ let () =
     bench_pr4 ();
     bench_pr5 ();
     bench_pr6 ();
+    bench_pr7 ();
     print_endline "";
     print_endline "Reproduced tables and figures (full scale):";
     (* run_all keeps the cache warm across its overlapping sweeps —

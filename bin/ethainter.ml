@@ -109,11 +109,21 @@ let faults_term =
       | None -> ())
     $ spec)
 
-(* Two labeled lines: the front-end (decompile+facts artifact) and
-   back-end (per-config result) tiers hit independently. *)
-let print_cache_stats () =
-  if Ethainter_core.Pipeline.cache_enabled () then
-    Format.eprintf "%a@." Ethainter_core.Pipeline.pp_cache_stats ()
+(* --stats: the full process telemetry snapshot — both phase-split
+   cache tiers, the intern table, the Datalog planner and the
+   scheduler's retry counter — the same Telemetry surface the daemon's
+   stats request serves. *)
+let stats_term =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"After the analysis, print the process telemetry snapshot \
+                 (cache tiers, intern table, Datalog planner, scheduler \
+                 retries) to stderr.")
+
+let print_stats enabled =
+  if enabled then
+    Format.eprintf "%a@." Ethainter_core.Telemetry.pp
+      (Ethainter_core.Telemetry.capture ())
 
 let analyze_cmd =
   let file =
@@ -127,7 +137,7 @@ let analyze_cmd =
          & info [ "explain" ]
              ~doc:"Print a taint-derivation witness for every report.")
   in
-  let run cfg () () explain file =
+  let run cfg () () explain stats file =
     let input = load_input file in
     (* through the scheduler's isolation wrapper, so a fatal exception
        (or an injected fault) becomes a classified per-contract error
@@ -165,10 +175,12 @@ let analyze_cmd =
            print_endline
              ("  " ^ Ethainter_core.Vulns.report_to_string rep))
          r.Ethainter_core.Pipeline.reports);
-    print_cache_stats ()
+    print_stats stats
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Run the Ethainter analysis on a contract")
-    Term.(const run $ config_term $ cache_term $ faults_term $ explain $ file)
+    Term.(
+      const run $ config_term $ cache_term $ faults_term $ explain
+      $ stats_term $ file)
 
 let decompile_cmd =
   let file =

@@ -38,7 +38,11 @@ let run rounds files =
             None
         | Some addr ->
             let runtime = Ethainter_evm.State.code (T.state net) addr in
-            let res = Ethainter_core.Pipeline.analyze_runtime runtime in
+            let res =
+              Ethainter_core.Scheduler.analyze_request
+                (Ethainter_core.Pipeline.request
+                   (Ethainter_core.Pipeline.Runtime runtime))
+            in
             Printf.printf "%-40s deployed at %s, %d report(s)\n" file
               (U.to_hex addr)
               (List.length res.Ethainter_core.Pipeline.reports);

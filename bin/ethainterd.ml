@@ -7,15 +7,126 @@
    Datalog plans and both phase-split cache tiers stay warm across
    requests for the life of the process.
 
-   --selftest runs a one-request smoke cycle against an in-process
-   server (no socket, no network) and exits nonzero on any failure —
+   --watch additionally attaches a streaming analysis index (lib/index)
+   fed by an in-process chain simulator under a continuous synthetic
+   deploy/rotate/destroy workload; clients query per-contract verdicts
+   with the watch request and the index's counters with index-stats.
+   Index re-analyses run on the same worker pool and admission queue
+   as client requests.
+
+   --selftest runs a smoke cycle against an in-process server (no
+   socket, no network) — analysis, stats, and a watch-mode
+   attach/lookup/detach round — and exits nonzero on any failure:
    usable as a container healthcheck. *)
 
 open Cmdliner
+module U = Ethainter_word.Uint256
 module P = Ethainter_core.Pipeline
 module Serve = Ethainter_serve.Server
 module Client = Ethainter_serve.Client
 module Proto = Ethainter_serve.Proto
+module T = Ethainter_chain.Testnet
+module Idx = Ethainter_index.Index
+
+(* ------------------------------------------------------------------ *)
+(* Watch mode                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let watch_status_of : Idx.status -> Proto.watch_status = function
+  | Idx.Unknown -> Proto.Watch_unknown
+  | Idx.Pending b -> Proto.Watch_pending b
+  | Idx.Destroyed -> Proto.Watch_destroyed
+  | Idx.Indexed v ->
+      Proto.Watch_indexed
+        { wi_deployed = v.Idx.v_deployed_block;
+          wi_indexed = v.Idx.v_indexed_block;
+          wi_result = v.Idx.v_result }
+
+let index_handlers idx =
+  { Serve.h_watch =
+      (fun addr_hex ->
+        match U.of_hex (String.trim addr_hex) with
+        | addr -> watch_status_of (Idx.lookup idx addr)
+        | exception _ -> Proto.Watch_unknown);
+    Serve.h_index_stats = (fun () -> Idx.stats idx) }
+
+(* One contract per tag, each with a distinct constant baked into its
+   runtime so bytecodes (and cache keys) never collide; the owner slot
+   is the only storage its guards read, so rotating it is exactly the
+   dependency write the index must chase. *)
+let watch_source tag =
+  Printf.sprintf
+    {|contract Watched {
+  address owner;
+  constructor() { owner = msg.sender; }
+  function tag() public returns (uint256) { return %d; }
+  function setOwner(address o) public {
+    require(msg.sender == owner);
+    owner = o;
+  }
+  function kill() public {
+    require(msg.sender == owner);
+    selfdestruct(owner);
+  }
+}|}
+    tag
+
+(* Attach a streaming index (on the server's own pool) to a fresh chain
+   simulator and drive a rolling synthetic workload — each tick deploys
+   a contract, rotates an existing contract's admin key, and, once the
+   fleet is large enough, destroys the oldest — until the server stops.
+   Returns the joinable driver thread. *)
+let start_watch ?(tick_s = 0.25) ?(fleet_cap = 24) server =
+  let net = T.create ~name:"watch" () in
+  let deployer = T.account_of_seed "watch-deployer" in
+  T.fund_account net deployer (U.of_string "0xffffffffffffffffffffffff");
+  let idx = Idx.create ~pool:(Serve.pool server) net in
+  Serve.set_index_handlers server (Some (index_handlers idx));
+  Thread.create
+    (fun () ->
+      let fleet = Queue.create () in
+      let k = ref 0 in
+      while not (Serve.stopped server) do
+        (try
+           let initcode =
+             Ethainter_minisol.Codegen.compile_source
+               (watch_source (1000 + !k))
+           in
+           (match (T.deploy net ~from:deployer initcode).T.created with
+           | Some addr ->
+               Queue.push (addr, ref deployer) fleet;
+               Printf.eprintf "ethainterd: watch block %d deployed %s\n%!"
+                 (T.block_number net) (U.to_hex addr)
+           | None -> ());
+           (* rotate a mid-fleet admin key: a dependency write that
+              invalidates exactly that contract's verdict *)
+           (if Queue.length fleet > 1 then
+              let arr = Array.of_seq (Queue.to_seq fleet) in
+              let addr, owner = arr.(!k mod Array.length arr) in
+              let next =
+                T.account_of_seed (Printf.sprintf "watch-owner-%d" !k)
+              in
+              T.fund_account net next (U.of_string "0xffffffff");
+              if
+                T.succeeded
+                  (T.call_fn net ~from:!owner ~to_:addr "setOwner(address)"
+                     [ next ])
+              then owner := next);
+           if Queue.length fleet > fleet_cap then begin
+             let addr, owner = Queue.pop fleet in
+             ignore (T.call_fn net ~from:!owner ~to_:addr "kill()" [])
+           end
+         with _ -> ());
+        incr k;
+        (* sleep in short slices so shutdown is prompt *)
+        let slept = ref 0.0 in
+        while !slept < tick_s && not (Serve.stopped server) do
+          Thread.delay 0.05;
+          slept := !slept +. 0.05
+        done
+      done;
+      Idx.detach idx)
+    ()
 
 (* ------------------------------------------------------------------ *)
 (* Selftest                                                            *)
@@ -59,6 +170,44 @@ let selftest ~workers ~queue_depth ~timeout_s () =
   if get "cache_be_hits" < 1.0 then
     fail_selftest "repeat request missed the back-end cache";
   if get "served_ok" < 2.0 then fail_selftest "served_ok < 2";
+  (* watch-mode smoke cycle: refused before an index is attached,
+     end-to-end verdict lookup after *)
+  (match Client.watch client ~addr_hex:"0xdead" with
+  | Client.Error (Proto.Malformed _) -> ()
+  | _ -> fail_selftest "watch without an index was not refused");
+  let net = T.create ~name:"selftest" () in
+  let deployer = T.account_of_seed "selftest-deployer" in
+  T.fund_account net deployer (U.of_string "0xffffffffffffffff");
+  let idx = Idx.create ~pool:(Serve.pool server) net in
+  Serve.set_index_handlers server (Some (index_handlers idx));
+  let addr =
+    match
+      (T.deploy_runtime net ~from:deployer
+         (Ethainter_word.Hex.decode selftest_hex))
+        .T.created
+    with
+    | Some a -> a
+    | None -> fail_selftest "watch deployment failed"
+  in
+  Idx.drain idx;
+  (match Client.watch client ~addr_hex:(U.to_hex addr) with
+  | Client.Watch (Proto.Watch_indexed w) ->
+      if w.wi_result.P.error <> None then
+        fail_selftest "watched verdict carries an error"
+  | _ -> fail_selftest "watch did not return an indexed verdict");
+  (match
+     Client.watch client ~addr_hex:(U.to_hex (T.account_of_seed "nobody"))
+   with
+  | Client.Watch Proto.Watch_unknown -> ()
+  | _ -> fail_selftest "unknown address did not answer Watch_unknown");
+  (match Client.index_stats client with
+  | Ok st when (match List.assoc_opt "index_contracts" st with
+               | Some v -> v >= 1.0
+               | None -> false) -> ()
+  | Ok _ -> fail_selftest "index stats missing index_contracts >= 1"
+  | Stdlib.Error e ->
+      fail_selftest "index_stats refused: %s" (Proto.error_code e));
+  Idx.detach idx;
   Client.close client;
   (* join before closing [a]: the reader owns the fd until
      serve_connection returns (having drained in-flight jobs) *)
@@ -108,7 +257,7 @@ let faults_term =
       | None -> ())
     $ spec)
 
-let run socket stdio workers queue_depth timeout_s selftest_flag () () =
+let run socket stdio workers queue_depth timeout_s watch selftest_flag () () =
   if selftest_flag then selftest ~workers ~queue_depth ~timeout_s ();
   match (socket, stdio) with
   | None, false ->
@@ -122,6 +271,7 @@ let run socket stdio workers queue_depth timeout_s selftest_flag () () =
       let server =
         Serve.create ?workers ~queue_depth ~default_timeout_s:timeout_s ()
       in
+      let driver = if watch then Some (start_watch server) else None in
       (* a client hanging up mid-response must not kill the daemon *)
       (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
       (* the handler runs at a safe point on an arbitrary thread — one
@@ -133,17 +283,27 @@ let run socket stdio workers queue_depth timeout_s selftest_flag () () =
        with _ -> ());
       (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
        with _ -> ());
-      Printf.eprintf "ethainterd: listening on %s (queue depth %d)\n%!" path
-        queue_depth;
+      Printf.eprintf "ethainterd: listening on %s (queue depth %d%s)\n%!" path
+        queue_depth (if watch then ", watch mode" else "");
       Serve.serve_unix_socket server ~path;
-      Serve.stop server
+      Serve.stop server;
+      (* the driver observes the stopped flag; index job submissions
+         refused by the drained pool fall back to running inline on the
+         driver thread, so the join is bounded *)
+      (match driver with
+      | Some d -> (try Thread.join d with _ -> ())
+      | None -> ())
   | None, true ->
       let server =
         Serve.create ?workers ~queue_depth ~default_timeout_s:timeout_s ()
       in
+      let driver = if watch then Some (start_watch server) else None in
       (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
       Serve.serve_stdio server;
-      Serve.stop server
+      Serve.stop server;
+      (match driver with
+      | Some d -> (try Thread.join d with _ -> ())
+      | None -> ())
 
 let main =
   let socket =
@@ -178,17 +338,26 @@ let main =
              ~doc:"Per-request deadline cap (requests asking for more are \
                    clamped). The paper's combined cutoff is 120 s.")
   in
+  let watch =
+    Arg.(value & flag
+         & info [ "watch" ]
+             ~doc:"Attach a streaming analysis index fed by an in-process \
+                   chain simulator under a continuous synthetic workload; \
+                   serve per-contract verdicts via the watch request and \
+                   index counters via index-stats.")
+  in
   let selftest =
     Arg.(value & flag
          & info [ "selftest" ]
-             ~doc:"Run a one-request smoke cycle against an in-process \
-                   server and exit (0 on success) — a healthcheck.")
+             ~doc:"Run a smoke cycle (analysis, stats, watch-mode \
+                   attach/lookup/detach) against an in-process server and \
+                   exit (0 on success) — a healthcheck.")
   in
   let doc = "Ethainter analysis-as-a-service daemon" in
   Cmd.v
     (Cmd.info "ethainterd" ~version:"1.0.0" ~doc)
     Term.(
       const run $ socket $ stdio $ workers $ queue_depth $ timeout_s
-      $ selftest $ cache_term $ faults_term)
+      $ watch $ selftest $ cache_term $ faults_term)
 
 let () = exit (Cmd.eval main)

@@ -62,9 +62,16 @@ let () =
   | "f8a" -> E.print_f8a (E.f8a ~size:(sz 600) ())
   | "f8b" -> E.print_f8b (E.f8b ~size:(sz 600) ())
   | "f8c" -> E.print_f8c (E.f8c ~size:(sz 600) ())
+  | "stream" ->
+      E.print_stream
+        (E.stream
+           ~contracts:(max 4 (int_of_float (16.0 *. scale)))
+           ~rotations:(max 6 (int_of_float (24.0 *. scale)))
+           ())
   | other ->
       Printf.eprintf
-        "unknown experiment %S (expected all|e1|t1|f6|s1|f7|te|rq2|f8a|f8b|f8c)\n"
+        "unknown experiment %S (expected \
+         all|e1|t1|f6|s1|f7|te|rq2|f8a|f8b|f8c|stream)\n"
         other;
       exit 1);
   if P.cache_enabled () then Format.printf "%a@." P.pp_cache_stats ()

@@ -35,7 +35,7 @@ contract WalletLibrary {
 
 let () =
   let runtime = Ethainter_minisol.Codegen.compile_source_runtime wallet_src in
-  let result = Ethainter_core.Pipeline.analyze_runtime runtime in
+  let result = Ethainter_core.Pipeline.(run (request (Runtime runtime))) in
   print_endline "Ethainter reports (Parity-style wallet):";
   List.iter
     (fun r ->

@@ -23,7 +23,7 @@ let () =
 
   (* 2. Run the Ethainter pipeline: decompile to 3-address code, build
         guard/data-structure facts, run the composite taint fixpoint. *)
-  let result = Ethainter_core.Pipeline.analyze_runtime runtime in
+  let result = Ethainter_core.Pipeline.(run (request (Runtime runtime))) in
   Printf.printf "decompiled to %d statements in %d blocks\n"
     result.Ethainter_core.Pipeline.tac_loc
     result.Ethainter_core.Pipeline.blocks;
@@ -50,6 +50,6 @@ contract Wallet {
   }
 }|}
   in
-  let result' = Ethainter_core.Pipeline.analyze_runtime fixed in
+  let result' = Ethainter_core.Pipeline.(run (request (Runtime fixed))) in
   Printf.printf "fixed contract: %d report(s)\n"
     (List.length result'.Ethainter_core.Pipeline.reports)

@@ -31,7 +31,7 @@ contract ExchangeChecked {
 
 let analyze name src =
   let runtime = Ethainter_minisol.Codegen.compile_source_runtime src in
-  let r = Ethainter_core.Pipeline.analyze_runtime runtime in
+  let r = Ethainter_core.Pipeline.(run (request (Runtime runtime))) in
   Printf.printf "%-20s %s\n" name
     (match r.Ethainter_core.Pipeline.reports with
     | [] -> "clean"

@@ -55,7 +55,7 @@ contract BrokenToken {
 let audit name src =
   Printf.printf "=== %s ===\n" name;
   let runtime = Ethainter_minisol.Codegen.compile_source_runtime src in
-  let eth = Ethainter_core.Pipeline.analyze_runtime runtime in
+  let eth = Ethainter_core.Pipeline.(run (request (Runtime runtime))) in
   (if eth.Ethainter_core.Pipeline.reports = [] then
      print_endline "Ethainter: clean"
    else

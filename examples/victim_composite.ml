@@ -33,7 +33,7 @@ contract Victim {
 let () =
   (* --- static detection --- *)
   let runtime = Ethainter_minisol.Codegen.compile_source_runtime victim_src in
-  let result = Ethainter_core.Pipeline.analyze_runtime runtime in
+  let result = Ethainter_core.Pipeline.(run (request (Runtime runtime))) in
   print_endline "Ethainter reports:";
   List.iter
     (fun r ->

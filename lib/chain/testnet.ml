@@ -6,7 +6,16 @@
 
     The network executes transactions through {!Ethainter_evm.Interp},
     records per-transaction receipts with instruction traces, and can
-    be forked cheaply (copy-on-snapshot of world state). *)
+    be forked cheaply (copy-on-snapshot of world state).
+
+    Beyond receipts, the network seals {b blocks} and exposes them to
+    consumers two ways: pull ({!blocks_since} tails the chain from any
+    height) and push ({!on_block} observers run at each seal). A block
+    carries the digested chain-observable effects — deployments,
+    storage writes, self-destructs — that a streaming analysis index
+    needs to compute its dirty set without re-deriving anything from
+    instruction traces. By default every transaction seals its own
+    block; {!in_block} batches several transactions into one. *)
 
 module U = Ethainter_word.Uint256
 module State = Ethainter_evm.State
@@ -20,28 +29,143 @@ type receipt = {
   outcome : Interp.outcome;
   trace : Interp.trace_entry list;
   logs : Interp.log_entry list; (** events emitted by this transaction *)
+  effects : Interp.effect list;
+      (** chain-observable effects (storage writes, creations,
+          self-destructs), chronological; empty if rolled back *)
   gas_used : int;
   block : int;
+}
+
+type block = {
+  b_number : int;
+  b_receipts : receipt list; (** oldest first *)
+  b_deployed : (U.t * string) list;
+      (** contracts deployed in this block and still live at its seal
+          (address × runtime bytecode) — direct deployments and
+          factory CREATE/CREATE2 children alike *)
+  b_storage_writes : (U.t * U.t) list;
+      (** (contract, slot) pairs written in this block, deduplicated,
+          in first-write order. Over-approximate: a write inside an
+          inner call that later reverted is still listed (sound for
+          invalidation, which treats each entry as "may have
+          changed") *)
+  b_selfdestructed : U.t list; (** contracts destroyed by this block *)
 }
 
 type t = {
   state : State.t;
   mutable block_number : int;
   mutable receipts : receipt list;
+  mutable blocks : block list; (* newest first *)
+  mutable open_block : bool;   (* inside in_block: txs share one block *)
+  mutable pending : receipt list; (* current block's receipts, newest first *)
+  mutable observers : (block -> unit) list; (* registration order, reversed *)
   name : string;
 }
 
 let create ?(name = "ropsten-fork") () =
-  { state = State.create (); block_number = 0; receipts = []; name }
+  { state = State.create (); block_number = 0; receipts = []; blocks = [];
+    open_block = false; pending = []; observers = []; name }
 
 (** Fork the network: independent deep copy of world state, shared
-    history up to the fork point. *)
+    history up to the fork point. Observers are {e not} inherited — a
+    fork is a new chain tail and consumers must opt in again. *)
 let fork ?(name = "fork") (t : t) =
   { state = State.copy t.state; block_number = t.block_number;
-    receipts = t.receipts; name }
+    receipts = t.receipts; blocks = t.blocks; open_block = false;
+    pending = []; observers = []; name }
 
 let state t = t.state
 let block_number t = t.block_number
+
+(* ---------------- blocks ---------------- *)
+
+(* Digest the pending receipts into a sealed block and notify
+   observers (in registration order, on the sealing thread). Effect
+   lists over-approximate (inner reverts are not trimmed), so
+   liveness-sensitive views — what was deployed, what is destroyed —
+   are re-checked against the state at seal time. *)
+let seal (t : t) : unit =
+  let receipts = List.rev t.pending in
+  t.pending <- [];
+  let effects = List.concat_map (fun r -> r.effects) receipts in
+  let seen_dep : (U.t, unit) Hashtbl.t = Hashtbl.create 8 in
+  let seen_wr : (U.t * U.t, unit) Hashtbl.t = Hashtbl.create 16 in
+  let seen_sd : (U.t, unit) Hashtbl.t = Hashtbl.create 4 in
+  let deployed = ref [] and writes = ref [] and destroyed = ref [] in
+  List.iter
+    (fun (e : Interp.effect) ->
+      match e with
+      | Interp.E_create a ->
+          if not (Hashtbl.mem seen_dep a) then begin
+            Hashtbl.replace seen_dep a ();
+            let code = State.code t.state a in
+            if String.length code > 0 && not (State.is_destroyed t.state a)
+            then deployed := (a, code) :: !deployed
+          end
+      | Interp.E_sstore { es_addr; es_slot } ->
+          if not (Hashtbl.mem seen_wr (es_addr, es_slot)) then begin
+            Hashtbl.replace seen_wr (es_addr, es_slot) ();
+            writes := (es_addr, es_slot) :: !writes
+          end
+      | Interp.E_selfdestruct a ->
+          if not (Hashtbl.mem seen_sd a) then begin
+            Hashtbl.replace seen_sd a ();
+            if State.is_destroyed t.state a then destroyed := a :: !destroyed
+          end)
+    effects;
+  let b =
+    { b_number = t.block_number; b_receipts = receipts;
+      b_deployed = List.rev !deployed;
+      b_storage_writes = List.rev !writes;
+      b_selfdestructed = List.rev !destroyed }
+  in
+  t.blocks <- b :: t.blocks;
+  List.iter (fun f -> f b) (List.rev t.observers)
+
+(* Open a block if none is open; every transaction helper funnels
+   through here. *)
+let begin_tx (t : t) : unit =
+  if not t.open_block then t.block_number <- t.block_number + 1
+
+let record (t : t) (r : receipt) : unit =
+  t.receipts <- r :: t.receipts;
+  t.pending <- r :: t.pending;
+  if not t.open_block then seal t
+
+(** Batch several transactions into one block: [f]'s transactions all
+    carry the same block number, and the block is sealed (observers
+    notified) once [f] returns — also on exception. Not reentrant. *)
+let in_block (t : t) (f : unit -> 'a) : 'a =
+  if t.open_block then invalid_arg "Testnet.in_block: block already open";
+  t.block_number <- t.block_number + 1;
+  t.open_block <- true;
+  Fun.protect
+    ~finally:(fun () ->
+      t.open_block <- false;
+      seal t)
+    f
+
+(** Sealed blocks with number strictly greater than [n], ascending —
+    [blocks_since t 0] is the whole chain, [blocks_since t (head - k)]
+    tails the last [k]. *)
+let blocks_since (t : t) (n : int) : block list =
+  List.rev (List.filter (fun b -> b.b_number > n) t.blocks)
+
+(** Register a block observer, called synchronously on the sealing
+    thread after each block (including blocks sealed by {!in_block}).
+    Observers must not raise and must not transact on [t] reentrantly. *)
+let on_block (t : t) (f : block -> unit) : unit =
+  t.observers <- f :: t.observers
+
+(** Every live contract (deployed, not self-destructed) with its
+    runtime bytecode, sorted by address — the corpus a cold batch
+    sweep of the current chain state analyzes. *)
+let live_contracts (t : t) : (U.t * string) list =
+  State.fold_contracts t.state (fun a code acc -> (a, code) :: acc) []
+  |> List.sort (fun (a, _) (b, _) -> U.compare a b)
+
+(* ---------------- accounts and transactions ---------------- *)
 
 (** Create an externally-owned account with the given balance. *)
 let fund_account (t : t) (addr : U.t) (balance : U.t) =
@@ -66,7 +190,7 @@ let next_tx_hash (from : U.t) =
     new contract's address on success. *)
 let deploy (t : t) ~(from : U.t) ?(value = U.zero) (initcode : string) :
     receipt =
-  t.block_number <- t.block_number + 1;
+  begin_tx t;
   let nonce = State.nonce t.state from in
   let addr = State.contract_address ~creator:from ~nonce in
   State.bump_nonce t.state from;
@@ -77,21 +201,25 @@ let deploy (t : t) ~(from : U.t) ?(value = U.zero) (initcode : string) :
     Interp.call_full t.state ~caller:from ~target:addr ~value:U.zero
       ~calldata:""
   in
-  let outcome, created =
+  let outcome, created, effects =
     match cr.Interp.outcome with
     | Interp.Returned runtime ->
         State.set_code t.state addr runtime;
-        (Interp.Returned runtime, Some addr)
+        (* the deploy path creates by transaction, not by a CREATE
+           opcode — synthesize the effect so block consumers see one
+           uniform deployment stream *)
+        ( Interp.Returned runtime, Some addr,
+          Interp.E_create addr :: cr.Interp.tx_effects )
     | (Interp.Reverted _ | Interp.Failed _) as o ->
         State.restore t.state snap;
-        (o, None)
+        (o, None, [])
   in
   let r =
     { tx_hash = next_tx_hash from; from; to_ = None; created; outcome;
-      trace = cr.Interp.tx_trace; logs = cr.Interp.tx_logs;
+      trace = cr.Interp.tx_trace; logs = cr.Interp.tx_logs; effects;
       gas_used = cr.Interp.gas_used; block = t.block_number }
   in
-  t.receipts <- r :: t.receipts;
+  record t r;
   r
 
 (** Deploy runtime bytecode directly (wraps it in a deployer). *)
@@ -102,7 +230,7 @@ let deploy_runtime (t : t) ~(from : U.t) ?(value = U.zero) (runtime : string)
 (** Send a transaction to a contract. *)
 let transact (t : t) ~(from : U.t) ~(to_ : U.t) ?(value = U.zero)
     ?(gas = 10_000_000) (calldata : string) : receipt =
-  t.block_number <- t.block_number + 1;
+  begin_tx t;
   State.bump_nonce t.state from;
   let cr =
     Interp.call_full ~gas
@@ -112,10 +240,10 @@ let transact (t : t) ~(from : U.t) ~(to_ : U.t) ?(value = U.zero)
   let r =
     { tx_hash = next_tx_hash from; from; to_ = Some to_; created = None;
       outcome = cr.Interp.outcome; trace = cr.Interp.tx_trace;
-      logs = cr.Interp.tx_logs; gas_used = cr.Interp.gas_used;
-      block = t.block_number }
+      logs = cr.Interp.tx_logs; effects = cr.Interp.tx_effects;
+      gas_used = cr.Interp.gas_used; block = t.block_number }
   in
-  t.receipts <- r :: t.receipts;
+  record t r;
   r
 
 (** Call a contract function by Solidity-style signature with 32-byte

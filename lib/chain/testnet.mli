@@ -4,7 +4,14 @@
     the analyzed contracts live on, and the "private fork of the
     Ropsten testnet" on which Ethainter-Kill destroys contracts (§6.1).
     Transactions execute through the real EVM interpreter; receipts
-    carry full instruction traces and event logs. *)
+    carry full instruction traces and event logs.
+
+    The network also seals {b blocks} and exposes them to consumers by
+    pull ({!blocks_since}) or push ({!on_block}), carrying the digested
+    chain-observable effects — deployments, storage writes,
+    self-destructs — that a streaming analysis index needs to compute
+    its dirty set. By default every transaction seals its own block;
+    {!in_block} batches several into one. *)
 
 module U = Ethainter_word.Uint256
 module State = Ethainter_evm.State
@@ -18,8 +25,26 @@ type receipt = {
   outcome : Interp.outcome;
   trace : Interp.trace_entry list; (** executed instructions *)
   logs : Interp.log_entry list;    (** events (empty if rolled back) *)
+  effects : Interp.effect list;
+      (** chain-observable effects (storage writes, creations,
+          self-destructs), chronological; empty if rolled back *)
   gas_used : int;
   block : int;
+}
+
+type block = {
+  b_number : int;
+  b_receipts : receipt list; (** oldest first *)
+  b_deployed : (U.t * string) list;
+      (** contracts deployed in this block and still live at its seal
+          (address × runtime bytecode) — direct deployments and
+          factory CREATE/CREATE2 children alike *)
+  b_storage_writes : (U.t * U.t) list;
+      (** (contract, slot) pairs written in this block, deduplicated,
+          in first-write order; over-approximate (writes inside inner
+          calls that later reverted are still listed — sound for
+          invalidation) *)
+  b_selfdestructed : U.t list; (** contracts destroyed by this block *)
 }
 
 type t
@@ -28,10 +53,30 @@ val create : ?name:string -> unit -> t
 
 val fork : ?name:string -> t -> t
 (** Independent deep copy of world state; shared history up to the
-    fork point. *)
+    fork point. Block observers are {e not} inherited. *)
 
 val state : t -> State.t
 val block_number : t -> int
+
+val in_block : t -> (unit -> 'a) -> 'a
+(** [in_block t f] batches all transactions performed by [f] into a
+    single block, sealed (and observers notified) when [f] returns —
+    also on exception. Not reentrant. *)
+
+val blocks_since : t -> int -> block list
+(** [blocks_since t n] is every sealed block with number strictly
+    greater than [n], oldest first — [blocks_since t 0] replays the
+    whole chain. *)
+
+val on_block : t -> (block -> unit) -> unit
+(** Register a block observer, called synchronously on the sealing
+    thread after each block, in registration order. Observers must not
+    raise and must not transact on [t] reentrantly. *)
+
+val live_contracts : t -> (U.t * string) list
+(** Every live contract (deployed, not self-destructed) with its
+    runtime bytecode, sorted by address — the corpus a cold batch
+    sweep of the current chain state analyzes. *)
 
 val fund_account : t -> U.t -> U.t -> unit
 (** Credit an externally-owned account. *)

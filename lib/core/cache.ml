@@ -378,6 +378,22 @@ let add t k v =
   if disk_write t k v then
     locked t (fun () -> t.disk_writes <- t.disk_writes + 1)
 
+(* Invalidation: both tiers forget the key. Not an eviction (those
+   count capacity pressure) and not an error — the caller decided the
+   entry no longer stands in for a computation, e.g. the streaming
+   index forcing a genuine back-end re-run after a chain write. *)
+let remove t k =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl k with
+      | Some n ->
+          unlink t n;
+          Hashtbl.remove t.tbl k
+      | None -> ());
+  match t.dir with
+  | Some dir when filename_safe k -> (
+      try Sys.remove (entry_path t dir k) with _ -> ())
+  | _ -> ()
+
 let find_or_compute t ~key ?(cacheable = fun _ -> true) f =
   match find t key with
   | Some v -> v

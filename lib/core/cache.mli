@@ -98,6 +98,13 @@ val add : 'v t -> string -> 'v -> unit
     entry beyond capacity) and persist to the disk tier if one is
     configured. Re-adding an existing key refreshes its recency. *)
 
+val remove : 'v t -> string -> unit
+(** Forget the entry for this key in {e both} tiers (memory and disk).
+    Counted neither as an eviction nor as an error: the caller is
+    deliberately invalidating — the streaming index uses this to force
+    a genuine recomputation after on-chain facts a cached result
+    consumed have changed. Removing an absent key is a no-op. *)
+
 val find_or_compute :
   'v t -> key:string -> ?cacheable:('v -> bool) -> (unit -> 'v) -> 'v
 (** [find_or_compute t ~key f] returns the cached value or computes,

@@ -43,6 +43,32 @@ val error_kind_id : error_kind -> string
 
 val error_kind_of_id : string -> error_kind option
 
+(** The on-chain facts a verdict consumed — its {e storage footprint}.
+    The analysis reads chain state only through guard slices
+    ([require(msg.sender == owner)], [admins\[msg.sender\]], ...), so
+    the slots those slices load are everything a later block could
+    change to make the verdict stale. The streaming index matches a
+    block's storage writes against this record to compute its dirty
+    set. *)
+type deps = {
+  dep_slots : Ethainter_word.Uint256.t list;
+      (** constant storage slots read in guard slices, sorted,
+          deduplicated *)
+  dep_roots : Ethainter_word.Uint256.t list;
+      (** data-structure root slots (mappings/arrays) whose members a
+          guard slice reads — a write to {e any} hash-derived member
+          address may change the guard's meaning, so the whole root is
+          a dependency *)
+  dep_unknown : bool;
+      (** some guard read a statically-unresolved slot: any storage
+          write to this contract may invalidate the verdict *)
+}
+
+val conservative_deps : deps
+(** The footprint of a verdict that did not run to completion
+    (failures, timeouts): [dep_unknown = true], so any write
+    re-queues it. *)
+
 type result = {
   reports : Vulns.report list;
   tac_loc : int;          (** 3-address statements (the paper's corpus unit) *)
@@ -54,6 +80,9 @@ type result = {
   error_kind : error_kind option;
       (** classification of the failure; [Some Timeout] iff
           [timed_out] *)
+  deps : deps;
+      (** storage footprint of the verdict;
+          {!conservative_deps} unless the analysis completed *)
 }
 
 val empty_result : result
@@ -101,13 +130,6 @@ val run : request -> result
     its recorded cost fits the budget (an entry refused on those
     grounds is counted as [rejected], not as a hit). Timed-out results
     are never cached — so caching is observationally transparent. *)
-
-val analyze_runtime :
-  ?cfg:Config.t -> ?timeout_s:float -> string -> result
-(** Deprecated: thin wrapper for [run (request (Runtime code))]. *)
-
-val analyze_hex : ?cfg:Config.t -> ?timeout_s:float -> string -> result
-(** Deprecated: thin wrapper for [run (request (Hex hex))]. *)
 
 val flagged_kinds : result -> Vulns.kind list
 (** Distinct vulnerability kinds present in the reports, sorted. *)
@@ -184,6 +206,17 @@ val frontend_cache_stats : unit -> Cache.stats
 val cache_clear : unit -> unit
 (** Drop all in-memory entries of both tiers and reset counters (disk
     entries are kept). *)
+
+val invalidate_backend : ?cfg:Config.t -> string -> unit
+(** [invalidate_backend ~cfg runtime] forgets the cached {e back-end}
+    result for this bytecode under this config (both tiers, disk entry
+    deleted) — the front-end artifact is untouched. The analysis is
+    pure in the bytecode, so this never changes what {!run} returns;
+    it forces the next {!run} to genuinely re-execute the fixpoint and
+    detectors, which is how the streaming index turns "an on-chain
+    fact this verdict consumed changed" into a fresh, provably-current
+    verdict (observable as a back-end miss next to a front-end hit in
+    the telemetry). [cfg] defaults to {!Config.default}. *)
 
 val prewarm : unit -> unit
 (** Force both cache instances to be created now (reading the

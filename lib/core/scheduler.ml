@@ -11,8 +11,8 @@
       is byte-identical (reports, flags, errors) to a sequential one;
     - {b per-contract fault isolation} — an exception in one contract
       (including [Out_of_memory] / [Stack_overflow], which
-      {!Pipeline.analyze_runtime} deliberately lets escape) is captured
-      into that contract's slot and never kills the pool;
+      {!Pipeline.run} deliberately lets escape) is captured into that
+      contract's slot and never kills the pool;
     - {b bounded workers} — [workers] defaults to [ETHAINTER_WORKERS]
       or the machine's recommended domain count. *)
 
@@ -139,10 +139,13 @@ let map_result ?workers (f : 'a -> 'b) (xs : 'a list) :
 (* Corpus analysis                                                     *)
 (* ------------------------------------------------------------------ *)
 
-(* Process-wide retry counter, observable by the chaos tests. *)
+(* Process-wide retry counter. Monotonic for the life of the process —
+   there is deliberately no reset: concurrent observers (chaos tests,
+   the daemon's stats endpoint, the streaming index) each read it
+   through {!Telemetry} and diff against their own baseline, so one
+   observer can never erase another's window. *)
 let retries = Atomic.make 0
 let retries_performed () = Atomic.get retries
-let reset_retries () = Atomic.set retries 0
 
 (** {!Pipeline.run} with total fault isolation: any exception the
     pipeline lets escape (fatal or asynchronous) is recorded in the
@@ -178,9 +181,6 @@ let analyze_request (req : Pipeline.request) : Pipeline.result =
           | r -> r
           | exception e2 -> fail e2 (Printexc.get_raw_backtrace ()))
       | _ -> fail e bt)
-
-let analyze_runtime ?cfg ?timeout_s (runtime : string) : Pipeline.result =
-  analyze_request (Pipeline.request ?cfg ?timeout_s (Pipeline.Runtime runtime))
 
 (* ------------------------------------------------------------------ *)
 (* Persistent worker pool (the serving path)                           *)

@@ -44,14 +44,11 @@ val analyze_request : Pipeline.request -> Pipeline.result
     ([Io]) are retried once, under fault-injection attempt number 1. *)
 
 val retries_performed : unit -> int
-(** Process-wide count of transient-failure retries since the last
-    {!reset_retries} (the chaos tests' observability hook). *)
-
-val reset_retries : unit -> unit
-
-val analyze_runtime :
-  ?cfg:Config.t -> ?timeout_s:float -> string -> Pipeline.result
-(** [analyze_request] on [Pipeline.request (Runtime code)]. *)
+(** Process-wide count of transient-failure retries since process
+    start. {b Monotonic} — there is no reset. Observers that want a
+    per-window count (tests, the daemon, the streaming index) read a
+    baseline first and diff, so concurrent observers never race on a
+    shared zero (also surfaced through {!Telemetry}). *)
 
 (** A persistent worker pool behind a bounded job queue — the serving
     path. Unlike {!map} (which spawns domains per batch), a [Pool]'s

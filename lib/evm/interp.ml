@@ -24,6 +24,21 @@ type trace_entry = {
 
 type call_kind = Call | DelegateCall | StaticCall | CallCode
 
+(** Chain-observable side effects of an execution, in chronological
+    order — what a block-stream consumer (the testnet's block
+    observer, the streaming index's invalidation logic) needs without
+    re-deriving it from the instruction trace. Effects performed
+    inside an {e inner} call that later reverted are not trimmed
+    (neither is the trace); a consumer treating each effect as "this
+    state {e may} have changed" over-approximates, which is the sound
+    direction for cache invalidation. Effects of a reverted or failed
+    {e top-level} call are dropped, like logs. *)
+type effect =
+  | E_sstore of { es_addr : U.t; es_slot : U.t }
+      (** storage write: contract [es_addr], slot [es_slot] *)
+  | E_create of U.t     (** successful CREATE/CREATE2: new contract *)
+  | E_selfdestruct of U.t
+
 type context = {
   state : State.t;
   mutable gas : int;
@@ -38,6 +53,7 @@ type context = {
   mutable steps : int;
   max_steps : int;
   logs : log_entry list ref;          (** reversed; newest first *)
+  effects : effect list ref;          (** reversed; newest first *)
 }
 
 type outcome =
@@ -298,7 +314,8 @@ let rec execute (ctx : context) ~(depth : int) ~(self : U.t)
       | SSTORE ->
           if static then raise (Evm_error "SSTORE in static context");
           let k, v = pop2 () in
-          State.sstore ctx.state self k v
+          State.sstore ctx.state self k v;
+          ctx.effects := E_sstore { es_addr = self; es_slot = k } :: !(ctx.effects)
       | JUMP ->
           let dest = pop () in
           let d = match U.to_int_opt dest with
@@ -383,6 +400,7 @@ let rec execute (ctx : context) ~(depth : int) ~(self : U.t)
                 with
                 | Returned runtime ->
                     State.set_code ctx.state new_addr runtime;
+                    ctx.effects := E_create new_addr :: !(ctx.effects);
                     returndata := "";
                     push new_addr
                 | Reverted data ->
@@ -474,6 +492,7 @@ let rec execute (ctx : context) ~(depth : int) ~(self : U.t)
           if static then raise (Evm_error "SELFDESTRUCT in static context");
           let beneficiary = to_addr (pop ()) in
           State.selfdestruct ctx.state ~victim:self ~beneficiary;
+          ctx.effects := E_selfdestruct self :: !(ctx.effects);
           running := false;
           result := Returned "");
       if !running then pc := !next_pc
@@ -486,6 +505,9 @@ type call_result = {
   outcome : outcome;
   tx_trace : trace_entry list;
   tx_logs : log_entry list;  (** emitted events (empty if rolled back) *)
+  tx_effects : effect list;
+      (** chain-observable effects, chronological (empty if rolled
+          back); see {!effect} for the inner-revert caveat *)
   gas_used : int;
 }
 
@@ -500,7 +522,7 @@ let call_full ?(gas = 10_000_000) ?(max_steps = 2_000_000)
     { state; gas; origin = caller; gas_price = U.one; block_number;
       timestamp; chain_id = U.of_int 3 (* Ropsten *);
       trace = ref []; trace_len = 0; max_trace = 1_000_000;
-      steps = 0; max_steps; logs = ref [] }
+      steps = 0; max_steps; logs = ref []; effects = ref [] }
   in
   let snap = State.snapshot state in
   (match State.transfer state ~src:caller ~dst:target ~value with
@@ -514,15 +536,15 @@ let call_full ?(gas = 10_000_000) ?(max_steps = 2_000_000)
           ~callvalue:value ~calldata ~static:false
       with Evm_error msg -> Failed msg
   in
-  let logs =
+  let logs, effects =
     match outcome with
-    | Returned _ -> List.rev !(ctx.logs)
+    | Returned _ -> (List.rev !(ctx.logs), List.rev !(ctx.effects))
     | Reverted _ | Failed _ ->
         State.restore state snap;
-        []
+        ([], [])
   in
   { outcome; tx_trace = List.rev !(ctx.trace); tx_logs = logs;
-    gas_used = max 0 (gas - ctx.gas) }
+    tx_effects = effects; gas_used = max 0 (gas - ctx.gas) }
 
 let call ?gas ?max_steps ?block_number ?timestamp state ~caller ~target
     ~value ~calldata : outcome * trace_entry list =

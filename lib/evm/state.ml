@@ -69,6 +69,17 @@ let sstore t addr key v =
 let is_destroyed t addr =
   match account_opt t addr with Some a -> a.destroyed | None -> false
 
+(** Every live contract account: non-destroyed, non-empty code. The
+    batch-sweep side of the streaming-index differential — "analyze
+    the final state" is exactly a fold over this. Order unspecified. *)
+let fold_contracts (t : t) (f : address -> string -> 'a -> 'a) (init : 'a) : 'a
+    =
+  Hashtbl.fold
+    (fun addr a acc ->
+      if (not a.destroyed) && String.length a.code > 0 then f addr a.code acc
+      else acc)
+    t.accounts init
+
 let transfer t ~src ~dst ~value =
   let sa = account t src in
   if U.lt sa.balance value then Error "insufficient balance"

@@ -1,0 +1,271 @@
+(* Streaming analysis index. See index.mli for the contract and the
+   dirty-set soundness assumptions. *)
+
+module U = Ethainter_word.Uint256
+module P = Ethainter_core.Pipeline
+module S = Ethainter_core.Scheduler
+module Config = Ethainter_core.Config
+module Telemetry = Ethainter_core.Telemetry
+module Testnet = Ethainter_chain.Testnet
+
+type verdict = {
+  v_addr : U.t;
+  v_code : string;
+  v_deployed_block : int;
+  v_indexed_block : int;
+  v_result : P.result;
+}
+
+type status = Unknown | Pending of int | Indexed of verdict | Destroyed
+
+(* One record per contract address ever seen. [state] transitions
+   Pending -> Indexed (job completion), Indexed -> Pending
+   (invalidation), * -> Destroyed (self-destruct; absorbing). All
+   fields are guarded by the index mutex; a completed job only stores
+   its result while the entry is still Pending, so a destroy that
+   overtook the job wins. *)
+type entry = {
+  addr : U.t;
+  code : string;
+  deployed_block : int;
+  mutable state : [ `Pending | `Indexed of P.result | `Destroyed ];
+  mutable queued_block : int;   (* block that queued the current job *)
+  mutable indexed_block : int;
+  mutable runs : int;           (* completed analyses for this entry *)
+}
+
+type t = {
+  mu : Mutex.t;
+  quiescent : Condition.t;
+  chain : Testnet.t;
+  pool : S.Pool.t option;
+  cfg : Config.t;
+  timeout_s : float;
+  entries : (U.t, entry) Hashtbl.t;
+  mutable active : bool;
+  mutable last_block : int;
+  mutable inflight : int;
+  (* cumulative counters (telemetry reads them under [mu]) *)
+  mutable blocks_seen : int;
+  mutable deployed : int;
+  mutable invalidations : int;
+  mutable analyses : int;
+  mutable reanalyses : int;
+  mutable destroyed : int;
+  mutable dirty_last : int;
+  mutable lag_total : int;      (* deployment -> first verdict, blocks *)
+  mutable lag_verdicts : int;
+}
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* ---------------- dirty-set matching ---------------- *)
+
+(* Slots at or above 2^64 are hash-derived (mapping/array members) —
+   compiler-assigned constant slots are tiny, and keccak outputs
+   reaching below 2^64 would need a 2^-192 collision. A write there
+   cannot be attributed to one root (preimages are not invertible), so
+   it dirties every data structure the verdict's guards read. *)
+let hash_region = U.shift_left U.one 64
+
+let slot_dirty (d : P.deps) (slot : U.t) : bool =
+  d.P.dep_unknown
+  || List.exists (U.equal slot) d.P.dep_slots
+  || (d.P.dep_roots <> [] && U.compare slot hash_region >= 0)
+
+(* ---------------- analysis jobs ---------------- *)
+
+(* The job body runs on a pool worker domain (or inline). Failure
+   containment is total — S.analyze_request never raises — so the
+   accounting in the epilogue always runs. *)
+let job (t : t) (e : entry) () =
+  let r =
+    S.analyze_request
+      (P.request ~cfg:t.cfg ~timeout_s:t.timeout_s (P.Runtime e.code))
+  in
+  locked t (fun () ->
+      (match e.state with
+      | `Pending ->
+          e.state <- `Indexed r;
+          e.indexed_block <- t.last_block;
+          if e.runs = 0 then begin
+            t.lag_total <- t.lag_total + (t.last_block - e.deployed_block);
+            t.lag_verdicts <- t.lag_verdicts + 1
+          end
+      | `Indexed _ | `Destroyed ->
+          (* destroyed (or superseded) while we analyzed: the verdict
+             is already moot, drop it *)
+          ());
+      e.runs <- e.runs + 1;
+      t.analyses <- t.analyses + 1;
+      if e.runs > 1 then t.reanalyses <- t.reanalyses + 1;
+      t.inflight <- t.inflight - 1;
+      if t.inflight = 0 then Condition.broadcast t.quiescent)
+
+(* Run the queued jobs, outside the index mutex. Inline fallback: a
+   pool refusal (admission control under overload) runs the job on
+   this thread rather than dropping it — the index must never lose a
+   dirty contract. *)
+let dispatch (t : t) (jobs : (unit -> unit) list) =
+  List.iter
+    (fun j ->
+      match t.pool with
+      | Some pool -> if not (S.Pool.submit pool j) then j ()
+      | None -> j ())
+    jobs
+
+(* ---------------- block ingestion ---------------- *)
+
+(* Process one sealed block: compute the dirty set under the mutex,
+   collect the jobs, run them after release (a job's epilogue re-takes
+   the mutex; and inline execution must not hold it). Called from the
+   chain's sealing thread (the on_block observer) and from catch-up.
+
+   Order within the block matters: deployments first (a deploy+write
+   in one block queues one analysis, not two), self-destructs last (a
+   deploy+kill in one block nets out to Destroyed — though the chain
+   already drops such contracts from [b_deployed]). *)
+let handle_block (t : t) (b : Testnet.block) =
+  let jobs =
+    locked t (fun () ->
+        if (not t.active) || b.Testnet.b_number <= t.last_block then []
+        else begin
+          t.last_block <- b.Testnet.b_number;
+          t.blocks_seen <- t.blocks_seen + 1;
+          let jobs = ref [] in
+          let dirty = ref 0 in
+          let queue e =
+            e.state <- `Pending;
+            e.queued_block <- b.Testnet.b_number;
+            t.inflight <- t.inflight + 1;
+            incr dirty;
+            jobs := job t e :: !jobs
+          in
+          (* deployments enter the index *)
+          List.iter
+            (fun (addr, code) ->
+              let e =
+                { addr; code; deployed_block = b.Testnet.b_number;
+                  state = `Pending; queued_block = b.Testnet.b_number;
+                  indexed_block = 0; runs = 0 }
+              in
+              Hashtbl.replace t.entries addr e;
+              t.deployed <- t.deployed + 1;
+              queue e)
+            b.Testnet.b_deployed;
+          (* storage writes invalidate matching verdicts. A Pending
+             entry (deployed this very block, or already re-queued) is
+             left alone: its in-flight analysis is pure in the
+             bytecode, so it already reflects the post-write chain. *)
+          List.iter
+            (fun (addr, slot) ->
+              match Hashtbl.find_opt t.entries addr with
+              | Some ({ state = `Indexed r; _ } as e)
+                when slot_dirty r.P.deps slot ->
+                  t.invalidations <- t.invalidations + 1;
+                  (* make the re-run a genuine back-end re-execution:
+                     the cached result would otherwise answer it *)
+                  P.invalidate_backend ~cfg:t.cfg e.code;
+                  queue e
+              | _ -> ())
+            b.Testnet.b_storage_writes;
+          (* self-destructs are absorbing *)
+          List.iter
+            (fun addr ->
+              match Hashtbl.find_opt t.entries addr with
+              | Some e when e.state <> `Destroyed ->
+                  e.state <- `Destroyed;
+                  t.destroyed <- t.destroyed + 1
+              | _ -> ())
+            b.Testnet.b_selfdestructed;
+          t.dirty_last <- !dirty;
+          List.rev !jobs
+        end)
+  in
+  dispatch t jobs
+
+(* ---------------- construction ---------------- *)
+
+let stats_locked (t : t) =
+  let live = ref 0 and pending = ref 0 in
+  Hashtbl.iter
+    (fun _ e ->
+      match e.state with
+      | `Indexed _ -> incr live
+      | `Pending -> incr pending
+      | `Destroyed -> ())
+    t.entries;
+  [ ("index_contracts", float_of_int !live);
+    ("index_pending", float_of_int !pending);
+    ("index_destroyed", float_of_int t.destroyed);
+    ("index_blocks", float_of_int t.blocks_seen);
+    ("index_deployed", float_of_int t.deployed);
+    ("index_invalidations", float_of_int t.invalidations);
+    ("index_analyses", float_of_int t.analyses);
+    ("index_reanalyses", float_of_int t.reanalyses);
+    ("index_dirty_last_block", float_of_int t.dirty_last);
+    ("index_inflight", float_of_int t.inflight);
+    ("index_lag_blocks_total", float_of_int t.lag_total);
+    ("index_lag_verdicts", float_of_int t.lag_verdicts) ]
+
+let stats (t : t) = locked t (fun () -> stats_locked t)
+
+let create ?pool ?(cfg = Config.default) ?(timeout_s = 120.0)
+    (chain : Testnet.t) : t =
+  let t =
+    { mu = Mutex.create ();
+      quiescent = Condition.create ();
+      chain; pool; cfg; timeout_s;
+      entries = Hashtbl.create 64;
+      active = true;
+      last_block = 0; inflight = 0; blocks_seen = 0; deployed = 0;
+      invalidations = 0; analyses = 0; reanalyses = 0; destroyed = 0;
+      dirty_last = 0; lag_total = 0; lag_verdicts = 0 }
+  in
+  (* tail first, then catch up: handle_block's monotonic block-number
+     guard makes the two streams overlap-safe, so no block is lost or
+     processed twice *)
+  Testnet.on_block chain (fun b -> handle_block t b);
+  List.iter (fun b -> handle_block t b) (Testnet.blocks_since chain 0);
+  Telemetry.register_source "index" (fun () -> stats t);
+  t
+
+(* ---------------- queries ---------------- *)
+
+let lookup (t : t) (addr : U.t) : status =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries addr with
+      | None -> Unknown
+      | Some e -> (
+          match e.state with
+          | `Pending -> Pending e.queued_block
+          | `Destroyed -> Destroyed
+          | `Indexed r ->
+              Indexed
+                { v_addr = e.addr; v_code = e.code;
+                  v_deployed_block = e.deployed_block;
+                  v_indexed_block = e.indexed_block; v_result = r }))
+
+let drain (t : t) =
+  locked t (fun () ->
+      while t.inflight > 0 do
+        Condition.wait t.quiescent t.mu
+      done)
+
+let contents (t : t) : (U.t * string * P.result) list =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun _ e acc ->
+          match e.state with
+          | `Indexed r -> (e.addr, e.code, r) :: acc
+          | `Pending | `Destroyed -> acc)
+        t.entries [])
+  |> List.sort (fun (a, _, _) (b, _, _) -> U.compare a b)
+
+let last_block (t : t) = locked t (fun () -> t.last_block)
+
+let detach (t : t) =
+  locked t (fun () -> t.active <- false);
+  Telemetry.unregister_source "index"

@@ -7,6 +7,7 @@ type response =
   | Error of Proto.server_error
   | Stats of Proto.stats
   | Pong
+  | Watch of Proto.watch_status
 
 exception Protocol of string
 
@@ -47,6 +48,11 @@ let send_analyze t ?(cfg = Ethainter_core.Config.default)
 let send_stats t = send t ~kind:Proto.req_stats ""
 let send_ping t = send t ~kind:Proto.req_ping ""
 
+let send_watch t ~addr_hex =
+  send t ~kind:Proto.req_watch (Proto.encode_watch addr_hex)
+
+let send_index_stats t = send t ~kind:Proto.req_index_stats ""
+
 (* Decode one response frame. Every payload is re-validated by its own
    codec on top of the frame digest; an undecodable payload on a valid
    frame is a protocol violation, not a per-request error. *)
@@ -64,6 +70,10 @@ let decode_response ~kind payload : response =
     | Some s -> Stats s
     | None -> raise (Protocol "undecodable stats payload")
   else if kind = Proto.resp_pong then Pong
+  else if kind = Proto.resp_watch then
+    match Proto.decode_watch_status payload with
+    | Some w -> Watch w
+    | None -> raise (Protocol "undecodable watch payload")
   else raise (Protocol (Printf.sprintf "unknown response kind %C" kind))
 
 let recv t : int * response =
@@ -94,6 +104,14 @@ let stats t =
   | _ -> raise (Protocol "expected stats response")
 
 let ping t = match recv_for t (send_ping t) with Pong -> true | _ -> false
+
+let watch t ~addr_hex = recv_for t (send_watch t ~addr_hex)
+
+let index_stats t =
+  match recv_for t (send_index_stats t) with
+  | Stats s -> Ok s
+  | Error e -> Stdlib.Error e
+  | _ -> raise (Protocol "expected stats response")
 
 (* Shutdown before close: close alone does not wake a thread blocked
    in read on the same fd (the receiver-thread pattern), shutdown

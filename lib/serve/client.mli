@@ -20,6 +20,8 @@ type response =
   | Error of Proto.server_error  (** protocol-level refusal *)
   | Stats of Proto.stats
   | Pong
+  | Watch of Proto.watch_status
+      (** a streaming-index lookup ([--watch] daemons only) *)
 
 exception Protocol of string
 (** The byte stream broke: EOF mid-conversation, a frame that fails
@@ -44,6 +46,13 @@ val send_analyze :
 val send_stats : t -> int
 val send_ping : t -> int
 
+val send_watch : t -> addr_hex:string -> int
+(** Enqueue a streaming-index lookup for a contract address (hex
+    text). A daemon without an index answers [Error (Malformed _)]. *)
+
+val send_index_stats : t -> int
+(** Enqueue a request for the index's [index_*] counters alone. *)
+
 val recv_for : t -> int -> response
 (** The response with this id, reading (and stashing responses to
     other ids) as needed. @raise Protocol on a broken stream. *)
@@ -66,6 +75,14 @@ val stats : t -> Proto.stats
 
 val ping : t -> bool
 (** True iff the server answered pong. *)
+
+val watch : t -> addr_hex:string -> response
+(** [send_watch] + [recv_for]: [Watch status], or [Error (Malformed _)]
+    when the daemon has no index attached. *)
+
+val index_stats : t -> (Proto.stats, Proto.server_error) Stdlib.result
+(** The index's counters, or the protocol error a watchless daemon
+    answers. @raise Protocol if the server answers anything else. *)
 
 val close : t -> unit
 (** Shut down and close the connection. The shutdown also wakes a

@@ -1,14 +1,18 @@
 (* Message payloads. See proto.mli. *)
 
 module Config = Ethainter_core.Config
+module P = Ethainter_core.Pipeline
 
 let req_analyze = 'A'
 let req_stats = 'S'
 let req_ping = 'P'
+let req_watch = 'W'
+let req_index_stats = 'I'
 let resp_result = 'R'
 let resp_stats = 'T'
 let resp_error = 'E'
 let resp_pong = 'O'
+let resp_watch = 'w'
 
 (* ---------------- analyze request ---------------- *)
 
@@ -76,6 +80,114 @@ let decode_analyze (s : string) : analyze option =
     in
     if !pos <> String.length s then fail ();
     Some { a_hex; a_cfg; a_timeout_s }
+  with _ -> None
+
+(* ---------------- watch (streaming index lookup) ---------------- *)
+
+let watch_req_magic = "ethainter.serve.watch.req.v1"
+
+(* The request carries the contract address as hex text (length-
+   prefixed; leading "0x" tolerated by the server's parser, not here —
+   this layer just frames bytes). *)
+let encode_watch (addr_hex : string) : string =
+  Printf.sprintf "%s\naddr %d\n%s\n" watch_req_magic
+    (String.length addr_hex) addr_hex
+
+let decode_watch (s : string) : string option =
+  let pos = ref 0 in
+  let fail () = raise Exit in
+  let line () =
+    match String.index_from_opt s !pos '\n' with
+    | None -> fail ()
+    | Some i ->
+        let l = String.sub s !pos (i - !pos) in
+        pos := i + 1;
+        l
+  in
+  let sized n =
+    if n < 0 || !pos + n + 1 > String.length s then fail ();
+    let x = String.sub s !pos n in
+    if s.[!pos + n] <> '\n' then fail ();
+    pos := !pos + n + 1;
+    x
+  in
+  try
+    if line () <> watch_req_magic then fail ();
+    let addr =
+      match String.split_on_char ' ' (line ()) with
+      | [ "addr"; n ] -> (
+          match int_of_string_opt n with
+          | Some n -> sized n
+          | None -> fail ())
+      | _ -> fail ()
+    in
+    if !pos <> String.length s then fail ();
+    Some addr
+  with _ -> None
+
+(* Mirrors Index.status; the verdict's result payload reuses the
+   Pipeline result codec verbatim (wire format = disk format), nested
+   length-prefixed. *)
+type watch_status =
+  | Watch_unknown
+  | Watch_pending of int
+  | Watch_destroyed
+  | Watch_indexed of {
+      wi_deployed : int;
+      wi_indexed : int;
+      wi_result : P.result;
+    }
+
+let watch_magic = "ethainter.serve.watch.v1"
+
+let encode_watch_status (w : watch_status) : string =
+  match w with
+  | Watch_unknown -> watch_magic ^ "\nunknown\n"
+  | Watch_pending b -> Printf.sprintf "%s\npending %d\n" watch_magic b
+  | Watch_destroyed -> watch_magic ^ "\ndestroyed\n"
+  | Watch_indexed { wi_deployed; wi_indexed; wi_result } ->
+      let payload = P.encode_result wi_result in
+      Printf.sprintf "%s\nindexed %d %d %d\n%s\n" watch_magic wi_deployed
+        wi_indexed (String.length payload) payload
+
+let decode_watch_status (s : string) : watch_status option =
+  let pos = ref 0 in
+  let fail () = raise Exit in
+  let line () =
+    match String.index_from_opt s !pos '\n' with
+    | None -> fail ()
+    | Some i ->
+        let l = String.sub s !pos (i - !pos) in
+        pos := i + 1;
+        l
+  in
+  let sized n =
+    if n < 0 || !pos + n + 1 > String.length s then fail ();
+    let x = String.sub s !pos n in
+    if s.[!pos + n] <> '\n' then fail ();
+    pos := !pos + n + 1;
+    x
+  in
+  let int_of w =
+    match int_of_string_opt w with Some n -> n | None -> fail ()
+  in
+  let finish v = if !pos <> String.length s then fail () else Some v in
+  try
+    if line () <> watch_magic then fail ();
+    match String.split_on_char ' ' (line ()) with
+    | [ "unknown" ] -> finish Watch_unknown
+    | [ "pending"; b ] -> finish (Watch_pending (int_of b))
+    | [ "destroyed" ] -> finish Watch_destroyed
+    | [ "indexed"; dep; idx; n ] -> (
+        let payload = sized (int_of n) in
+        match P.decode_result payload with
+        | Some r ->
+            finish
+              (Watch_indexed
+                 { wi_deployed = int_of dep; wi_indexed = int_of idx;
+                   wi_result = r })
+        | None -> fail ())
+    | _ -> fail ()
   with _ -> None
 
 (* ---------------- protocol errors ---------------- *)

@@ -20,10 +20,21 @@
 val req_analyze : char
 val req_stats : char
 val req_ping : char
+
+val req_watch : char
+(** Look up a contract's status in the daemon's streaming index
+    ([--watch] mode); answered with {!resp_watch}, or [Malformed] when
+    no index is attached. *)
+
+val req_index_stats : char
+(** The streaming index's counters alone, as a {!stats} payload on
+    {!resp_stats}; [Malformed] when no index is attached. *)
+
 val resp_result : char
 val resp_stats : char
 val resp_error : char
 val resp_pong : char
+val resp_watch : char
 
 (** {1 Requests} *)
 
@@ -38,6 +49,32 @@ type analyze = {
 val encode_analyze : analyze -> string
 val decode_analyze : string -> analyze option
 (** Total: [None] on any corrupt, truncated or wrong-version payload. *)
+
+(** {1 Watch (streaming-index lookup)} *)
+
+val encode_watch : string -> string
+(** Request payload: the contract address as hex text. *)
+
+val decode_watch : string -> string option
+
+(** A contract's standing in the daemon's streaming index — the wire
+    mirror of [Index.status]. *)
+type watch_status =
+  | Watch_unknown      (** address never seen on the watched chain *)
+  | Watch_pending of int
+      (** queued for (re-)analysis at this block; no current verdict *)
+  | Watch_destroyed    (** self-destructed; verdict dropped *)
+  | Watch_indexed of {
+      wi_deployed : int;  (** block the contract entered the index *)
+      wi_indexed : int;   (** chain head when the verdict landed *)
+      wi_result : Ethainter_core.Pipeline.result;
+    }
+
+val encode_watch_status : watch_status -> string
+val decode_watch_status : string -> watch_status option
+(** Total; the nested verdict reuses the {!Ethainter_core.Pipeline}
+    result codec verbatim (wire format = disk format, digest
+    included). *)
 
 (** {1 Protocol errors} *)
 

@@ -2,9 +2,7 @@
 
 module P = Ethainter_core.Pipeline
 module S = Ethainter_core.Scheduler
-module Cache = Ethainter_core.Cache
-module D = Ethainter_datalog.Datalog
-module I = Ethainter_runtime.Intern
+module Telemetry = Ethainter_core.Telemetry
 
 (* Ring buffer of recent request latencies (seconds), mutex-guarded;
    quantiles are computed on demand from a snapshot. 8192 samples is
@@ -45,8 +43,21 @@ module Latency = struct
     end
 end
 
+(* How a daemon running in --watch mode plugs its streaming index into
+   the serving loop. The server cannot depend on lib/index (the index
+   depends on core, like this library — the daemon wires the two
+   together), so the coupling is two closures: both are cheap
+   mutex-guarded lookups, answered inline on the reader thread like
+   stats/ping, bypassing the analysis queue. *)
+type index_handlers = {
+  h_watch : string -> Proto.watch_status;
+      (* argument: the contract address as hex text, unparsed *)
+  h_index_stats : unit -> Proto.stats;
+}
+
 type t = {
   pool : S.Pool.t;
+  index : index_handlers option Atomic.t;
   default_timeout_s : float;
   started_at : float;
   latency : Latency.t;
@@ -72,6 +83,7 @@ let create ?workers ?(queue_depth = 64) ?(default_timeout_s = 120.0) () =
   P.prewarm ();
   let wake_r, wake_w = Unix.pipe ~cloexec:true () in
   { pool = S.Pool.create ?workers ~queue_depth ();
+    index = Atomic.make None;
     default_timeout_s;
     started_at = Unix.gettimeofday ();
     latency = Latency.create ();
@@ -86,23 +98,14 @@ let create ?workers ?(queue_depth = 64) ?(default_timeout_s = 120.0) () =
     wake_w }
 
 let stopped t = Atomic.get t.stop_flag
+let pool t = t.pool
+let set_index_handlers t h = Atomic.set t.index h
 
 (* ---------------- stats ---------------- *)
-
-let cache_entries prefix (s : Cache.stats) =
-  [ (prefix ^ "_hits", float_of_int s.Cache.hits);
-    (prefix ^ "_disk_hits", float_of_int s.Cache.disk_hits);
-    (prefix ^ "_misses", float_of_int s.Cache.misses);
-    (prefix ^ "_rejected", float_of_int s.Cache.rejected);
-    (prefix ^ "_evictions", float_of_int s.Cache.evictions);
-    (prefix ^ "_io_errors", float_of_int s.Cache.io_errors);
-    (prefix ^ "_size", float_of_int s.Cache.size) ]
 
 let stats_snapshot t : Proto.stats =
   let ps = S.Pool.stats t.pool in
   let n, p50, p99 = Latency.quantiles t.latency in
-  let ds = D.stats () in
-  let it = I.stats () in
   [ ("uptime_s", Unix.gettimeofday () -. t.started_at);
     ("queue_capacity", float_of_int ps.S.Pool.p_capacity);
     ("queue_depth", float_of_int ps.S.Pool.p_depth);
@@ -120,14 +123,10 @@ let stats_snapshot t : Proto.stats =
     ("latency_count", float_of_int n);
     ("latency_p50_ms", 1000.0 *. p50);
     ("latency_p99_ms", 1000.0 *. p99) ]
-  @ cache_entries "cache_fe" (P.frontend_cache_stats ())
-  @ cache_entries "cache_be" (P.cache_stats ())
-  @ [ ("intern_interned", float_of_int it.I.interned);
-      ("intern_local_hits", float_of_int it.I.local_hits);
-      ("intern_shared_hits", float_of_int it.I.shared_hits);
-      ("intern_inserts", float_of_int it.I.inserts);
-      ("datalog_plans_built", float_of_int ds.D.plans_built);
-      ("datalog_plan_reuses", float_of_int ds.D.plan_reuses) ]
+  (* everything below the serving layer — caches, intern, Datalog
+     plans, scheduler retries, and any registered source such as the
+     streaming index — comes from the one telemetry surface *)
+  @ Telemetry.to_pairs (Telemetry.capture ())
 
 (* ---------------- connection serving ---------------- *)
 
@@ -214,6 +213,40 @@ let handle_frame t c ~kind ~id payload =
   else if kind = Proto.req_ping then begin
     Atomic.incr t.served_ping;
     respond c ~kind:Proto.resp_pong ~id ""
+  end
+  else if kind = Proto.req_watch then begin
+    (* answered inline, like stats: an index lookup is a mutex-guarded
+       hash probe, no reason to ride the analysis queue *)
+    match (Atomic.get t.index, Proto.decode_watch payload) with
+    | Some h, Some addr ->
+        Atomic.incr t.served_stats;
+        let status =
+          try h.h_watch addr
+          with _ -> Proto.Watch_unknown
+        in
+        respond c ~kind:Proto.resp_watch ~id
+          (Proto.encode_watch_status status)
+    | None, _ ->
+        Atomic.incr t.served_malformed;
+        respond c ~kind:Proto.resp_error ~id
+          (Proto.encode_error
+             (Proto.Malformed "watch mode not enabled (no index attached)"))
+    | Some _, None ->
+        Atomic.incr t.served_malformed;
+        respond c ~kind:Proto.resp_error ~id
+          (Proto.encode_error (Proto.Malformed "undecodable watch request"))
+  end
+  else if kind = Proto.req_index_stats then begin
+    match Atomic.get t.index with
+    | Some h ->
+        Atomic.incr t.served_stats;
+        let st = try h.h_index_stats () with _ -> [] in
+        respond c ~kind:Proto.resp_stats ~id (Proto.encode_stats st)
+    | None ->
+        Atomic.incr t.served_malformed;
+        respond c ~kind:Proto.resp_error ~id
+          (Proto.encode_error
+             (Proto.Malformed "watch mode not enabled (no index attached)"))
   end
   else begin
     Atomic.incr t.served_malformed;

@@ -25,6 +25,19 @@
 
 type t
 
+(** The daemon's [--watch] coupling: how a streaming index (lib/index,
+    which this library must not depend on — both sit above core) plugs
+    into the serving loop. Both closures are answered inline on
+    connection reader threads, bypassing the analysis queue, so they
+    must be cheap and thread-safe (index lookups are). An exception
+    from [h_watch] degrades to [Watch_unknown], from [h_index_stats]
+    to an empty stats list — never a dead connection. *)
+type index_handlers = {
+  h_watch : string -> Proto.watch_status;
+      (** receives the request's address as hex text, unparsed *)
+  h_index_stats : unit -> Proto.stats;
+}
+
 val create :
   ?workers:int -> ?queue_depth:int -> ?default_timeout_s:float -> unit -> t
 (** [workers]/[queue_depth] size the pool (defaults:
@@ -33,6 +46,18 @@ val create :
     request's deadline: a request asking for more is clamped, so one
     client cannot opt out of the serving budget. Also {!prewarms} the
     pipeline caches. *)
+
+val pool : t -> Ethainter_core.Scheduler.Pool.t
+(** The server's persistent worker pool — exposed so a co-resident
+    subsystem (the [--watch] daemon's streaming index) schedules its
+    re-analyses on the {e same} domains and admission-control queue as
+    client requests, instead of spawning a second pool. *)
+
+val set_index_handlers : t -> index_handlers option -> unit
+(** Attach (or detach, [None]) the streaming index. Until attached,
+    [watch]/[index_stats] requests are answered with the [malformed]
+    protocol error ("watch mode not enabled"). Safe to call while
+    serving. *)
 
 val serve_connection : t -> Unix.file_descr -> unit
 (** Serve one established connection (socketpair, accepted socket, or
@@ -54,13 +79,15 @@ val serve_unix_socket : t -> path:string -> unit
     connection gets a reader thread. Blocks the calling thread. *)
 
 val stats_snapshot : t -> Proto.stats
-(** The stats endpoint's payload: queue ([queue_*], from the pool),
-    request counters ([served_*]), latency quantiles over recent
-    requests ([latency_p50_ms]/[latency_p99_ms]/...), both cache tiers
-    ([cache_fe_*]/[cache_be_*]), intern table ([intern_*]) and Datalog
-    planner ([datalog_plans_*]) counters, and [uptime_s]. Every value
-    is read from an [Atomic] or under the owning mutex — a snapshot
-    during concurrent serving is coherent per counter. *)
+(** The stats endpoint's payload: the serving layer's own counters —
+    queue ([queue_*], from the pool), request counters ([served_*]),
+    latency quantiles ([latency_p50_ms]/[latency_p99_ms]/...),
+    [uptime_s] — followed by the full
+    {!Ethainter_core.Telemetry} surface ([cache_fe_*]/[cache_be_*],
+    [intern_*], [datalog_*], [scheduler_retries], and every registered
+    source — in [--watch] mode the index's [index_*] counters). Every
+    value is read from an [Atomic] or under the owning mutex — a
+    snapshot during concurrent serving is coherent per counter. *)
 
 val request_stop : t -> unit
 (** Set the stop flag and wake the accept loop (via a self-pipe byte,

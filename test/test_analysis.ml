@@ -9,7 +9,9 @@ module S = Ethainter_core.Scheduler
 module G = Ethainter_corpus.Generator
 
 let analyze ?cfg src =
-  P.analyze_runtime ?cfg (Ethainter_minisol.Codegen.compile_source_runtime src)
+  P.run
+    (P.request ?cfg
+       (P.Runtime (Ethainter_minisol.Codegen.compile_source_runtime src)))
 
 let flags ?cfg src k = P.flags (analyze ?cfg src) k
 
@@ -387,7 +389,9 @@ let test_parallel_determinism () =
     List.map (fun (i : G.instance) -> i.G.i_runtime) corpus
     @ [ ""; "\xfe\x01\x02garbage"; String.make 40 '\xff' ]
   in
-  let seq = List.map S.analyze_runtime runtimes in
+  let seq =
+    List.map (fun c -> S.analyze_request (P.request (P.Runtime c))) runtimes
+  in
   List.iter
     (fun w ->
       let par = S.analyze_corpus ~workers:w runtimes in
@@ -408,7 +412,11 @@ let test_parallel_determinism_timeouts () =
      report exactly the same timeouts in the same order *)
   let corpus = G.mainnet ~seed:5 ~size:20 () in
   let runtimes = List.map (fun (i : G.instance) -> i.G.i_runtime) corpus in
-  let seq = List.map (S.analyze_runtime ~timeout_s:0.0) runtimes in
+  let seq =
+    List.map
+      (fun c -> S.analyze_request (P.request ~timeout_s:0.0 (P.Runtime c)))
+      runtimes
+  in
   let par = S.analyze_corpus ~timeout_s:0.0 ~workers:8 runtimes in
   List.iter2
     (fun a b ->
@@ -453,7 +461,7 @@ let test_timeout_handling () =
   let runtime =
     Ethainter_minisol.Codegen.compile_source_runtime src_victim
   in
-  let r = P.analyze_runtime ~timeout_s:0.0 runtime in
+  let r = P.run (P.request ~timeout_s:0.0 (P.Runtime runtime)) in
   Alcotest.(check bool) "zero budget times out" true r.P.timed_out
 
 (* The fixpoint must terminate on every corpus template (regression
@@ -462,9 +470,11 @@ let test_fixpoint_terminates_everywhere () =
   List.iter
     (fun (t : Ethainter_corpus.Patterns.template) ->
       let r =
-        P.analyze_runtime
-          (Ethainter_minisol.Codegen.compile_source_runtime
-             t.Ethainter_corpus.Patterns.t_source)
+        P.run
+          (P.request
+             (P.Runtime
+                (Ethainter_minisol.Codegen.compile_source_runtime
+                   t.Ethainter_corpus.Patterns.t_source)))
       in
       Alcotest.(check bool)
         (t.Ethainter_corpus.Patterns.t_name ^ " rounds sane")
@@ -547,7 +557,7 @@ let test_datalog_native_agreement () =
         Ethainter_minisol.Codegen.compile_source_runtime
           t.Ethainter_corpus.Patterns.t_source
       in
-      let native = P.analyze_runtime runtime in
+      let native = P.run (P.request (P.Runtime runtime)) in
       let decl = Ethainter_core.Datalog_frontend.analyze_runtime runtime in
       let open Ethainter_core.Datalog_frontend in
       Alcotest.(check bool)

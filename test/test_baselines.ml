@@ -51,7 +51,7 @@ let test_securify_eq_guard_compliant () =
 
 let test_securify_vs_ethainter_on_token () =
   (* Ethainter's data-structure modeling keeps the token clean *)
-  let eth = Ethainter_core.Pipeline.analyze_runtime (compile_rt token_src) in
+  let eth = Ethainter_core.Pipeline.(run (request (Runtime (compile_rt token_src)))) in
   Alcotest.(check int) "ethainter clean on token" 0
     (List.length eth.Ethainter_core.Pipeline.reports)
 

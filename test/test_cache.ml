@@ -256,10 +256,12 @@ let test_codec_roundtrip () =
     { P.empty_result with
       P.error = Some "multi\nline error: with \"spaces\" and bytes \x00\x01" };
   (* a real analysis result, reports included *)
-  roundtrip (P.analyze_runtime (compile src_victim))
+  roundtrip (P.run (P.request (P.Runtime (compile src_victim))))
 
 let test_codec_rejects_garbage () =
-  let good = P.encode_result (P.analyze_runtime (compile src_victim)) in
+  let good =
+    P.encode_result (P.run (P.request (P.Runtime (compile src_victim))))
+  in
   Alcotest.(check bool) "sanity: good decodes" true
     (P.decode_result good <> None);
   let bad =
@@ -284,23 +286,17 @@ let test_odd_hex_is_clean_error () =
     (fun hex ->
       let r = P.run (P.request (P.Hex hex)) in
       Alcotest.(check bool) ("error set for " ^ hex) true (r.P.error <> None);
-      Alcotest.(check int) "no reports" 0 (List.length r.P.reports);
-      let r' = P.analyze_hex hex in
-      Alcotest.(check bool) "wrapper agrees" true
-        (normalize r = normalize r'))
+      Alcotest.(check int) "no reports" 0 (List.length r.P.reports))
     [ "abc"; "0xabc"; "0x60zz"; "nothex!" ]
 
-let test_wrappers_agree_with_run () =
+let test_hex_input_agrees_with_runtime () =
   with_pipeline_cache (fun () ->
       let runtime = compile src_victim in
       let hex = Ethainter_word.Hex.encode runtime in
       let via_run = P.run (P.request (P.Runtime runtime)) in
-      let via_wrapper = P.analyze_runtime runtime in
-      let via_hex = P.analyze_hex hex in
-      let via_hex0x = P.analyze_hex ("0x" ^ hex) in
-      Alcotest.(check bool) "analyze_runtime == run" true
-        (normalize via_run = normalize via_wrapper);
-      Alcotest.(check bool) "analyze_hex == run" true
+      let via_hex = P.run (P.request (P.Hex hex)) in
+      let via_hex0x = P.run (P.request (P.Hex ("0x" ^ hex))) in
+      Alcotest.(check bool) "hex input == runtime input" true
         (normalize via_run = normalize via_hex);
       Alcotest.(check bool) "0x-prefixed hex agrees" true
         (normalize via_run = normalize via_hex0x);
@@ -350,16 +346,16 @@ let test_config_change_invalidates () =
 let test_timeouts_not_cached () =
   with_pipeline_cache (fun () ->
       let runtime = compile src_victim in
-      let r = P.analyze_runtime ~timeout_s:0.0 runtime in
+      let r = P.run (P.request ~timeout_s:0.0 (P.Runtime runtime)) in
       Alcotest.(check bool) "times out" true r.P.timed_out;
       Alcotest.(check int) "timed-out result not stored" 0
         (P.cache_stats ()).Cache.size;
       (* cache a full result, then ask again with a zero budget: the
          hit must NOT be served (that budget would have timed out) *)
-      let full = P.analyze_runtime runtime in
+      let full = P.run (P.request (P.Runtime runtime)) in
       Alcotest.(check bool) "full run cached" true
         ((P.cache_stats ()).Cache.size = 1 && not full.P.timed_out);
-      let tight = P.analyze_runtime ~timeout_s:0.0 runtime in
+      let tight = P.run (P.request ~timeout_s:0.0 (P.Runtime runtime)) in
       Alcotest.(check bool) "tight budget still times out" true
         tight.P.timed_out)
 
@@ -444,8 +440,8 @@ let () =
       ( "pipeline",
         [ Alcotest.test_case "odd hex is clean error" `Quick
             test_odd_hex_is_clean_error;
-          Alcotest.test_case "wrappers agree with run" `Quick
-            test_wrappers_agree_with_run;
+          Alcotest.test_case "hex input agrees with runtime input" `Quick
+            test_hex_input_agrees_with_runtime;
           Alcotest.test_case "cache hit" `Quick test_pipeline_cache_hit;
           Alcotest.test_case "config change invalidates" `Quick
             test_config_change_invalidates;

@@ -144,6 +144,88 @@ let test_failed_deploy_rolls_back () =
   let r = T.deploy net ~from:a initcode in
   Alcotest.(check bool) "no contract created" true (r.T.created = None)
 
+(* ---------- block observation (streaming-index feed) ---------- *)
+
+let blocky_src = {|
+contract Blocky {
+  address owner;
+  uint256 n;
+  constructor() { owner = msg.sender; }
+  function bump() public { n = n + 1; }
+  function kill() public {
+    require(msg.sender == owner);
+    selfdestruct(owner);
+  }
+}|}
+
+let deploy_blocky net from =
+  let r =
+    T.deploy net ~from (Ethainter_minisol.Codegen.compile_source blocky_src)
+  in
+  match r.T.created with Some a -> a | None -> assert false
+
+let test_blocks_carry_effects () =
+  let net, a, _ = funded_net () in
+  let addr = deploy_blocky net a in
+  ignore (T.call_fn net ~from:a ~to_:addr "bump()" []);
+  ignore (T.call_fn net ~from:a ~to_:addr "kill()" []);
+  let blocks = T.blocks_since net 0 in
+  Alcotest.(check bool) "one block per transaction" true
+    (List.length blocks >= 3);
+  (* ascending, consecutive numbering *)
+  List.iteri
+    (fun i (b : T.block) ->
+      Alcotest.(check int) "block number ascending" (i + 1) b.T.b_number)
+    blocks;
+  let deploy_b = List.nth blocks (List.length blocks - 3) in
+  let bump_b = List.nth blocks (List.length blocks - 2) in
+  let kill_b = List.nth blocks (List.length blocks - 1) in
+  (match deploy_b.T.b_deployed with
+  | [ (da, code) ] ->
+      Alcotest.(check bool) "deployed address" true (U.equal da addr);
+      Alcotest.(check bool) "deployed runtime nonempty" true
+        (String.length code > 0)
+  | l -> Alcotest.failf "expected 1 deployment, got %d" (List.length l));
+  Alcotest.(check bool) "bump writes slot 1" true
+    (List.exists
+       (fun (c, s) -> U.equal c addr && U.equal s U.one)
+       bump_b.T.b_storage_writes);
+  Alcotest.(check bool) "kill block lists the selfdestruct" true
+    (List.exists (U.equal addr) kill_b.T.b_selfdestructed);
+  Alcotest.(check bool) "dead contracts leave live_contracts" true
+    (not (List.exists (fun (c, _) -> U.equal c addr) (T.live_contracts net)))
+
+let test_on_block_matches_pull () =
+  let net, a, _ = funded_net () in
+  let seen = ref [] in
+  let mark = T.block_number net in
+  T.on_block net (fun b -> seen := b :: !seen);
+  let addr = deploy_blocky net a in
+  ignore (T.call_fn net ~from:a ~to_:addr "bump()" []);
+  Alcotest.(check bool) "push stream equals pull stream" true
+    (List.rev !seen = T.blocks_since net mark)
+
+let test_in_block_batches () =
+  let net, a, _ = funded_net () in
+  let addr = deploy_blocky net a in
+  let before = T.block_number net in
+  let sealed = ref [] in
+  T.on_block net (fun b -> sealed := b :: !sealed);
+  T.in_block net (fun () ->
+      ignore (T.call_fn net ~from:a ~to_:addr "bump()" []);
+      ignore (T.call_fn net ~from:a ~to_:addr "bump()" []));
+  Alcotest.(check int) "one block for the batch" (before + 1)
+    (T.block_number net);
+  match !sealed with
+  | [ b ] ->
+      Alcotest.(check int) "both receipts in the block" 2
+        (List.length b.T.b_receipts);
+      (* the two writes to the same slot are deduplicated *)
+      Alcotest.(check int) "writes deduplicated" 1
+        (List.length
+           (List.filter (fun (c, _) -> U.equal c addr) b.T.b_storage_writes))
+  | l -> Alcotest.failf "expected 1 sealed block, got %d" (List.length l)
+
 let () =
   Alcotest.run "chain"
     [ ( "testnet",
@@ -159,4 +241,11 @@ let () =
           Alcotest.test_case "event logs" `Quick test_event_logs;
           Alcotest.test_case "gas accounting" `Quick test_gas_accounting;
           Alcotest.test_case "failed deploy" `Quick
-            test_failed_deploy_rolls_back ] ) ]
+            test_failed_deploy_rolls_back ] );
+      ( "blocks",
+        [ Alcotest.test_case "blocks carry effects" `Quick
+            test_blocks_carry_effects;
+          Alcotest.test_case "push equals pull" `Quick
+            test_on_block_matches_pull;
+          Alcotest.test_case "in_block batches" `Quick test_in_block_batches ] )
+    ]

@@ -51,8 +51,15 @@ let with_pipeline_cache ?dir f =
 let with_faults spec f =
   F.configure (Some spec);
   F.reset_injected_count ();
-  S.reset_retries ();
   Fun.protect ~finally:(fun () -> F.configure None) f
+
+(* [S.retries_performed] is a process-wide monotonic counter (the PR 7
+   redesign removed the racy reset): observe a window by diffing
+   against a baseline taken at its start. *)
+let retries_during f =
+  let before = S.retries_performed () in
+  let v = f () in
+  (v, S.retries_performed () - before)
 
 let all_configs =
   [ ("default", C.default);
@@ -350,11 +357,12 @@ let test_transient_faults_retried () =
       (* a certain poll fault: attempt 0 dies, the retry (attempt 1)
          dies too — the result must carry the transient classification *)
       with_faults "poll=1.0:21" (fun () ->
-          S.reset_retries ();
-          let r =
-            S.analyze_request (P.request (P.Runtime (Lazy.force chain_runtime)))
+          let r, retried =
+            retries_during (fun () ->
+                S.analyze_request
+                  (P.request (P.Runtime (Lazy.force chain_runtime))))
           in
-          Alcotest.(check int) "exactly one retry" 1 (S.retries_performed ());
+          Alcotest.(check int) "exactly one retry" 1 retried;
           Alcotest.(check bool) "still failed after retry" true
             (r.P.error <> None);
           Alcotest.(check bool) "classified transient (Io)" true
@@ -373,22 +381,22 @@ let test_transient_faults_retried () =
           | None -> ()));
       (* a certain OOM: fatal, not retried *)
       with_faults "oom=1.0:22" (fun () ->
-          S.reset_retries ();
-          let r =
-            S.analyze_request (P.request (P.Runtime (Lazy.force chain_runtime)))
+          let r, retried =
+            retries_during (fun () ->
+                S.analyze_request
+                  (P.request (P.Runtime (Lazy.force chain_runtime))))
           in
-          Alcotest.(check int) "fatal faults are not retried" 0
-            (S.retries_performed ());
+          Alcotest.(check int) "fatal faults are not retried" 0 retried;
           Alcotest.(check bool) "classified Fatal" true
             (r.P.error_kind = Some P.Fatal));
       (* at a realistic rate over a corpus, some attempt-0 failures
          must be rescued by the retry *)
       with_faults "poll=0.5:23" (fun () ->
-          S.reset_retries ();
           let runtimes = corpus_runtimes ~seed:35 ~size:40 in
-          let rs = S.analyze_corpus ~workers:4 runtimes in
-          Alcotest.(check bool) "some retries happened" true
-            (S.retries_performed () > 0);
+          let rs, retried =
+            retries_during (fun () -> S.analyze_corpus ~workers:4 runtimes)
+          in
+          Alcotest.(check bool) "some retries happened" true (retried > 0);
           Alcotest.(check bool) "pool survived the storm" true
             (List.length rs = List.length runtimes)))
 
@@ -429,14 +437,14 @@ let test_adversarial_decompile_bounded () =
       let code = jump_chain_bytecode 20000 in
       (* calibrate: how long does it run unbounded? *)
       let t0 = Unix.gettimeofday () in
-      let full = P.analyze_runtime ~timeout_s:3600.0 code in
+      let full = P.run (P.request ~timeout_s:3600.0 (P.Runtime code)) in
       let clean_s = Unix.gettimeofday () -. t0 in
       Alcotest.(check bool) "clean run completes" false full.P.timed_out;
       Alcotest.(check bool) "adversarial input is actually slow" true
         (clean_s > 0.05);
       let budget = Float.max 0.02 (clean_s /. 5.0) in
       let t0 = Unix.gettimeofday () in
-      let r = P.analyze_runtime ~timeout_s:budget code in
+      let r = P.run (P.request ~timeout_s:budget (P.Runtime code)) in
       let wall = Unix.gettimeofday () -. t0 in
       Alcotest.(check bool) "cut mid-decompilation" true r.P.timed_out;
       Alcotest.(check bool) "classified Timeout" true
@@ -447,10 +455,10 @@ let test_adversarial_decompile_bounded () =
   (* and a timed-out result must never be cached *)
   with_pipeline_cache (fun () ->
       let code = jump_chain_bytecode 20000 in
-      let r = P.analyze_runtime ~timeout_s:0.02 code in
+      let r = P.run (P.request ~timeout_s:0.02 (P.Runtime code)) in
       Alcotest.(check bool) "times out under cache too" true r.P.timed_out;
       let before = (P.cache_stats ()).Cache.size in
-      ignore (P.analyze_runtime ~timeout_s:0.02 code);
+      ignore (P.run (P.request ~timeout_s:0.02 (P.Runtime code)));
       Alcotest.(check int) "timed-out result not cached"
         before (P.cache_stats ()).Cache.size)
 

@@ -20,7 +20,7 @@ let compile_template (t : Pat.template) =
 let test_static_matrix () =
   List.iter
     (fun (t : Pat.template) ->
-      let r = P.analyze_runtime (compile_template t) in
+      let r = P.run (P.request (P.Runtime (compile_template t))) in
       List.iter
         (fun k ->
           let expected =
@@ -53,8 +53,9 @@ let test_dynamic_exploitability () =
       | None -> Alcotest.fail (t.Pat.t_name ^ ": deployment failed")
       | Some victim ->
           let reports =
-            (P.analyze_runtime
-               (Ethainter_evm.State.code (T.state net) victim))
+            (P.run
+               (P.request
+                  (P.Runtime (Ethainter_evm.State.code (T.state net) victim))))
               .P.reports
           in
           (* force an attack attempt regardless of report kinds *)
@@ -121,7 +122,7 @@ let test_generated_instances_compile_and_run () =
         (String.length i.G.i_runtime > 0);
       (* every instance still matches its template's ground truth on
          the vulnerable set (fillers must not add vulnerabilities) *)
-      let r = P.analyze_runtime i.G.i_runtime in
+      let r = P.run (P.request (P.Runtime i.G.i_runtime)) in
       List.iter
         (fun k ->
           let expected =

@@ -16,7 +16,7 @@ let setup src =
       (Ethainter_minisol.Codegen.compile_source src) in
   let victim = match r.T.created with Some a -> a | None -> assert false in
   let runtime = Ethainter_evm.State.code (T.state net) victim in
-  let reports = (P.analyze_runtime runtime).P.reports in
+  let reports = (P.run (P.request (P.Runtime runtime))).P.reports in
   (net, attacker, victim, reports)
 
 let test_harvest_selectors () =
@@ -111,7 +111,7 @@ let test_kill_nothing_to_do () =
 contract C { function m(address d) public { delegatecall(d); } }|} in
   (* delegatecall reports are not supported by Kill (as in the paper) *)
   let reports =
-    (P.analyze_runtime (Ethainter_evm.State.code (T.state net) victim)).P.reports
+    (P.run (P.request (P.Runtime (Ethainter_evm.State.code (T.state net) victim)))).P.reports
   in
   let a = K.attack net ~attacker ~victim reports in
   Alcotest.(check bool) "unsupported kind" true (a.K.a_outcome = K.NothingToDo)
@@ -134,7 +134,7 @@ contract A { address b; constructor() { b = msg.sender; }
 contract B { address o; constructor() { o = msg.sender; }
   function kill() public { require(msg.sender == o); selfdestruct(o); } }|} in
   let reports_of addr =
-    (P.analyze_runtime (Ethainter_evm.State.code (T.state net) addr)).P.reports
+    (P.run (P.request (P.Runtime (Ethainter_evm.State.code (T.state net) addr)))).P.reports
   in
   let fake =
     Ethainter_core.Vulns.

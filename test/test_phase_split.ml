@@ -314,7 +314,7 @@ let test_timeout_keeps_measurement () =
     ~finally:(fun () -> P.set_cache_enabled true)
     (fun () ->
       let runtime = compile src_victim in
-      let r = P.analyze_runtime ~timeout_s:0.0 runtime in
+      let r = P.run (P.request ~timeout_s:0.0 (P.Runtime runtime)) in
       Alcotest.(check bool) "times out" true r.P.timed_out;
       Alcotest.(check bool) "elapsed time reported" true (r.P.elapsed_s > 0.0);
       Alcotest.(check bool) "classified Timeout" true
@@ -375,11 +375,11 @@ let test_mkdir_race_both_writers_persist () =
 let test_budget_rejection_not_a_hit () =
   with_pipeline_cache (fun () ->
       let runtime = compile src_victim in
-      let full = P.analyze_runtime runtime in
+      let full = P.run (P.request (P.Runtime runtime)) in
       Alcotest.(check bool) "full run cached" true (not full.P.timed_out);
       let hits_before = (P.cache_stats ()).Cache.hits in
       (* entry exists, but a zero budget must refuse it and recompute *)
-      let tight = P.analyze_runtime ~timeout_s:0.0 runtime in
+      let tight = P.run (P.request ~timeout_s:0.0 (P.Runtime runtime)) in
       Alcotest.(check bool) "tight budget times out" true tight.P.timed_out;
       let s = P.cache_stats () in
       Alcotest.(check int) "not counted as a hit" hits_before s.Cache.hits;
