@@ -215,7 +215,10 @@ type sym_state = {
     the fresh-contract all-zero state). *)
 let explore ?(max_steps = default_max_steps) ?(max_paths = default_max_paths)
     ?(target_op = Op.SELFDESTRUCT) (code : string) : path list * bool =
-  let valid_dests = B.jumpdests code in
+  (* jump-target validity from the shared pre-decoded program (cache
+     hit whenever the interpreter or decompiler saw this code first) *)
+  let prog = Ethainter_evm.Program.of_code code in
+  let valid_dest d = Ethainter_evm.Program.is_jumpdest prog d in
   let n = String.length code in
   let budget = { steps = 0; paths = 0 } in
   let results = ref [] in
@@ -344,8 +347,7 @@ let explore ?(max_steps = default_max_steps) ?(max_paths = default_max_paths)
       | Op.JUMP -> (
           let tgt, st = pop st in
           match tgt with
-          | SConst c when U.fits_int c && Hashtbl.mem valid_dests (U.to_int c)
-            ->
+          | SConst c when U.fits_int c && valid_dest (U.to_int c) ->
               step { st with pc = U.to_int c }
           | _ -> () (* unresolvable jump: path ends *))
       | Op.JUMPI -> (
@@ -353,8 +355,7 @@ let explore ?(max_steps = default_max_steps) ?(max_paths = default_max_paths)
           budget.paths <- budget.paths + 1;
           let taken =
             match tgt with
-            | SConst c when U.fits_int c && Hashtbl.mem valid_dests (U.to_int c)
-              ->
+            | SConst c when U.fits_int c && valid_dest (U.to_int c) ->
                 Some (U.to_int c)
             | _ -> None
           in

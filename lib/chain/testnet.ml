@@ -54,6 +54,7 @@ type block = {
 
 type t = {
   state : State.t;
+  engine : Interp.engine; (* executor for every tx on this net *)
   mutable block_number : int;
   mutable receipts : receipt list;
   mutable blocks : block list; (* newest first *)
@@ -63,15 +64,16 @@ type t = {
   name : string;
 }
 
-let create ?(name = "ropsten-fork") () =
-  { state = State.create (); block_number = 0; receipts = []; blocks = [];
-    open_block = false; pending = []; observers = []; name }
+let create ?(name = "ropsten-fork") ?(engine = Interp.Decoded) () =
+  { state = State.create (); engine; block_number = 0; receipts = [];
+    blocks = []; open_block = false; pending = []; observers = []; name }
 
 (** Fork the network: independent deep copy of world state, shared
     history up to the fork point. Observers are {e not} inherited — a
     fork is a new chain tail and consumers must opt in again. *)
 let fork ?(name = "fork") (t : t) =
-  { state = State.copy t.state; block_number = t.block_number;
+  { state = State.copy t.state; engine = t.engine;
+    block_number = t.block_number;
     receipts = t.receipts; blocks = t.blocks; open_block = false;
     pending = []; observers = []; name }
 
@@ -198,8 +200,8 @@ let deploy (t : t) ~(from : U.t) ?(value = U.zero) (initcode : string) :
   let _ = State.transfer t.state ~src:from ~dst:addr ~value in
   State.set_code t.state addr initcode;
   let cr =
-    Interp.call_full t.state ~caller:from ~target:addr ~value:U.zero
-      ~calldata:""
+    Interp.call_full ~engine:t.engine t.state ~caller:from ~target:addr
+      ~value:U.zero ~calldata:""
   in
   let outcome, created, effects =
     match cr.Interp.outcome with
@@ -233,7 +235,7 @@ let transact (t : t) ~(from : U.t) ~(to_ : U.t) ?(value = U.zero)
   begin_tx t;
   State.bump_nonce t.state from;
   let cr =
-    Interp.call_full ~gas
+    Interp.call_full ~engine:t.engine ~gas
       ~block_number:(U.of_int t.block_number)
       t.state ~caller:from ~target:to_ ~value ~calldata
   in

@@ -49,7 +49,11 @@ type block = {
 
 type t
 
-val create : ?name:string -> unit -> t
+val create : ?name:string -> ?engine:Interp.engine -> unit -> t
+(** [engine] selects the interpreter executor for every transaction on
+    this network (default {!Interp.Decoded}); forks inherit it. The
+    [Bytewise] reference engine exists for differential testing and
+    benchmarking — results are identical either way. *)
 
 val fork : ?name:string -> t -> t
 (** Independent deep copy of world state; shared history up to the

@@ -46,9 +46,13 @@ let pick (r : rng) (l : 'a list) = List.nth l (next r mod List.length l)
 
 (* Inject filler members so each instance has a distinct bytecode.
    Fillers are stateless (no storage writes) so they vary the code
-   without perturbing any tool's storage-related verdicts. *)
-let vary_source (r : rng) (src : string) : string =
-  let n_fillers = 1 + (next r mod 3) in
+   without perturbing any tool's storage-related verdicts. [fillers]
+   bounds how many are injected (inclusive range): the default (1, 3)
+   yields compact contracts; larger ranges approximate the multi-KB
+   runtimes typical of real mainnet deployments. *)
+let vary_source ?(fillers = (1, 3)) (r : rng) (src : string) : string =
+  let lo, hi = fillers in
+  let n_fillers = lo + (next r mod (max 1 (hi - lo + 1))) in
   let filler i =
     let tag = Printf.sprintf "%x%d" (next r land 0xffffff) i in
     match next r mod 3 with
@@ -87,8 +91,9 @@ let balance_for (r : rng) (t : Patterns.template) : U.t =
   else if next r mod 20 = 0 then eth (next r mod 50_000) (* rare rich victim *)
   else eth (next r mod 5)
 
-let make_instance ~(id : int) (r : rng) (t : Patterns.template) : instance =
-  let src = vary_source r t.Patterns.t_source in
+let make_instance ~(id : int) ?fillers (r : rng) (t : Patterns.template) :
+    instance =
+  let src = vary_source ?fillers r t.Patterns.t_source in
   let contract = Ethainter_minisol.Parser.parse src in
   let runtime = Ethainter_minisol.Codegen.compile_runtime contract in
   let deploy = Ethainter_minisol.Codegen.compile_deploy contract in
@@ -165,8 +170,9 @@ let expand_weights (weights : (Patterns.template * int) list) ~(scale : float)
 
 (** Generate a corpus of roughly [size] instances (deterministic in
     [seed]). *)
-let generate ?(seed = 42) ~(weights : (Patterns.template * int) list)
-    ~(size : int) () : instance list =
+let generate ?(seed = 42) ?fillers
+    ~(weights : (Patterns.template * int) list) ~(size : int) () :
+    instance list =
   let total_w = List.fold_left (fun a (_, n) -> a + n) 0 weights in
   let scale = float_of_int size /. float_of_int total_w in
   let templates = expand_weights weights ~scale in
@@ -179,13 +185,13 @@ let generate ?(seed = 42) ~(weights : (Patterns.template * int) list)
     arr.(i) <- arr.(j);
     arr.(j) <- t
   done;
-  Array.to_list arr |> List.mapi (fun id t -> make_instance ~id r t)
+  Array.to_list arr |> List.mapi (fun id t -> make_instance ~id ?fillers r t)
 
-let mainnet ?(seed = 42) ~(size : int) () =
-  generate ~seed ~weights:mainnet_weights ~size ()
+let mainnet ?(seed = 42) ?fillers ~(size : int) () =
+  generate ~seed ?fillers ~weights:mainnet_weights ~size ()
 
-let ropsten ?(seed = 1337) ~(size : int) () =
-  generate ~seed ~weights:ropsten_weights ~size ()
+let ropsten ?(seed = 1337) ?fillers ~(size : int) () =
+  generate ~seed ?fillers ~weights:ropsten_weights ~size ()
 
 (** Securify2-style source metadata for an instance. *)
 let source_info (i : instance) : Ethainter_baselines.Securify2.source_info =

@@ -7,7 +7,14 @@
 
     Implementation: Keccak-f[1600] permutation over a 5x5 state of
     64-bit lanes; rate 1088 bits (136 bytes), capacity 512, output 256
-    bits. *)
+    bits.
+
+    Each 64-bit lane is stored as two 32-bit halves in plain [int]
+    arrays. OCaml's [int64 array] boxes every element, so an
+    [Int64]-based permutation allocates on every lane operation —
+    thousands of short-lived boxes per permutation, an order of
+    magnitude slower. With unboxed halves the whole permutation is
+    allocation-free. *)
 
 (* Round constants for the iota step (standard Keccak constants). *)
 let round_constants =
@@ -20,6 +27,15 @@ let round_constants =
      0x000000000000800aL; 0x800000008000000aL; 0x8000000080008081L;
      0x8000000000008080L; 0x0000000080000001L; 0x8000000080008008L |]
 
+let rc_hi =
+  Array.map
+    (fun c -> Int64.to_int (Int64.shift_right_logical c 32))
+    round_constants
+
+let rc_lo =
+  Array.map (fun c -> Int64.to_int (Int64.logand c 0xFFFFFFFFL))
+    round_constants
+
 (* Rotation offsets for the rho step, indexed [x + 5*y]. *)
 let rotation_offsets =
   [| 0; 1; 62; 28; 27;
@@ -28,65 +44,137 @@ let rotation_offsets =
      41; 45; 15; 21; 8;
      18; 2; 61; 56; 14 |]
 
-let rotl64 (x : int64) (n : int) =
-  if n = 0 then x
-  else Int64.logor (Int64.shift_left x n) (Int64.shift_right_logical x (64 - n))
+(* Destination index of the pi step: lane [x + 5*y] moves to
+   [y + 5*((2x + 3y) mod 5)]. *)
+let pi_dst =
+  Array.init 25 (fun i ->
+      let x = i mod 5 and y = i / 5 in
+      y + (5 * (((2 * x) + (3 * y)) mod 5)))
 
-let keccak_f (state : int64 array) =
-  let b = Array.make 25 0L in
-  let c = Array.make 5 0L in
-  let d = Array.make 5 0L in
+(* x+1 mod 5 / x+2 mod 5 / x+4 mod 5, tabulated *)
+let p1 = [| 1; 2; 3; 4; 0 |]
+let p2 = [| 2; 3; 4; 0; 1 |]
+let p4 = [| 4; 0; 1; 2; 3 |]
+
+let mask32 = 0xFFFFFFFF
+
+(* The permutation over hi/lo halves. [sh]/[sl] is the 25-lane state;
+   the remaining arrays are caller-provided scratch (so a multi-block
+   absorb reuses them). Allocation-free. *)
+let keccak_f_hl (sh : int array) (sl : int array) (bh : int array)
+    (bl : int array) (ch : int array) (cl : int array) (dh : int array)
+    (dl : int array) : unit =
+  (* all indices below are bounded by the fixed tables (< 25 / < 5);
+     unsafe accesses keep the hot loops free of bounds checks *)
   for round = 0 to 23 do
     (* theta *)
     for x = 0 to 4 do
-      c.(x) <-
-        Int64.logxor state.(x)
-          (Int64.logxor state.(x + 5)
-             (Int64.logxor state.(x + 10)
-                (Int64.logxor state.(x + 15) state.(x + 20))))
+      Array.unsafe_set ch x
+        (Array.unsafe_get sh x lxor Array.unsafe_get sh (x + 5) lxor Array.unsafe_get sh (x + 10) lxor Array.unsafe_get sh (x + 15)
+        lxor Array.unsafe_get sh (x + 20));
+      Array.unsafe_set cl x
+        (Array.unsafe_get sl x lxor Array.unsafe_get sl (x + 5) lxor Array.unsafe_get sl (x + 10) lxor Array.unsafe_get sl (x + 15)
+        lxor Array.unsafe_get sl (x + 20))
     done;
     for x = 0 to 4 do
-      d.(x) <- Int64.logxor c.((x + 4) mod 5) (rotl64 c.((x + 1) mod 5) 1)
+      let h1 = Array.unsafe_get ch (Array.unsafe_get p1 x) and l1 = Array.unsafe_get cl (Array.unsafe_get p1 x) in
+      (* rotl64 by 1 on a hi/lo pair *)
+      Array.unsafe_set dh x (Array.unsafe_get ch (Array.unsafe_get p4 x) lxor (((h1 lsl 1) lor (l1 lsr 31)) land mask32));
+      Array.unsafe_set dl x (Array.unsafe_get cl (Array.unsafe_get p4 x) lxor (((l1 lsl 1) lor (h1 lsr 31)) land mask32))
     done;
     for x = 0 to 4 do
+      let dhx = Array.unsafe_get dh x and dlx = Array.unsafe_get dl x in
       for y = 0 to 4 do
-        state.(x + (5 * y)) <- Int64.logxor state.(x + (5 * y)) d.(x)
+        let i = x + (5 * y) in
+        Array.unsafe_set sh i (Array.unsafe_get sh i lxor dhx);
+        Array.unsafe_set sl i (Array.unsafe_get sl i lxor dlx)
       done
     done;
     (* rho + pi *)
-    for x = 0 to 4 do
-      for y = 0 to 4 do
-        let nx = y and ny = ((2 * x) + (3 * y)) mod 5 in
-        b.(nx + (5 * ny)) <- rotl64 state.(x + (5 * y)) rotation_offsets.(x + (5 * y))
-      done
+    for i = 0 to 24 do
+      let n = Array.unsafe_get rotation_offsets i in
+      let j = Array.unsafe_get pi_dst i in
+      let h = Array.unsafe_get sh i and l = Array.unsafe_get sl i in
+      if n = 0 then begin
+        Array.unsafe_set bh j h;
+        Array.unsafe_set bl j l
+      end
+      else if n < 32 then begin
+        Array.unsafe_set bh j (((h lsl n) lor (l lsr (32 - n))) land mask32);
+        Array.unsafe_set bl j (((l lsl n) lor (h lsr (32 - n))) land mask32)
+      end
+      else if n = 32 then begin
+        Array.unsafe_set bh j l;
+        Array.unsafe_set bl j h
+      end
+      else begin
+        let n = n - 32 in
+        Array.unsafe_set bh j (((l lsl n) lor (h lsr (32 - n))) land mask32);
+        Array.unsafe_set bl j (((h lsl n) lor (l lsr (32 - n))) land mask32)
+      end
     done;
     (* chi *)
-    for x = 0 to 4 do
-      for y = 0 to 4 do
-        state.(x + (5 * y)) <-
-          Int64.logxor
-            b.(x + (5 * y))
-            (Int64.logand
-               (Int64.lognot b.(((x + 1) mod 5) + (5 * y)))
-               b.(((x + 2) mod 5) + (5 * y)))
+    for y = 0 to 4 do
+      let r = 5 * y in
+      for x = 0 to 4 do
+        let i = x + r in
+        let i1 = Array.unsafe_get p1 x + r and i2 = Array.unsafe_get p2 x + r in
+        Array.unsafe_set sh i (Array.unsafe_get bh i lxor (lnot (Array.unsafe_get bh i1) land Array.unsafe_get bh i2));
+        Array.unsafe_set sl i (Array.unsafe_get bl i lxor (lnot (Array.unsafe_get bl i1) land Array.unsafe_get bl i2))
       done
     done;
     (* iota *)
-    state.(0) <- Int64.logxor state.(0) round_constants.(round)
+    Array.unsafe_set sh 0 (Array.unsafe_get sh 0 lxor Array.unsafe_get rc_hi round);
+    Array.unsafe_set sl 0 (Array.unsafe_get sl 0 lxor Array.unsafe_get rc_lo round)
+  done
+
+(** The Keccak-f[1600] permutation over a 25-lane [int64] state, in
+    place. Compatibility/testing entry point; the sponge below uses the
+    unboxed-half representation directly. *)
+let keccak_f (state : int64 array) : unit =
+  let sh = Array.make 25 0 and sl = Array.make 25 0 in
+  for i = 0 to 24 do
+    sh.(i) <- Int64.to_int (Int64.shift_right_logical state.(i) 32);
+    sl.(i) <- Int64.to_int (Int64.logand state.(i) 0xFFFFFFFFL)
+  done;
+  keccak_f_hl sh sl (Array.make 25 0) (Array.make 25 0) (Array.make 5 0)
+    (Array.make 5 0) (Array.make 5 0) (Array.make 5 0);
+  for i = 0 to 24 do
+    state.(i) <-
+      Int64.logor
+        (Int64.shift_left (Int64.of_int sh.(i)) 32)
+        (Int64.of_int sl.(i))
   done
 
 let rate_bytes = 136 (* 1088-bit rate for Keccak-256 *)
 
 (** [hash msg] computes the 32-byte Keccak-256 digest of [msg]. *)
 let hash (msg : string) : string =
-  let state = Array.make 25 0L in
+  let sh = Array.make 25 0 and sl = Array.make 25 0 in
+  let bh = Array.make 25 0 and bl = Array.make 25 0 in
+  let ch = Array.make 5 0 and cl = Array.make 5 0 in
+  let dh = Array.make 5 0 and dl = Array.make 5 0 in
   let len = String.length msg in
-  (* Absorb full rate-sized blocks. *)
+  (* Absorb a full rate-sized block: XOR 17 little-endian lanes into
+     the state, then permute. *)
   let absorb_block (block : Bytes.t) =
     for i = 0 to (rate_bytes / 8) - 1 do
-      state.(i) <- Int64.logxor state.(i) (Bytes.get_int64_le block (i * 8))
+      let o = i * 8 in
+      let lo =
+        Char.code (Bytes.unsafe_get block o)
+        lor (Char.code (Bytes.unsafe_get block (o + 1)) lsl 8)
+        lor (Char.code (Bytes.unsafe_get block (o + 2)) lsl 16)
+        lor (Char.code (Bytes.unsafe_get block (o + 3)) lsl 24)
+      and hi =
+        Char.code (Bytes.unsafe_get block (o + 4))
+        lor (Char.code (Bytes.unsafe_get block (o + 5)) lsl 8)
+        lor (Char.code (Bytes.unsafe_get block (o + 6)) lsl 16)
+        lor (Char.code (Bytes.unsafe_get block (o + 7)) lsl 24)
+      in
+      sl.(i) <- sl.(i) lxor lo;
+      sh.(i) <- sh.(i) lxor hi
     done;
-    keccak_f state
+    keccak_f_hl sh sl bh bl ch cl dh dl
   in
   let nfull = len / rate_bytes in
   let block = Bytes.create rate_bytes in
@@ -103,10 +191,19 @@ let hash (msg : string) : string =
   Bytes.set last (rate_bytes - 1)
     (Char.chr (Char.code (Bytes.get last (rate_bytes - 1)) lor 0x80));
   absorb_block last;
-  (* Squeeze 32 bytes. *)
+  (* Squeeze 32 bytes (4 lanes, little-endian). *)
   let out = Bytes.create 32 in
   for i = 0 to 3 do
-    Bytes.set_int64_le out (i * 8) state.(i)
+    let o = i * 8 in
+    let l = sl.(i) and h = sh.(i) in
+    Bytes.unsafe_set out o (Char.unsafe_chr (l land 0xff));
+    Bytes.unsafe_set out (o + 1) (Char.unsafe_chr ((l lsr 8) land 0xff));
+    Bytes.unsafe_set out (o + 2) (Char.unsafe_chr ((l lsr 16) land 0xff));
+    Bytes.unsafe_set out (o + 3) (Char.unsafe_chr ((l lsr 24) land 0xff));
+    Bytes.unsafe_set out (o + 4) (Char.unsafe_chr (h land 0xff));
+    Bytes.unsafe_set out (o + 5) (Char.unsafe_chr ((h lsr 8) land 0xff));
+    Bytes.unsafe_set out (o + 6) (Char.unsafe_chr ((h lsr 16) land 0xff));
+    Bytes.unsafe_set out (o + 7) (Char.unsafe_chr ((h lsr 24) land 0xff))
   done;
   Bytes.to_string out
 

@@ -133,15 +133,9 @@ let assemble (items : asm list) : string =
     runtime to memory and returns it (what a constructor does). *)
 let deployer (runtime : string) : string =
   let len = String.length runtime in
-  assemble
-    [ Push (U.of_int len); PushLabel "runtime_start"; Push U.zero;
-      Op Opcode.CODECOPY; Push (U.of_int len); Push U.zero;
-      Op Opcode.RETURN; Label "runtime_start" ]
-  |> fun preamble ->
-  (* The label trick above inserts a JUMPDEST byte we do not want in
-     the copied runtime; instead compute the offset directly. *)
-  ignore preamble;
-  (* Deployment code layout: [prefix][runtime]. prefix length is fixed
+  (* A Label-based preamble would insert a JUMPDEST byte we do not want
+     in the copied runtime, so the runtime offset is computed directly.
+     Deployment code layout: [prefix][runtime]. prefix length is fixed
      once we know the PUSH widths; iterate to a fixed point (the offset
      value may change the PUSH width). *)
   let rec layout guess =

@@ -6,7 +6,22 @@
     trace. The trace is how Ethainter-Kill confirms an exploit: the
     paper verifies destruction "by analyzing the exact VM instruction
     trace and identifying whether the selfdestruct opcode was
-    executed" (§6.1). *)
+    executed" (§6.1).
+
+    Two engines execute the same semantics:
+
+    - {b Decoded} (the default): runs over the pre-decoded basic-block
+      {!Program.t} for the contract — one decode per unique code hash
+      process-wide, an array operand stack, and per-block gas
+      pre-charging (a block whose static cost fits the remaining gas
+      is charged once at entry; any mid-block exit unwinds the
+      unexecuted tail via [Program.gas_rest], so observable gas is
+      bit-identical to per-instruction charging).
+    - {b Bytewise}: the reference per-byte interpreter (decode each
+      opcode from the raw string at each step, rebuild the JUMPDEST
+      set per call frame, list operand stack). Kept verbatim as the
+      differential baseline; the test suite asserts both engines
+      produce identical traces, outcomes, gas and effects. *)
 
 module U = Ethainter_word.Uint256
 
@@ -47,7 +62,15 @@ type context = {
   block_number : U.t;
   timestamp : U.t;
   chain_id : U.t;
-  trace : trace_entry list ref;       (** reversed; newest first *)
+  trace : trace_entry list ref;       (** bytewise engine: reversed list *)
+  (* The decoded engine records the trace into flat parallel arrays
+     instead — zero allocation per executed instruction ([tmeta] packs
+     depth and pc into one int; [taddr]/[tops] store shared pointers).
+     Both representations reconstruct the identical [trace_entry list]
+     in [call_full]. [trace_len] counts entries for either engine. *)
+  mutable tmeta : int array;          (** depth lsl 32 lor pc *)
+  mutable taddr : U.t array;
+  mutable tops : Opcode.t array;
   mutable trace_len : int;
   max_trace : int;
   mutable steps : int;
@@ -56,10 +79,29 @@ type context = {
   effects : effect list ref;          (** reversed; newest first *)
 }
 
+(* Grow the decoded engine's flat trace buffers (amortized doubling,
+   capped at [max_trace]). Allocated lazily: the bytewise engine never
+   touches them. *)
+let grow_trace (ctx : context) =
+  let old = Array.length ctx.tmeta in
+  let cap = if old = 0 then 64 else min ctx.max_trace (2 * old) in
+  let tmeta = Array.make cap 0 in
+  let taddr = Array.make cap U.zero in
+  let tops = Array.make cap Opcode.STOP in
+  Array.blit ctx.tmeta 0 tmeta 0 old;
+  Array.blit ctx.taddr 0 taddr 0 old;
+  Array.blit ctx.tops 0 tops 0 old;
+  ctx.tmeta <- tmeta;
+  ctx.taddr <- taddr;
+  ctx.tops <- tops
+
 type outcome =
   | Returned of string
   | Reverted of string
   | Failed of string (* out of gas, invalid op, stack error ... *)
+
+(** Which executor runs the bytecode; see the module header. *)
+type engine = Decoded | Bytewise
 
 (* Byte-addressed, lazily grown EVM memory. *)
 module Memory = struct
@@ -67,14 +109,23 @@ module Memory = struct
 
   let create () = { data = Bytes.make 1024 '\000'; size = 0 }
 
+  (* [size] is the MSIZE value: the touched extent rounded up to a
+     32-byte word boundary. Capacity must cover that *rounded* size —
+     rounding only the size once produced size > capacity (e.g.
+     capacity 1024, [ensure 2049] -> capacity 2049 but size 2080),
+     and the next growth's [Bytes.blit _ 0 _ 0 m.size] then raised
+     [Invalid_argument] while MSIZE reported bytes never allocated. *)
   let ensure m n =
-    if n > Bytes.length m.data then begin
-      let cap = max n (2 * Bytes.length m.data) in
-      let d = Bytes.make cap '\000' in
-      Bytes.blit m.data 0 d 0 m.size;
-      m.data <- d
-    end;
-    if n > m.size then m.size <- ((n + 31) / 32) * 32
+    if n > m.size then begin
+      let sz = ((n + 31) / 32) * 32 in
+      if sz > Bytes.length m.data then begin
+        let cap = max sz (2 * Bytes.length m.data) in
+        let d = Bytes.make cap '\000' in
+        Bytes.blit m.data 0 d 0 m.size;
+        m.data <- d
+      end;
+      m.size <- sz
+    end
 
   let load_word m off =
     ensure m (off + 32);
@@ -119,10 +170,14 @@ let as_offset (v : U.t) : int =
 let addr_mask = U.sub (U.shift_left U.one 160) U.one
 let to_addr v = U.logand v addr_mask
 
-(** Execute [code] in a message-call context. Returns the outcome and
-    the return data. State changes are rolled back on revert/failure
-    by the caller (we snapshot around calls). *)
-let rec execute (ctx : context) ~(depth : int) ~(self : U.t)
+(* ------------------------------------------------------------------ *)
+(* Bytewise reference engine: the original per-byte interpreter, kept  *)
+(* as the differential baseline. Decodes the opcode from the raw code  *)
+(* string at every step, re-reads PUSH immediates, rebuilds the        *)
+(* JUMPDEST set per call frame, and charges gas per instruction.       *)
+(* ------------------------------------------------------------------ *)
+
+let rec execute_bytewise (ctx : context) ~(depth : int) ~(self : U.t)
     ~(code_addr : U.t) ~(caller : U.t) ~(callvalue : U.t)
     ~(calldata : string) ~(static : bool) : outcome =
   let code = State.code ctx.state code_addr in
@@ -153,7 +208,6 @@ let rec execute (ctx : context) ~(depth : int) ~(self : U.t)
   let pc = ref 0 in
   let running = ref true in
   let result = ref (Returned "") in
-  (if String.length !returndata > 0 then ());
   while !running do
     if !pc >= n then begin
       running := false;
@@ -393,7 +447,7 @@ let rec execute (ctx : context) ~(depth : int) ~(self : U.t)
                 State.set_code ctx.state new_addr initcode;
                 match
                   try
-                    execute ctx ~depth:(depth + 1) ~self:new_addr
+                    execute_bytewise ctx ~depth:(depth + 1) ~self:new_addr
                       ~code_addr:new_addr ~caller:self ~callvalue:value
                       ~calldata:"" ~static:false
                   with Evm_error msg -> Failed msg
@@ -452,7 +506,7 @@ let rec execute (ctx : context) ~(depth : int) ~(self : U.t)
                     (* a failing callee is contained: the caller sees a
                        0 result, it does not abort *)
                     try
-                      execute ctx ~depth:(depth + 1) ~self:sub_self
+                      execute_bytewise ctx ~depth:(depth + 1) ~self:sub_self
                         ~code_addr:sub_code ~caller:sub_caller
                         ~callvalue:sub_value ~calldata:args ~static:sub_static
                     with Evm_error msg -> Failed msg
@@ -500,6 +554,468 @@ let rec execute (ctx : context) ~(depth : int) ~(self : U.t)
   done;
   !result
 
+(* ------------------------------------------------------------------ *)
+(* Decoded engine: the hot loop over Program.t. No byte decoding, no   *)
+(* PUSH re-reads, no per-call JUMPDEST rebuild; array operand stack;   *)
+(* per-block gas pre-charge with exact tail unwind on mid-block exit.  *)
+(* ------------------------------------------------------------------ *)
+
+let rec execute_decoded (ctx : context) ~(depth : int) ~(self : U.t)
+    ~(code_addr : U.t) ~(caller : U.t) ~(callvalue : U.t)
+    ~(calldata : string) ~(static : bool) : outcome =
+  let p = State.program ctx.state code_addr in
+  let code = p.Program.code in
+  let n = String.length code in
+  let instrs = p.Program.instrs in
+  let gas_rest = p.Program.gas_rest in
+  let blocks = p.Program.blocks in
+  let nblocks = Array.length blocks in
+  (* Operand stack: growable array, top of stack at [sp - 1]. Pushes
+     are capacity-unchecked: each block's maximum growth [bb_grow] is
+     ensured once at block entry. Pops check for underflow (the
+     per-byte engine fails at exactly the popping instruction, and so
+     must we). *)
+  let stk = ref (Array.make 64 U.zero) in
+  let sp = ref 0 in
+  let ensure_stack extra =
+    let need = !sp + extra in
+    if need > Array.length !stk then begin
+      let cap = ref (2 * Array.length !stk) in
+      while !cap < need do
+        cap := 2 * !cap
+      done;
+      let a = Array.make !cap U.zero in
+      Array.blit !stk 0 a 0 !sp;
+      stk := a
+    end
+  in
+  let push v =
+    Array.unsafe_set !stk !sp v;
+    incr sp
+  in
+  let pop () =
+    if !sp = 0 then raise (Evm_error "stack underflow");
+    decr sp;
+    Array.unsafe_get !stk !sp
+  in
+  let pop2 () =
+    let a = pop () in
+    let b = pop () in
+    (a, b)
+  in
+  let pop3 () =
+    let a = pop () in
+    let b = pop () in
+    let c = pop () in
+    (a, b, c)
+  in
+  let mem = Memory.create () in
+  let returndata = ref "" in
+  let running = ref (nblocks > 0) in
+  let result = ref (Returned "") in
+  let bi = ref 0 in
+  (* block-loop registers, hoisted to the frame so the per-block path
+     allocates nothing *)
+  let i = ref 0 in
+  let next_bi = ref 0 in
+  let refunded = ref false in
+  while !running do
+    let b = blocks.(!bi) in
+    (* Fast path: the whole block's static gas fits — charge it once.
+       Gas can then never run out inside the block, and any abnormal
+       mid-block exit (stack underflow, bad jump, step limit, INVALID)
+       refunds the unexecuted tail so observable gas matches the
+       per-instruction engine exactly. *)
+    let precharged = ctx.gas >= b.Program.bb_gas in
+    if precharged then ctx.gas <- ctx.gas - b.Program.bb_gas;
+    ensure_stack b.Program.bb_grow;
+    let i_end = b.Program.bb_start + b.Program.bb_len in
+    next_bi := !bi + 1;
+    i := b.Program.bb_start;
+    refunded := false;
+    (try
+       while !i < i_end do
+         let ins = Array.unsafe_get instrs !i in
+         let op = ins.Bytecode.op in
+         ctx.steps <- ctx.steps + 1;
+         if ctx.steps > ctx.max_steps then begin
+           (* the reference engine checks the step limit before
+              charging the instruction: unwind its cost too *)
+           if precharged then begin
+             ctx.gas <- ctx.gas + gas_rest.(!i) + Opcode.base_gas op;
+             refunded := true
+           end;
+           raise (Evm_error "step limit")
+         end;
+         let k = ctx.trace_len in
+         if k < ctx.max_trace then begin
+           if k >= Array.length ctx.tmeta then grow_trace ctx;
+           Array.unsafe_set ctx.tmeta k ((depth lsl 32) lor ins.Bytecode.pc);
+           Array.unsafe_set ctx.taddr k self;
+           Array.unsafe_set ctx.tops k op;
+           ctx.trace_len <- k + 1
+         end;
+         if not precharged then charge ctx (Opcode.base_gas op);
+         (match op with
+         | STOP ->
+             running := false;
+             result := Returned ""
+         | ADD -> let a, b = pop2 () in push (U.add a b)
+         | MUL -> let a, b = pop2 () in push (U.mul a b)
+         | SUB -> let a, b = pop2 () in push (U.sub a b)
+         | DIV -> let a, b = pop2 () in push (U.div a b)
+         | SDIV -> let a, b = pop2 () in push (U.sdiv a b)
+         | MOD -> let a, b = pop2 () in push (U.rem a b)
+         | SMOD -> let a, b = pop2 () in push (U.smod a b)
+         | ADDMOD -> let a, b, m = pop3 () in push (U.addmod a b m)
+         | MULMOD -> let a, b, m = pop3 () in push (U.mulmod a b m)
+         | EXP -> let a, b = pop2 () in push (U.exp a b)
+         | SIGNEXTEND -> let b, x = pop2 () in push (U.signextend b x)
+         | LT -> let a, b = pop2 () in push (U.of_bool (U.lt a b))
+         | GT -> let a, b = pop2 () in push (U.of_bool (U.gt a b))
+         | SLT -> let a, b = pop2 () in push (U.of_bool (U.slt a b))
+         | SGT -> let a, b = pop2 () in push (U.of_bool (U.sgt a b))
+         | EQ -> let a, b = pop2 () in push (U.of_bool (U.equal a b))
+         | ISZERO -> push (U.of_bool (U.is_zero (pop ())))
+         | AND -> let a, b = pop2 () in push (U.logand a b)
+         | OR -> let a, b = pop2 () in push (U.logor a b)
+         | XOR -> let a, b = pop2 () in push (U.logxor a b)
+         | NOT -> push (U.lognot (pop ()))
+         | BYTE -> let i, x = pop2 () in push (U.byte i x)
+         | SHL ->
+             let s, v = pop2 () in
+             push
+               (if U.fits_int s then U.shift_left v (U.to_int s) else U.zero)
+         | SHR ->
+             let s, v = pop2 () in
+             push
+               (if U.fits_int s then U.shift_right v (U.to_int s) else U.zero)
+         | SAR ->
+             let s, v = pop2 () in
+             push
+               (if U.fits_int s then U.shift_right_arith v (U.to_int s)
+                else U.shift_right_arith v 256)
+         | SHA3 ->
+             let off, len = pop2 () in
+             let data =
+               Memory.load_bytes mem (as_offset off) (as_offset len)
+             in
+             push (Ethainter_crypto.Keccak.hash_word data)
+         | ADDRESS -> push self
+         | BALANCE -> push (State.balance ctx.state (to_addr (pop ())))
+         | ORIGIN -> push ctx.origin
+         | CALLER -> push caller
+         | CALLVALUE -> push callvalue
+         | CALLDATALOAD ->
+             let off = pop () in
+             let v =
+               match U.to_int_opt off with
+               | None -> U.zero
+               | Some o ->
+                   let len = String.length calldata in
+                   if o >= len then U.zero
+                   else
+                     let avail = min 32 (len - o) in
+                     let s = String.sub calldata o avail in
+                     U.of_bytes (s ^ String.make (32 - avail) '\000')
+             in
+             push v
+         | CALLDATASIZE -> push (U.of_int (String.length calldata))
+         | CALLDATACOPY ->
+             let dst, src, len = pop3 () in
+             let dst = as_offset dst and len = as_offset len in
+             let srclen = String.length calldata in
+             let src =
+               match U.to_int_opt src with Some s -> s | None -> srclen
+             in
+             let chunk =
+               if src >= srclen then String.make len '\000'
+               else
+                 let avail = min len (srclen - src) in
+                 String.sub calldata src avail
+                 ^ String.make (len - avail) '\000'
+             in
+             Memory.store_bytes mem dst chunk
+         | CODESIZE -> push (U.of_int n)
+         | CODECOPY ->
+             let dst, src, len = pop3 () in
+             let dst = as_offset dst and len = as_offset len in
+             let src = match U.to_int_opt src with Some s -> s | None -> n in
+             let chunk =
+               if src >= n then String.make len '\000'
+               else
+                 let avail = min len (n - src) in
+                 String.sub code src avail ^ String.make (len - avail) '\000'
+             in
+             Memory.store_bytes mem dst chunk
+         | GASPRICE -> push ctx.gas_price
+         | EXTCODESIZE ->
+             push
+               (U.of_int
+                  (String.length (State.code ctx.state (to_addr (pop ())))))
+         | EXTCODECOPY ->
+             let a = pop () in
+             let dst, src, len = pop3 () in
+             let ext = State.code ctx.state (to_addr a) in
+             let extn = String.length ext in
+             let dst = as_offset dst and len = as_offset len in
+             let src =
+               match U.to_int_opt src with Some s -> s | None -> extn
+             in
+             let chunk =
+               if src >= extn then String.make len '\000'
+               else
+                 let avail = min len (extn - src) in
+                 String.sub ext src avail ^ String.make (len - avail) '\000'
+             in
+             Memory.store_bytes mem dst chunk
+         | RETURNDATASIZE -> push (U.of_int (String.length !returndata))
+         | RETURNDATACOPY ->
+             let dst, src, len = pop3 () in
+             let dst = as_offset dst and len = as_offset len in
+             let src = as_offset src in
+             let rl = String.length !returndata in
+             if src + len > rl then raise (Evm_error "returndatacopy OOB");
+             Memory.store_bytes mem dst (String.sub !returndata src len)
+         | EXTCODEHASH ->
+             let a = to_addr (pop ()) in
+             let c = State.code ctx.state a in
+             if (not (State.exists ctx.state a)) && String.length c = 0 then
+               push U.zero
+             else push (Ethainter_crypto.Keccak.hash_word c)
+         | BLOCKHASH ->
+             let bn = pop () in
+             push (Ethainter_crypto.Keccak.hash_word (U.to_bytes bn))
+         | COINBASE -> push U.zero
+         | TIMESTAMP -> push ctx.timestamp
+         | NUMBER -> push ctx.block_number
+         | DIFFICULTY -> push U.zero
+         | GASLIMIT -> push (U.of_int 10_000_000)
+         | CHAINID -> push ctx.chain_id
+         | SELFBALANCE -> push (State.balance ctx.state self)
+         | POP -> ignore (pop ())
+         | MLOAD -> push (Memory.load_word mem (as_offset (pop ())))
+         | MSTORE ->
+             let off, v = pop2 () in
+             Memory.store_word mem (as_offset off) v
+         | MSTORE8 ->
+             let off, v = pop2 () in
+             Memory.store_byte mem (as_offset off)
+               (U.to_int (U.logand v (U.of_int 0xff)))
+         | SLOAD -> push (State.sload ctx.state self (pop ()))
+         | SSTORE ->
+             if static then raise (Evm_error "SSTORE in static context");
+             let k, v = pop2 () in
+             State.sstore ctx.state self k v;
+             ctx.effects :=
+               E_sstore { es_addr = self; es_slot = k } :: !(ctx.effects)
+         | JUMP ->
+             let dest = pop () in
+             let d =
+               match U.to_int_opt dest with
+               | Some d -> d
+               | None -> raise (Evm_error "bad jump target")
+             in
+             if not (Program.is_jumpdest p d) then
+               raise (Evm_error "jump to non-JUMPDEST");
+             next_bi := Array.unsafe_get p.Program.block_at_pc d
+         | JUMPI ->
+             let dest, cond = pop2 () in
+             if U.to_bool cond then begin
+               let d =
+                 match U.to_int_opt dest with
+                 | Some d -> d
+                 | None -> raise (Evm_error "bad jump target")
+               in
+               if not (Program.is_jumpdest p d) then
+                 raise (Evm_error "jump to non-JUMPDEST");
+               next_bi := Array.unsafe_get p.Program.block_at_pc d
+             end
+         | PC -> push (U.of_int ins.Bytecode.pc)
+         | MSIZE -> push (U.of_int (Memory.size mem))
+         | GAS ->
+             (* the block was pre-charged in one go: add back the
+                static cost of the instructions after this one so the
+                observable value matches per-instruction charging *)
+             let g =
+               if precharged then ctx.gas + gas_rest.(!i) else ctx.gas
+             in
+             push (U.of_int (max 0 g))
+         | JUMPDEST -> ()
+         | PUSH _ ->
+             push (match ins.Bytecode.imm with Some v -> v | None -> U.zero)
+         | DUP k ->
+             if !sp < k then raise (Evm_error "stack underflow");
+             push (Array.unsafe_get !stk (!sp - k))
+         | SWAP k ->
+             if !sp < k + 1 then raise (Evm_error "stack underflow");
+             let a = !stk in
+             let top = !sp - 1 in
+             let t = Array.unsafe_get a top in
+             Array.unsafe_set a top (Array.unsafe_get a (top - k));
+             Array.unsafe_set a (top - k) t
+         | LOG k ->
+             if static then raise (Evm_error "LOG in static context");
+             let off, len = pop2 () in
+             let topics = List.init k (fun _ -> pop ()) in
+             let data =
+               Memory.load_bytes mem (as_offset off) (as_offset len)
+             in
+             ctx.logs := { log_addr = self; topics; data } :: !(ctx.logs)
+         | CREATE | CREATE2 ->
+             if static then raise (Evm_error "CREATE in static context");
+             let value = pop () in
+             let off, len = pop2 () in
+             let _salt = if op = Opcode.CREATE2 then Some (pop ()) else None in
+             let initcode =
+               Memory.load_bytes mem (as_offset off) (as_offset len)
+             in
+             if depth >= max_call_depth then push U.zero
+             else begin
+               let creator_acct = State.account ctx.state self in
+               let new_addr =
+                 State.contract_address ~creator:self
+                   ~nonce:creator_acct.nonce
+               in
+               State.bump_nonce ctx.state self;
+               let snap = State.snapshot ctx.state in
+               match State.transfer ctx.state ~src:self ~dst:new_addr ~value with
+               | Error _ -> push U.zero
+               | Ok () -> (
+                   State.set_code ctx.state new_addr initcode;
+                   match
+                     try
+                       execute_decoded ctx ~depth:(depth + 1) ~self:new_addr
+                         ~code_addr:new_addr ~caller:self ~callvalue:value
+                         ~calldata:"" ~static:false
+                     with Evm_error msg -> Failed msg
+                   with
+                   | Returned runtime ->
+                       State.set_code ctx.state new_addr runtime;
+                       ctx.effects := E_create new_addr :: !(ctx.effects);
+                       returndata := "";
+                       push new_addr
+                   | Reverted data ->
+                       State.restore ctx.state snap;
+                       returndata := data;
+                       push U.zero
+                   | Failed _ ->
+                       State.restore ctx.state snap;
+                       returndata := "";
+                       push U.zero)
+             end
+         | CALL | CALLCODE | DELEGATECALL | STATICCALL ->
+             let _gas = pop () in
+             let target = to_addr (pop ()) in
+             let value =
+               match op with
+               | Opcode.CALL | Opcode.CALLCODE -> pop ()
+               | _ -> U.zero
+             in
+             let in_off, in_len = pop2 () in
+             let out_off, out_len = pop2 () in
+             let args =
+               Memory.load_bytes mem (as_offset in_off) (as_offset in_len)
+             in
+             if static && op = Opcode.CALL && not (U.is_zero value) then
+               raise (Evm_error "value CALL in static context");
+             if depth >= max_call_depth then push U.zero
+             else begin
+               let snap = State.snapshot ctx.state in
+               let sub_self, sub_code, sub_caller, sub_value, sub_static =
+                 match op with
+                 | Opcode.CALL -> (target, target, self, value, static)
+                 | Opcode.CALLCODE -> (self, target, self, value, static)
+                 | Opcode.DELEGATECALL ->
+                     (self, target, caller, callvalue, static)
+                 | Opcode.STATICCALL -> (target, target, self, U.zero, true)
+                 | _ -> assert false
+               in
+               let transfer_res =
+                 if op = Opcode.CALL && not (U.is_zero value) then
+                   State.transfer ctx.state ~src:self ~dst:target ~value
+                 else Ok ()
+               in
+               match transfer_res with
+               | Error _ -> push U.zero
+               | Ok () -> (
+                   let o =
+                     if String.length (State.code ctx.state sub_code) = 0 then
+                       (* calling an EOA: succeeds, returns nothing *)
+                       Returned ""
+                     else
+                       (* a failing callee is contained: the caller
+                          sees a 0 result, it does not abort *)
+                       try
+                         execute_decoded ctx ~depth:(depth + 1)
+                           ~self:sub_self ~code_addr:sub_code
+                           ~caller:sub_caller ~callvalue:sub_value
+                           ~calldata:args ~static:sub_static
+                       with Evm_error msg -> Failed msg
+                   in
+                   match o with
+                   | Returned data ->
+                       returndata := data;
+                       (* NB: only min(out_len, |data|) bytes are
+                          written; this is exactly the staticcall
+                          output-buffer subtlety of §3.5. *)
+                       let wlen =
+                         min (as_offset out_len) (String.length data)
+                       in
+                       Memory.store_bytes mem (as_offset out_off)
+                         (String.sub data 0 wlen);
+                       push U.one
+                   | Reverted data ->
+                       State.restore ctx.state snap;
+                       returndata := data;
+                       let wlen =
+                         min (as_offset out_len) (String.length data)
+                       in
+                       Memory.store_bytes mem (as_offset out_off)
+                         (String.sub data 0 wlen);
+                       push U.zero
+                   | Failed _ ->
+                       State.restore ctx.state snap;
+                       returndata := "";
+                       push U.zero)
+             end
+         | RETURN ->
+             let off, len = pop2 () in
+             running := false;
+             result :=
+               Returned (Memory.load_bytes mem (as_offset off) (as_offset len))
+         | REVERT ->
+             let off, len = pop2 () in
+             running := false;
+             result :=
+               Reverted (Memory.load_bytes mem (as_offset off) (as_offset len))
+         | INVALID -> raise (Evm_error "invalid opcode")
+         | SELFDESTRUCT ->
+             if static then raise (Evm_error "SELFDESTRUCT in static context");
+             let beneficiary = to_addr (pop ()) in
+             State.selfdestruct ctx.state ~victim:self ~beneficiary;
+             ctx.effects := E_selfdestruct self :: !(ctx.effects);
+             running := false;
+             result := Returned "");
+         incr i
+       done
+     with Evm_error _ as e ->
+       (* abnormal mid-block exit at instruction [!i]: give back the
+          pre-charged gas for the instructions that never ran *)
+       if precharged && not !refunded then
+         ctx.gas <- ctx.gas + gas_rest.(!i);
+       raise e);
+    if !running then begin
+      bi := !next_bi;
+      if !bi >= nblocks then begin
+        (* fell off the end of the code *)
+        running := false;
+        result := Returned ""
+      end
+    end
+  done;
+  !result
+
 (** Full result of a top-level message call. *)
 type call_result = {
   outcome : outcome;
@@ -513,15 +1029,17 @@ type call_result = {
 
 (** Top-level message call (a transaction's execution). Rolls back all
     state changes — and drops emitted logs — if the call reverts or
-    fails. *)
-let call_full ?(gas = 10_000_000) ?(max_steps = 2_000_000)
-    ?(block_number = U.of_int 1) ?(timestamp = U.of_int 1_600_000_000)
-    (state : State.t) ~(caller : U.t) ~(target : U.t) ~(value : U.t)
-    ~(calldata : string) : call_result =
+    fails. [engine] selects the executor (default {!Decoded}); both
+    engines produce identical results, bit for bit. *)
+let call_full ?(engine = Decoded) ?(gas = 10_000_000)
+    ?(max_steps = 2_000_000) ?(block_number = U.of_int 1)
+    ?(timestamp = U.of_int 1_600_000_000) (state : State.t) ~(caller : U.t)
+    ~(target : U.t) ~(value : U.t) ~(calldata : string) : call_result =
   let ctx =
     { state; gas; origin = caller; gas_price = U.one; block_number;
       timestamp; chain_id = U.of_int 3 (* Ropsten *);
-      trace = ref []; trace_len = 0; max_trace = 1_000_000;
+      trace = ref []; tmeta = [||]; taddr = [||]; tops = [||];
+      trace_len = 0; max_trace = 1_000_000;
       steps = 0; max_steps; logs = ref []; effects = ref [] }
   in
   let snap = State.snapshot state in
@@ -532,8 +1050,13 @@ let call_full ?(gas = 10_000_000) ?(max_steps = 2_000_000)
     if String.length (State.code state target) = 0 then Returned ""
     else
       try
-        execute ctx ~depth:0 ~self:target ~code_addr:target ~caller
-          ~callvalue:value ~calldata ~static:false
+        match engine with
+        | Decoded ->
+            execute_decoded ctx ~depth:0 ~self:target ~code_addr:target
+              ~caller ~callvalue:value ~calldata ~static:false
+        | Bytewise ->
+            execute_bytewise ctx ~depth:0 ~self:target ~code_addr:target
+              ~caller ~callvalue:value ~calldata ~static:false
       with Evm_error msg -> Failed msg
   in
   let logs, effects =
@@ -543,14 +1066,33 @@ let call_full ?(gas = 10_000_000) ?(max_steps = 2_000_000)
         State.restore state snap;
         ([], [])
   in
-  { outcome; tx_trace = List.rev !(ctx.trace); tx_logs = logs;
-    tx_effects = effects; gas_used = max 0 (gas - ctx.gas) }
+  let tx_trace =
+    match engine with
+    | Bytewise -> List.rev !(ctx.trace)
+    | Decoded ->
+        (* reconstruct the same chronological list from the flat
+           buffers (built back-to-front so each entry conses once) *)
+        let rec build k acc =
+          if k < 0 then acc
+          else
+            let m = Array.unsafe_get ctx.tmeta k in
+            build (k - 1)
+              ({ t_depth = m lsr 32;
+                 t_addr = Array.unsafe_get ctx.taddr k;
+                 t_pc = m land 0xFFFF_FFFF;
+                 t_op = Array.unsafe_get ctx.tops k }
+              :: acc)
+        in
+        build (ctx.trace_len - 1) []
+  in
+  { outcome; tx_trace; tx_logs = logs; tx_effects = effects;
+    gas_used = max 0 (gas - ctx.gas) }
 
-let call ?gas ?max_steps ?block_number ?timestamp state ~caller ~target
-    ~value ~calldata : outcome * trace_entry list =
+let call ?engine ?gas ?max_steps ?block_number ?timestamp state ~caller
+    ~target ~value ~calldata : outcome * trace_entry list =
   let r =
-    call_full ?gas ?max_steps ?block_number ?timestamp state ~caller ~target
-      ~value ~calldata
+    call_full ?engine ?gas ?max_steps ?block_number ?timestamp state ~caller
+      ~target ~value ~calldata
   in
   (r.outcome, r.tx_trace)
 

@@ -94,6 +94,18 @@ let of_byte b =
   | 0xff -> Some SELFDESTRUCT
   | _ -> None
 
+(* 256-entry flat decode table: unknown bytes are INVALID, which is
+   what both the interpreter and mainstream disassemblers do (data
+   sections must not abort decoding). The one-time program decoder
+   dispatches through this instead of the [of_byte] match chain. *)
+let decode_table : t array =
+  Array.init 256 (fun b ->
+      match of_byte b with Some op -> op | None -> INVALID)
+
+(** Total decode via {!decode_table}: never [None], unknown bytes are
+    [INVALID]. *)
+let of_byte_total (b : int) : t = Array.unsafe_get decode_table (b land 0xff)
+
 let name = function
   | STOP -> "STOP" | ADD -> "ADD" | MUL -> "MUL" | SUB -> "SUB"
   | DIV -> "DIV" | SDIV -> "SDIV" | MOD -> "MOD" | SMOD -> "SMOD"

@@ -1,0 +1,112 @@
+(** Pre-decoded, basic-block-structured EVM programs.
+
+    Raw bytecode is decoded {e once} into an immutable program: a flat
+    instruction array (no per-step byte decoding, no PUSH-immediate
+    re-reads), basic blocks split at [JUMPDEST]s and after block
+    terminators with per-block static gas cost and stack-height
+    metadata precomputed, and the valid-[JUMPDEST] set. The same
+    structure is the shared substrate for the interpreter's hot loop
+    ({!Interp}) and the decompiler's block splitter
+    ([Ethainter_tac.Decomp.split_blocks]) — which previously re-derived
+    it independently per use.
+
+    Decoded programs are cached process-wide, keyed by
+    [keccak256(code)] (the same content-addressing discipline as the
+    analysis caches in [lib/core]), so repeated message calls into the
+    same contract — an Ethainter-Kill escalation campaign, a
+    million-transaction chain replay — decode zero times after the
+    first. The cache is mutex-protected and size-bounded (FIFO
+    eviction; cap via [ETHAINTER_PROGRAM_CACHE_CAP], default 4096
+    entries).
+
+    {b Invariants} (relied on by the interpreter):
+    - [instrs] lists instructions in code order; the immediate of a
+      truncated PUSH at end-of-code is zero-filled (yellow-paper
+      behaviour), and unknown bytes decode as [INVALID];
+    - [blocks] partitions [instrs] contiguously and in order: block
+      [k+1] starts at the instruction following block [k]'s last.
+      Boundaries are exactly: instruction 0, every [JUMPDEST], and the
+      instruction after every {!Opcode.is_block_terminator};
+    - control flow only ever {e enters} a block at its first
+      instruction (the entry block starts at pc 0, jumps land on
+      [JUMPDEST]s, and fallthrough lands on the next block's start);
+    - [bb_gas] is the sum of {!Opcode.base_gas} over the block, and
+      [gas_rest.(i)] the sum over instructions {e strictly after} [i]
+      within [i]'s block — so a block can be gas-charged once at entry
+      and the pre-charge unwound exactly at any mid-block exit;
+    - [bb_need] / [bb_grow] bound the operand-stack depth the block
+      consumes below / grows above its entry height, per
+      {!Opcode.stack_arity};
+    - a byte position is a valid jump target iff {!is_jumpdest} — a
+      [JUMPDEST] byte {e not} inside a PUSH immediate. *)
+
+type block = {
+  bb_start : int;  (** index of the block's first instruction *)
+  bb_len : int;    (** number of instructions *)
+  bb_gas : int;    (** static gas: sum of {!Opcode.base_gas} *)
+  bb_need : int;   (** max stack depth consumed below entry height *)
+  bb_grow : int;   (** max stack growth above entry height *)
+  bb_delta : int;  (** net stack-height change *)
+}
+
+type t = {
+  code : string;          (** the raw bytecode (for CODECOPY/CODESIZE) *)
+  code_hash : string;     (** keccak256(code), the cache key *)
+  instrs : Bytecode.instr array;  (** flat decoded instruction stream *)
+  gas_rest : int array;
+      (** per instruction: static gas of the instructions after it in
+          its block (tail refund / GAS-opcode correction table) *)
+  blocks : block array;   (** contiguous, in code order *)
+  block_at_pc : int array;
+      (** byte pc → index of the block starting there, or -1; length
+          [String.length code] *)
+  jumpdest : Bytes.t;
+      (** byte pc → ['\001'] iff a valid jump target; length
+          [String.length code] *)
+}
+
+val decode : string -> t
+(** Decode unconditionally (no cache). The differential suite uses
+    this to exercise the decoder itself; everything else should go
+    through {!of_code}. *)
+
+val of_code : string -> t
+(** [of_code code] returns the cached program for [code], decoding at
+    most once per unique [keccak256(code)] process-wide. Thread-safe;
+    the decode itself runs outside the cache lock. *)
+
+val empty : t
+(** The program of the empty code string (what a destroyed or
+    code-less account executes). *)
+
+val is_jumpdest : t -> int -> bool
+(** Valid jump target: in-bounds [JUMPDEST] byte outside any PUSH
+    immediate. *)
+
+val instr_count : t -> int
+val block_count : t -> int
+
+val block_instrs : t -> block -> Bytecode.instr list
+(** The block's instructions as a list, in code order (the shape the
+    decompiler's abstract interpreter consumes). *)
+
+(** {1 Telemetry}
+
+    Monotonic process-wide counters (PR 7 style: diff two readings for
+    a window). [decodes] counts actual decode runs — the decode-once
+    property of a replay is [decodes diff = number of unique code
+    hashes]; [hits] counts cache lookups served without decoding;
+    [evictions] counts cap-bound FIFO drops. *)
+
+type stats = {
+  decodes : int;
+  hits : int;
+  evictions : int;
+  entries : int;  (** current cache population (gauge) *)
+}
+
+val stats : unit -> stats
+
+val telemetry_pairs : unit -> (string * float) list
+(** {!stats} in the flat key/value shape a {!Ethainter_core.Telemetry}
+    source returns. *)

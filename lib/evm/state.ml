@@ -17,6 +17,10 @@ type account = {
   mutable code : string;
   storage : (U.t, U.t) Hashtbl.t;
   mutable destroyed : bool;
+  mutable prog : Program.t option;
+      (* memoized decoded program for [code]; cleared on set_code so a
+         call into this account skips even the keccak lookup into the
+         process-wide program cache *)
 }
 
 type t = { accounts : (address, account) Hashtbl.t }
@@ -25,7 +29,7 @@ let create () = { accounts = Hashtbl.create 64 }
 
 let fresh_account () =
   { balance = U.zero; nonce = 0; code = ""; storage = Hashtbl.create 8;
-    destroyed = false }
+    destroyed = false; prog = None }
 
 let account t addr =
   match Hashtbl.find_opt t.accounts addr with
@@ -50,7 +54,29 @@ let nonce t addr =
   match account_opt t addr with Some a -> a.nonce | None -> 0
 
 let set_balance t addr v = (account t addr).balance <- v
-let set_code t addr c = (account t addr).code <- c
+
+let set_code t addr c =
+  let a = account t addr in
+  a.code <- c;
+  a.prog <- None
+
+(** The decoded program for [addr]'s current code (the empty program
+    for destroyed or code-less accounts, mirroring {!code}). Decoding
+    is memoized twice over: on the account record (no hashing on a
+    repeat call) and process-wide by code hash in {!Program.of_code}
+    (so forks and snapshot-restored states never re-decode either). *)
+let program t addr : Program.t =
+  match Hashtbl.find_opt t.accounts addr with
+  | Some a when not a.destroyed ->
+      if String.length a.code = 0 then Program.empty
+      else (
+        match a.prog with
+        | Some p -> p
+        | None ->
+            let p = Program.of_code a.code in
+            a.prog <- Some p;
+            p)
+  | _ -> Program.empty
 let bump_nonce t addr = (account t addr).nonce <- (account t addr).nonce + 1
 
 let sload t addr key =
@@ -100,23 +126,30 @@ let selfdestruct t ~victim ~beneficiary =
 
 (* ---------------- snapshots ---------------- *)
 
-type snapshot = (address * (U.t * int * string * (U.t * U.t) list * bool)) list
+(* The decoded-program memo rides along in the snapshot: the code it
+   was decoded from is captured (immutably) in the same entry, so a
+   restored account's memo is always consistent — and the frequent
+   revert path (every failed sub-call restores) costs zero re-decodes
+   and zero re-hashes. *)
+type snapshot =
+  (address * (U.t * int * string * (U.t * U.t) list * bool) * Program.t option)
+  list
 
 let snapshot (t : t) : snapshot =
   Hashtbl.fold
     (fun addr a acc ->
       let slots = Hashtbl.fold (fun k v l -> (k, v) :: l) a.storage [] in
-      (addr, (a.balance, a.nonce, a.code, slots, a.destroyed)) :: acc)
+      (addr, (a.balance, a.nonce, a.code, slots, a.destroyed), a.prog) :: acc)
     t.accounts []
 
 let restore (t : t) (s : snapshot) : unit =
   Hashtbl.reset t.accounts;
   List.iter
-    (fun (addr, (balance, nonce, code, slots, destroyed)) ->
+    (fun (addr, (balance, nonce, code, slots, destroyed), prog) ->
       let storage = Hashtbl.create (max 8 (List.length slots)) in
       List.iter (fun (k, v) -> Hashtbl.replace storage k v) slots;
       Hashtbl.replace t.accounts addr
-        { balance; nonce; code; storage; destroyed })
+        { balance; nonce; code; storage; destroyed; prog })
     s
 
 let copy (t : t) : t =

@@ -92,8 +92,11 @@ let attack ?(rounds = 4) (net : T.t) ~(attacker : U.t) ~(victim : U.t)
   if supported = [] then
     { a_contract = victim; a_outcome = NothingToDo; a_txs_sent = 0 }
   else begin
-    let runtime = Ethainter_evm.State.code (T.state net) victim in
-    let p = Decomp.decompile runtime in
+    (* the chain just executed this contract, so the pre-decoded
+       program is a guaranteed cache hit — the decompile pays zero
+       decodes *)
+    let prog = Ethainter_evm.State.program (T.state net) victim in
+    let p = Decomp.decompile_program prog in
     (* paper: "For the rest, Ethainter-Kill was unable to find a public
        entry point that would reach the private, Ethainter-flagged
        vulnerable statement." *)

@@ -25,6 +25,7 @@
 module U = Ethainter_word.Uint256
 module Op = Ethainter_evm.Opcode
 module B = Ethainter_evm.Bytecode
+module P = Ethainter_evm.Program
 module Deadline = Ethainter_runtime.Deadline
 open Tac
 
@@ -48,45 +49,29 @@ type blockinfo = {
          cases are exactly vulnerabilities flagged in orphan code. *)
 }
 
-let split_blocks (code : string) : (int, blockinfo) Hashtbl.t =
-  let instrs = B.disassemble code in
-  let boundaries = Hashtbl.create 64 in
-  Hashtbl.replace boundaries 0 ();
-  let rec mark = function
-    | [] -> ()
-    | i :: rest ->
-        (match i.B.op with
-        | Op.JUMPDEST -> Hashtbl.replace boundaries i.B.pc ()
-        | op when Op.is_block_terminator op -> (
-            match rest with
-            | next :: _ -> Hashtbl.replace boundaries next.B.pc ()
-            | [] -> ())
-        | _ -> ());
-        mark rest
-  in
-  mark instrs;
+(* The block partition now comes from the shared pre-decoded
+   {!Ethainter_evm.Program}: its boundary rule (instruction 0, every
+   JUMPDEST, the instruction after every terminator) is exactly the one
+   this module used to re-derive per decompilation, so slicing the
+   program's block table yields the same partition — and a decompile of
+   code the interpreter has already run costs zero decodes. *)
+let split_blocks (p : P.t) : (int, blockinfo) Hashtbl.t =
   let tbl = Hashtbl.create 64 in
-  let rec collect current acc = function
-    | [] ->
-        if acc <> [] then
-          Hashtbl.replace tbl current
-            { entry = current; instrs = List.rev acc; in_stack = [];
-              in_depth_known = 0; visited = false; orphan = false }
-    | i :: rest ->
-        if i.B.pc <> current && Hashtbl.mem boundaries i.B.pc then begin
-          Hashtbl.replace tbl current
-            { entry = current; instrs = List.rev acc; in_stack = [];
-              in_depth_known = 0; visited = false; orphan = false };
-          collect i.B.pc [ i ] rest
-        end
-        else collect current (i :: acc) rest
-  in
-  (match instrs with [] -> () | _ -> collect 0 [] instrs);
+  Array.iter
+    (fun (b : P.block) ->
+      if b.P.bb_len > 0 then begin
+        let instrs = P.block_instrs p b in
+        let entry = (List.hd instrs).B.pc in
+        Hashtbl.replace tbl entry
+          { entry; instrs; in_stack = []; in_depth_known = 0;
+            visited = false; orphan = false }
+      end)
+    p.P.blocks;
   tbl
 
-(** Decompile [code] (runtime bytecode) into a TAC program. *)
-let decompile (code : string) : program =
-  let binfos = split_blocks code in
+(** Decompile a pre-decoded program into a TAC program. *)
+let decompile_program (prog : P.t) : program =
+  let binfos = split_blocks prog in
   let consts : (var, U.t list) Hashtbl.t = Hashtbl.create 256 in
   let phi_args : (var, VarSet.t) Hashtbl.t = Hashtbl.create 64 in
   let block_stmts : (int, stmt list) Hashtbl.t = Hashtbl.create 64 in
@@ -497,4 +482,10 @@ let decompile (code : string) : program =
       if bi.orphan then Hashtbl.replace p_orphans e ())
     binfos;
   { p_blocks; p_entry = 0; p_def; p_consts = consts; p_phi_args = phi_args;
-    p_orphans; p_code_size = String.length code }
+    p_orphans; p_code_size = String.length prog.P.code }
+
+(** Decompile [code] (runtime bytecode) into a TAC program. Goes
+    through the process-wide program cache: repeated decompiles of the
+    same bytecode — or a decompile of code the interpreter already ran
+    — decode it only once. *)
+let decompile (code : string) : program = decompile_program (P.of_code code)

@@ -367,6 +367,34 @@ let test_jumpdests_in_push_data () =
   Alcotest.(check int) "no jumpdests" 0 (Hashtbl.length dests)
 
 (* differential property: compiled binop = Uint256 result *)
+(* Regression: [Memory.ensure] rounds MSIZE up to a 32-byte boundary;
+   the capacity must cover the *rounded* size. The old code grew the
+   buffer to the unrounded request, so capacity 1024 + [ensure 2049]
+   left size 2080 > capacity 2049 — the next growth's blit of [size]
+   bytes then raised Invalid_argument, and MSIZE reported bytes that
+   were never allocated. *)
+let test_memory_ensure_boundary () =
+  let m = I.Memory.create () in
+  I.Memory.ensure m 2049;
+  Alcotest.(check int) "msize rounds up" 2080 (I.Memory.size m);
+  (* this second growth blits [size] bytes out of the old buffer *)
+  I.Memory.ensure m 100_000;
+  Alcotest.(check int) "second growth" 100_000 (I.Memory.size m);
+  I.Memory.store_byte m 99_999 0xab;
+  Alcotest.(check string) "tail byte readable" "\xab"
+    (I.Memory.load_bytes m 99_999 1)
+
+let test_memory_growth_boundary_evm () =
+  (* same boundary end to end: MSTORE8 at 2048 puts the memory exactly
+     on the bug's size/capacity mismatch; the MSTORE at 4000 then
+     forces the growth blit that used to crash the interpreter *)
+  check_u "value survives growth across the boundary"
+    (word_result
+       [ B.Push (U.of_int 0xEF); B.Push (U.of_int 2048); B.Op Op.MSTORE8;
+         B.Push (U.of_int 0xabcd); B.Push (U.of_int 4000); B.Op Op.MSTORE;
+         B.Push (U.of_int 2048); B.Op Op.MLOAD ])
+    (U.shift_left (U.of_int 0xEF) 248)
+
 let arb_small = QCheck.(map U.of_int (int_bound 1_000_000))
 let arb_pair = QCheck.pair arb_small arb_small
 
@@ -395,6 +423,10 @@ let () =
           Alcotest.test_case "arith more" `Quick test_arith_more;
           Alcotest.test_case "stack ops" `Quick test_stack_ops;
           Alcotest.test_case "memory" `Quick test_memory;
+          Alcotest.test_case "memory ensure boundary" `Quick
+            test_memory_ensure_boundary;
+          Alcotest.test_case "memory growth boundary (evm)" `Quick
+            test_memory_growth_boundary_evm;
           Alcotest.test_case "storage" `Quick test_storage;
           Alcotest.test_case "calldata" `Quick test_calldata;
           Alcotest.test_case "environment" `Quick test_env_ops;
