@@ -1,0 +1,50 @@
+(* Repro: decoded vs bytewise divergence when a CALL sits mid-block in a
+   precharged block and the callee runs out of gas. *)
+module U = Ethainter_word.Uint256
+module State = Ethainter_evm.State
+module Interp = Ethainter_evm.Interp
+module B = Ethainter_evm.Bytecode
+module Op = Ethainter_evm.Opcode
+
+let () =
+  let state = State.create () in
+  let caller_addr = U.of_int 0x1001 in
+  let callee_addr = U.of_int 0x2002 in
+  let sender = U.of_int 0x9999 in
+  (* callee: infinite-ish gas burner: JUMPDEST; PUSH1 0; JUMP -> loops *)
+  let callee_code =
+    B.assemble
+      [ B.Label "top"; B.Push U.zero; B.Op Op.JUMP ]
+  in
+  (* caller block: PUSH 0 (retlen) PUSH 0 (retoff) PUSH 0 (argslen)
+     PUSH 0 (argsoff) PUSH 0 (value) PUSH callee PUSH gas CALL ;
+     PUSH 0 PUSH 0 RETURN  — all one basic block (CALL not terminator) *)
+  let caller_code =
+    B.assemble
+      [ B.Push U.zero; B.Push U.zero; B.Push U.zero; B.Push U.zero;
+        B.Push U.zero; B.Push callee_addr; B.Push U.zero; B.Op Op.CALL;
+        B.Push U.zero; B.Push U.zero; B.Op Op.RETURN ]
+  in
+  State.set_code state caller_addr caller_code;
+  State.set_code state callee_addr callee_code;
+  State.set_balance state sender (U.of_int 1_000_000);
+  let run engine =
+    let st = State.copy state in
+    let r =
+      Interp.call_full ~engine ~gas:1000 st ~caller:sender
+        ~target:caller_addr ~value:U.zero ~calldata:""
+    in
+    (r.Interp.outcome, r.Interp.gas_used, List.length r.Interp.tx_trace)
+  in
+  let show (o, g, t) =
+    let os =
+      match o with
+      | Interp.Returned s -> Printf.sprintf "Returned(%d bytes)" (String.length s)
+      | Interp.Reverted _ -> "Reverted"
+      | Interp.Failed m -> "Failed(" ^ m ^ ")"
+    in
+    Printf.sprintf "%s gas_used=%d trace_len=%d" os g t
+  in
+  let d = run Interp.Decoded and b = run Interp.Bytewise in
+  Printf.printf "decoded : %s\nbytewise: %s\n" (show d) (show b);
+  if d = b then print_endline "IDENTICAL" else print_endline "DIVERGED"
