@@ -12,12 +12,19 @@
    deploy/rotate/destroy workload; clients query per-contract verdicts
    with the watch request and the index's counters with index-stats.
    Index re-analyses run on the same worker pool and admission queue
-   as client requests.
+   as client requests. --journal-dir makes the index durable: verdicts
+   survive a crash or kill and are recovered (not recomputed) at the
+   next start; shutdown writes a clean final checkpoint.
+
+   The health request reports Ready / Degraded (open quarantine
+   breakers, degraded disk cache, journal write failures) / Draining
+   for supervisors and load balancers.
 
    --selftest runs a smoke cycle against an in-process server (no
-   socket, no network) — analysis, stats, and a watch-mode
-   attach/lookup/detach round — and exits nonzero on any failure:
-   usable as a container healthcheck. *)
+   socket, no network) — analysis, stats, health, a watch-mode
+   attach/lookup/detach round, and a durable-index close/recover
+   roundtrip — and exits nonzero on any failure: usable as a container
+   healthcheck. *)
 
 open Cmdliner
 module U = Ethainter_word.Uint256
@@ -36,6 +43,7 @@ let watch_status_of : Idx.status -> Proto.watch_status = function
   | Idx.Unknown -> Proto.Watch_unknown
   | Idx.Pending b -> Proto.Watch_pending b
   | Idx.Destroyed -> Proto.Watch_destroyed
+  | Idx.Quarantined n -> Proto.Watch_quarantined n
   | Idx.Indexed v ->
       Proto.Watch_indexed
         { wi_deployed = v.Idx.v_deployed_block;
@@ -75,12 +83,30 @@ let watch_source tag =
    simulator and drive a rolling synthetic workload — each tick deploys
    a contract, rotates an existing contract's admin key, and, once the
    fleet is large enough, destroys the oldest — until the server stops.
-   Returns the joinable driver thread. *)
-let start_watch ?(tick_s = 0.25) ?(fleet_cap = 24) server =
+   Returns the joinable driver thread.
+
+   With [journal_dir] the index is durable: it recovers the previous
+   run's verdicts from the journal, then the chain is advanced to the
+   persisted cursor so the fresh simulator's block numbers continue
+   where the dead process stopped (blocks sealed during the advance
+   are below the cursor and ignored by the index's monotonic guard).
+   Shutdown goes through [Idx.close] for a clean final checkpoint. *)
+let start_watch ?(tick_s = 0.25) ?(fleet_cap = 24) ?journal_dir server =
   let net = T.create ~name:"watch" () in
   let deployer = T.account_of_seed "watch-deployer" in
   T.fund_account net deployer (U.of_string "0xffffffffffffffffffffffff");
-  let idx = Idx.create ~pool:(Serve.pool server) net in
+  let idx =
+    match journal_dir with
+    | None -> Idx.create ~pool:(Serve.pool server) net
+    | Some dir ->
+        let idx = Idx.recover ~pool:(Serve.pool server) ~journal_dir:dir net in
+        T.advance_to_block net (Idx.last_block idx);
+        Printf.eprintf
+          "ethainterd: recovered index from %s (cursor %d, %d contracts)\n%!"
+          dir (Idx.last_block idx)
+          (List.length (Idx.contents idx));
+        idx
+  in
   Serve.set_index_handlers server (Some (index_handlers idx));
   Thread.create
     (fun () ->
@@ -125,7 +151,10 @@ let start_watch ?(tick_s = 0.25) ?(fleet_cap = 24) server =
           slept := !slept +. 0.05
         done
       done;
-      Idx.detach idx)
+      (* close = detach + drain (+ final checkpoint when journaled);
+         for an ephemeral index it degrades to exactly the old detach
+         semantics *)
+      Idx.close idx)
     ()
 
 (* ------------------------------------------------------------------ *)
@@ -149,6 +178,10 @@ let selftest ~workers ~queue_depth ~timeout_s () =
   let reader = Thread.create (fun () -> Serve.serve_connection server a) () in
   let client = Client.of_fd b in
   (if not (Client.ping client) then fail_selftest "no pong");
+  (match Client.health client with
+  | Proto.Ready -> ()
+  | Proto.Degraded r -> fail_selftest "daemon degraded at startup: %s" r
+  | Proto.Draining -> fail_selftest "daemon draining at startup");
   (match Client.analyze client ~hex:selftest_hex () with
   | Client.Result r ->
       if r.P.error <> None then
@@ -208,6 +241,54 @@ let selftest ~workers ~queue_depth ~timeout_s () =
   | Stdlib.Error e ->
       fail_selftest "index_stats refused: %s" (Proto.error_code e));
   Idx.detach idx;
+  (* durable-index roundtrip: deploy + analyze under a journal, close
+     (final checkpoint), recover into a second instance and verify the
+     verdict is served from disk with zero re-analysis *)
+  let jdir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ethainterd-selftest-journal-%d" (Unix.getpid ()))
+  in
+  let jnet = T.create ~name:"selftest-journal" () in
+  let jdep = T.account_of_seed "selftest-journal-deployer" in
+  T.fund_account jnet jdep (U.of_string "0xffffffffffffffff");
+  let jidx = Idx.recover ~journal_dir:jdir jnet in
+  let jaddr =
+    match
+      (T.deploy_runtime jnet ~from:jdep
+         (Ethainter_word.Hex.decode selftest_hex))
+        .T.created
+    with
+    | Some a -> a
+    | None -> fail_selftest "journal deployment failed"
+  in
+  Idx.drain jidx;
+  Idx.close jidx;
+  let jnet2 = T.create ~name:"selftest-journal-2" () in
+  let jidx2 = Idx.recover ~journal_dir:jdir jnet2 in
+  (match Idx.lookup jidx2 jaddr with
+  | Idx.Indexed v ->
+      if v.Idx.v_result.P.error <> None then
+        fail_selftest "recovered verdict carries an error"
+  | _ -> fail_selftest "recovery did not restore the indexed verdict");
+  let jst = Idx.stats jidx2 in
+  let jget k =
+    match List.assoc_opt k jst with
+    | Some v -> v
+    | None -> fail_selftest "recovered index stats missing %s" k
+  in
+  if jget "index_recovered_verdicts" < 1.0 then
+    fail_selftest "no verdict counted as recovered";
+  if jget "index_analyses" > 0.0 then
+    fail_selftest "recovery recomputed a clean contract";
+  Idx.close jidx2;
+  (match Sys.readdir jdir with
+  | files ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat jdir f) with _ -> ())
+        files
+  | exception _ -> ());
+  (try Unix.rmdir jdir with _ -> ());
   Client.close client;
   (* join before closing [a]: the reader owns the fd until
      serve_connection returns (having drained in-flight jobs) *)
@@ -257,8 +338,13 @@ let faults_term =
       | None -> ())
     $ spec)
 
-let run socket stdio workers queue_depth timeout_s watch selftest_flag () () =
+let run socket stdio workers queue_depth timeout_s watch journal_dir
+    selftest_flag () () =
   if selftest_flag then selftest ~workers ~queue_depth ~timeout_s ();
+  if journal_dir <> None && not watch then begin
+    prerr_endline "ethainterd: --journal-dir requires --watch";
+    exit 2
+  end;
   match (socket, stdio) with
   | None, false ->
       prerr_endline
@@ -271,7 +357,9 @@ let run socket stdio workers queue_depth timeout_s watch selftest_flag () () =
       let server =
         Serve.create ?workers ~queue_depth ~default_timeout_s:timeout_s ()
       in
-      let driver = if watch then Some (start_watch server) else None in
+      let driver =
+        if watch then Some (start_watch ?journal_dir server) else None
+      in
       (* a client hanging up mid-response must not kill the daemon *)
       (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
       (* the handler runs at a safe point on an arbitrary thread — one
@@ -297,7 +385,9 @@ let run socket stdio workers queue_depth timeout_s watch selftest_flag () () =
       let server =
         Serve.create ?workers ~queue_depth ~default_timeout_s:timeout_s ()
       in
-      let driver = if watch then Some (start_watch server) else None in
+      let driver =
+        if watch then Some (start_watch ?journal_dir server) else None
+      in
       (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
       Serve.serve_stdio server;
       Serve.stop server;
@@ -346,6 +436,16 @@ let main =
                    serve per-contract verdicts via the watch request and \
                    index counters via index-stats.")
   in
+  let journal_dir =
+    Arg.(value & opt (some string) None
+         & info [ "journal-dir" ] ~docv:"DIR"
+             ~doc:"Make the $(b,--watch) index durable: journal every block \
+                   observation and verdict under $(docv) (write-ahead log + \
+                   periodic checkpoints), recover the previous run's \
+                   verdicts at startup, and write a clean final checkpoint \
+                   on shutdown. A killed daemon restarted with the same \
+                   $(docv) re-analyzes only contracts dirty at the crash.")
+  in
   let selftest =
     Arg.(value & flag
          & info [ "selftest" ]
@@ -358,6 +458,6 @@ let main =
     (Cmd.info "ethainterd" ~version:"1.0.0" ~doc)
     Term.(
       const run $ socket $ stdio $ workers $ queue_depth $ timeout_s
-      $ watch $ selftest $ cache_term $ faults_term)
+      $ watch $ journal_dir $ selftest $ cache_term $ faults_term)
 
 let () = exit (Cmd.eval main)

@@ -148,6 +148,18 @@ let in_block (t : t) (f : unit -> 'a) : 'a =
       seal t)
     f
 
+(** Seal empty blocks until the head reaches [n] — how a daemon
+    recovering onto a freshly-constructed chain brings the chain up to
+    its journal's persisted cursor before replaying traffic (block
+    numbers, which verdict provenance records, must line up). A no-op
+    when the head is already at or past [n]. *)
+let advance_to_block (t : t) (n : int) : unit =
+  if t.open_block then
+    invalid_arg "Testnet.advance_to_block: block already open";
+  while t.block_number < n do
+    in_block t (fun () -> ())
+  done
+
 (** Sealed blocks with number strictly greater than [n], ascending —
     [blocks_since t 0] is the whole chain, [blocks_since t (head - k)]
     tails the last [k]. *)

@@ -67,6 +67,14 @@ val in_block : t -> (unit -> 'a) -> 'a
     single block, sealed (and observers notified) when [f] returns —
     also on exception. Not reentrant. *)
 
+val advance_to_block : t -> int -> unit
+(** Seal empty blocks until {!block_number} reaches the argument (a
+    no-op when already there or past). A recovering daemon uses this
+    to bring a freshly-constructed chain up to its journal's persisted
+    cursor, so the block numbers recorded in restored verdicts line up
+    with the chain it re-attaches to.
+    @raise Invalid_argument inside {!in_block}. *)
+
 val blocks_since : t -> int -> block list
 (** [blocks_since t n] is every sealed block with number strictly
     greater than [n], oldest first — [blocks_since t 0] replays the

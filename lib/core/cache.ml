@@ -273,6 +273,43 @@ let note_disk_write t dir bytes =
         locked t (fun () -> t.disk_bytes_est <- remaining)
       end
 
+(* Durability discipline (shared with the index journal): fsync the
+   temp file before the rename and the containing directory after it.
+   The rename alone already guarantees {e atomicity} (no torn entry is
+   ever visible); the fsyncs additionally guarantee the entry survives
+   power loss — without them a crash can leave the final name pointing
+   at zero-length or garbage data, which [decode] would only discover
+   (and delete) one failed lookup later. *)
+let write_file_durable dir tmp final payload =
+  let fd =
+    Unix.openfile tmp
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o644
+  in
+  (try
+     let b = Bytes.unsafe_of_string payload in
+     let n = Bytes.length b in
+     let off = ref 0 in
+     while !off < n do
+       match Unix.write fd b !off (n - !off) with
+       | w -> off := !off + w
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+     done;
+     Unix.fsync fd
+   with e ->
+     (try Unix.close fd with _ -> ());
+     (try Sys.remove tmp with _ -> ());
+     raise e);
+  Unix.close fd;
+  Sys.rename tmp final;
+  (* directory fsync persists the rename itself; a filesystem that
+     refuses fsync on directories (some network mounts) still has the
+     atomic entry, so that failure is not an I/O error *)
+  match Unix.openfile dir [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | exception _ -> ()
+  | dfd ->
+      (try Unix.fsync dfd with _ -> ());
+      (try Unix.close dfd with _ -> ())
+
 let disk_write t k v =
   match t.dir with
   | Some dir when filename_safe k && Atomic.get t.disk_ok -> (
@@ -289,11 +326,7 @@ let disk_write t k v =
            produced, exactly like a bad disk — the digest check in
            decode must turn it into a miss, never a poisoned hit *)
         let payload = Fault.corrupt (t.encode v) in
-        let oc = open_out_bin tmp in
-        (try output_string oc payload
-         with e -> close_out_noerr oc; raise e);
-        close_out oc;
-        Sys.rename tmp (entry_path t dir k);
+        write_file_durable dir tmp (entry_path t dir k) payload;
         note_disk_write t dir (String.length payload);
         true
       with _ ->
@@ -401,6 +434,9 @@ let find_or_compute t ~key ?(cacheable = fun _ -> true) f =
       let v = f () in
       if cacheable v then add t key v;
       v
+
+let disk_degraded t =
+  t.dir <> None && not (Atomic.get t.disk_ok)
 
 let stats t =
   locked t (fun () ->

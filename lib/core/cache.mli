@@ -115,6 +115,13 @@ val find_or_compute :
     (default: always) gates storing — e.g. timed-out results, which
     depend on wall-clock, are recomputed rather than cached. *)
 
+val disk_degraded : 'v t -> bool
+(** True iff a disk tier was configured but has been switched off for
+    the rest of the process after repeated I/O failures (see
+    [stats.io_errors]). Always false for a memory-only cache. Feeds
+    the daemon's health endpoint: a degraded tier means results are
+    still served, but nothing new persists. *)
+
 val stats : 'v t -> stats
 val reset_stats : 'v t -> unit
 val clear : 'v t -> unit

@@ -504,6 +504,14 @@ let set_cache_dir d =
 let cache_stats () = Cache.stats (result_cache ())
 let frontend_cache_stats () = Cache.stats (frontend_cache ())
 
+(* Health probe: has either tier's disk side been switched off after
+   repeated I/O failures? Reads the lazily-created instances without
+   forcing them — before the first analysis nothing can be degraded. *)
+let disk_cache_degraded () =
+  match with_cache_mu (fun () -> !caches_ref) with
+  | None -> false
+  | Some (fe, be) -> Cache.disk_degraded fe || Cache.disk_degraded be
+
 let cache_clear () =
   Cache.clear (frontend_cache ());
   Cache.clear (result_cache ())

@@ -207,6 +207,12 @@ val cache_clear : unit -> unit
 (** Drop all in-memory entries of both tiers and reset counters (disk
     entries are kept). *)
 
+val disk_cache_degraded : unit -> bool
+(** True iff either cache instance's disk tier has been switched off
+    after repeated I/O failures ({!Cache.disk_degraded}) — the daemon
+    reports this as [Degraded] on its health endpoint. False when no
+    disk tier is configured or the caches have not been created yet. *)
+
 val invalidate_backend : ?cfg:Config.t -> string -> unit
 (** [invalidate_backend ~cfg runtime] forgets the cached {e back-end}
     result for this bytecode under this config (both tiers, disk entry

@@ -321,6 +321,131 @@ module Pool = struct
     List.iter Domain.join ds
 end
 
+(* ------------------------------------------------------------------ *)
+(* Poison-pill quarantine (per-contract circuit breaker)               *)
+(* ------------------------------------------------------------------ *)
+
+(* One adversarial contract that times out or crashes its worker on
+   every attempt must not be allowed to burn a full deadline budget per
+   re-analysis forever. The breaker counts consecutive failures per
+   contract key (runtime bytecode); at [threshold] it opens and
+   rejections are immediate — no pool slot, no deadline burned — until
+   an exponentially growing backoff elapses and one probe is admitted.
+   A success closes the breaker and forgets the key.
+
+   State is process-wide (one table, one mutex): the breaker protects
+   shared workers, so its view must span every index/daemon consumer in
+   the process. Counters are monotonic; observers diff. *)
+module Quarantine = struct
+  type qstats = {
+    q_tracked : int;     (* keys with at least one consecutive failure *)
+    q_open : int;        (* breakers currently open *)
+    q_trips : int;       (* total open transitions since process start *)
+    q_rejections : int;  (* admissions refused while open *)
+  }
+
+  type entry = {
+    mutable consecutive : int;
+    mutable trips : int;       (* times THIS key tripped the breaker *)
+    mutable open_until : float (* absolute deadline; 0. = closed *)
+  }
+
+  let threshold = 3
+  let base_backoff_s = 0.25
+  let max_backoff_s = 60.0
+
+  let enabled_flag = Atomic.make true
+  let set_enabled b = Atomic.set enabled_flag b
+  let enabled () = Atomic.get enabled_flag
+
+  let mu = Mutex.create ()
+  let tbl : (string, entry) Hashtbl.t = Hashtbl.create 64
+  let trips_total = Atomic.make 0
+  let rejections_total = Atomic.make 0
+
+  let locked f =
+    Mutex.lock mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+  type decision =
+    | Admit
+    | Reject of { r_failures : int; r_retry_in_s : float }
+
+  let check ?now key =
+    if not (Atomic.get enabled_flag) then Admit
+    else
+      let now = match now with Some t -> t | None -> Unix.gettimeofday () in
+      locked (fun () ->
+          match Hashtbl.find_opt tbl key with
+          | Some e when e.open_until > now ->
+              Atomic.incr rejections_total;
+              Reject { r_failures = e.consecutive;
+                       r_retry_in_s = e.open_until -. now }
+          | _ -> Admit)
+
+  (* Pure read for retry scans: does not count a rejection. *)
+  let is_open ?now key =
+    if not (Atomic.get enabled_flag) then false
+    else
+      let now = match now with Some t -> t | None -> Unix.gettimeofday () in
+      locked (fun () ->
+          match Hashtbl.find_opt tbl key with
+          | Some e -> e.open_until > now
+          | None -> false)
+
+  let failures key =
+    locked (fun () ->
+        match Hashtbl.find_opt tbl key with
+        | Some e -> e.consecutive
+        | None -> 0)
+
+  let record ?now key ~ok =
+    if Atomic.get enabled_flag then
+      let now = match now with Some t -> t | None -> Unix.gettimeofday () in
+      locked (fun () ->
+          if ok then Hashtbl.remove tbl key
+          else begin
+            let e =
+              match Hashtbl.find_opt tbl key with
+              | Some e -> e
+              | None ->
+                  let e = { consecutive = 0; trips = 0; open_until = 0. } in
+                  Hashtbl.add tbl key e;
+                  e
+            in
+            e.consecutive <- e.consecutive + 1;
+            if e.consecutive >= threshold then begin
+              (* every failure at/past the threshold re-opens, doubling
+                 the backoff: a failed probe waits longer than the trip
+                 that preceded it *)
+              e.trips <- e.trips + 1;
+              Atomic.incr trips_total;
+              let backoff =
+                Float.min max_backoff_s
+                  (base_backoff_s *. (2. ** float_of_int (e.trips - 1)))
+              in
+              e.open_until <- now +. backoff
+            end
+          end)
+
+  let stats ?now () =
+    let now = match now with Some t -> t | None -> Unix.gettimeofday () in
+    let tracked, opened =
+      locked (fun () ->
+          Hashtbl.fold
+            (fun _ e (t, o) -> (t + 1, if e.open_until > now then o + 1 else o))
+            tbl (0, 0))
+    in
+    { q_tracked = tracked;
+      q_open = opened;
+      q_trips = Atomic.get trips_total;
+      q_rejections = Atomic.get rejections_total }
+
+  (* Test/bench isolation: forget per-key state. The monotonic counters
+     are deliberately left alone (observers diff). *)
+  let clear () = locked (fun () -> Hashtbl.reset tbl)
+end
+
 (** Analyze a batch of requests on the worker pool. Results are in
     input order and identical to a sequential run. *)
 let analyze_requests ?workers (reqs : Pipeline.request list) :

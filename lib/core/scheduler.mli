@@ -93,6 +93,64 @@ module Pool : sig
       domains. Idempotent. *)
 end
 
+(** Poison-pill quarantine: a process-wide per-contract circuit
+    breaker protecting the worker pool from adversarial contracts.
+    {!threshold} consecutive failures (timeouts / fatal crashes, as
+    judged by the caller via {!record}) open the breaker for that
+    contract key: {!check} then answers [Reject] immediately — no pool
+    slot, no deadline budget — until an exponentially growing backoff
+    ([0.25 s · 2{^ trips-1}], capped at 60 s) elapses and one probe is
+    admitted. A successful analysis closes the breaker and forgets the
+    key. The streaming index consults it per re-analysis job and
+    surfaces rejected contracts as [Quarantined] verdicts. *)
+module Quarantine : sig
+  type qstats = {
+    q_tracked : int;     (** keys with ≥1 consecutive failure on record *)
+    q_open : int;        (** breakers currently open *)
+    q_trips : int;       (** open transitions since process start (monotonic) *)
+    q_rejections : int;  (** admissions refused while open (monotonic) *)
+  }
+
+  type decision =
+    | Admit
+    | Reject of { r_failures : int; r_retry_in_s : float }
+
+  val threshold : int
+  (** Consecutive failures that trip the breaker (3). *)
+
+  val check : ?now:float -> string -> decision
+  (** Admission decision for one analysis of contract [key] (runtime
+      bytecode). [Reject] counts toward [q_rejections]. [?now]
+      overrides the wall clock (tests). *)
+
+  val record : ?now:float -> string -> ok:bool -> unit
+  (** Report the outcome of an admitted analysis. [ok:true] closes and
+      forgets the key; [ok:false] increments its consecutive-failure
+      count and (re-)opens the breaker at {!threshold}, doubling the
+      backoff on each subsequent trip. *)
+
+  val is_open : ?now:float -> string -> bool
+  (** Non-counting read: is the breaker for [key] currently open?
+      Retry scans use this so polling does not inflate
+      [q_rejections]. *)
+
+  val failures : string -> int
+  (** Consecutive failures on record for [key] (0 if unknown). *)
+
+  val stats : ?now:float -> unit -> qstats
+
+  val set_enabled : bool -> unit
+  (** Disable to make {!check} always [Admit] and {!record} a no-op
+      (bench baseline: "what does the queue look like without the
+      breaker"). Enabled by default. *)
+
+  val enabled : unit -> bool
+
+  val clear : unit -> unit
+  (** Forget all per-key state (test isolation). The monotonic
+      counters are not reset. *)
+end
+
 val analyze_requests :
   ?workers:int -> Pipeline.request list -> Pipeline.result list
 (** Analyze a batch of requests on the worker pool; results are in

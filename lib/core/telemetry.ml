@@ -13,6 +13,9 @@ type snapshot = {
   datalog_plans_built : int;
   datalog_plan_reuses : int;
   scheduler_retries : int;
+  scheduler_quarantine_trips : int;
+  scheduler_quarantine_rejections : int;
+  scheduler_quarantine_open : int;
   extras : (string * (string * float) list) list;
 }
 
@@ -58,6 +61,7 @@ let capture () =
   let extras =
     List.map (fun (name, f) -> (name, (try f () with _ -> []))) thunks
   in
+  let qs = Scheduler.Quarantine.stats () in
   { cache_fe = Pipeline.frontend_cache_stats ();
     cache_be = Pipeline.cache_stats ();
     intern_interned = it.I.interned;
@@ -67,6 +71,9 @@ let capture () =
     datalog_plans_built = ds.D.plans_built;
     datalog_plan_reuses = ds.D.plan_reuses;
     scheduler_retries = Scheduler.retries_performed ();
+    scheduler_quarantine_trips = qs.Scheduler.Quarantine.q_trips;
+    scheduler_quarantine_rejections = qs.Scheduler.Quarantine.q_rejections;
+    scheduler_quarantine_open = qs.Scheduler.Quarantine.q_open;
     extras }
 
 (* ---------------- diff ---------------- *)
@@ -108,6 +115,12 @@ let diff (l : snapshot) (e : snapshot) : snapshot =
     datalog_plans_built = l.datalog_plans_built - e.datalog_plans_built;
     datalog_plan_reuses = l.datalog_plan_reuses - e.datalog_plan_reuses;
     scheduler_retries = l.scheduler_retries - e.scheduler_retries;
+    scheduler_quarantine_trips =
+      l.scheduler_quarantine_trips - e.scheduler_quarantine_trips;
+    scheduler_quarantine_rejections =
+      l.scheduler_quarantine_rejections - e.scheduler_quarantine_rejections;
+    (* open breakers are a gauge, not a counter *)
+    scheduler_quarantine_open = l.scheduler_quarantine_open;
     extras }
 
 (* ---------------- flat key/value form ---------------- *)
@@ -132,7 +145,13 @@ let core_pairs (s : snapshot) =
       ("intern_inserts", float_of_int s.intern_inserts);
       ("datalog_plans_built", float_of_int s.datalog_plans_built);
       ("datalog_plan_reuses", float_of_int s.datalog_plan_reuses);
-      ("scheduler_retries", float_of_int s.scheduler_retries) ]
+      ("scheduler_retries", float_of_int s.scheduler_retries);
+      ("scheduler_quarantine_trips",
+       float_of_int s.scheduler_quarantine_trips);
+      ("scheduler_quarantine_rejections",
+       float_of_int s.scheduler_quarantine_rejections);
+      ("scheduler_quarantine_open",
+       float_of_int s.scheduler_quarantine_open) ]
 
 let to_pairs (s : snapshot) =
   core_pairs s @ List.concat_map (fun (_, ps) -> ps) s.extras
@@ -148,7 +167,10 @@ let pp fmt (s : snapshot) =
     s.intern_inserts;
   Format.fprintf fmt "@\ndatalog: %d plans built, %d reused"
     s.datalog_plans_built s.datalog_plan_reuses;
-  Format.fprintf fmt "@\nscheduler: %d retries" s.scheduler_retries;
+  Format.fprintf fmt
+    "@\nscheduler: %d retries; quarantine %d open, %d trips, %d rejections"
+    s.scheduler_retries s.scheduler_quarantine_open
+    s.scheduler_quarantine_trips s.scheduler_quarantine_rejections;
   List.iter
     (fun (name, pairs) ->
       Format.fprintf fmt "@\n%s:" name;
@@ -163,7 +185,8 @@ let pp fmt (s : snapshot) =
 (* Same digest discipline as the Pipeline result codec: keccak over
    the body, checked before anything is parsed. *)
 
-let codec_magic = "ethainter.telemetry.v1"
+(* v2: added the scheduler_quarantine_* core keys (PR 9). *)
+let codec_magic = "ethainter.telemetry.v2"
 
 let digest_hex body =
   Ethainter_word.Hex.encode (Ethainter_crypto.Keccak.hash body)
@@ -262,5 +285,9 @@ let decode (s : string) : snapshot option =
         datalog_plans_built = geti "datalog_plans_built";
         datalog_plan_reuses = geti "datalog_plan_reuses";
         scheduler_retries = geti "scheduler_retries";
+        scheduler_quarantine_trips = geti "scheduler_quarantine_trips";
+        scheduler_quarantine_rejections =
+          geti "scheduler_quarantine_rejections";
+        scheduler_quarantine_open = geti "scheduler_quarantine_open";
         extras }
   with _ -> None

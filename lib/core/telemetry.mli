@@ -36,6 +36,14 @@ type snapshot = {
   scheduler_retries : int;
       (** transient-failure retries ({!Scheduler.retries_performed}),
           monotonic — diff two snapshots for a window *)
+  scheduler_quarantine_trips : int;
+      (** circuit-breaker open transitions ({!Scheduler.Quarantine}),
+          monotonic *)
+  scheduler_quarantine_rejections : int;
+      (** analyses refused by an open breaker, monotonic *)
+  scheduler_quarantine_open : int;
+      (** breakers open right now — a gauge: {!diff} keeps the later
+          value *)
   extras : (string * (string * float) list) list;
       (** registered sources, sampled at {!capture}; sorted by source
           name, pair keys as the source returned them *)

@@ -47,7 +47,31 @@
     bytecode, re-analysis never changes a verdict's {e content} — what
     it refreshes is the verdict's provenance: after {!drain}, every
     verdict provably reflects a post-write re-execution, which is what
-    the incremental==batch differential checks. *)
+    the incremental==batch differential checks.
+
+    {2 Durability}
+
+    An index opened with {!recover} journals every block observation
+    and verdict transition through {!Journal} (write-ahead log +
+    periodic compacted checkpoints) and {!close} writes a final clean
+    checkpoint, so the accumulated verdicts survive the process: a
+    crashed or killed daemon restarts with {!recover}, replays
+    checkpoint + journal, re-subscribes from the persisted cursor and
+    re-analyzes {e only} contracts that were dirty at (or dirtied
+    since) the crash — clean contracts' verdicts are served from the
+    checkpoint with zero recomputation. Journal I/O failure after open
+    degrades the index to non-durable operation (counted under
+    [index_journal_errors]) instead of failing ingestion.
+
+    {2 Quarantine}
+
+    Analysis jobs consult {!Ethainter_core.Scheduler.Quarantine}: a
+    contract whose analyses keep timing out or crashing (3
+    consecutive) parks as {!Quarantined} — subsequent dirtying costs
+    nothing until the breaker's exponential backoff expires and a
+    probe re-analysis is queued. Quarantine is per-process and
+    deliberately not durable: a restarted daemon gives the contract a
+    fresh probe. *)
 
 module U = Ethainter_word.Uint256
 module P = Ethainter_core.Pipeline
@@ -67,6 +91,10 @@ type status =
                                      (or the previous one was invalidated) *)
   | Indexed of verdict
   | Destroyed                    (** self-destructed; last verdict dropped *)
+  | Quarantined of int
+      (** the poison-pill breaker is open for this bytecode after this
+          many consecutive failed analyses; a probe re-analysis runs
+          when the backoff expires *)
 
 type t
 
@@ -88,7 +116,40 @@ val create :
     Creation registers the index as the {!Ethainter_core.Telemetry}
     source ["index"] (replacing any previous index's registration).
 
-    The chain must not seal blocks concurrently with [create]. *)
+    The chain must not seal blocks concurrently with [create].
+
+    A [create]d index is {b ephemeral} — nothing is journaled; use
+    {!recover} for a durable one. *)
+
+val recover :
+  ?pool:S.Pool.t ->
+  ?cfg:Ethainter_core.Config.t ->
+  ?timeout_s:float ->
+  ?checkpoint_every:int ->
+  journal_dir:string ->
+  Ethainter_chain.Testnet.t -> t
+(** Open (or create) the durable index rooted at [journal_dir]:
+    reconstruct state from the newest valid checkpoint plus journal
+    replay ({!Journal.recover} — torn tails tolerated, corrupt newest
+    checkpoint falls back a generation), requeue every entry that was
+    dirty at the crash, then catch up from the persisted cursor via
+    [blocks_since] and tail the chain — exactly {!create}'s attachment
+    semantics from a warm start. An empty or missing directory starts
+    fresh. All subsequent observations are journaled; every
+    [checkpoint_every] blocks (default 256) the journal is compacted
+    into a fsync'd checkpoint.
+
+    The chain handed in must be (a replay of) the same chain the
+    journal was written against — deployments are matched by address
+    and bytecode, so a diverging chain surfaces as re-analysis, never
+    as a wrong verdict served. *)
+
+val close : t -> unit
+(** Graceful shutdown: {!detach}, {!drain} (in-flight verdicts land),
+    then write a final clean checkpoint and close the journal. After
+    [close], {!recover} on the same directory restores this exact
+    index with zero journal replay and zero re-analysis. Idempotent;
+    a no-op beyond detach+drain for a {!create}d index. *)
 
 val lookup : t -> U.t -> status
 (** Current status of an address. Thread-safe. *)
@@ -120,7 +181,18 @@ val stats : t -> (string * float) list
     (deploys + invalidations queued by the newest block),
     [index_inflight], [index_lag_blocks_total]/[index_lag_verdicts]
     (summed deployment→first-verdict lag in blocks, and its count —
-    divide for mean lag). *)
+    divide for mean lag).
+
+    PR 9 additions: [index_quarantined] (entries parked right now),
+    [index_quarantine_drops] (jobs short-circuited by an open
+    breaker), [index_quarantine_probes] (backoff-expired retries
+    queued), [index_recovered_verdicts] (verdicts restored from
+    checkpoint+journal, not recomputed), [index_replayed_events]
+    (journal records applied during recovery),
+    [index_journal_errors]; durable indexes add the
+    {!Journal.stats} pairs ([journal_appends],
+    [journal_checkpoints], [journal_generation],
+    [journal_wal_bytes]). *)
 
 val detach : t -> unit
 (** Stop consuming blocks (the chain-side observer becomes a no-op),

@@ -3,11 +3,12 @@
    (seed, request key, site, attempt, per-site firing index), so a
    chaos sweep injects identically across runs and worker counts. *)
 
-type site = Poll | Oom | Disk_read | Disk_write | Corrupt
+type site = Poll | Oom | Disk_read | Disk_write | Corrupt | Crash | Torn_write
 
 exception Injected of string
+exception Crashed of string
 
-let nsites = 5
+let nsites = 7
 
 let site_index = function
   | Poll -> 0
@@ -15,6 +16,8 @@ let site_index = function
   | Disk_read -> 2
   | Disk_write -> 3
   | Corrupt -> 4
+  | Crash -> 5
+  | Torn_write -> 6
 
 let site_name = function
   | Poll -> "poll"
@@ -22,6 +25,8 @@ let site_name = function
   | Disk_read -> "disk_read"
   | Disk_write -> "disk_write"
   | Corrupt -> "corrupt"
+  | Crash -> "crash"
+  | Torn_write -> "torn_write"
 
 let site_of_name = function
   | "poll" -> Some Poll
@@ -29,9 +34,11 @@ let site_of_name = function
   | "disk_read" -> Some Disk_read
   | "disk_write" -> Some Disk_write
   | "corrupt" -> Some Corrupt
+  | "crash" -> Some Crash
+  | "torn_write" -> Some Torn_write
   | _ -> None
 
-let all_sites = [ Poll; Oom; Disk_read; Disk_write; Corrupt ]
+let all_sites = [ Poll; Oom; Disk_read; Disk_write; Corrupt; Crash; Torn_write ]
 
 type config = { rates : float array; (* indexed by site_index *)
                 seed : int64 }
@@ -221,6 +228,47 @@ let io_site stx =
         Atomic.incr fired;
         raise (Injected ("injected " ^ site_name stx ^ " fault"))
       end
+
+(* Crash simulation: raising here is byte-equivalent on disk to kill -9
+   at the same point — data handed to write(2) before the raise survives
+   in the page cache whether or not the process lives, and everything
+   after the raise never happens. The exception must propagate to the
+   process driver (it is NOT [Injected], so the scheduler's transient
+   retry never swallows it). *)
+let crash_site () =
+  match Atomic.get config with
+  | None -> ()
+  | Some cfg ->
+      let ctx = Domain.DLS.get ctx_key in
+      if cfg.rates.(site_index Crash) > 0.0 && draw cfg ctx Crash then begin
+        Atomic.incr fired;
+        raise (Crashed "injected crash fault")
+      end
+
+(* Torn-write simulation: when the site fires, return a strict prefix of
+   [payload] (deterministic length drawn from the hash). The caller must
+   write the prefix and then die — a torn write only materializes when
+   the writer is killed mid-write. *)
+let torn (payload : string) : string option =
+  match Atomic.get config with
+  | None -> None
+  | Some cfg ->
+      if cfg.rates.(site_index Torn_write) <= 0.0 || String.length payload < 2
+      then None
+      else
+        let ctx = Domain.DLS.get ctx_key in
+        let hit, h = draw_bits cfg ctx Torn_write in
+        if not hit then None
+        else begin
+          Atomic.incr fired;
+          let len =
+            Int64.to_int
+              (Int64.rem (Int64.shift_right_logical h 8)
+                 (Int64.of_int (String.length payload - 1)))
+            + 1
+          in
+          Some (String.sub payload 0 len)
+        end
 
 let corrupt (payload : string) : string =
   match Atomic.get config with

@@ -23,7 +23,13 @@
       ({!Injected}; the tier must degrade to memory-only);
     - [corrupt] — flip one bit of a cache payload as it is written
       (the self-validating codecs must turn this into a miss, never a
-      poisoned hit).
+      poisoned hit);
+    - [crash] — raise {!Crashed} at a journal write boundary,
+      simulating a process killed at exactly that point (what reached
+      [write(2)] before the raise is on disk, nothing after is);
+    - [torn_write] — hand the journal writer a strict prefix of its
+      record to write before dying, simulating a write torn by the
+      kill (recovery must treat the tail as absent, not as data).
 
     {b Determinism.} Whether an injection point fires is a pure
     function of (seed, per-request context key, site, attempt number,
@@ -36,12 +42,18 @@
     When unconfigured (the default), every hook is a no-op costing one
     atomic load. *)
 
-type site = Poll | Oom | Disk_read | Disk_write | Corrupt
+type site = Poll | Oom | Disk_read | Disk_write | Corrupt | Crash | Torn_write
 
 exception Injected of string
 (** The exception injected faults raise (except [oom], which raises
     the real [Out_of_memory]). The scheduler classifies it as a
     transient I/O-class failure. *)
+
+exception Crashed of string
+(** Raised by {!crash_site} (and by journal writers after a torn
+    write): a simulated process death. Unlike {!Injected} it must
+    never be retried or absorbed by a recovery layer — only the
+    top-level chaos driver may catch it, and only to exit. *)
 
 val configure : string option -> unit
 (** [configure (Some "spec:seed")] arms injection; [configure None]
@@ -78,6 +90,17 @@ val corrupt : string -> string
 (** Payload-corruption hook for cache writes: returns the input
     unchanged, or — when the [corrupt] site fires — with one
     deterministically-chosen bit flipped. *)
+
+val crash_site : unit -> unit
+(** Injection hook placed at journal write boundaries: may raise
+    {!Crashed} ([crash] site). A no-op when unconfigured. *)
+
+val torn : string -> string option
+(** Torn-write hook for journal appends: [None] (the overwhelmingly
+    common case) means write the payload normally; [Some prefix] (the
+    [torn_write] site fired) means write [prefix] — a strict,
+    deterministically-sized prefix — and then raise {!Crashed}.
+    Payloads shorter than 2 bytes are never torn. *)
 
 val injected_count : unit -> int
 (** Total faults fired process-wide since the last reset (all sites,

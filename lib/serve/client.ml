@@ -8,6 +8,7 @@ type response =
   | Stats of Proto.stats
   | Pong
   | Watch of Proto.watch_status
+  | Health of Proto.health
 
 exception Protocol of string
 
@@ -52,6 +53,7 @@ let send_watch t ~addr_hex =
   send t ~kind:Proto.req_watch (Proto.encode_watch addr_hex)
 
 let send_index_stats t = send t ~kind:Proto.req_index_stats ""
+let send_health t = send t ~kind:Proto.req_health ""
 
 (* Decode one response frame. Every payload is re-validated by its own
    codec on top of the frame digest; an undecodable payload on a valid
@@ -74,6 +76,10 @@ let decode_response ~kind payload : response =
     match Proto.decode_watch_status payload with
     | Some w -> Watch w
     | None -> raise (Protocol "undecodable watch payload")
+  else if kind = Proto.resp_health then
+    match Proto.decode_health payload with
+    | Some h -> Health h
+    | None -> raise (Protocol "undecodable health payload")
   else raise (Protocol (Printf.sprintf "unknown response kind %C" kind))
 
 let recv t : int * response =
@@ -106,6 +112,11 @@ let stats t =
 let ping t = match recv_for t (send_ping t) with Pong -> true | _ -> false
 
 let watch t ~addr_hex = recv_for t (send_watch t ~addr_hex)
+
+let health t =
+  match recv_for t (send_health t) with
+  | Health h -> h
+  | _ -> raise (Protocol "expected health response")
 
 let index_stats t =
   match recv_for t (send_index_stats t) with

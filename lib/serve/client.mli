@@ -22,6 +22,8 @@ type response =
   | Pong
   | Watch of Proto.watch_status
       (** a streaming-index lookup ([--watch] daemons only) *)
+  | Health of Proto.health
+      (** the daemon's readiness verdict (never a protocol error) *)
 
 exception Protocol of string
 (** The byte stream broke: EOF mid-conversation, a frame that fails
@@ -53,6 +55,9 @@ val send_watch : t -> addr_hex:string -> int
 val send_index_stats : t -> int
 (** Enqueue a request for the index's [index_*] counters alone. *)
 
+val send_health : t -> int
+(** Enqueue a liveness/readiness probe ({!Proto.health}). *)
+
 val recv_for : t -> int -> response
 (** The response with this id, reading (and stashing responses to
     other ids) as needed. @raise Protocol on a broken stream. *)
@@ -79,6 +84,10 @@ val ping : t -> bool
 val watch : t -> addr_hex:string -> response
 (** [send_watch] + [recv_for]: [Watch status], or [Error (Malformed _)]
     when the daemon has no index attached. *)
+
+val health : t -> Proto.health
+(** [send_health] + [recv_for].
+    @raise Protocol if the server answers anything but health. *)
 
 val index_stats : t -> (Proto.stats, Proto.server_error) Stdlib.result
 (** The index's counters, or the protocol error a watchless daemon

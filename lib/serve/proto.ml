@@ -8,11 +8,13 @@ let req_stats = 'S'
 let req_ping = 'P'
 let req_watch = 'W'
 let req_index_stats = 'I'
+let req_health = 'H'
 let resp_result = 'R'
 let resp_stats = 'T'
 let resp_error = 'E'
 let resp_pong = 'O'
 let resp_watch = 'w'
+let resp_health = 'h'
 
 (* ---------------- analyze request ---------------- *)
 
@@ -132,6 +134,7 @@ type watch_status =
   | Watch_unknown
   | Watch_pending of int
   | Watch_destroyed
+  | Watch_quarantined of int
   | Watch_indexed of {
       wi_deployed : int;
       wi_indexed : int;
@@ -145,6 +148,7 @@ let encode_watch_status (w : watch_status) : string =
   | Watch_unknown -> watch_magic ^ "\nunknown\n"
   | Watch_pending b -> Printf.sprintf "%s\npending %d\n" watch_magic b
   | Watch_destroyed -> watch_magic ^ "\ndestroyed\n"
+  | Watch_quarantined n -> Printf.sprintf "%s\nquarantined %d\n" watch_magic n
   | Watch_indexed { wi_deployed; wi_indexed; wi_result } ->
       let payload = P.encode_result wi_result in
       Printf.sprintf "%s\nindexed %d %d %d\n%s\n" watch_magic wi_deployed
@@ -178,6 +182,7 @@ let decode_watch_status (s : string) : watch_status option =
     | [ "unknown" ] -> finish Watch_unknown
     | [ "pending"; b ] -> finish (Watch_pending (int_of b))
     | [ "destroyed" ] -> finish Watch_destroyed
+    | [ "quarantined"; n ] -> finish (Watch_quarantined (int_of n))
     | [ "indexed"; dep; idx; n ] -> (
         let payload = sized (int_of n) in
         match P.decode_result payload with
@@ -186,6 +191,53 @@ let decode_watch_status (s : string) : watch_status option =
               (Watch_indexed
                  { wi_deployed = int_of dep; wi_indexed = int_of idx;
                    wi_result = r })
+        | None -> fail ())
+    | _ -> fail ()
+  with _ -> None
+
+(* ---------------- health ---------------- *)
+
+type health = Ready | Degraded of string | Draining
+
+let health_magic = "ethainter.serve.health.v1"
+
+(* The degraded reason is length-prefixed: it is human-prose and may
+   contain anything, including newlines. *)
+let encode_health (h : health) : string =
+  match h with
+  | Ready -> health_magic ^ "\nready\n"
+  | Draining -> health_magic ^ "\ndraining\n"
+  | Degraded reason ->
+      Printf.sprintf "%s\ndegraded %d\n%s\n" health_magic
+        (String.length reason) reason
+
+let decode_health (s : string) : health option =
+  let pos = ref 0 in
+  let fail () = raise Exit in
+  let line () =
+    match String.index_from_opt s !pos '\n' with
+    | None -> fail ()
+    | Some i ->
+        let l = String.sub s !pos (i - !pos) in
+        pos := i + 1;
+        l
+  in
+  let sized n =
+    if n < 0 || !pos + n + 1 > String.length s then fail ();
+    let x = String.sub s !pos n in
+    if s.[!pos + n] <> '\n' then fail ();
+    pos := !pos + n + 1;
+    x
+  in
+  let finish v = if !pos <> String.length s then fail () else Some v in
+  try
+    if line () <> health_magic then fail ();
+    match String.split_on_char ' ' (line ()) with
+    | [ "ready" ] -> finish Ready
+    | [ "draining" ] -> finish Draining
+    | [ "degraded"; n ] -> (
+        match int_of_string_opt n with
+        | Some n -> finish (Degraded (sized n))
         | None -> fail ())
     | _ -> fail ()
   with _ -> None

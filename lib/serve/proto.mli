@@ -30,11 +30,18 @@ val req_index_stats : char
 (** The streaming index's counters alone, as a {!stats} payload on
     {!resp_stats}; [Malformed] when no index is attached. *)
 
+val req_health : char
+(** Liveness/readiness probe: answered with {!resp_health} carrying a
+    {!health} payload. Answered inline on the reader thread like
+    [stats]/[ping], never load-shed — the probe must survive exactly
+    the overload it exists to observe. *)
+
 val resp_result : char
 val resp_stats : char
 val resp_error : char
 val resp_pong : char
 val resp_watch : char
+val resp_health : char
 
 (** {1 Requests} *)
 
@@ -64,6 +71,9 @@ type watch_status =
   | Watch_pending of int
       (** queued for (re-)analysis at this block; no current verdict *)
   | Watch_destroyed    (** self-destructed; verdict dropped *)
+  | Watch_quarantined of int
+      (** the poison-pill breaker is open after this many consecutive
+          failed analyses; a probe runs when the backoff expires *)
   | Watch_indexed of {
       wi_deployed : int;  (** block the contract entered the index *)
       wi_indexed : int;   (** chain head when the verdict landed *)
@@ -75,6 +85,25 @@ val decode_watch_status : string -> watch_status option
 (** Total; the nested verdict reuses the {!Ethainter_core.Pipeline}
     result codec verbatim (wire format = disk format, digest
     included). *)
+
+(** {1 Health} *)
+
+(** The daemon's own condition, for supervisors and load balancers —
+    orthogonal to per-request errors. *)
+type health =
+  | Ready              (** serving normally *)
+  | Degraded of string
+      (** serving, but impaired — the string is a human-readable
+          reason (open quarantine breakers, a degraded disk cache,
+          journal write failures); supervisors may alert but should
+          not restart *)
+  | Draining
+      (** shutdown requested: existing requests finish, new analysis
+          work should go elsewhere *)
+
+val encode_health : health -> string
+val decode_health : string -> health option
+(** Total: [None] on any corrupt, truncated or wrong-version payload. *)
 
 (** {1 Protocol errors} *)
 

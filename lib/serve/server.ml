@@ -70,6 +70,7 @@ type t = {
   served_malformed : int Atomic.t;
   served_stats : int Atomic.t;
   served_ping : int Atomic.t;
+  served_health : int Atomic.t;
   stop_flag : bool Atomic.t;
   (* self-pipe: [request_stop] writes one byte to [wake_w] to wake the
      accept loop's select portably (closing or shutting down a
@@ -93,6 +94,7 @@ let create ?workers ?(queue_depth = 64) ?(default_timeout_s = 120.0) () =
     served_malformed = Atomic.make 0;
     served_stats = Atomic.make 0;
     served_ping = Atomic.make 0;
+    served_health = Atomic.make 0;
     stop_flag = Atomic.make false;
     wake_r;
     wake_w }
@@ -120,6 +122,7 @@ let stats_snapshot t : Proto.stats =
     ("served_malformed", float_of_int (Atomic.get t.served_malformed));
     ("served_stats", float_of_int (Atomic.get t.served_stats));
     ("served_ping", float_of_int (Atomic.get t.served_ping));
+    ("served_health", float_of_int (Atomic.get t.served_health));
     ("latency_count", float_of_int n);
     ("latency_p50_ms", 1000.0 *. p50);
     ("latency_p99_ms", 1000.0 *. p99) ]
@@ -127,6 +130,40 @@ let stats_snapshot t : Proto.stats =
      plans, scheduler retries, and any registered source such as the
      streaming index — comes from the one telemetry surface *)
   @ Telemetry.to_pairs (Telemetry.capture ())
+
+(* ---------------- health ---------------- *)
+
+(* Computed fresh per probe from already-maintained state — there is
+   no cached health to go stale. Priority: a requested stop dominates
+   (supervisors should route work away even if nothing else is wrong);
+   otherwise any impairment downgrades Ready to Degraded with every
+   reason concatenated, so one alert shows the whole picture. *)
+let health t : Proto.health =
+  if stopped t then Proto.Draining
+  else begin
+    let reasons = ref [] in
+    let add r = reasons := r :: !reasons in
+    let q = S.Quarantine.stats () in
+    if q.S.Quarantine.q_open > 0 then
+      add
+        (Printf.sprintf "%d contract(s) quarantined (breaker open)"
+           q.S.Quarantine.q_open);
+    if P.disk_cache_degraded () then
+      add "disk cache degraded (running memory-only)";
+    (match Atomic.get t.index with
+    | None -> ()
+    | Some h -> (
+        let st = try h.h_index_stats () with _ -> [] in
+        match List.assoc_opt "index_journal_errors" st with
+        | Some e when e > 0.0 ->
+            add
+              (Printf.sprintf "index journal degraded (%.0f write failures)"
+                 e)
+        | _ -> ()));
+    match List.rev !reasons with
+    | [] -> Proto.Ready
+    | rs -> Proto.Degraded (String.concat "; " rs)
+  end
 
 (* ---------------- connection serving ---------------- *)
 
@@ -213,6 +250,11 @@ let handle_frame t c ~kind ~id payload =
   else if kind = Proto.req_ping then begin
     Atomic.incr t.served_ping;
     respond c ~kind:Proto.resp_pong ~id ""
+  end
+  else if kind = Proto.req_health then begin
+    Atomic.incr t.served_health;
+    respond c ~kind:Proto.resp_health ~id
+      (Proto.encode_health (health t))
   end
   else if kind = Proto.req_watch then begin
     (* answered inline, like stats: an index lookup is a mutex-guarded

@@ -78,6 +78,19 @@ val serve_unix_socket : t -> path:string -> unit
     socket file is replaced), accepting until {!stop}; each accepted
     connection gets a reader thread. Blocks the calling thread. *)
 
+val health : t -> Proto.health
+(** The health endpoint's verdict, computed fresh per call from live
+    state: [Draining] once {!request_stop} has been called (dominates
+    everything — supervisors should route work away); otherwise
+    [Degraded] with a combined human-readable reason when any
+    quarantine breaker is open
+    ({!Ethainter_core.Scheduler.Quarantine}), the analysis disk cache
+    has degraded to memory-only
+    ({!Ethainter_core.Pipeline.disk_cache_degraded}), or an attached
+    index reports journal write failures ([index_journal_errors] > 0);
+    else [Ready]. Cheap and thread-safe — also served over the wire as
+    {!Proto.req_health}, inline on reader threads, never load-shed. *)
+
 val stats_snapshot : t -> Proto.stats
 (** The stats endpoint's payload: the serving layer's own counters —
     queue ([queue_*], from the pool), request counters ([served_*]),

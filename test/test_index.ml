@@ -241,6 +241,7 @@ let watch_status_of = function
   | Idx.Unknown -> Proto.Watch_unknown
   | Idx.Pending b -> Proto.Watch_pending b
   | Idx.Destroyed -> Proto.Watch_destroyed
+  | Idx.Quarantined n -> Proto.Watch_quarantined n
   | Idx.Indexed v ->
       Proto.Watch_indexed
         { wi_deployed = v.Idx.v_deployed_block;
@@ -254,6 +255,7 @@ let test_watch_status_codec () =
       Alcotest.(check bool) "watch status roundtrips" true
         (Proto.decode_watch_status (Proto.encode_watch_status st) = Some st))
     [ Proto.Watch_unknown; Proto.Watch_pending 7; Proto.Watch_destroyed;
+      Proto.Watch_quarantined 3;
       Proto.Watch_indexed
         { wi_deployed = 3; wi_indexed = 9; wi_result = result } ];
   Alcotest.(check bool) "garbage rejected" true
