@@ -37,7 +37,13 @@
      dune exec bench/main.exe -- --pr8-only
    Durability only (warm recovery vs cold re-sweep, journal ingest
    overhead, poison-pill containment, writes BENCH_pr9.json):
-     dune exec bench/main.exe -- --pr9-only *)
+     dune exec bench/main.exe -- --pr9-only
+   Word representation + threaded dispatch only (word-op ops/s and
+   minor-heap words/op for the boxed-int64 reference vs the int-limb
+   impl vs the destructive _into variants, the PR 8 chain replay and
+   Kill campaign on the threaded engine vs the BENCH_pr8.json
+   baselines, writes BENCH_pr10.json):
+     dune exec bench/main.exe -- --pr10-only *)
 
 open Bechamel
 open Toolkit
@@ -1436,6 +1442,359 @@ let bench_pr9 () =
   close_out oc;
   print_endline "  wrote BENCH_pr9.json"
 
+(* ------------------------------------------------------------------ *)
+(* PR10: allocation-free EVM words + threaded dispatch. (a) Word-op    *)
+(* microbenchmarks: ops/s and minor-heap words allocated per op for    *)
+(* the retained boxed-int64 reference impl (Uint256_ref), the new      *)
+(* int-limb pure ops, and the destructive _into variants (claim:       *)
+(* ~0 words/op on the _into path). (b) The PR 8 chain replay (24       *)
+(* contracts, 20k txs, same seeds) under the threaded-dispatch         *)
+(* Decoded engine vs Bytewise, with the receipt-stream identity check  *)
+(* and throughput against the BENCH_pr8.json decoded baseline (claim:  *)
+(* >= 1.4x). (c) The PR 8 Kill campaign leg per engine, also against   *)
+(* its BENCH_pr8.json baseline. Emitted as BENCH_pr10.json.            *)
+(* ------------------------------------------------------------------ *)
+
+let bench_pr10 () =
+  let module T = Ethainter_chain.Testnet in
+  let module I = Ethainter_evm.Interp in
+  let module K = Ethainter_kill.Kill in
+  let module U = Ethainter_word.Uint256 in
+  let module R = Ethainter_word.Uint256_ref in
+  let module V = Ethainter_core.Vulns in
+  print_endline "";
+  print_endline "PR10 allocation-free words + threaded dispatch:";
+  (* ---- (a) word-op microbenchmarks: ref vs new vs _into ---- *)
+  let n_words = 512 in
+  let mask = n_words - 1 in
+  let seeds =
+    let st = Random.State.make [| 0x10CA7; 0x5EED |] in
+    Array.init (2 * n_words) (fun _ ->
+        String.init 32 (fun _ -> Char.chr (Random.State.int st 256)))
+  in
+  let xs = Array.init n_words (fun i -> U.of_bytes seeds.(i)) in
+  let ys = Array.init n_words (fun i -> U.of_bytes seeds.(n_words + i)) in
+  let rxs = Array.init n_words (fun i -> R.of_bytes seeds.(i)) in
+  let rys = Array.init n_words (fun i -> R.of_bytes seeds.(n_words + i)) in
+  (* warm-up run first so neither variant pays one-time costs inside
+     the window; allocation measured in minor-heap words per op *)
+  let measure iters f =
+    f (max 1 (iters / 10));
+    let m0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    f iters;
+    let dt = Unix.gettimeofday () -. t0 in
+    let dm = Gc.minor_words () -. m0 in
+    (float_of_int iters /. dt, dm /. float_of_int iters)
+  in
+  let new2 op iters =
+    for i = 0 to iters - 1 do
+      ignore (Sys.opaque_identity (op xs.(i land mask) ys.(i land mask)))
+    done
+  and ref2 op iters =
+    for i = 0 to iters - 1 do
+      ignore (Sys.opaque_identity (op rxs.(i land mask) rys.(i land mask)))
+    done
+  and into2 op iters =
+    let d = U.create () in
+    for i = 0 to iters - 1 do
+      op d xs.(i land mask) ys.(i land mask)
+    done;
+    ignore (Sys.opaque_identity d)
+  in
+  let fast = 2_000_000 and slow = 400_000 in
+  let word_rows =
+    [ ("add", fast, ref2 R.add, new2 U.add, Some (into2 U.add_into));
+      ("sub", fast, ref2 R.sub, new2 U.sub, Some (into2 U.sub_into));
+      ("mul", slow, ref2 R.mul, new2 U.mul, Some (into2 U.mul_into));
+      ( "logand", fast, ref2 R.logand, new2 U.logand,
+        Some (into2 U.logand_into) );
+      ( "logxor", fast, ref2 R.logxor, new2 U.logxor,
+        Some (into2 U.logxor_into) );
+      ( "shift_left", fast,
+        (fun iters ->
+          for i = 0 to iters - 1 do
+            ignore
+              (Sys.opaque_identity
+                 (R.shift_left rxs.(i land mask) (i land 255)))
+          done),
+        (fun iters ->
+          for i = 0 to iters - 1 do
+            ignore
+              (Sys.opaque_identity (U.shift_left xs.(i land mask) (i land 255)))
+          done),
+        Some
+          (fun iters ->
+            let d = U.create () in
+            for i = 0 to iters - 1 do
+              U.shift_left_into d xs.(i land mask) (i land 255)
+            done;
+            ignore (Sys.opaque_identity d)) );
+      ( "lt", fast,
+        (fun iters ->
+          for i = 0 to iters - 1 do
+            ignore
+              (Sys.opaque_identity (R.lt rxs.(i land mask) rys.(i land mask)))
+          done),
+        (fun iters ->
+          for i = 0 to iters - 1 do
+            ignore
+              (Sys.opaque_identity (U.lt xs.(i land mask) ys.(i land mask)))
+          done),
+        None ) ]
+  in
+  let word_measured =
+    List.map
+      (fun (name, iters, fr, fn, fi) ->
+        let r_ops, r_w = measure iters fr in
+        let n_ops, n_w = measure iters fn in
+        let into = Option.map (measure iters) fi in
+        Printf.printf
+          "  %-10s ref %6.1f Mop/s %5.1f w/op | new %6.1f Mop/s %5.1f w/op%s\n"
+          name (r_ops /. 1e6) r_w (n_ops /. 1e6) n_w
+          (match into with
+          | Some (o, w) ->
+              Printf.sprintf " | into %6.1f Mop/s %5.2f w/op" (o /. 1e6) w
+          | None -> "");
+        (name, iters, r_ops, r_w, n_ops, n_w, into))
+      word_rows
+  in
+  (* ---- (b) the PR 8 chain replay, threaded engine ---- *)
+  let n_contracts = 24 and target_txs = 20_000 in
+  let insts = G.mainnet ~seed:77 ~fillers:(12, 20) ~size:n_contracts () in
+  let calldatas =
+    List.map
+      (fun (i : G.instance) ->
+        let sels =
+          K.harvest_selectors (Ethainter_tac.Decomp.decompile i.G.i_runtime)
+        in
+        let ds =
+          match sels with
+          | [] -> [ "" ]
+          | l -> List.map (fun s -> K.selector_calldata s [ U.of_int 5 ]) l
+        in
+        Array.of_list ds)
+      insts
+    |> Array.of_list
+  in
+  let replay_once engine =
+    let net = T.create ~engine () in
+    let from = T.account_of_seed "replayer" in
+    T.fund_account net from (U.of_string "0xffffffffffffffffffffffff");
+    let t0 = Unix.gettimeofday () in
+    let addrs =
+      List.filter_map
+        (fun (i : G.instance) ->
+          (T.deploy net ~from ~value:i.G.i_eth_held i.G.i_deploy).T.created)
+        insts
+      |> Array.of_list
+    in
+    let n = Array.length addrs in
+    let fp = ref 0 in
+    for tx = 0 to target_txs - 1 do
+      let k = tx mod n in
+      let datas = calldatas.(k) in
+      let cd = datas.(tx / n mod Array.length datas) in
+      let r = T.transact net ~from ~to_:addrs.(k) cd in
+      fp :=
+        !fp + r.T.gas_used + (1021 * List.length r.T.trace)
+        + (match r.T.outcome with
+          | I.Returned _ -> 1
+          | I.Reverted _ -> 2
+          | I.Failed _ -> 3)
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    (dt, float_of_int target_txs /. dt, !fp)
+  in
+  (* best of two back-to-back runs per engine: the window is short
+     enough that transient machine load dominates single-shot numbers;
+     the receipt fingerprint must not change between runs *)
+  let replay engine =
+    let ((s1, _, fp1) as r1) = replay_once engine in
+    let ((s2, _, fp2) as r2) = replay_once engine in
+    if fp1 <> fp2 then failwith "bench_pr10: replay fingerprint unstable";
+    if s1 <= s2 then r1 else r2
+  in
+  let by_s, by_tps, by_fp = replay I.Bytewise in
+  let de_s, de_tps, de_fp = replay I.Decoded in
+  let speedup = de_tps /. by_tps in
+  let identical = by_fp = de_fp in
+  (* baselines: the committed BENCH_pr8.json, measured on the pre-PR-10
+     decoded engine (variant-match dispatch, boxed words) *)
+  let pr8_json =
+    try
+      let ic = open_in "BENCH_pr8.json" in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Some s
+    with _ -> None
+  in
+  let num_after s key start =
+    let kl = String.length key and n = String.length s in
+    let rec find i =
+      if i + kl > n then None
+      else if String.sub s i kl = key then Some (i + kl)
+      else find (i + 1)
+    in
+    match find start with
+    | None -> None
+    | Some j ->
+        let k = ref j in
+        while
+          !k < n
+          &&
+          match s.[!k] with
+          | '0' .. '9' | '.' | '-' | ' ' -> true
+          | _ -> false
+        do
+          incr k
+        done;
+        Option.map
+          (fun v -> (v, !k))
+          (float_of_string_opt (String.trim (String.sub s j (!k - j))))
+  in
+  let pr8_replay_tx_s =
+    Option.bind pr8_json (fun s ->
+        Option.map fst (num_after s "\"decoded_tx_s\":" 0))
+  in
+  let pr8_kill_s =
+    (* the kill object's decoded_s is the file's second occurrence *)
+    Option.bind pr8_json (fun s ->
+        Option.bind (num_after s "\"decoded_s\":" 0) (fun (_, k) ->
+            Option.map fst (num_after s "\"decoded_s\":" k)))
+  in
+  let vs_pr8 =
+    match pr8_replay_tx_s with
+    | Some b when b > 0. -> Some (de_tps /. b)
+    | _ -> None
+  in
+  Printf.printf
+    "  replay (%d contracts, %d txs): bytewise %.2fs (%.0f tx/s) vs threaded \
+     %.2fs (%.0f tx/s) -> %.2fx; receipts identical: %b\n"
+    n_contracts target_txs by_s by_tps de_s de_tps speedup identical;
+  (match (vs_pr8, pr8_replay_tx_s) with
+  | Some x, Some b ->
+      Printf.printf "  vs PR 8 decoded baseline (%.0f tx/s): %.2fx\n" b x
+  | _ -> print_endline "  (no BENCH_pr8.json baseline found)");
+  (* ---- (c) Ethainter-Kill campaign leg ---- *)
+  let corpus = G.ropsten ~seed:31 ~size:48 () in
+  let kill_once engine =
+    let net = T.create ~engine () in
+    let deployer = T.account_of_seed "deployer" in
+    let attacker = T.account_of_seed "attacker" in
+    T.fund_account net deployer (U.of_string "0xffffffffffffffffffffffff");
+    T.fund_account net attacker (U.of_string "0xffffffffffffffffffffffff");
+    let deployed =
+      List.filter_map
+        (fun (i : G.instance) ->
+          match (T.deploy net ~from:deployer i.G.i_deploy).T.created with
+          | Some addr ->
+              T.fund_account net addr i.G.i_eth_held;
+              Some (i, addr)
+          | None -> None)
+        corpus
+    in
+    let analyzed =
+      S.analyze_corpus
+        (List.map (fun ((i : G.instance), _) -> i.G.i_runtime) deployed)
+      |> List.map2 (fun (_, addr) r -> (addr, r)) deployed
+    in
+    let targets =
+      List.filter_map
+        (fun (addr, r) ->
+          if
+            P.flags r V.AccessibleSelfdestruct
+            || P.flags r V.TaintedSelfdestruct
+          then Some (addr, r.P.reports)
+          else None)
+        analyzed
+    in
+    let t0 = Unix.gettimeofday () in
+    let stats, _ = K.campaign net ~attacker targets in
+    let dt = Unix.gettimeofday () -. t0 in
+    (dt, stats.K.destroyed, stats.K.total_txs)
+  in
+  (* the campaign is a few milliseconds — best of three *)
+  let kill engine =
+    let runs = [ kill_once engine; kill_once engine; kill_once engine ] in
+    List.fold_left
+      (fun ((bs, _, _) as best) ((s, _, _) as r) ->
+        if s < bs then r else best)
+      (List.hd runs) (List.tl runs)
+  in
+  let kby_s, kby_destroyed, kby_txs = kill I.Bytewise in
+  let kde_s, kde_destroyed, kde_txs = kill I.Decoded in
+  let kill_identical = kby_destroyed = kde_destroyed && kby_txs = kde_txs in
+  Printf.printf
+    "  kill campaign (%d contracts): bytewise %.3fs vs threaded %.3fs \
+     (%.2fx); destroyed %d, %d txs, engines agree: %b\n"
+    (List.length corpus) kby_s kde_s (kby_s /. kde_s) kde_destroyed kde_txs
+    kill_identical;
+  (* ---- emit ---- *)
+  let fopt fmt = function
+    | Some v -> Printf.sprintf fmt v
+    | None -> "null"
+  in
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "{\n  \"pr\": 10,\n  \"machine_cores\": %d,\n"
+    (Domain.recommended_domain_count ());
+  Buffer.add_string buf "  \"word_ops\": [\n";
+  let last = List.length word_measured - 1 in
+  List.iteri
+    (fun i (name, iters, r_ops, r_w, n_ops, n_w, into) ->
+      Printf.bprintf buf
+        "    {\"op\": %S, \"iters\": %d, \"ref_ops_s\": %.1f, \
+         \"ref_words_per_op\": %.3f, \"new_ops_s\": %.1f, \
+         \"new_words_per_op\": %.3f, \"into_ops_s\": %s, \
+         \"into_words_per_op\": %s}%s\n"
+        name iters r_ops r_w n_ops n_w
+        (fopt "%.1f" (Option.map fst into))
+        (fopt "%.4f" (Option.map snd into))
+        (if i = last then "" else ",")
+    )
+    word_measured;
+  Buffer.add_string buf "  ],\n";
+  Printf.bprintf buf
+    "  \"replay\": {\n\
+    \    \"contracts\": %d,\n\
+    \    \"txs\": %d,\n\
+    \    \"bytewise_s\": %.6f,\n\
+    \    \"bytewise_tx_s\": %.2f,\n\
+    \    \"decoded_s\": %.6f,\n\
+    \    \"decoded_tx_s\": %.2f,\n\
+    \    \"speedup_vs_bytewise\": %.4f,\n\
+    \    \"replay_identical\": %b,\n\
+    \    \"pr8_decoded_tx_s\": %s,\n\
+    \    \"speedup_vs_pr8_decoded\": %s\n\
+    \  },\n"
+    n_contracts target_txs by_s by_tps de_s de_tps speedup identical
+    (fopt "%.2f" pr8_replay_tx_s)
+    (fopt "%.4f" vs_pr8);
+  Printf.bprintf buf
+    "  \"kill\": {\n\
+    \    \"contracts\": %d,\n\
+    \    \"bytewise_s\": %.6f,\n\
+    \    \"decoded_s\": %.6f,\n\
+    \    \"speedup\": %.4f,\n\
+    \    \"destroyed\": %d,\n\
+    \    \"txs\": %d,\n\
+    \    \"engines_agree\": %b,\n\
+    \    \"pr8_decoded_s\": %s,\n\
+    \    \"speedup_vs_pr8_decoded\": %s\n\
+    \  }\n}\n"
+    (List.length corpus) kby_s kde_s (kby_s /. kde_s) kde_destroyed kde_txs
+    kill_identical
+    (fopt "%.6f" pr8_kill_s)
+    (fopt "%.4f"
+       (match pr8_kill_s with
+       | Some b when kde_s > 0. -> Some (b /. kde_s)
+       | _ -> None));
+  let oc = open_out "BENCH_pr10.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  print_endline "  wrote BENCH_pr10.json"
+
 let () =
   let has f = Array.exists (fun a -> a = f) Sys.argv in
   let tables_only = has "--tables-only" in
@@ -1448,6 +1807,7 @@ let () =
   let pr7_only = has "--pr7-only" in
   let pr8_only = has "--pr8-only" in
   let pr9_only = has "--pr9-only" in
+  let pr10_only = has "--pr10-only" in
   if pr1_only then bench_pr1 ()
   else if pr2_only then bench_pr2 ()
   else if pr3_only then bench_pr3 ()
@@ -1457,6 +1817,7 @@ let () =
   else if pr7_only then bench_pr7 ()
   else if pr8_only then bench_pr8 ()
   else if pr9_only then bench_pr9 ()
+  else if pr10_only then bench_pr10 ()
   else begin
     if not tables_only then begin
       print_endline "Bechamel benchmarks (one per reproduced table/figure):";
@@ -1471,6 +1832,7 @@ let () =
     bench_pr7 ();
     bench_pr8 ();
     bench_pr9 ();
+    bench_pr10 ();
     print_endline "";
     print_endline "Reproduced tables and figures (full scale):";
     (* run_all keeps the cache warm across its overlapping sweeps —

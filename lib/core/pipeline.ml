@@ -437,8 +437,10 @@ let decode_frontend (s : string) : frontend option =
 (* Stamped into every cache key (front- and back-end): bump on any
    change to decompilation, facts, the fixpoint or the detectors.
    "6" = results gained the storage-dependency footprint (codec v3);
-   older entries lack it and must miss. *)
-let analysis_version = "6"
+   older entries lack it and must miss.
+   "7" = Uint256 switched to int-limb representation; marshalled
+   payloads embedding the old boxed-int64 record layout must miss. *)
+let analysis_version = "7"
 
 (* The front-end key's stand-in for a config fingerprint: the front
    end does not depend on any ablation switch, so its entries are

@@ -17,6 +17,7 @@ type t = {
   code : string;
   code_hash : string;
   instrs : Bytecode.instr array;
+  ops : Bytes.t;
   gas_rest : int array;
   blocks : block array;
   block_at_pc : int array;
@@ -66,6 +67,13 @@ let decode_with_hash (code : string) (code_hash : string) : t =
   done;
   let instrs = Array.sub !arr 0 !count in
   let m = Array.length instrs in
+  (* Canonical opcode byte per instruction (unknown bytes decoded as
+     INVALID map to INVALID's byte): the threaded-dispatch index
+     stream for the interpreter's handler table. *)
+  let ops =
+    Bytes.init m (fun i ->
+        Char.unsafe_chr (Opcode.to_byte instrs.(i).Bytecode.op))
+  in
   (* Block boundaries: instruction 0, every JUMPDEST, the instruction
      after every terminator — the same rule the decompiler used. *)
   let boundary = Array.make (max m 1) false in
@@ -116,7 +124,7 @@ let decode_with_hash (code : string) (code_hash : string) : t =
     incr bk
   done;
   let blocks = Array.sub blocks 0 !bk in
-  { code; code_hash; instrs; gas_rest; blocks; block_at_pc; jumpdest }
+  { code; code_hash; instrs; ops; gas_rest; blocks; block_at_pc; jumpdest }
 
 (* ---------------- process-wide cache ---------------- *)
 

@@ -53,6 +53,11 @@ type t = {
   code : string;          (** the raw bytecode (for CODECOPY/CODESIZE) *)
   code_hash : string;     (** keccak256(code), the cache key *)
   instrs : Bytecode.instr array;  (** flat decoded instruction stream *)
+  ops : Bytes.t;
+      (** per instruction: the canonical opcode byte
+          ({!Opcode.to_byte}), so the interpreter's threaded dispatch
+          indexes its 256-entry handler table with one byte load
+          instead of a variant match; length [Array.length instrs] *)
   gas_rest : int array;
       (** per instruction: static gas of the instructions after it in
           its block (tail refund / GAS-opcode correction table) *)

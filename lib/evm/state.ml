@@ -9,13 +9,24 @@
 
 module U = Ethainter_word.Uint256
 
+(* Word-keyed hash tables over [U.equal]/[U.hash] — the multi-limb
+   mixing hash, not polymorphic hashing — so storage-slot and address
+   lookups stay O(1) even over adversarial key families (sequential
+   slots, keys differing only in high limbs). *)
+module WT = Hashtbl.Make (struct
+  type t = U.t
+
+  let equal = U.equal
+  let hash = U.hash
+end)
+
 type address = U.t
 
 type account = {
   mutable balance : U.t;
   mutable nonce : int;
   mutable code : string;
-  storage : (U.t, U.t) Hashtbl.t;
+  storage : U.t WT.t;
   mutable destroyed : bool;
   mutable prog : Program.t option;
       (* memoized decoded program for [code]; cleared on set_code so a
@@ -23,24 +34,24 @@ type account = {
          process-wide program cache *)
 }
 
-type t = { accounts : (address, account) Hashtbl.t }
+type t = { accounts : account WT.t }
 
-let create () = { accounts = Hashtbl.create 64 }
+let create () = { accounts = WT.create 64 }
 
 let fresh_account () =
-  { balance = U.zero; nonce = 0; code = ""; storage = Hashtbl.create 8;
+  { balance = U.zero; nonce = 0; code = ""; storage = WT.create 8;
     destroyed = false; prog = None }
 
 let account t addr =
-  match Hashtbl.find_opt t.accounts addr with
+  match WT.find_opt t.accounts addr with
   | Some a -> a
   | None ->
       let a = fresh_account () in
-      Hashtbl.replace t.accounts addr a;
+      WT.replace t.accounts addr a;
       a
 
-let account_opt t addr = Hashtbl.find_opt t.accounts addr
-let exists t addr = Hashtbl.mem t.accounts addr
+let account_opt t addr = WT.find_opt t.accounts addr
+let exists t addr = WT.mem t.accounts addr
 
 let balance t addr =
   match account_opt t addr with Some a -> a.balance | None -> U.zero
@@ -66,7 +77,7 @@ let set_code t addr c =
     repeat call) and process-wide by code hash in {!Program.of_code}
     (so forks and snapshot-restored states never re-decode either). *)
 let program t addr : Program.t =
-  match Hashtbl.find_opt t.accounts addr with
+  match WT.find_opt t.accounts addr with
   | Some a when not a.destroyed ->
       if String.length a.code = 0 then Program.empty
       else (
@@ -83,14 +94,14 @@ let sload t addr key =
   match account_opt t addr with
   | None -> U.zero
   | Some a -> (
-      match Hashtbl.find_opt a.storage key with
+      match WT.find_opt a.storage key with
       | Some v -> v
       | None -> U.zero)
 
 let sstore t addr key v =
   let a = account t addr in
-  if U.is_zero v then Hashtbl.remove a.storage key
-  else Hashtbl.replace a.storage key v
+  if U.is_zero v then WT.remove a.storage key
+  else WT.replace a.storage key v
 
 let is_destroyed t addr =
   match account_opt t addr with Some a -> a.destroyed | None -> false
@@ -100,7 +111,7 @@ let is_destroyed t addr =
     the final state" is exactly a fold over this. Order unspecified. *)
 let fold_contracts (t : t) (f : address -> string -> 'a -> 'a) (init : 'a) : 'a
     =
-  Hashtbl.fold
+  WT.fold
     (fun addr a acc ->
       if (not a.destroyed) && String.length a.code > 0 then f addr a.code acc
       else acc)
@@ -136,19 +147,19 @@ type snapshot =
   list
 
 let snapshot (t : t) : snapshot =
-  Hashtbl.fold
+  WT.fold
     (fun addr a acc ->
-      let slots = Hashtbl.fold (fun k v l -> (k, v) :: l) a.storage [] in
+      let slots = WT.fold (fun k v l -> (k, v) :: l) a.storage [] in
       (addr, (a.balance, a.nonce, a.code, slots, a.destroyed), a.prog) :: acc)
     t.accounts []
 
 let restore (t : t) (s : snapshot) : unit =
-  Hashtbl.reset t.accounts;
+  WT.reset t.accounts;
   List.iter
     (fun (addr, (balance, nonce, code, slots, destroyed), prog) ->
-      let storage = Hashtbl.create (max 8 (List.length slots)) in
-      List.iter (fun (k, v) -> Hashtbl.replace storage k v) slots;
-      Hashtbl.replace t.accounts addr
+      let storage = WT.create (max 8 (List.length slots)) in
+      List.iter (fun (k, v) -> WT.replace storage k v) slots;
+      WT.replace t.accounts addr
         { balance; nonce; code; storage; destroyed; prog })
     s
 

@@ -1,99 +1,248 @@
 (** 256-bit unsigned integers with EVM (mod 2^256) semantics.
 
-    The EVM word type. Represented as four 64-bit limbs in little-endian
-    limb order ([limb 0] is least significant). All arithmetic wraps
-    modulo 2^256, matching the Yellow-Paper semantics of [ADD], [MUL],
-    [SUB], etc. Signed operations ([sdiv], [smod], [slt], ...) interpret
-    words as two's-complement, again per the Yellow Paper. *)
+    The EVM word type. Represented as eight 32-bit limbs carried in a
+    plain [int array], little-endian limb order ([limb 0] is least
+    significant); every limb is a non-negative immediate [int] below
+    2^32, so arithmetic never touches boxed [int64]s. A word is one
+    9-word heap block (header + 8 immediates) versus ~17 words for the
+    previous 4×boxed-int64 record, and the destructive [_into] variants
+    below let hot loops reuse caller-owned words with zero allocation.
 
-type t = { l0 : int64; l1 : int64; l2 : int64; l3 : int64 }
+    All arithmetic wraps modulo 2^256, matching the Yellow-Paper
+    semantics of [ADD], [MUL], [SUB], etc. Signed operations ([sdiv],
+    [smod], [slt], ...) interpret words as two's-complement, again per
+    the Yellow Paper.
 
-let zero = { l0 = 0L; l1 = 0L; l2 = 0L; l3 = 0L }
-let one = { l0 = 1L; l1 = 0L; l2 = 0L; l3 = 0L }
-let max_value = { l0 = -1L; l1 = -1L; l2 = -1L; l3 = -1L }
+    Scratch-op contract: the [_into] operations mutate [dst] and may
+    only target words the caller owns (obtained from [create] or
+    [copy]). Words returned by the pure constructors — in particular
+    [zero], [one], [max_value] and anything produced by
+    [of_int]/[of_int64]/[of_bool]/[byte], which intern the 256
+    single-byte constants process-wide — are shared and must never be
+    mutated. All [_into] operations tolerate [dst] aliasing either
+    operand (including all three being the same word). *)
 
-let limb i x =
-  match i with
-  | 0 -> x.l0
-  | 1 -> x.l1
-  | 2 -> x.l2
-  | 3 -> x.l3
-  | _ -> invalid_arg "Uint256.limb"
+type t = int array
 
-let make l0 l1 l2 l3 = { l0; l1; l2; l3 }
+let mask32 = 0xFFFFFFFF
+let mask16 = 0xFFFF
 
-let of_int64 (x : int64) = { zero with l0 = x }
+let create () = Array.make 8 0
 
-let of_int (x : int) =
+(* Unrolled instead of Array.copy/blit/fill: those are C calls, and
+   at 8 immediate-int elements the call overhead dwarfs the stores.
+   Every interpreter PUSH/DUP lands here. *)
+let blit (src : t) (dst : t) =
+  Array.unsafe_set dst 0 (Array.unsafe_get src 0);
+  Array.unsafe_set dst 1 (Array.unsafe_get src 1);
+  Array.unsafe_set dst 2 (Array.unsafe_get src 2);
+  Array.unsafe_set dst 3 (Array.unsafe_get src 3);
+  Array.unsafe_set dst 4 (Array.unsafe_get src 4);
+  Array.unsafe_set dst 5 (Array.unsafe_get src 5);
+  Array.unsafe_set dst 6 (Array.unsafe_get src 6);
+  Array.unsafe_set dst 7 (Array.unsafe_get src 7)
+
+let copy (a : t) : t =
+  let d = Array.make 8 0 in
+  blit a d;
+  d
+
+let set_zero (dst : t) =
+  Array.unsafe_set dst 0 0;
+  Array.unsafe_set dst 1 0;
+  Array.unsafe_set dst 2 0;
+  Array.unsafe_set dst 3 0;
+  Array.unsafe_set dst 4 0;
+  Array.unsafe_set dst 5 0;
+  Array.unsafe_set dst 6 0;
+  Array.unsafe_set dst 7 0
+
+(* ------------------------------------------------------------------ *)
+(* Interned single-byte constants                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The 256 single-byte words (PUSH1 immediates, comparison results,
+   selector bytes, small counters) dominate word construction on every
+   hot path; they are interned process-wide so [of_int]/[of_bool] on
+   them allocate nothing. These are shared: never pass them to an
+   [_into] destination. *)
+let small : t array =
+  Array.init 256 (fun i ->
+      let w = Array.make 8 0 in
+      w.(0) <- i;
+      w)
+
+let zero = small.(0)
+let one = small.(1)
+
+let max_value : t = Array.make 8 mask32
+
+let of_int (x : int) : t =
   if x < 0 then invalid_arg "Uint256.of_int: negative"
-  else of_int64 (Int64.of_int x)
+  else if x < 256 then Array.unsafe_get small x
+  else begin
+    let w = Array.make 8 0 in
+    w.(0) <- x land mask32;
+    w.(1) <- x lsr 32;
+    w
+  end
 
-let equal a b =
-  Int64.equal a.l0 b.l0 && Int64.equal a.l1 b.l1 && Int64.equal a.l2 b.l2
-  && Int64.equal a.l3 b.l3
+let of_int64 (x : int64) : t =
+  if Int64.compare x 0L >= 0 && Int64.compare x 256L < 0 then
+    Array.unsafe_get small (Int64.to_int x)
+  else begin
+    let w = Array.make 8 0 in
+    w.(0) <- Int64.to_int (Int64.logand x 0xFFFFFFFFL);
+    w.(1) <- Int64.to_int (Int64.shift_right_logical x 32);
+    w
+  end
 
-let is_zero a = equal a zero
+let of_bool b = if b then one else zero
 
-(* Unsigned comparison of int64 values. *)
-let ucmp64 (a : int64) (b : int64) = Int64.unsigned_compare a b
+let set_int (dst : t) (x : int) =
+  if x < 0 then invalid_arg "Uint256.set_int: negative";
+  set_zero dst;
+  dst.(0) <- x land mask32;
+  dst.(1) <- x lsr 32
 
-let compare a b =
-  let c = ucmp64 a.l3 b.l3 in
-  if c <> 0 then c
+let set_bool (dst : t) (b : bool) =
+  set_zero dst;
+  if b then dst.(0) <- 1
+
+(* int64-interop shims, kept for the legacy [make]/[limb] API (tests
+   and conversions only — not on any hot path). *)
+let make (l0 : int64) (l1 : int64) (l2 : int64) (l3 : int64) : t =
+  let w = Array.make 8 0 in
+  let set i (x : int64) =
+    w.(2 * i) <- Int64.to_int (Int64.logand x 0xFFFFFFFFL);
+    w.((2 * i) + 1) <- Int64.to_int (Int64.shift_right_logical x 32)
+  in
+  set 0 l0; set 1 l1; set 2 l2; set 3 l3;
+  w
+
+let limb i (x : t) : int64 =
+  if i < 0 || i > 3 then invalid_arg "Uint256.limb";
+  Int64.logor
+    (Int64.of_int x.(2 * i))
+    (Int64.shift_left (Int64.of_int x.((2 * i) + 1)) 32)
+
+(* ------------------------------------------------------------------ *)
+(* Comparison / hashing                                                *)
+(* ------------------------------------------------------------------ *)
+
+let equal (a : t) (b : t) =
+  a == b
+  || (Array.unsafe_get a 0 = Array.unsafe_get b 0
+      && Array.unsafe_get a 1 = Array.unsafe_get b 1
+      && Array.unsafe_get a 2 = Array.unsafe_get b 2
+      && Array.unsafe_get a 3 = Array.unsafe_get b 3
+      && Array.unsafe_get a 4 = Array.unsafe_get b 4
+      && Array.unsafe_get a 5 = Array.unsafe_get b 5
+      && Array.unsafe_get a 6 = Array.unsafe_get b 6
+      && Array.unsafe_get a 7 = Array.unsafe_get b 7)
+
+let is_zero (a : t) =
+  Array.unsafe_get a 0 = 0
+  && Array.unsafe_get a 1 = 0
+  && Array.unsafe_get a 2 = 0
+  && Array.unsafe_get a 3 = 0
+  && Array.unsafe_get a 4 = 0
+  && Array.unsafe_get a 5 = 0
+  && Array.unsafe_get a 6 = 0
+  && Array.unsafe_get a 7 = 0
+
+(* Limbs are non-negative ints < 2^32, so limb subtraction can't
+   overflow and its sign is the unsigned limb order. Unrolled (no
+   local recursive function: its closure would allocate on what is a
+   hot comparison path). *)
+let compare (a : t) (b : t) =
+  let d = Array.unsafe_get a 7 - Array.unsafe_get b 7 in
+  if d <> 0 then d
   else
-    let c = ucmp64 a.l2 b.l2 in
-    if c <> 0 then c
+    let d = Array.unsafe_get a 6 - Array.unsafe_get b 6 in
+    if d <> 0 then d
     else
-      let c = ucmp64 a.l1 b.l1 in
-      if c <> 0 then c else ucmp64 a.l0 b.l0
+      let d = Array.unsafe_get a 5 - Array.unsafe_get b 5 in
+      if d <> 0 then d
+      else
+        let d = Array.unsafe_get a 4 - Array.unsafe_get b 4 in
+        if d <> 0 then d
+        else
+          let d = Array.unsafe_get a 3 - Array.unsafe_get b 3 in
+          if d <> 0 then d
+          else
+            let d = Array.unsafe_get a 2 - Array.unsafe_get b 2 in
+            if d <> 0 then d
+            else
+              let d = Array.unsafe_get a 1 - Array.unsafe_get b 1 in
+              if d <> 0 then d
+              else Array.unsafe_get a 0 - Array.unsafe_get b 0
 
 let lt a b = compare a b < 0
 let gt a b = compare a b > 0
 let le a b = compare a b <= 0
 let ge a b = compare a b >= 0
 
+(* Multiply-xor rounds over all eight limbs with a final avalanche, so
+   every input bit disturbs the low hash bits that [Hashtbl] buckets
+   on. The previous hash only spread limb bits upward (plain
+   multiplies), so storage keys differing in high limb bits collided
+   systematically in the low bits. *)
 let hash (x : t) =
-  Int64.to_int x.l0
-  lxor (Int64.to_int x.l1 * 65599)
-  lxor (Int64.to_int x.l2 * 2654435761)
-  lxor (Int64.to_int x.l3 * 40503)
+  let h = ref 0x2545F491 in
+  for i = 0 to 7 do
+    let m = (!h lxor Array.unsafe_get x i) * 0x9E3779B1 in
+    h := m lxor (m lsr 16)
+  done;
+  let h = !h * 0x85EBCA77 in
+  (h lxor (h lsr 13)) land max_int
 
 (* ------------------------------------------------------------------ *)
 (* Addition / subtraction with carry propagation                       *)
 (* ------------------------------------------------------------------ *)
 
-(* Add two unsigned 64-bit values plus carry-in; return (sum, carry).
-   Carry = 1 iff a + b + cin >= 2^64: c1 from a+b, c2 from (a+b)+cin;
-   at most one of the two additions can wrap. *)
-let add64_carry (a : int64) (b : int64) (cin : int64) =
-  let ab = Int64.add a b in
-  let c1 = if ucmp64 ab a < 0 then 1L else 0L in
-  let s = Int64.add ab cin in
-  let c2 = if ucmp64 s ab < 0 then 1L else 0L in
-  (s, Int64.add c1 c2)
+(* Fully unrolled; every intermediate sum fits an immediate int
+   (< 2^33). All reads complete before any write, so [dst] may alias
+   either operand. *)
+let add_into (dst : t) (a : t) (b : t) =
+  let s0 = Array.unsafe_get a 0 + Array.unsafe_get b 0 in
+  let s1 = Array.unsafe_get a 1 + Array.unsafe_get b 1 + (s0 lsr 32) in
+  let s2 = Array.unsafe_get a 2 + Array.unsafe_get b 2 + (s1 lsr 32) in
+  let s3 = Array.unsafe_get a 3 + Array.unsafe_get b 3 + (s2 lsr 32) in
+  let s4 = Array.unsafe_get a 4 + Array.unsafe_get b 4 + (s3 lsr 32) in
+  let s5 = Array.unsafe_get a 5 + Array.unsafe_get b 5 + (s4 lsr 32) in
+  let s6 = Array.unsafe_get a 6 + Array.unsafe_get b 6 + (s5 lsr 32) in
+  let s7 = Array.unsafe_get a 7 + Array.unsafe_get b 7 + (s6 lsr 32) in
+  Array.unsafe_set dst 0 (s0 land mask32);
+  Array.unsafe_set dst 1 (s1 land mask32);
+  Array.unsafe_set dst 2 (s2 land mask32);
+  Array.unsafe_set dst 3 (s3 land mask32);
+  Array.unsafe_set dst 4 (s4 land mask32);
+  Array.unsafe_set dst 5 (s5 land mask32);
+  Array.unsafe_set dst 6 (s6 land mask32);
+  Array.unsafe_set dst 7 (s7 land mask32)
 
-let add a b =
-  let l0, c0 = add64_carry a.l0 b.l0 0L in
-  let l1, c1 = add64_carry a.l1 b.l1 c0 in
-  let l2, c2 = add64_carry a.l2 b.l2 c1 in
-  let l3, _ = add64_carry a.l3 b.l3 c2 in
-  { l0; l1; l2; l3 }
+(* [d asr 32] is -1 on borrow and 0 otherwise. *)
+let sub_into (dst : t) (a : t) (b : t) =
+  let d0 = Array.unsafe_get a 0 - Array.unsafe_get b 0 in
+  let d1 = Array.unsafe_get a 1 - Array.unsafe_get b 1 + (d0 asr 32) in
+  let d2 = Array.unsafe_get a 2 - Array.unsafe_get b 2 + (d1 asr 32) in
+  let d3 = Array.unsafe_get a 3 - Array.unsafe_get b 3 + (d2 asr 32) in
+  let d4 = Array.unsafe_get a 4 - Array.unsafe_get b 4 + (d3 asr 32) in
+  let d5 = Array.unsafe_get a 5 - Array.unsafe_get b 5 + (d4 asr 32) in
+  let d6 = Array.unsafe_get a 6 - Array.unsafe_get b 6 + (d5 asr 32) in
+  let d7 = Array.unsafe_get a 7 - Array.unsafe_get b 7 + (d6 asr 32) in
+  Array.unsafe_set dst 0 (d0 land mask32);
+  Array.unsafe_set dst 1 (d1 land mask32);
+  Array.unsafe_set dst 2 (d2 land mask32);
+  Array.unsafe_set dst 3 (d3 land mask32);
+  Array.unsafe_set dst 4 (d4 land mask32);
+  Array.unsafe_set dst 5 (d5 land mask32);
+  Array.unsafe_set dst 6 (d6 land mask32);
+  Array.unsafe_set dst 7 (d7 land mask32)
 
-(* Subtract with borrow: a - b - bin, returning (diff, borrow). *)
-let sub64_borrow (a : int64) (b : int64) (bin : int64) =
-  let ab = Int64.sub a b in
-  let b1 = if ucmp64 a b < 0 then 1L else 0L in
-  let d = Int64.sub ab bin in
-  let b2 = if ucmp64 ab bin < 0 then 1L else 0L in
-  (d, Int64.add b1 b2)
-
-let sub a b =
-  let l0, c0 = sub64_borrow a.l0 b.l0 0L in
-  let l1, c1 = sub64_borrow a.l1 b.l1 c0 in
-  let l2, c2 = sub64_borrow a.l2 b.l2 c1 in
-  let l3, _ = sub64_borrow a.l3 b.l3 c2 in
-  { l0; l1; l2; l3 }
-
+let add a b = let d = Array.make 8 0 in add_into d a b; d
+let sub a b = let d = Array.make 8 0 in sub_into d a b; d
 let succ a = add a one
 let pred a = sub a one
 let neg a = sub zero a
@@ -102,162 +251,194 @@ let neg a = sub zero a
 (* Multiplication                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let lo32 (x : int64) = Int64.logand x 0xFFFFFFFFL
-let hi32 (x : int64) = Int64.shift_right_logical x 32
+(* 32x32-bit limb products would overflow the 63-bit native int, so
+   multiplication runs on 16-bit halves: column sums are at most
+   16·(2^16-1)^2 + carry < 2^37 and carries stay below 2^21, all
+   comfortably immediate. Both operands' halves are copied into a
+   per-domain scratch first, making [dst] aliasing safe and the
+   scratch race-free across the scheduler's worker domains. *)
+let mul_scratch : int array Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Array.make 32 0)
 
-(* Full 64x64 -> 128 multiply, returning (lo, hi). *)
-let mul64_full (a : int64) (b : int64) =
-  let al = lo32 a and ah = hi32 a and bl = lo32 b and bh = hi32 b in
-  let ll = Int64.mul al bl in
-  let lh = Int64.mul al bh in
-  let hl = Int64.mul ah bl in
-  let hh = Int64.mul ah bh in
-  (* lo = ll + (lh << 32) + (hl << 32); collect carries into hi. *)
-  let mid = Int64.add (Int64.add (hi32 ll) (lo32 lh)) (lo32 hl) in
-  let lo = Int64.logor (lo32 ll) (Int64.shift_left (lo32 mid) 32) in
-  let hi =
-    Int64.add (Int64.add hh (Int64.add (hi32 lh) (hi32 hl))) (hi32 mid)
-  in
-  (lo, hi)
-
-let mul a b =
-  (* Schoolbook over 4 limbs, keeping only the low 4 result limbs. *)
-  let r = Array.make 4 0L in
-  let al = [| a.l0; a.l1; a.l2; a.l3 |] in
-  let bl = [| b.l0; b.l1; b.l2; b.l3 |] in
-  for i = 0 to 3 do
-    let carry = ref 0L in
-    for j = 0 to 3 - i do
-      let k = i + j in
-      if k < 4 then begin
-        let lo, hi = mul64_full al.(i) bl.(j) in
-        let s1, c1 = add64_carry r.(k) lo 0L in
-        let s2, c2 = add64_carry s1 !carry 0L in
-        r.(k) <- s2;
-        carry := Int64.add hi (Int64.add c1 c2)
-      end
-    done
+let mul_into (dst : t) (a : t) (b : t) =
+  let h = Domain.DLS.get mul_scratch in
+  for i = 0 to 7 do
+    let ai = Array.unsafe_get a i and bi = Array.unsafe_get b i in
+    Array.unsafe_set h (2 * i) (ai land mask16);
+    Array.unsafe_set h ((2 * i) + 1) (ai lsr 16);
+    Array.unsafe_set h (16 + (2 * i)) (bi land mask16);
+    Array.unsafe_set h (16 + (2 * i) + 1) (bi lsr 16)
   done;
-  { l0 = r.(0); l1 = r.(1); l2 = r.(2); l3 = r.(3) }
+  let carry = ref 0 in
+  for k = 0 to 7 do
+    let lo_k = 2 * k in
+    let hi_k = lo_k + 1 in
+    let s = ref !carry in
+    for i = 0 to lo_k do
+      s := !s + (Array.unsafe_get h i * Array.unsafe_get h (16 + lo_k - i))
+    done;
+    let lo = !s land mask16 in
+    let s2 = ref (!s lsr 16) in
+    for i = 0 to hi_k do
+      s2 := !s2 + (Array.unsafe_get h i * Array.unsafe_get h (16 + hi_k - i))
+    done;
+    carry := !s2 lsr 16;
+    Array.unsafe_set dst k (lo lor ((!s2 land mask16) lsl 16))
+  done
+
+let mul a b = let d = Array.make 8 0 in mul_into d a b; d
 
 (* ------------------------------------------------------------------ *)
 (* Shifts and bitwise operations                                       *)
 (* ------------------------------------------------------------------ *)
 
-let logand a b =
-  { l0 = Int64.logand a.l0 b.l0; l1 = Int64.logand a.l1 b.l1;
-    l2 = Int64.logand a.l2 b.l2; l3 = Int64.logand a.l3 b.l3 }
+let logand_into (dst : t) (a : t) (b : t) =
+  for i = 0 to 7 do
+    Array.unsafe_set dst i (Array.unsafe_get a i land Array.unsafe_get b i)
+  done
 
-let logor a b =
-  { l0 = Int64.logor a.l0 b.l0; l1 = Int64.logor a.l1 b.l1;
-    l2 = Int64.logor a.l2 b.l2; l3 = Int64.logor a.l3 b.l3 }
+let logor_into (dst : t) (a : t) (b : t) =
+  for i = 0 to 7 do
+    Array.unsafe_set dst i (Array.unsafe_get a i lor Array.unsafe_get b i)
+  done
 
-let logxor a b =
-  { l0 = Int64.logxor a.l0 b.l0; l1 = Int64.logxor a.l1 b.l1;
-    l2 = Int64.logxor a.l2 b.l2; l3 = Int64.logxor a.l3 b.l3 }
+let logxor_into (dst : t) (a : t) (b : t) =
+  for i = 0 to 7 do
+    Array.unsafe_set dst i (Array.unsafe_get a i lxor Array.unsafe_get b i)
+  done
 
-let lognot a =
-  { l0 = Int64.lognot a.l0; l1 = Int64.lognot a.l1;
-    l2 = Int64.lognot a.l2; l3 = Int64.lognot a.l3 }
+let lognot_into (dst : t) (a : t) =
+  for i = 0 to 7 do
+    Array.unsafe_set dst i (Array.unsafe_get a i lxor mask32)
+  done
+
+let logand a b = let d = Array.make 8 0 in logand_into d a b; d
+let logor a b = let d = Array.make 8 0 in logor_into d a b; d
+let logxor a b = let d = Array.make 8 0 in logxor_into d a b; d
+let lognot a = let d = Array.make 8 0 in lognot_into d a; d
+
+(* Descending write order never clobbers a yet-unread source limb
+   (reads at index <= write index), so [dst] may alias [a]. *)
+let shift_left_into (dst : t) (a : t) n =
+  if n < 0 then invalid_arg "shift_left"
+  else if n = 0 then (if dst != a then blit a dst)
+  else if n >= 256 then set_zero dst
+  else begin
+    let word = n lsr 5 and bits = n land 31 in
+    for i = 7 downto 0 do
+      let src = i - word in
+      let v =
+        if src < 0 then 0
+        else
+          let v = (Array.unsafe_get a src lsl bits) land mask32 in
+          if bits > 0 && src >= 1 then
+            v lor (Array.unsafe_get a (src - 1) lsr (32 - bits))
+          else v
+      in
+      Array.unsafe_set dst i v
+    done
+  end
+
+(* Ascending write order: reads at index >= write index. *)
+let shift_right_into (dst : t) (a : t) n =
+  if n < 0 then invalid_arg "shift_right"
+  else if n = 0 then (if dst != a then blit a dst)
+  else if n >= 256 then set_zero dst
+  else begin
+    let word = n lsr 5 and bits = n land 31 in
+    for i = 0 to 7 do
+      let src = i + word in
+      let v =
+        if src > 7 then 0
+        else
+          let v = Array.unsafe_get a src lsr bits in
+          if bits > 0 && src + 1 <= 7 then
+            v lor ((Array.unsafe_get a (src + 1) lsl (32 - bits)) land mask32)
+          else v
+      in
+      Array.unsafe_set dst i v
+    done
+  end
+
+let is_neg (a : t) = a.(7) land 0x80000000 <> 0
+
+let shift_right_arith_into (dst : t) (a : t) n =
+  if n < 0 then invalid_arg "shift_right_arith"
+  else begin
+    let neg = is_neg a in
+    if n >= 256 then
+      if neg then Array.fill dst 0 8 mask32 else set_zero dst
+    else begin
+      shift_right_into dst a n;
+      if neg && n > 0 then begin
+        (* fill the top n bits with ones *)
+        let m = 256 - n in
+        let j = m lsr 5 and b = m land 31 in
+        dst.(j) <- dst.(j) lor ((mask32 lsl b) land mask32);
+        for k = j + 1 to 7 do
+          dst.(k) <- mask32
+        done
+      end
+    end
+  end
 
 let shift_left a n =
-  if n <= 0 then if n = 0 then a else invalid_arg "shift_left"
-  else if n >= 256 then zero
-  else begin
-    let limbs = [| a.l0; a.l1; a.l2; a.l3 |] in
-    let word = n / 64 and bits = n mod 64 in
-    let r = Array.make 4 0L in
-    for i = 3 downto 0 do
-      let src = i - word in
-      if src >= 0 then begin
-        let v = Int64.shift_left limbs.(src) bits in
-        let v =
-          if bits > 0 && src - 1 >= 0 then
-            Int64.logor v (Int64.shift_right_logical limbs.(src - 1) (64 - bits))
-          else v
-        in
-        r.(i) <- v
-      end
-    done;
-    { l0 = r.(0); l1 = r.(1); l2 = r.(2); l3 = r.(3) }
-  end
+  if n = 0 then a
+  else let d = Array.make 8 0 in shift_left_into d a n; d
 
 let shift_right a n =
-  if n <= 0 then if n = 0 then a else invalid_arg "shift_right"
-  else if n >= 256 then zero
-  else begin
-    let limbs = [| a.l0; a.l1; a.l2; a.l3 |] in
-    let word = n / 64 and bits = n mod 64 in
-    let r = Array.make 4 0L in
-    for i = 0 to 3 do
-      let src = i + word in
-      if src <= 3 then begin
-        let v = Int64.shift_right_logical limbs.(src) bits in
-        let v =
-          if bits > 0 && src + 1 <= 3 then
-            Int64.logor v (Int64.shift_left limbs.(src + 1) (64 - bits))
-          else v
-        in
-        r.(i) <- v
-      end
-    done;
-    { l0 = r.(0); l1 = r.(1); l2 = r.(2); l3 = r.(3) }
-  end
+  if n = 0 then a
+  else let d = Array.make 8 0 in shift_right_into d a n; d
 
-let is_neg a = Int64.shift_right_logical a.l3 63 = 1L
-
-(* Arithmetic shift right: sign-extend per two's complement. *)
 let shift_right_arith a n =
   if n = 0 then a
-  else if n >= 256 then if is_neg a then max_value else zero
-  else
-    let r = shift_right a n in
-    if is_neg a then
-      (* fill the top n bits with ones *)
-      let mask = shift_left max_value (256 - n) in
-      logor r mask
-    else r
+  else let d = Array.make 8 0 in shift_right_arith_into d a n; d
 
-let bit a n =
+let bit (a : t) n =
   if n < 0 || n > 255 then false
-  else
-    let l = limb (n / 64) a in
-    Int64.logand (Int64.shift_right_logical l (n mod 64)) 1L = 1L
+  else (Array.unsafe_get a (n lsr 5) lsr (n land 31)) land 1 = 1
 
-let set_bit a n =
+let set_bit (a : t) n =
   if n < 0 || n > 255 then a
-  else logor a (shift_left one n)
+  else begin
+    let d = copy a in
+    d.(n lsr 5) <- d.(n lsr 5) lor (1 lsl (n land 31));
+    d
+  end
 
 (* Number of significant bits (0 for zero). *)
-let num_bits a =
-  let rec top i = if i < 0 then 0 else if limb i a <> 0L then i else top (i - 1) in
-  if is_zero a then 0
-  else
-    let i = top 3 in
-    let l = limb i a in
-    let rec msb b = if b < 0 then 0 else if Int64.logand (Int64.shift_right_logical l b) 1L = 1L then b + 1 else msb (b - 1) in
-    (i * 64) + msb 63
+let num_bits (a : t) =
+  let rec top i = if i < 0 then -1 else if a.(i) <> 0 then i else top (i - 1) in
+  let i = top 7 in
+  if i < 0 then 0
+  else begin
+    let l = a.(i) in
+    let rec msb b = if (l lsr b) land 1 = 1 then b + 1 else msb (b - 1) in
+    (i * 32) + msb 31
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Division / modulo (EVM: x / 0 = 0, x mod 0 = 0)                     *)
 (* ------------------------------------------------------------------ *)
 
-let divmod a b =
+let divmod (a : t) (b : t) =
   if is_zero b then (zero, zero)
   else if compare a b < 0 then (zero, a)
   else begin
-    (* Binary long division. *)
-    let q = ref zero and r = ref zero in
+    (* Binary long division on two owned words. The remainder never
+       overflows the left shift: before processing bit i it equals
+       (a >> (i+1)) mod b <= a >> 1 < 2^255. *)
+    let q = Array.make 8 0 and r = Array.make 8 0 in
     let n = num_bits a in
     for i = n - 1 downto 0 do
-      r := shift_left !r 1;
-      if bit a i then r := logor !r one;
-      if compare !r b >= 0 then begin
-        r := sub !r b;
-        q := set_bit !q i
+      shift_left_into r r 1;
+      if bit a i then r.(0) <- r.(0) lor 1;
+      if compare r b >= 0 then begin
+        sub_into r r b;
+        q.(i lsr 5) <- q.(i lsr 5) lor (1 lsl (i land 31))
       end
     done;
-    (!q, !r)
+    (q, r)
   end
 
 let div a b = fst (divmod a b)
@@ -292,115 +473,132 @@ let slt a b =
 let sgt a b = slt b a
 
 (* addmod / mulmod need intermediate precision beyond 256 bits; we use
-   the identity on 512-bit intermediates built from limb arrays. *)
+   the identity on wide little-endian 32-bit limb arrays. *)
 
-let to_limbs a = [| a.l0; a.l1; a.l2; a.l3 |]
-
-(* Divide a little-endian limb array (any length) by a 256-bit modulus,
-   returning the remainder as t. Binary method over the full width.
-   [shift_left] drops the top bit, so the bit shifted out of position
-   255 is tracked explicitly: when set, r conceptually equals
-   2^256 + r', and subtracting m once is addition of (2^256 - m). *)
-let rem_wide (limbs : int64 array) (m : t) =
+(* Reduce a wide little-endian limb array modulo [m]. Binary method
+   over the full width. [shift_left_into] drops the top bit, so the
+   bit shifted out of position 255 is tracked explicitly: when set, r
+   conceptually equals 2^256 + r', and subtracting m once is addition
+   of (2^256 - m). *)
+let rem_wide (limbs : int array) (m : t) =
   if is_zero m then zero
   else begin
-    let nlimbs = Array.length limbs in
-    let r = ref zero in
-    for i = (nlimbs * 64) - 1 downto 0 do
-      let carry = bit !r 255 in
-      r := shift_left !r 1;
-      let l = limbs.(i / 64) in
-      if Int64.logand (Int64.shift_right_logical l (i mod 64)) 1L = 1L then
-        r := logor !r one;
+    let nbits = Array.length limbs * 32 in
+    let r = Array.make 8 0 in
+    let neg_m = Array.make 8 0 in
+    sub_into neg_m zero m;
+    for i = nbits - 1 downto 0 do
+      let carry = r.(7) land 0x80000000 <> 0 in
+      shift_left_into r r 1;
+      if (limbs.(i lsr 5) lsr (i land 31)) land 1 = 1 then r.(0) <- r.(0) lor 1;
       (* If a bit was shifted out, r conceptually = 2^256 + r'. Since
          m < 2^256, subtracting m once from (2^256 + r') equals
-         (r' + (2^256 - m)) which is add (neg m). *)
-      if carry then r := add !r (neg m);
-      if compare !r m >= 0 then r := sub !r m;
+         (r' + (2^256 - m)) which is adding neg_m. *)
+      if carry then add_into r r neg_m;
+      if compare r m >= 0 then sub_into r r m;
       (* One more conditional subtract covers the carry case where
          r' + (2^256 - m) may still be >= m. *)
-      if compare !r m >= 0 then r := sub !r m
+      if compare r m >= 0 then sub_into r r m
     done;
-    !r
+    r
   end
 
-let addmod a b m =
+let addmod (a : t) (b : t) m =
   if is_zero m then zero
   else begin
-    (* compute a+b as a 5-limb value *)
-    let l0, c0 = add64_carry a.l0 b.l0 0L in
-    let l1, c1 = add64_carry a.l1 b.l1 c0 in
-    let l2, c2 = add64_carry a.l2 b.l2 c1 in
-    let l3, c3 = add64_carry a.l3 b.l3 c2 in
-    rem_wide [| l0; l1; l2; l3; c3 |] m
+    (* compute a+b as a 9-limb value *)
+    let w = Array.make 9 0 in
+    let c = ref 0 in
+    for i = 0 to 7 do
+      let s = a.(i) + b.(i) + !c in
+      w.(i) <- s land mask32;
+      c := s lsr 32
+    done;
+    w.(8) <- !c;
+    rem_wide w m
   end
 
-let mulmod a b m =
+let mulmod (a : t) (b : t) m =
   if is_zero m then zero
   else begin
-    (* full 4x4 limb multiply into 8 limbs *)
-    let r = Array.make 8 0L in
-    let al = to_limbs a and bl = to_limbs b in
-    for i = 0 to 3 do
-      let carry = ref 0L in
-      for j = 0 to 3 do
-        let k = i + j in
-        let lo, hi = mul64_full al.(i) bl.(j) in
-        let s1, c1 = add64_carry r.(k) lo 0L in
-        let s2, c2 = add64_carry s1 !carry 0L in
-        r.(k) <- s2;
-        carry := Int64.add hi (Int64.add c1 c2)
+    (* full 512-bit product via 16-bit halves, as in [mul_into] *)
+    let ha = Array.make 16 0 and hb = Array.make 16 0 in
+    for i = 0 to 7 do
+      ha.(2 * i) <- a.(i) land mask16;
+      ha.((2 * i) + 1) <- a.(i) lsr 16;
+      hb.(2 * i) <- b.(i) land mask16;
+      hb.((2 * i) + 1) <- b.(i) lsr 16
+    done;
+    let w = Array.make 16 0 in
+    let carry = ref 0 in
+    for k = 0 to 15 do
+      let lo_k = 2 * k in
+      let hi_k = lo_k + 1 in
+      let s = ref !carry in
+      for i = max 0 (lo_k - 15) to min 15 lo_k do
+        s := !s + (ha.(i) * hb.(lo_k - i))
       done;
-      (* propagate final carry *)
-      let k = ref (i + 4) in
-      while !carry <> 0L && !k < 8 do
-        let s, c = add64_carry r.(!k) !carry 0L in
-        r.(!k) <- s;
-        carry := c;
-        incr k
-      done
+      let lo = !s land mask16 in
+      let s2 = ref (!s lsr 16) in
+      for i = max 0 (hi_k - 15) to min 15 hi_k do
+        s2 := !s2 + (ha.(i) * hb.(hi_k - i))
+      done;
+      carry := !s2 lsr 16;
+      w.(k) <- lo lor ((!s2 land mask16) lsl 16)
     done;
-    rem_wide r m
+    rem_wide w m
   end
 
 let exp base e =
-  (* Square-and-multiply modulo 2^256 (natural wrap). *)
-  let result = ref one and b = ref base in
-  for i = 0 to 255 do
-    if bit e i then result := mul !result !b;
-    b := mul !b !b
+  (* Square-and-multiply modulo 2^256 (natural wrap) on owned words;
+     [mul_into] tolerates full aliasing. *)
+  let result = copy one and b = copy base in
+  let n = num_bits e in
+  for i = 0 to n - 1 do
+    if bit e i then mul_into result result b;
+    if i < n - 1 then mul_into b b b
   done;
-  !result
+  result
 
 (* EVM SIGNEXTEND: b identifies the byte position of the sign bit. *)
 let signextend bpos x =
   if compare bpos (of_int 31) >= 0 then x
-  else
-    let b = Int64.to_int bpos.l0 in
+  else begin
+    let b = bpos.(0) in
     let sign_bit = (b * 8) + 7 in
-    if bit x sign_bit then
-      let mask = shift_left max_value (sign_bit + 1) in
-      logor x mask
-    else
-      let mask = sub (shift_left one (sign_bit + 1)) one in
-      logand x mask
+    let r = copy x in
+    let m = sign_bit + 1 in
+    let j = m lsr 5 and off = m land 31 in
+    if bit x sign_bit then begin
+      r.(j) <- r.(j) lor ((mask32 lsl off) land mask32);
+      for k = j + 1 to 7 do r.(k) <- mask32 done
+    end
+    else begin
+      r.(j) <- r.(j) land ((1 lsl off) - 1);
+      for k = j + 1 to 7 do r.(k) <- 0 done
+    end;
+    r
+  end
 
-(* EVM BYTE: extract the i-th byte, counting from the most significant. *)
-let byte i x =
+(* EVM BYTE: extract the i-th byte, counting from the most significant.
+   Always lands in the interned table. *)
+let byte i (x : t) =
   if compare i (of_int 31) > 0 then zero
-  else
-    let idx = Int64.to_int i.l0 in
-    let shift = (31 - idx) * 8 in
-    logand (shift_right x shift) (of_int 0xff)
+  else begin
+    let p = 31 - i.(0) in
+    Array.unsafe_get small ((x.(p lsr 2) lsr ((p land 3) * 8)) land 0xFF)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Conversions                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let to_int_opt a =
-  if Int64.equal a.l1 0L && Int64.equal a.l2 0L && Int64.equal a.l3 0L
-     && ucmp64 a.l0 (Int64.of_int max_int) <= 0
-  then Some (Int64.to_int a.l0)
+let to_int_opt (a : t) =
+  if
+    a.(1) <= 0x3FFFFFFF
+    && a.(2) = 0 && a.(3) = 0 && a.(4) = 0 && a.(5) = 0 && a.(6) = 0
+    && a.(7) = 0
+  then Some (a.(0) lor (a.(1) lsl 32))
   else None
 
 let to_int a =
@@ -410,18 +608,45 @@ let to_int a =
 
 let fits_int a = to_int_opt a <> None
 
-let to_int64_trunc a = a.l0
+let to_int64_trunc (a : t) =
+  Int64.logor (Int64.of_int a.(0)) (Int64.shift_left (Int64.of_int a.(1)) 32)
+
+(** Big-endian 32-byte store into a caller-provided buffer. *)
+let store_be (src : t) (b : Bytes.t) (off : int) =
+  for i = 0 to 7 do
+    Bytes.set_int32_be b (off + 28 - (4 * i)) (Int32.of_int (Array.unsafe_get src i))
+  done
+
+(** Big-endian 32-byte load from a buffer into a caller-owned word. *)
+let load_be_into (dst : t) (b : Bytes.t) (off : int) =
+  for i = 0 to 7 do
+    Array.unsafe_set dst i
+      (Int32.to_int (Bytes.get_int32_be b (off + 28 - (4 * i))) land mask32)
+  done
+
+(** Big-endian load from a string with implicit zero padding past the
+    end (CALLDATALOAD semantics): byte k of the word is [s.[off+k]] if
+    in range, else 0. *)
+let load_be_padded (dst : t) (s : string) (off : int) =
+  set_zero dst;
+  let n = String.length s in
+  for k = 0 to 31 do
+    let p = off + k in
+    if p >= 0 && p < n then begin
+      let v = Char.code (String.unsafe_get s p) in
+      let bitpos = (31 - k) * 8 in
+      let j = bitpos lsr 5 in
+      Array.unsafe_set dst j (Array.unsafe_get dst j lor (v lsl (bitpos land 31)))
+    end
+  done
 
 (** Big-endian 32-byte serialization (the EVM memory/storage format). *)
-let to_bytes a =
+let to_bytes (a : t) =
   let b = Bytes.create 32 in
-  for i = 0 to 3 do
-    let l = limb (3 - i) a in
-    Bytes.set_int64_be b (i * 8) l
-  done;
-  Bytes.to_string b
+  store_be a b 0;
+  Bytes.unsafe_to_string b
 
-let of_bytes (s : string) =
+let of_bytes (s : string) : t =
   (* Interprets [s] as a big-endian number; pads on the left if shorter
      than 32 bytes, uses the last 32 bytes if longer. *)
   let n = String.length s in
@@ -429,11 +654,14 @@ let of_bytes (s : string) =
   let n = String.length s in
   let b = Bytes.make 32 '\000' in
   Bytes.blit_string s 0 b (32 - n) n;
-  let l3 = Bytes.get_int64_be b 0 in
-  let l2 = Bytes.get_int64_be b 8 in
-  let l1 = Bytes.get_int64_be b 16 in
-  let l0 = Bytes.get_int64_be b 24 in
-  { l0; l1; l2; l3 }
+  let w = Array.make 8 0 in
+  load_be_into w b 0;
+  if
+    w.(0) < 256
+    && w.(1) = 0 && w.(2) = 0 && w.(3) = 0 && w.(4) = 0 && w.(5) = 0
+    && w.(6) = 0 && w.(7) = 0
+  then Array.unsafe_get small w.(0)
+  else w
 
 let to_hex a =
   let s = to_bytes a in
@@ -468,7 +696,7 @@ let of_hex s =
   in
   if String.length s = 0 then invalid_arg "Uint256.of_hex: empty";
   if String.length s > 64 then invalid_arg "Uint256.of_hex: too long";
-  let v = ref zero in
+  let v = Array.make 8 0 in
   String.iter
     (fun c ->
       let d =
@@ -478,23 +706,27 @@ let of_hex s =
         | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
         | _ -> invalid_arg "Uint256.of_hex: bad digit"
       in
-      v := logor (shift_left !v 4) (of_int d))
+      shift_left_into v v 4;
+      v.(0) <- v.(0) lor d)
     s;
-  !v
+  v
 
 let of_decimal s =
   if String.length s = 0 then invalid_arg "Uint256.of_decimal: empty";
   let ten = of_int 10 in
-  let v = ref zero in
+  let v = Array.make 8 0 in
+  let d = Array.make 8 0 in
   String.iter
     (fun c ->
       match c with
       | '0' .. '9' ->
-          v := add (mul !v ten) (of_int (Char.code c - Char.code '0'))
+          mul_into v v ten;
+          set_int d (Char.code c - Char.code '0');
+          add_into v v d
       | '_' -> ()
       | _ -> invalid_arg "Uint256.of_decimal: bad digit")
     s;
-  !v
+  v
 
 let of_string s =
   if String.length s >= 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then
@@ -521,4 +753,3 @@ let pp fmt a = Format.pp_print_string fmt (to_hex a)
 
 (* Truthiness per EVM JUMPI semantics. *)
 let to_bool a = not (is_zero a)
-let of_bool b = if b then one else zero

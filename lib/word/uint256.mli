@@ -4,7 +4,22 @@
     Yellow-Paper semantics of [ADD], [MUL], [SUB], etc. Signed
     operations ([sdiv], [smod], [slt], ...) interpret words as
     two's-complement. Division and modulo by zero return zero (EVM
-    convention), they do not raise. *)
+    convention), they do not raise.
+
+    Words are unboxed [int]-limb vectors (8×32-bit limbs), so the pure
+    operations allocate exactly one small block for their result and
+    the destructive [_into] variants allocate nothing.
+
+    {b Scratch-op contract.} The [_into] operations mutate their first
+    argument ([dst]) in place and may only target words the caller
+    {e owns} — words obtained from [create] or [copy]. Words returned
+    by any pure operation are potentially {e shared}: the 256
+    single-byte constants are interned process-wide (so [of_int 5] is
+    the same physical word everywhere) and pure operations may return
+    one of their arguments. Mutating a shared word corrupts unrelated
+    state silently; never pass one as [dst]. Every [_into] operation
+    tolerates [dst] aliasing any of its word operands, including all
+    of them being the same word. *)
 
 type t
 
@@ -140,3 +155,50 @@ val set_bit : t -> int -> t
 val byte : t -> t -> t
 (** [byte i x]: the [i]-th byte of [x] counting from the most
     significant (EVM [BYTE]); zero when [i > 31]. *)
+
+(** {1 Scratch operations (allocation-free)}
+
+    All functions below follow the scratch-op contract from the module
+    header: [dst] must be caller-owned ([create]/[copy]); aliasing
+    [dst] with any operand is allowed. *)
+
+val create : unit -> t
+(** A fresh owned word, initialized to zero. *)
+
+val copy : t -> t
+(** A fresh owned word with the same value. *)
+
+val blit : t -> t -> unit
+(** [blit src dst] copies the value of [src] into [dst]. *)
+
+val set_zero : t -> unit
+val set_int : t -> int -> unit
+(** @raise Invalid_argument on negative input. *)
+
+val set_bool : t -> bool -> unit
+
+val add_into : t -> t -> t -> unit
+(** [add_into dst a b] stores [a + b] (mod 2^256) in [dst]. *)
+
+val sub_into : t -> t -> t -> unit
+val mul_into : t -> t -> t -> unit
+val logand_into : t -> t -> t -> unit
+val logor_into : t -> t -> t -> unit
+val logxor_into : t -> t -> t -> unit
+val lognot_into : t -> t -> unit
+val shift_left_into : t -> t -> int -> unit
+val shift_right_into : t -> t -> int -> unit
+val shift_right_arith_into : t -> t -> int -> unit
+
+val load_be_into : t -> Bytes.t -> int -> unit
+(** [load_be_into dst b off] reads 32 big-endian bytes of [b] at
+    [off]. The range must be in bounds. *)
+
+val store_be : t -> Bytes.t -> int -> unit
+(** [store_be src b off] writes [src] as 32 big-endian bytes into [b]
+    at [off]. The range must be in bounds. *)
+
+val load_be_padded : t -> string -> int -> unit
+(** [load_be_padded dst s off] reads up to 32 big-endian bytes of [s]
+    starting at [off], zero-padding past the end of [s] (EVM
+    [CALLDATALOAD] semantics). [off] may exceed the length of [s]. *)

@@ -1,0 +1,524 @@
+(** Reference implementation of [Uint256], retained for differential
+    testing and old-vs-new microbenchmarks.
+
+    This is the pre-PR-10 representation: four boxed [int64] limbs in a
+    record, little-endian limb order. Functionally complete but
+    allocation-heavy; the production module [Uint256] carries the same
+    semantics on unboxed [int] limbs. Do not use outside tests/bench. *)
+
+type t = { l0 : int64; l1 : int64; l2 : int64; l3 : int64 }
+
+let zero = { l0 = 0L; l1 = 0L; l2 = 0L; l3 = 0L }
+let one = { l0 = 1L; l1 = 0L; l2 = 0L; l3 = 0L }
+let max_value = { l0 = -1L; l1 = -1L; l2 = -1L; l3 = -1L }
+
+let limb i x =
+  match i with
+  | 0 -> x.l0
+  | 1 -> x.l1
+  | 2 -> x.l2
+  | 3 -> x.l3
+  | _ -> invalid_arg "Uint256.limb"
+
+let make l0 l1 l2 l3 = { l0; l1; l2; l3 }
+
+let of_int64 (x : int64) = { zero with l0 = x }
+
+let of_int (x : int) =
+  if x < 0 then invalid_arg "Uint256.of_int: negative"
+  else of_int64 (Int64.of_int x)
+
+let equal a b =
+  Int64.equal a.l0 b.l0 && Int64.equal a.l1 b.l1 && Int64.equal a.l2 b.l2
+  && Int64.equal a.l3 b.l3
+
+let is_zero a = equal a zero
+
+(* Unsigned comparison of int64 values. *)
+let ucmp64 (a : int64) (b : int64) = Int64.unsigned_compare a b
+
+let compare a b =
+  let c = ucmp64 a.l3 b.l3 in
+  if c <> 0 then c
+  else
+    let c = ucmp64 a.l2 b.l2 in
+    if c <> 0 then c
+    else
+      let c = ucmp64 a.l1 b.l1 in
+      if c <> 0 then c else ucmp64 a.l0 b.l0
+
+let lt a b = compare a b < 0
+let gt a b = compare a b > 0
+let le a b = compare a b <= 0
+let ge a b = compare a b >= 0
+
+let hash (x : t) =
+  Int64.to_int x.l0
+  lxor (Int64.to_int x.l1 * 65599)
+  lxor (Int64.to_int x.l2 * 2654435761)
+  lxor (Int64.to_int x.l3 * 40503)
+
+(* ------------------------------------------------------------------ *)
+(* Addition / subtraction with carry propagation                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Add two unsigned 64-bit values plus carry-in; return (sum, carry).
+   Carry = 1 iff a + b + cin >= 2^64: c1 from a+b, c2 from (a+b)+cin;
+   at most one of the two additions can wrap. *)
+let add64_carry (a : int64) (b : int64) (cin : int64) =
+  let ab = Int64.add a b in
+  let c1 = if ucmp64 ab a < 0 then 1L else 0L in
+  let s = Int64.add ab cin in
+  let c2 = if ucmp64 s ab < 0 then 1L else 0L in
+  (s, Int64.add c1 c2)
+
+let add a b =
+  let l0, c0 = add64_carry a.l0 b.l0 0L in
+  let l1, c1 = add64_carry a.l1 b.l1 c0 in
+  let l2, c2 = add64_carry a.l2 b.l2 c1 in
+  let l3, _ = add64_carry a.l3 b.l3 c2 in
+  { l0; l1; l2; l3 }
+
+(* Subtract with borrow: a - b - bin, returning (diff, borrow). *)
+let sub64_borrow (a : int64) (b : int64) (bin : int64) =
+  let ab = Int64.sub a b in
+  let b1 = if ucmp64 a b < 0 then 1L else 0L in
+  let d = Int64.sub ab bin in
+  let b2 = if ucmp64 ab bin < 0 then 1L else 0L in
+  (d, Int64.add b1 b2)
+
+let sub a b =
+  let l0, c0 = sub64_borrow a.l0 b.l0 0L in
+  let l1, c1 = sub64_borrow a.l1 b.l1 c0 in
+  let l2, c2 = sub64_borrow a.l2 b.l2 c1 in
+  let l3, _ = sub64_borrow a.l3 b.l3 c2 in
+  { l0; l1; l2; l3 }
+
+let succ a = add a one
+let pred a = sub a one
+let neg a = sub zero a
+
+(* ------------------------------------------------------------------ *)
+(* Multiplication                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let lo32 (x : int64) = Int64.logand x 0xFFFFFFFFL
+let hi32 (x : int64) = Int64.shift_right_logical x 32
+
+(* Full 64x64 -> 128 multiply, returning (lo, hi). *)
+let mul64_full (a : int64) (b : int64) =
+  let al = lo32 a and ah = hi32 a and bl = lo32 b and bh = hi32 b in
+  let ll = Int64.mul al bl in
+  let lh = Int64.mul al bh in
+  let hl = Int64.mul ah bl in
+  let hh = Int64.mul ah bh in
+  (* lo = ll + (lh << 32) + (hl << 32); collect carries into hi. *)
+  let mid = Int64.add (Int64.add (hi32 ll) (lo32 lh)) (lo32 hl) in
+  let lo = Int64.logor (lo32 ll) (Int64.shift_left (lo32 mid) 32) in
+  let hi =
+    Int64.add (Int64.add hh (Int64.add (hi32 lh) (hi32 hl))) (hi32 mid)
+  in
+  (lo, hi)
+
+let mul a b =
+  (* Schoolbook over 4 limbs, keeping only the low 4 result limbs. *)
+  let r = Array.make 4 0L in
+  let al = [| a.l0; a.l1; a.l2; a.l3 |] in
+  let bl = [| b.l0; b.l1; b.l2; b.l3 |] in
+  for i = 0 to 3 do
+    let carry = ref 0L in
+    for j = 0 to 3 - i do
+      let k = i + j in
+      if k < 4 then begin
+        let lo, hi = mul64_full al.(i) bl.(j) in
+        let s1, c1 = add64_carry r.(k) lo 0L in
+        let s2, c2 = add64_carry s1 !carry 0L in
+        r.(k) <- s2;
+        carry := Int64.add hi (Int64.add c1 c2)
+      end
+    done
+  done;
+  { l0 = r.(0); l1 = r.(1); l2 = r.(2); l3 = r.(3) }
+
+(* ------------------------------------------------------------------ *)
+(* Shifts and bitwise operations                                       *)
+(* ------------------------------------------------------------------ *)
+
+let logand a b =
+  { l0 = Int64.logand a.l0 b.l0; l1 = Int64.logand a.l1 b.l1;
+    l2 = Int64.logand a.l2 b.l2; l3 = Int64.logand a.l3 b.l3 }
+
+let logor a b =
+  { l0 = Int64.logor a.l0 b.l0; l1 = Int64.logor a.l1 b.l1;
+    l2 = Int64.logor a.l2 b.l2; l3 = Int64.logor a.l3 b.l3 }
+
+let logxor a b =
+  { l0 = Int64.logxor a.l0 b.l0; l1 = Int64.logxor a.l1 b.l1;
+    l2 = Int64.logxor a.l2 b.l2; l3 = Int64.logxor a.l3 b.l3 }
+
+let lognot a =
+  { l0 = Int64.lognot a.l0; l1 = Int64.lognot a.l1;
+    l2 = Int64.lognot a.l2; l3 = Int64.lognot a.l3 }
+
+let shift_left a n =
+  if n <= 0 then if n = 0 then a else invalid_arg "shift_left"
+  else if n >= 256 then zero
+  else begin
+    let limbs = [| a.l0; a.l1; a.l2; a.l3 |] in
+    let word = n / 64 and bits = n mod 64 in
+    let r = Array.make 4 0L in
+    for i = 3 downto 0 do
+      let src = i - word in
+      if src >= 0 then begin
+        let v = Int64.shift_left limbs.(src) bits in
+        let v =
+          if bits > 0 && src - 1 >= 0 then
+            Int64.logor v (Int64.shift_right_logical limbs.(src - 1) (64 - bits))
+          else v
+        in
+        r.(i) <- v
+      end
+    done;
+    { l0 = r.(0); l1 = r.(1); l2 = r.(2); l3 = r.(3) }
+  end
+
+let shift_right a n =
+  if n <= 0 then if n = 0 then a else invalid_arg "shift_right"
+  else if n >= 256 then zero
+  else begin
+    let limbs = [| a.l0; a.l1; a.l2; a.l3 |] in
+    let word = n / 64 and bits = n mod 64 in
+    let r = Array.make 4 0L in
+    for i = 0 to 3 do
+      let src = i + word in
+      if src <= 3 then begin
+        let v = Int64.shift_right_logical limbs.(src) bits in
+        let v =
+          if bits > 0 && src + 1 <= 3 then
+            Int64.logor v (Int64.shift_left limbs.(src + 1) (64 - bits))
+          else v
+        in
+        r.(i) <- v
+      end
+    done;
+    { l0 = r.(0); l1 = r.(1); l2 = r.(2); l3 = r.(3) }
+  end
+
+let is_neg a = Int64.shift_right_logical a.l3 63 = 1L
+
+(* Arithmetic shift right: sign-extend per two's complement. *)
+let shift_right_arith a n =
+  if n = 0 then a
+  else if n >= 256 then if is_neg a then max_value else zero
+  else
+    let r = shift_right a n in
+    if is_neg a then
+      (* fill the top n bits with ones *)
+      let mask = shift_left max_value (256 - n) in
+      logor r mask
+    else r
+
+let bit a n =
+  if n < 0 || n > 255 then false
+  else
+    let l = limb (n / 64) a in
+    Int64.logand (Int64.shift_right_logical l (n mod 64)) 1L = 1L
+
+let set_bit a n =
+  if n < 0 || n > 255 then a
+  else logor a (shift_left one n)
+
+(* Number of significant bits (0 for zero). *)
+let num_bits a =
+  let rec top i = if i < 0 then 0 else if limb i a <> 0L then i else top (i - 1) in
+  if is_zero a then 0
+  else
+    let i = top 3 in
+    let l = limb i a in
+    let rec msb b = if b < 0 then 0 else if Int64.logand (Int64.shift_right_logical l b) 1L = 1L then b + 1 else msb (b - 1) in
+    (i * 64) + msb 63
+
+(* ------------------------------------------------------------------ *)
+(* Division / modulo (EVM: x / 0 = 0, x mod 0 = 0)                     *)
+(* ------------------------------------------------------------------ *)
+
+let divmod a b =
+  if is_zero b then (zero, zero)
+  else if compare a b < 0 then (zero, a)
+  else begin
+    (* Binary long division. *)
+    let q = ref zero and r = ref zero in
+    let n = num_bits a in
+    for i = n - 1 downto 0 do
+      r := shift_left !r 1;
+      if bit a i then r := logor !r one;
+      if compare !r b >= 0 then begin
+        r := sub !r b;
+        q := set_bit !q i
+      end
+    done;
+    (!q, !r)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+(* Signed division per EVM SDIV: truncate toward zero; SMOD takes the
+   sign of the dividend. *)
+let sdiv a b =
+  if is_zero b then zero
+  else
+    let na = is_neg a and nb = is_neg b in
+    let ua = if na then neg a else a in
+    let ub = if nb then neg b else b in
+    let q = div ua ub in
+    if na <> nb then neg q else q
+
+let smod a b =
+  if is_zero b then zero
+  else
+    let na = is_neg a in
+    let ua = if na then neg a else a in
+    let ub = if is_neg b then neg b else b in
+    let r = rem ua ub in
+    if na then neg r else r
+
+let slt a b =
+  match (is_neg a, is_neg b) with
+  | true, false -> true
+  | false, true -> false
+  | _ -> lt a b
+
+let sgt a b = slt b a
+
+(* addmod / mulmod need intermediate precision beyond 256 bits; we use
+   the identity on 512-bit intermediates built from limb arrays. *)
+
+let to_limbs a = [| a.l0; a.l1; a.l2; a.l3 |]
+
+(* Divide a little-endian limb array (any length) by a 256-bit modulus,
+   returning the remainder as t. Binary method over the full width.
+   [shift_left] drops the top bit, so the bit shifted out of position
+   255 is tracked explicitly: when set, r conceptually equals
+   2^256 + r', and subtracting m once is addition of (2^256 - m). *)
+let rem_wide (limbs : int64 array) (m : t) =
+  if is_zero m then zero
+  else begin
+    let nlimbs = Array.length limbs in
+    let r = ref zero in
+    for i = (nlimbs * 64) - 1 downto 0 do
+      let carry = bit !r 255 in
+      r := shift_left !r 1;
+      let l = limbs.(i / 64) in
+      if Int64.logand (Int64.shift_right_logical l (i mod 64)) 1L = 1L then
+        r := logor !r one;
+      (* If a bit was shifted out, r conceptually = 2^256 + r'. Since
+         m < 2^256, subtracting m once from (2^256 + r') equals
+         (r' + (2^256 - m)) which is add (neg m). *)
+      if carry then r := add !r (neg m);
+      if compare !r m >= 0 then r := sub !r m;
+      (* One more conditional subtract covers the carry case where
+         r' + (2^256 - m) may still be >= m. *)
+      if compare !r m >= 0 then r := sub !r m
+    done;
+    !r
+  end
+
+let addmod a b m =
+  if is_zero m then zero
+  else begin
+    (* compute a+b as a 5-limb value *)
+    let l0, c0 = add64_carry a.l0 b.l0 0L in
+    let l1, c1 = add64_carry a.l1 b.l1 c0 in
+    let l2, c2 = add64_carry a.l2 b.l2 c1 in
+    let l3, c3 = add64_carry a.l3 b.l3 c2 in
+    rem_wide [| l0; l1; l2; l3; c3 |] m
+  end
+
+let mulmod a b m =
+  if is_zero m then zero
+  else begin
+    (* full 4x4 limb multiply into 8 limbs *)
+    let r = Array.make 8 0L in
+    let al = to_limbs a and bl = to_limbs b in
+    for i = 0 to 3 do
+      let carry = ref 0L in
+      for j = 0 to 3 do
+        let k = i + j in
+        let lo, hi = mul64_full al.(i) bl.(j) in
+        let s1, c1 = add64_carry r.(k) lo 0L in
+        let s2, c2 = add64_carry s1 !carry 0L in
+        r.(k) <- s2;
+        carry := Int64.add hi (Int64.add c1 c2)
+      done;
+      (* propagate final carry *)
+      let k = ref (i + 4) in
+      while !carry <> 0L && !k < 8 do
+        let s, c = add64_carry r.(!k) !carry 0L in
+        r.(!k) <- s;
+        carry := c;
+        incr k
+      done
+    done;
+    rem_wide r m
+  end
+
+let exp base e =
+  (* Square-and-multiply modulo 2^256 (natural wrap). *)
+  let result = ref one and b = ref base in
+  for i = 0 to 255 do
+    if bit e i then result := mul !result !b;
+    b := mul !b !b
+  done;
+  !result
+
+(* EVM SIGNEXTEND: b identifies the byte position of the sign bit. *)
+let signextend bpos x =
+  if compare bpos (of_int 31) >= 0 then x
+  else
+    let b = Int64.to_int bpos.l0 in
+    let sign_bit = (b * 8) + 7 in
+    if bit x sign_bit then
+      let mask = shift_left max_value (sign_bit + 1) in
+      logor x mask
+    else
+      let mask = sub (shift_left one (sign_bit + 1)) one in
+      logand x mask
+
+(* EVM BYTE: extract the i-th byte, counting from the most significant. *)
+let byte i x =
+  if compare i (of_int 31) > 0 then zero
+  else
+    let idx = Int64.to_int i.l0 in
+    let shift = (31 - idx) * 8 in
+    logand (shift_right x shift) (of_int 0xff)
+
+(* ------------------------------------------------------------------ *)
+(* Conversions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let to_int_opt a =
+  if Int64.equal a.l1 0L && Int64.equal a.l2 0L && Int64.equal a.l3 0L
+     && ucmp64 a.l0 (Int64.of_int max_int) <= 0
+  then Some (Int64.to_int a.l0)
+  else None
+
+let to_int a =
+  match to_int_opt a with
+  | Some i -> i
+  | None -> invalid_arg "Uint256.to_int: out of range"
+
+let fits_int a = to_int_opt a <> None
+
+let to_int64_trunc a = a.l0
+
+(** Big-endian 32-byte serialization (the EVM memory/storage format). *)
+let to_bytes a =
+  let b = Bytes.create 32 in
+  for i = 0 to 3 do
+    let l = limb (3 - i) a in
+    Bytes.set_int64_be b (i * 8) l
+  done;
+  Bytes.to_string b
+
+let of_bytes (s : string) =
+  (* Interprets [s] as a big-endian number; pads on the left if shorter
+     than 32 bytes, uses the last 32 bytes if longer. *)
+  let n = String.length s in
+  let s = if n > 32 then String.sub s (n - 32) 32 else s in
+  let n = String.length s in
+  let b = Bytes.make 32 '\000' in
+  Bytes.blit_string s 0 b (32 - n) n;
+  let l3 = Bytes.get_int64_be b 0 in
+  let l2 = Bytes.get_int64_be b 8 in
+  let l1 = Bytes.get_int64_be b 16 in
+  let l0 = Bytes.get_int64_be b 24 in
+  { l0; l1; l2; l3 }
+
+let to_hex a =
+  let s = to_bytes a in
+  let buf = Buffer.create 66 in
+  Buffer.add_string buf "0x";
+  let started = ref false in
+  String.iter
+    (fun c ->
+      let v = Char.code c in
+      if v <> 0 || !started then begin
+        if !started then Buffer.add_string buf (Printf.sprintf "%02x" v)
+        else begin
+          Buffer.add_string buf (Printf.sprintf "%x" v);
+          started := true
+        end
+      end)
+    s;
+  if not !started then "0x0" else Buffer.contents buf
+
+let to_hex_padded a =
+  let s = to_bytes a in
+  let buf = Buffer.create 66 in
+  Buffer.add_string buf "0x";
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let of_hex s =
+  let s =
+    if String.length s >= 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X')
+    then String.sub s 2 (String.length s - 2)
+    else s
+  in
+  if String.length s = 0 then invalid_arg "Uint256.of_hex: empty";
+  if String.length s > 64 then invalid_arg "Uint256.of_hex: too long";
+  let v = ref zero in
+  String.iter
+    (fun c ->
+      let d =
+        match c with
+        | '0' .. '9' -> Char.code c - Char.code '0'
+        | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+        | _ -> invalid_arg "Uint256.of_hex: bad digit"
+      in
+      v := logor (shift_left !v 4) (of_int d))
+    s;
+  !v
+
+let of_decimal s =
+  if String.length s = 0 then invalid_arg "Uint256.of_decimal: empty";
+  let ten = of_int 10 in
+  let v = ref zero in
+  String.iter
+    (fun c ->
+      match c with
+      | '0' .. '9' ->
+          v := add (mul !v ten) (of_int (Char.code c - Char.code '0'))
+      | '_' -> ()
+      | _ -> invalid_arg "Uint256.of_decimal: bad digit")
+    s;
+  !v
+
+let of_string s =
+  if String.length s >= 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then
+    of_hex s
+  else of_decimal s
+
+let to_decimal a =
+  if is_zero a then "0"
+  else begin
+    let ten = of_int 10 in
+    let buf = Buffer.create 80 in
+    let v = ref a in
+    while not (is_zero !v) do
+      let q, r = divmod !v ten in
+      Buffer.add_char buf (Char.chr (Char.code '0' + to_int r));
+      v := q
+    done;
+    let s = Buffer.contents buf in
+    String.init (String.length s) (fun i -> s.[String.length s - 1 - i])
+  end
+
+let to_string = to_hex
+let pp fmt a = Format.pp_print_string fmt (to_hex a)
+
+(* Truthiness per EVM JUMPI semantics. *)
+let to_bool a = not (is_zero a)
+let of_bool b = if b then one else zero

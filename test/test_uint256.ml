@@ -164,6 +164,320 @@ let test_hex_module () =
   Alcotest.check_raises "odd digits" (Invalid_argument "Hex.decode: odd number of digits")
     (fun () -> ignore (H.decode "0xabc"))
 
+(* ---------- differential suite vs the retained reference ---------- *)
+
+(* [Uint256_ref] is the pre-PR-10 boxed-int64 implementation, kept
+   verbatim for exactly this purpose: every operation of the new
+   int-limb representation is replayed against it over seeded random
+   vectors. Values cross the module boundary as 32-byte strings so the
+   two incompatible [t]s never meet. *)
+
+module R = Ethainter_word.Uint256_ref
+
+(* Deterministic vector generator biased toward the shapes that break
+   word arithmetic: dense random words, sparse bytes, 0xff runs
+   (maximal carry/borrow chains), single set bits (limb boundaries),
+   2^k - 1 masks (including max_value at k = 256), and small ints. *)
+let rand_bytes st =
+  match Random.State.int st 8 with
+  | 0 | 1 | 2 -> String.init 32 (fun _ -> Char.chr (Random.State.int st 256))
+  | 3 ->
+      let b = Bytes.make 32 '\000' in
+      for _ = 1 to 1 + Random.State.int st 3 do
+        Bytes.set b (Random.State.int st 32)
+          (Char.chr (Random.State.int st 256))
+      done;
+      Bytes.to_string b
+  | 4 ->
+      let b = Bytes.make 32 '\000' in
+      let start = Random.State.int st 32 in
+      let len = 1 + Random.State.int st (32 - start) in
+      Bytes.fill b start len '\xff';
+      Bytes.to_string b
+  | 5 ->
+      let b = Bytes.make 32 '\000' in
+      let k = Random.State.int st 256 in
+      Bytes.set b (31 - (k / 8)) (Char.chr (1 lsl (k mod 8)));
+      Bytes.to_string b
+  | 6 ->
+      let k = 1 + Random.State.int st 256 in
+      let b = Bytes.make 32 '\000' in
+      let full = k / 8 and part = k mod 8 in
+      for i = 0 to full - 1 do
+        Bytes.set b (31 - i) '\xff'
+      done;
+      if part > 0 then Bytes.set b (31 - full) (Char.chr ((1 lsl part) - 1));
+      Bytes.to_string b
+  | _ ->
+      let v = Random.State.int st 0x10000 in
+      let b = Bytes.make 32 '\000' in
+      Bytes.set b 31 (Char.chr (v land 0xff));
+      Bytes.set b 30 (Char.chr (v lsr 8));
+      Bytes.to_string b
+
+(* Directed pairs no random draw should be trusted to hit: full-width
+   wraps, the sign boundary, and 128-bit-limb edges. *)
+let directed_pairs =
+  let two_128 = U.shift_left U.one 128 in
+  let m = U.to_bytes U.max_value
+  and z = U.to_bytes U.zero
+  and o = U.to_bytes U.one
+  and t255 = U.to_bytes two_255
+  and t128 = U.to_bytes two_128
+  and t128m1 = U.to_bytes (U.sub two_128 U.one) in
+  [ (m, m); (m, o); (m, z); (z, o); (t255, t255); (t255, m); (t128, t128);
+    (t128m1, o); (t128m1, t128m1); (o, m) ]
+
+let diff_check i sh e sa sb sm =
+  let ua = U.of_bytes sa and ub = U.of_bytes sb and um = U.of_bytes sm in
+  let ra = R.of_bytes sa and rb = R.of_bytes sb and rm = R.of_bytes sm in
+  let chk name x y =
+    if not (String.equal (U.to_hex_padded x) (R.to_hex_padded y)) then
+      Alcotest.failf "vector %d %s: new=%s ref=%s  [a=%s b=%s]" i name
+        (U.to_hex_padded x) (R.to_hex_padded y) (U.to_hex ua) (U.to_hex ub)
+  in
+  let chkb name x y =
+    if x <> y then
+      Alcotest.failf "vector %d %s: new=%b ref=%b  [a=%s b=%s]" i name x y
+        (U.to_hex ua) (U.to_hex ub)
+  in
+  let chki name x y =
+    if x <> y then
+      Alcotest.failf "vector %d %s: new=%d ref=%d  [a=%s]" i name x y
+        (U.to_hex ua)
+  in
+  chk "add" (U.add ua ub) (R.add ra rb);
+  chk "sub" (U.sub ua ub) (R.sub ra rb);
+  chk "mul" (U.mul ua ub) (R.mul ra rb);
+  chk "neg" (U.neg ua) (R.neg ra);
+  chk "div" (U.div ua ub) (R.div ra rb);
+  chk "rem" (U.rem ua ub) (R.rem ra rb);
+  chk "sdiv" (U.sdiv ua ub) (R.sdiv ra rb);
+  chk "smod" (U.smod ua ub) (R.smod ra rb);
+  chk "addmod" (U.addmod ua ub um) (R.addmod ra rb rm);
+  chk "mulmod" (U.mulmod ua ub um) (R.mulmod ra rb rm);
+  chk "exp" (U.exp ua (U.of_int e)) (R.exp ra (R.of_int e));
+  chk "and" (U.logand ua ub) (R.logand ra rb);
+  chk "or" (U.logor ua ub) (R.logor ra rb);
+  chk "xor" (U.logxor ua ub) (R.logxor ra rb);
+  chk "not" (U.lognot ua) (R.lognot ra);
+  chk "shl" (U.shift_left ua sh) (R.shift_left ra sh);
+  chk "shr" (U.shift_right ua sh) (R.shift_right ra sh);
+  chk "sar" (U.shift_right_arith ua sh) (R.shift_right_arith ra sh);
+  chk "byte-word-index" (U.byte ub ua) (R.byte rb ra);
+  chk "byte"
+    (U.byte (U.of_int (sh mod 33)) ua)
+    (R.byte (R.of_int (sh mod 33)) ra);
+  chk "signextend-word-index" (U.signextend ub ua) (R.signextend rb ra);
+  chk "signextend"
+    (U.signextend (U.of_int (sh mod 33)) ua)
+    (R.signextend (R.of_int (sh mod 33)) ra);
+  chkb "lt" (U.lt ua ub) (R.lt ra rb);
+  chkb "slt" (U.slt ua ub) (R.slt ra rb);
+  chkb "sgt" (U.sgt ua ub) (R.sgt ra rb);
+  chkb "equal" (U.equal ua ub) (R.equal ra rb);
+  chkb "is_neg" (U.is_neg ua) (R.is_neg ra);
+  chki "compare-sign"
+    (Stdlib.compare (U.compare ua ub) 0)
+    (Stdlib.compare (R.compare ra rb) 0);
+  chki "num_bits" (U.num_bits ua) (R.num_bits ra);
+  chkb "fits_int" (U.fits_int ua) (R.fits_int ra);
+  (match (U.to_int_opt ua, R.to_int_opt ra) with
+  | Some x, Some y -> chki "to_int" x y
+  | None, None -> ()
+  | _ -> Alcotest.failf "vector %d to_int_opt presence mismatch" i);
+  if i land 127 = 0 then begin
+    if not (String.equal (U.to_decimal ua) (R.to_decimal ra)) then
+      Alcotest.failf "vector %d to_decimal mismatch" i;
+    if not (String.equal (U.to_hex ua) (R.to_hex ra)) then
+      Alcotest.failf "vector %d to_hex mismatch" i
+  end
+
+let test_differential () =
+  List.iteri
+    (fun i (sa, sb) ->
+      diff_check (-i - 1) (i * 37 mod 300) (i mod 9) sa sb sa)
+    directed_pairs;
+  let st = Random.State.make [| 0xE7A1; 0x2026 |] in
+  for i = 1 to 10_000 do
+    let sa = rand_bytes st and sb = rand_bytes st and sm = rand_bytes st in
+    diff_check i (Random.State.int st 300) (Random.State.int st 300) sa sb sm
+  done
+
+(* ---------- destructive (_into) variants ---------- *)
+
+(* The interpreter's operand stack reuses slots, so every [_into] op
+   must tolerate full aliasing: dst == a, dst == b, and all three the
+   same word. Each case is checked against the pure op. *)
+let test_into_aliasing () =
+  let st = Random.State.make [| 0xA11A5 |] in
+  let binops =
+    [ ("add", U.add, U.add_into); ("sub", U.sub, U.sub_into);
+      ("mul", U.mul, U.mul_into); ("and", U.logand, U.logand_into);
+      ("or", U.logor, U.logor_into); ("xor", U.logxor, U.logxor_into) ]
+  in
+  for i = 1 to 2_000 do
+    let a = U.of_bytes (rand_bytes st) and b = U.of_bytes (rand_bytes st) in
+    List.iter
+      (fun (name, pure, into) ->
+        let expect = U.to_hex_padded (pure a b) in
+        let chk tag got =
+          if not (String.equal (U.to_hex_padded got) expect) then
+            Alcotest.failf "vector %d %s_into/%s: got %s want %s  [a=%s b=%s]"
+              i name tag (U.to_hex_padded got) expect (U.to_hex a)
+              (U.to_hex b)
+        in
+        let d = U.create () in
+        into d a b;
+        chk "fresh-dst" d;
+        let a' = U.copy a in
+        into a' a' b;
+        chk "dst==a" a';
+        let b' = U.copy b in
+        into b' a b';
+        chk "dst==b" b';
+        let self = U.to_hex_padded (pure a a) in
+        let c = U.copy a in
+        into c c c;
+        if not (String.equal (U.to_hex_padded c) self) then
+          Alcotest.failf "vector %d %s_into/all-aliased: got %s want %s" i
+            name (U.to_hex_padded c) self)
+      binops;
+    let n = Random.State.int st 300 in
+    let chk_shift name pure into =
+      let expect = U.to_hex_padded (pure a n) in
+      let d = U.create () in
+      into d a n;
+      let a' = U.copy a in
+      into a' a' n;
+      if
+        (not (String.equal (U.to_hex_padded d) expect))
+        || not (String.equal (U.to_hex_padded a') expect)
+      then
+        Alcotest.failf "vector %d %s_into by %d: got %s/%s want %s" i name n
+          (U.to_hex_padded d) (U.to_hex_padded a') expect
+    in
+    chk_shift "shl" U.shift_left U.shift_left_into;
+    chk_shift "shr" U.shift_right U.shift_right_into;
+    chk_shift "sar" U.shift_right_arith U.shift_right_arith_into;
+    let expect = U.to_hex_padded (U.lognot a) in
+    let d = U.create () in
+    U.lognot_into d a;
+    let a' = U.copy a in
+    U.lognot_into a' a';
+    if
+      (not (String.equal (U.to_hex_padded d) expect))
+      || not (String.equal (U.to_hex_padded a') expect)
+    then Alcotest.failf "vector %d lognot_into mismatch" i
+  done
+
+(* In-place byte I/O: what MLOAD/MSTORE/CALLDATALOAD ride on. *)
+let test_scratch_bytes () =
+  let st = Random.State.make [| 0xB17E5 |] in
+  for i = 1 to 1_000 do
+    let w = U.of_bytes (rand_bytes st) in
+    let off = Random.State.int st 9 in
+    let buf =
+      Bytes.init (off + 40) (fun _ -> Char.chr (Random.State.int st 256))
+    in
+    U.store_be w buf off;
+    let d = U.create () in
+    U.load_be_into d buf off;
+    if not (U.equal d w) then
+      Alcotest.failf "vector %d store_be/load_be_into roundtrip" i;
+    if not (String.equal (Bytes.sub_string buf off 32) (U.to_bytes w)) then
+      Alcotest.failf "vector %d store_be bytes disagree with to_bytes" i;
+    (* CALLDATALOAD semantics: out-of-range bytes read as zero *)
+    let len = Random.State.int st 48 in
+    let data = String.init len (fun _ -> Char.chr (Random.State.int st 256)) in
+    let o2 = Random.State.int st 64 in
+    let d2 = U.create () in
+    U.load_be_padded d2 data o2;
+    let expect =
+      U.of_bytes
+        (String.init 32 (fun k ->
+             if o2 + k < len then data.[o2 + k] else '\000'))
+    in
+    if not (U.equal d2 expect) then
+      Alcotest.failf "vector %d load_be_padded off=%d len=%d: got %s want %s"
+        i o2 len (U.to_hex d2) (U.to_hex expect);
+    let t = U.create () in
+    U.blit w t;
+    if not (U.equal t w) then Alcotest.failf "vector %d blit" i;
+    U.set_zero t;
+    if not (U.is_zero t) then Alcotest.failf "vector %d set_zero" i;
+    let v = Random.State.int st 1_000_000 in
+    U.set_int t v;
+    if not (U.equal t (U.of_int v)) then Alcotest.failf "vector %d set_int" i;
+    U.set_bool t (v land 1 = 1);
+    if not (U.equal t (U.of_bool (v land 1 = 1))) then
+      Alcotest.failf "vector %d set_bool" i
+  done
+
+(* ---------- hash quality regression ---------- *)
+
+(* The storage-key hashtables in [Ethainter_evm.State] are keyed by
+   [Uint256.hash]. Contract storage keys are routinely of the form
+   [base + k] or [k * 2^n] (mapping slots, packed arrays), so a hash
+   that ignores high limbs degrades those tables to linked lists.
+   Each family below collapses to O(1) distinct hashes under a
+   low-limb-only hash; assert near-perfect distinctness and bounded
+   bucket load instead. *)
+let test_hash_quality () =
+  let families =
+    [ ("sequential", u);
+      ("k<<64", fun k -> U.shift_left (u k) 64);
+      ("k<<96", fun k -> U.shift_left (u k) 96);
+      ("k<<128", fun k -> U.shift_left (u k) 128);
+      ("k<<224", fun k -> U.shift_left (u k) 224);
+      ("k<<128|7", fun k -> U.logor (U.shift_left (u k) 128) (u 7)) ]
+  in
+  List.iter
+    (fun (name, f) ->
+      let n = 4096 in
+      let nbuckets = 1024 in
+      let distinct = Hashtbl.create n in
+      let buckets = Array.make nbuckets 0 in
+      for k = 0 to n - 1 do
+        let h = U.hash (f k) in
+        if h < 0 then Alcotest.failf "%s: negative hash %d" name h;
+        Hashtbl.replace distinct h ();
+        let b = h land (nbuckets - 1) in
+        buckets.(b) <- buckets.(b) + 1
+      done;
+      let d = Hashtbl.length distinct in
+      if d < n * 99 / 100 then
+        Alcotest.failf "%s: only %d/%d distinct hashes" name d n;
+      let maxload = Array.fold_left max 0 buckets in
+      (* expected load is 4; a low-limb-only hash pins everything on
+         one bucket.  16 leaves ample head-room for an honest mixer. *)
+      if maxload > 16 then
+        Alcotest.failf "%s: max bucket load %d (expected ~4)" name maxload)
+    families
+
+(* ---------- interning ---------- *)
+
+let test_interning () =
+  let phys msg b = Alcotest.(check bool) msg true b in
+  phys "of_int shares 0..255" (U.of_int 5 == U.of_int 5);
+  phys "of_int 0" (U.of_int 0 == U.zero);
+  phys "of_int 1" (U.of_int 1 == U.one);
+  phys "of_int 255 shares" (U.of_int 255 == U.of_int 255);
+  phys "of_bool true" (U.of_bool true == U.one);
+  phys "of_bool false" (U.of_bool false == U.zero);
+  phys "of_int64 hits the table" (U.of_int64 200L == U.of_int 200);
+  phys "of_bytes single byte" (U.of_bytes "\x2a" == U.of_int 42);
+  phys "byte op returns interned" (U.byte (u 31) (u 0xab) == U.of_int 0xab);
+  (* owned words are fresh: mutating one must not corrupt constants *)
+  let c = U.copy (U.of_int 5) in
+  phys "copy is a fresh block" (not (c == U.of_int 5));
+  U.set_int c 9;
+  check_u "set_int on the copy" c (u 9);
+  check_u "shared constant unharmed" (U.of_int 5) (ustr "5");
+  let d = U.create () in
+  phys "create starts at zero" (U.is_zero d);
+  phys "create is owned, not the interned zero" (not (d == U.zero))
+
 (* ---------- properties ---------- *)
 
 let gen_u256 =
@@ -283,4 +597,14 @@ let () =
           Alcotest.test_case "signextend/byte" `Quick test_signextend_byte;
           Alcotest.test_case "num_bits" `Quick test_num_bits;
           Alcotest.test_case "hex module" `Quick test_hex_module ] );
+      ( "differential",
+        [ Alcotest.test_case "10k seeded vectors vs reference impl" `Quick
+            test_differential;
+          Alcotest.test_case "_into aliasing vs pure ops" `Quick
+            test_into_aliasing;
+          Alcotest.test_case "in-place byte I/O" `Quick test_scratch_bytes ] );
+      ( "representation",
+        [ Alcotest.test_case "hash mixes all limbs" `Quick test_hash_quality;
+          Alcotest.test_case "small-constant interning" `Quick test_interning ]
+      );
       ("properties", properties) ]
